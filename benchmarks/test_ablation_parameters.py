@@ -1,0 +1,175 @@
+"""Design-choice ablations called out in DESIGN.md / paper Section VII.
+
+* segmentation threshold sweep: density and mean segment length;
+* radius of view R: similarity decay sensitivity (Section VII);
+* R-tree split strategy: build time / tree quality / query time;
+* orientation average: circular vs the paper's literal arithmetic mean;
+* retrieval strictness: strict point-cover vs lenient disc-overlap.
+"""
+
+import numpy as np
+
+from repro import CameraModel, CloudServer, Query, segment_trace
+from repro.core.segmentation import SegmentationConfig
+from repro.core.similarity import sim_parallel
+from repro.eval.accuracy import aggregate_metrics
+from repro.eval.groundtruth import relevant_segments
+from repro.eval.harness import Table, time_call
+from repro.geometry.angles import angular_difference, circular_mean
+from repro.spatial.metrics import tree_stats
+from repro.spatial.rtree import RTree, RTreeConfig
+from repro.traces.dataset import CityDataset, random_representative_fovs
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import bike_turn_scenario
+
+CAMERA = CameraModel()
+
+
+def test_ablation_segmentation_threshold(benchmark, show):
+    """Section VII: 'when threshold gets bigger, the segmentation of
+    video would be denser.'"""
+    trace = bike_turn_scenario(fps=10, noise=SensorNoiseModel.ideal())
+    table = Table("Ablation -- segmentation threshold",
+                  ["threshold", "segments", "mean len (s)"])
+    counts = []
+    for thresh in (0.2, 0.4, 0.6, 0.8, 0.95):
+        segs = segment_trace(trace, CAMERA, SegmentationConfig(threshold=thresh))
+        counts.append(len(segs))
+        mean_len = float(np.mean([s.t_end - s.t_start for s in segs]))
+        table.add(thresh, len(segs), round(mean_len, 2))
+    show(table)
+    assert counts == sorted(counts), \
+        "denser segmentation as the threshold rises (on smooth motion)"
+
+    cfg = SegmentationConfig(threshold=0.5)
+    benchmark(lambda: segment_trace(trace, CAMERA, cfg))
+
+
+def test_ablation_radius_of_view(benchmark, show):
+    """Section VII: similarity decreases slower when R grows."""
+    table = Table("Ablation -- radius of view R (parallel translation)",
+                  ["R (m)", "Sim at 20 m", "Sim at 50 m", "Sim at 100 m"])
+    at50 = []
+    for R in (20.0, 50.0, 100.0, 200.0):
+        vals = [sim_parallel(d, R, CAMERA.half_angle) for d in (20.0, 50.0, 100.0)]
+        at50.append(vals[1])
+        table.add(R, *[round(v, 3) for v in vals])
+    show(table)
+    assert at50 == sorted(at50), "bigger R must slow the decay"
+    benchmark(lambda: sim_parallel(np.linspace(0, 200, 1000), 100.0, 30.0))
+
+
+def test_ablation_rtree_split_strategy(benchmark, show):
+    """Quadratic vs linear split: build cost vs tree quality."""
+    rng = np.random.default_rng(7)
+    reps = random_representative_fovs(10_000, rng)
+    boxes = np.array([[r.lng, r.lat, r.t_start, r.lng, r.lat, r.t_end]
+                      for r in reps])
+    table = Table("Ablation -- R-tree split strategy (10k records)",
+                  ["split", "build (s)", "leaves", "leaf overlap",
+                   "1k queries (s)"])
+    # quadratic/linear are Guttman's originals; rstar is the Beckmann
+    # margin/overlap split (topological part only).
+    rows = {}
+    for split in ("quadratic", "linear", "rstar"):
+        tree = RTree(3, RTreeConfig(max_entries=32, split=split))
+        t_build, _ = time_call(lambda: [
+            tree.insert(boxes[i, :3], boxes[i, 3:], i)
+            for i in range(len(reps))])
+        stats = tree_stats(tree)
+        qrng = np.random.default_rng(0)
+        queries = []
+        for _ in range(1000):
+            c = boxes[int(qrng.integers(len(reps))), :3]
+            queries.append((c - [0.005, 0.005, 300.0], c + [0.005, 0.005, 300.0]))
+        t_query, _ = time_call(lambda: [tree.search(lo, hi)
+                                        for lo, hi in queries])
+        rows[split] = (t_build, stats, t_query)
+        table.add(split, round(t_build, 3), stats.leaf_count,
+                  round(stats.total_leaf_overlap, 4), round(t_query, 3))
+    show(table)
+    # Linear split builds faster; quadratic usually yields tighter
+    # trees; rstar yields the least leaf overlap of all.
+    assert rows["linear"][0] < rows["quadratic"][0] * 1.5
+    assert rows["rstar"][1].total_leaf_overlap <= \
+        rows["quadratic"][1].total_leaf_overlap * 1.2
+
+    tree = RTree(3, RTreeConfig(max_entries=32))
+    it = iter(list(range(len(reps))) * 100)
+
+    def _insert_next():
+        i = next(it)
+        tree.insert(boxes[i, :3], boxes[i, 3:], i)
+
+    benchmark(_insert_next)
+
+
+def test_ablation_orientation_mean(benchmark, show):
+    """Circular vs arithmetic orientation average across the 0/360 wrap."""
+    rng = np.random.default_rng(3)
+    table = Table("Ablation -- representative orientation average",
+                  ["true mean", "spread", "circular err", "arithmetic err"])
+    worst_arith = 0.0
+    worst_circ = 0.0
+    for true_mean in (0.0, 90.0, 355.0):
+        for spread in (5.0, 15.0):
+            samples = (true_mean + rng.normal(0, spread, 200)) % 360.0
+            circ = circular_mean(samples)
+            arith = float(np.mean(samples))
+            e_circ = float(angular_difference(circ, true_mean))
+            e_arith = float(angular_difference(arith, true_mean))
+            worst_circ = max(worst_circ, e_circ)
+            worst_arith = max(worst_arith, e_arith)
+            table.add(true_mean, spread, round(e_circ, 2), round(e_arith, 2))
+    show(table)
+    assert worst_circ < 5.0, "circular mean stays accurate everywhere"
+    assert worst_arith > 45.0, \
+        "the paper's literal arithmetic mean breaks across the wrap"
+
+    samples = rng.uniform(0, 30, 500)
+    benchmark(lambda: circular_mean(samples))
+
+
+def test_ablation_retrieval_strictness(benchmark, show):
+    """Strict point-cover vs lenient disc-overlap orientation filter."""
+    city = CityDataset(n_providers=10, seed=8)
+    t0, t1 = city.time_span()
+    rng = np.random.default_rng(4)
+    results = {}
+    for strict in (True, False):
+        server = CloudServer(city.camera, strict_cover=strict)
+        server.ingest(city.all_representatives())
+        ms = []
+        qrng = np.random.default_rng(4)
+        for _ in range(20):
+            qp = city.random_query_point(qrng)
+            xy = city.projection.to_local_arrays([qp.lat], [qp.lng])[0]
+            truth = relevant_segments(city, xy, (t0, t1))
+            if not truth:
+                continue
+            keys = server.query(Query(t_start=t0, t_end=t1, center=qp,
+                                      radius=100.0, top_n=10)).keys()
+            ms.append(aggregate_metrics(keys, truth, 10))
+        results[strict] = ms
+    table = Table("Ablation -- orientation filter strictness",
+                  ["mode", "precision@10", "recall@10"])
+    for strict, name in ((True, "strict (cover centre)"),
+                         (False, "lenient (disc overlap)")):
+        ms = results[strict]
+        table.add(name,
+                  round(float(np.mean([m.precision for m in ms])), 3),
+                  round(float(np.mean([m.recall for m in ms])), 3))
+    show(table)
+    # Lenient trades precision for recall.
+    p_strict = float(np.mean([m.precision for m in results[True]]))
+    p_lenient = float(np.mean([m.precision for m in results[False]]))
+    r_strict = float(np.mean([m.recall for m in results[True]]))
+    r_lenient = float(np.mean([m.recall for m in results[False]]))
+    assert r_lenient >= r_strict - 1e-9
+    assert p_strict >= p_lenient - 1e-9
+
+    server = CloudServer(city.camera)
+    server.ingest(city.all_representatives())
+    qp = city.random_query_point(rng)
+    q = Query(t_start=t0, t_end=t1, center=qp, radius=100.0)
+    benchmark(lambda: server.query(q))

@@ -1,0 +1,50 @@
+"""Section I quantified -- data-centric vs query-centric vs content-free.
+
+The paper's introduction argues both classical architectures are
+impractical for crowd-sourced video.  This bench prices all three over
+the same workload (100 providers x 5 min of 720p each, 50 queries) with
+unit costs measured on this reproduction's own kernels, and checks the
+orderings the introduction asserts.
+"""
+
+from repro.eval.harness import Table
+from repro.net.architectures import Workload, compare_architectures
+
+
+def test_architecture_comparison(benchmark, show):
+    workload = Workload(
+        n_providers=100,
+        video_seconds_per_provider=300.0,
+        fps=30.0,
+        segments_per_provider=20,
+        n_queries=50,
+        matched_segments_per_query=5,
+        matched_segment_seconds=30.0,
+    )
+    rows = compare_architectures(workload)
+    by_name = {r.name: r for r in rows}
+
+    table = Table("Section I -- architecture cost comparison "
+                  "(100 providers x 5 min, 50 queries)",
+                  ["architecture", "network (MB)", "phone CPU (s)",
+                   "server CPU (s)", "latency/query (s)"])
+    for r in rows:
+        table.add(r.name, round(r.network_bytes / 1e6, 1),
+                  round(r.phone_cpu_s, 2), round(r.server_cpu_s, 2),
+                  round(r.per_query_latency_s, 4))
+    show(table)
+
+    data = by_name["data-centric"]
+    query = by_name["query-centric"]
+    free = by_name["content-free (FoV)"]
+
+    # The introduction's three complaints, as inequalities:
+    # 1. uploading raw footage is the dominant network cost;
+    assert data.network_bytes > 10 * free.network_bytes
+    # 2. query-centric burns phone CPU on every query;
+    assert query.phone_cpu_s > 100 * free.phone_cpu_s
+    # 3. content-free answers queries fastest.
+    assert free.per_query_latency_s < query.per_query_latency_s
+    assert free.per_query_latency_s < data.per_query_latency_s
+
+    benchmark(lambda: compare_architectures(workload))

@@ -1,0 +1,90 @@
+"""Operational extensions: city coverage scaling and the live service.
+
+Two questions a deployment would ask that the paper's evaluation
+implies but never measures:
+
+* **coverage scaling** -- how much of the city can the crowd answer
+  queries about, as a function of fleet size?  (Submodular-looking
+  saturation: early providers add coverage fast, later ones overlap.)
+* **live service** -- with providers and inquirers arriving
+  concurrently over an hour, do the latency and answerability numbers
+  of the static benchmarks survive?  (The discrete-event simulation
+  drives the *real* pipeline/server code.)
+"""
+
+import numpy as np
+
+from repro.eval.coverage_map import build_coverage_map
+from repro.eval.harness import Table
+from repro.sim.simulation import ServiceSimulation, SimulationConfig
+from repro.traces.dataset import CityDataset
+
+
+def test_coverage_vs_fleet_size(benchmark, show):
+    table = Table("Extension -- city coverage vs fleet size (25 m cells)",
+                  ["providers", "segments", "covered cells",
+                   "mean depth (covered)"])
+    fractions = []
+    big = CityDataset(n_providers=48, seed=10)
+    ex, ey = big.grid.extent_m
+    extent = (-50.0, -50.0, ex + 50.0, ey + 50.0)
+    reps_all = []
+    per_provider = {}
+    for rec in big.recordings:
+        per_provider[rec.device_id] = rec.bundle.representatives
+    device_ids = sorted(per_provider)
+    last_map = None
+    for n in (6, 12, 24, 48):
+        reps = [r for d in device_ids[:n] for r in per_provider[d]]
+        cmap = build_coverage_map(reps, big.projection, big.camera, extent,
+                                  cell_m=25.0)
+        frac = cmap.covered_fraction()
+        fractions.append(frac)
+        covered = cmap.counts[cmap.counts > 0]
+        table.add(n, len(reps), f"{frac:.1%}",
+                  round(float(covered.mean()), 2) if covered.size else 0.0)
+        last_map = (reps, cmap)
+    show(table)
+
+    # Coverage grows with the fleet but with diminishing returns.
+    assert fractions == sorted(fractions)
+    gain_early = fractions[1] - fractions[0]
+    gain_late = fractions[3] - fractions[2]
+    assert gain_late < gain_early + 0.05, "later providers mostly overlap"
+
+    reps, _ = last_map
+    benchmark(lambda: build_coverage_map(reps[:100], big.projection,
+                                         big.camera, extent, cell_m=50.0))
+
+
+def test_live_service_simulation(benchmark, show):
+    cfg = SimulationConfig(duration_s=3600.0, n_providers=12,
+                           recordings_per_provider=2.0,
+                           query_rate_hz=0.03, seed=2015)
+    report = ServiceSimulation(cfg).run()
+
+    table = Table("Extension -- one simulated hour of service",
+                  ["metric", "value"])
+    table.add("recordings completed", report.recordings_completed)
+    table.add("segments indexed", report.segments_indexed)
+    table.add("descriptor bytes", report.descriptor_bytes)
+    table.add("queries issued", report.queries_issued)
+    table.add("answered fraction", f"{report.answered_fraction:.1%}")
+    table.add("query p50 (ms)", round(report.latency_percentile(50), 3))
+    table.add("query p99 (ms)", round(report.latency_percentile(99), 3))
+    table.add("max clock error (s)", round(report.max_clock_error_s, 3))
+    show(table)
+
+    assert report.recordings_completed >= 10
+    assert report.segments_indexed > 50
+    assert report.queries_issued > 50
+    assert report.answered_fraction > 0.3
+    assert report.latency_percentile(99) < 100.0     # T3 holds live
+    assert report.max_clock_error_s < 1.0            # Section VI-A holds
+    # Descriptor traffic for an hour of city video stays in kilobytes.
+    assert report.descriptor_bytes < 100_000
+
+    small = SimulationConfig(duration_s=600.0, n_providers=4,
+                             recordings_per_provider=1.0,
+                             query_rate_hz=0.02, seed=1)
+    benchmark(lambda: ServiceSimulation(small).run())

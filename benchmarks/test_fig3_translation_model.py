@@ -1,0 +1,47 @@
+"""Fig. 3 -- the theoretical translation similarity model.
+
+The paper plots ``Sim_par`` (theta_p = 0) above ``Sim_perp``
+(theta_p = 90) as functions of the translation distance ``d`` for a
+given radius of view ``R``.  This bench regenerates both series for
+several ``R`` and checks the figure's qualitative content: parallel
+decays slowly and never reaches zero; perpendicular decays faster and
+hits zero exactly at ``2 R sin(alpha)``.
+"""
+
+import numpy as np
+
+from repro.core.similarity import sim_parallel, sim_perpendicular
+from repro.eval.harness import Table
+
+ALPHA = 30.0
+DISTANCES = np.array([0.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0])
+RADII = [20.0, 50.0, 100.0, 200.0]
+
+
+def test_fig3_translation_similarity_surfaces(benchmark, show):
+    table = Table(
+        "Fig. 3 -- translation similarity (alpha = 30 deg)",
+        ["R (m)", "series"] + [f"d={d:.0f}" for d in DISTANCES],
+    )
+    for R in RADII:
+        par = sim_parallel(DISTANCES, R, ALPHA)
+        perp = sim_perpendicular(DISTANCES, R, ALPHA)
+        table.add(R, "Sim_par", *[round(float(v), 3) for v in par])
+        table.add(R, "Sim_perp", *[round(float(v), 3) for v in perp])
+
+        # Paper's stated properties, per radius:
+        assert np.all(np.diff(par) <= 1e-12), "Sim_par must decay"
+        assert par[-1] > 0.0, "Sim_par never reaches zero (statement 2)"
+        d_zero = 2 * R * np.sin(np.radians(ALPHA))
+        assert sim_perpendicular(d_zero, R, ALPHA) < 1e-12
+        assert sim_perpendicular(d_zero * 0.9, R, ALPHA) > 0.0
+        # Bigger R => slower decay (Section VII discussion).
+    for d in (25.0, 50.0):
+        decays = [1.0 - sim_parallel(d, R, ALPHA) for R in RADII]
+        assert decays == sorted(decays, reverse=True), \
+            "similarity must decay slower for larger R"
+    show(table)
+
+    d_grid = np.linspace(0.0, 300.0, 10_000)
+    benchmark(lambda: (sim_parallel(d_grid, 100.0, ALPHA),
+                       sim_perpendicular(d_grid, 100.0, ALPHA)))

@@ -1,0 +1,146 @@
+"""Fig. 5 -- pairwise similarity matrices, FoV vs frame differencing.
+
+Three recordings: (a) rotation in place, (b) straight drive
+(R = 100 m), (c) bike ride with a right turn.  For each, the full
+pairwise FoV-similarity matrix (from noisy sensors) is compared against
+the frame-differencing matrix (from rendered frames) -- the paper shows
+them side by side as heatmaps; here the agreement is their Pearson
+correlation, plus the structural signatures the paper calls out:
+the banded diagonal under rotation and the four-quadrant block pattern
+around the bike's turn.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.core.similarity import pairwise_similarity
+from repro.eval.harness import Table
+from repro.eval.simmatrix import matrix_correlation, trace_similarity_matrix
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import (
+    bike_turn_scenario,
+    rotation_scenario,
+    translation_scenario,
+)
+from repro.traces.walkers import bike_ride_with_turn, rotate_in_place, straight_line
+from repro.vision.camera import ColumnRenderer
+from repro.vision.frames import render_trajectory
+from repro.vision.framediff import pairwise_frame_similarity
+from repro.vision.world import random_world
+
+CAMERA = CameraModel(half_angle=30.0, radius=100.0)
+FRAMES = 40  # matrix side; rendering cost is quadratic in this
+
+
+def _world_renderer(seed=7, width=128, height=96):
+    world = random_world(np.random.default_rng(seed))
+    return ColumnRenderer(world, CAMERA, width=width, height=height)
+
+
+def _case(name):
+    """Returns (sensed trace, ideal trajectory) for one Fig. 5 scenario."""
+    if name == "rotation":
+        traj = rotate_in_place(rate_deg_s=12.0, duration_s=30.0, fps=2.0)
+        trace = rotation_scenario(rate_deg_s=12.0, duration_s=30.0, fps=2.0)
+    elif name == "translation":
+        # Drive ~120 m (about one radius of view): beyond that both
+        # measures saturate -- FoV near its floor, pixels fully changed.
+        traj = straight_line(speed_mps=12.0, duration_s=10.0, fps=4.0,
+                             start_xy=(-30.0, -60.0))
+        trace = translation_scenario(theta_p=0.0, speed_mps=12.0,
+                                     duration_s=10.0, fps=4.0)
+    elif name == "bike":
+        traj = bike_ride_with_turn(speed_mps=4.0, leg_s=14.0, turn_s=2.0,
+                                   fps=2.0)
+        trace = bike_turn_scenario(speed_mps=4.0, leg_s=14.0, turn_s=2.0,
+                                   fps=2.0)
+    else:
+        raise ValueError(name)
+    return trace, traj
+
+
+@pytest.mark.parametrize("scenario", ["rotation", "translation", "bike"])
+def test_fig5_matrix_agreement(benchmark, show, scenario):
+    trace, traj = _case(scenario)
+    idx = np.linspace(0, len(trace) - 1, FRAMES).astype(int)
+
+    fov_M = trace_similarity_matrix(trace, CAMERA, indices=idx)
+    # Average the CV matrix over several worlds (one landmark layout is
+    # far noisier than a real textured street).
+    mats = []
+    for ws in (7, 11, 23, 31, 47):
+        renderer = _world_renderer(seed=ws)
+        frames, _ = render_trajectory(renderer, traj, max_frames=FRAMES)
+        mats.append(pairwise_frame_similarity(frames))
+    cv_M = np.mean(mats, axis=0)
+
+    n = min(fov_M.shape[0], cv_M.shape[0])
+    corr = matrix_correlation(fov_M[:n, :n], cv_M[:n, :n])
+
+    table = Table(f"Fig. 5 ({scenario}) -- FoV vs frame-diff matrices",
+                  ["metric", "value"])
+    table.add("matrix side", n)
+    table.add("pearson corr (off-diag)", round(corr, 3))
+    table.add("fov mean", round(float(fov_M.mean()), 3))
+    table.add("cv mean", round(float(cv_M.mean()), 3))
+    show(table)
+
+    assert corr > 0.4, (
+        f"{scenario}: FoV and CV similarity structure must agree, got {corr}")
+
+    xy = trace.local_xy()[idx]
+    th = trace.theta[idx]
+    benchmark(lambda: pairwise_similarity(xy, th, CAMERA))
+
+
+def test_fig5a_rotation_band_structure(benchmark, show):
+    """Rotation: similarity depends only on |dtheta|; pairs more than
+    2*alpha apart are exactly 0 -- the diagonal band of Fig. 5(a)."""
+    trace, _ = _case("rotation")
+    idx = np.arange(0, len(trace), 4)
+    M = trace_similarity_matrix(trace, CAMERA, indices=idx)
+    # 12 deg/s at 0.5 s steps x4 = 24 deg between successive samples:
+    # beyond ~3 samples apart the wedges are disjoint.
+    far = np.abs(np.subtract.outer(np.arange(len(idx)),
+                                   np.arange(len(idx)))) > 4
+    assert float(M[far].mean()) < 0.05
+    near = np.abs(np.subtract.outer(np.arange(len(idx)),
+                                    np.arange(len(idx)))) == 1
+    assert float(M[near].mean()) > 0.4
+    show(f"Fig. 5(a): band structure ok -- near-mean {M[near].mean():.3f}, "
+         f"far-mean {M[far].mean():.4f}")
+    xy = trace.local_xy()[idx]
+    benchmark(lambda: pairwise_similarity(xy, trace.theta[idx], CAMERA))
+
+
+def test_fig5c_bike_turn_quadrants(benchmark, show):
+    """The right turn splits the matrix into four blocks: high within
+    each leg, ~zero across legs (the paper's 'blue cross')."""
+    trace, traj = _case("bike")
+    idx = np.linspace(0, len(trace) - 1, FRAMES).astype(int)
+    M = trace_similarity_matrix(trace, CAMERA, indices=idx)
+    t = trace.t[idx]
+    first = t < 14.0
+    second = t > 16.0
+    within_first = M[np.ix_(first, first)]
+    within_second = M[np.ix_(second, second)]
+    across = M[np.ix_(first, second)]
+    table = Table("Fig. 5(c) -- bike-turn quadrants", ["block", "mean sim"])
+    table.add("within leg 1", round(float(within_first.mean()), 3))
+    table.add("within leg 2", round(float(within_second.mean()), 3))
+    table.add("across legs", round(float(across.mean()), 4))
+    show(table)
+    assert across.mean() < 0.05, "FoVs across the turn share no view"
+    assert within_first.mean() > 5 * across.mean()
+    assert within_second.mean() > 5 * across.mean()
+
+    # CV matrix shows the same cross (weaker: backgrounds still match).
+    renderer = _world_renderer()
+    frames, _ = render_trajectory(renderer, traj, max_frames=FRAMES)
+    cv_M = pairwise_frame_similarity(frames)
+    cv_across = cv_M[np.ix_(first, second)].mean()
+    cv_within = cv_M[np.ix_(first, first)].mean()
+    assert cv_within > cv_across
+
+    benchmark(lambda: pairwise_frame_similarity(frames[:16]))

@@ -1,0 +1,125 @@
+"""Claim T2 (abstract) -- search accuracy: FoV-based vs content-based.
+
+"The FoV based similarity measurement achieves comparable search
+accuracy with the content-based method."  The reproduction builds a
+citywide dataset with geometric ground truth (which segments *truly*
+covered each query point), then runs the same queries through
+
+* the FoV system (index + orientation filter + distance rank), and
+* a content-based query-by-example baseline (rendered keyframes,
+  colour-histogram matching),
+
+and compares precision/recall/nDCG@k.
+"""
+
+import numpy as np
+
+from repro import CloudServer, Query
+from repro.eval.accuracy import aggregate_metrics
+from repro.eval.contentbaseline import (
+    ContentRetrievalBaseline,
+    LandmarkSignatureBaseline,
+)
+from repro.eval.groundtruth import relevant_segments
+from repro.eval.harness import Table
+from repro.traces.dataset import CityDataset
+from repro.traces.noise import SensorNoiseModel
+from repro.vision.world import random_world
+
+K = 10
+N_QUERIES = 25
+
+
+def _build():
+    city = CityDataset(n_providers=12, seed=2015,
+                       noise=SensorNoiseModel(gps_white_m=2.0, gps_walk_m=2.0,
+                                              compass_white_deg=2.0,
+                                              compass_bias_deg=1.0))
+    server = CloudServer(city.camera)
+    for rec in city.recordings:
+        server.register_client(city.clients[rec.device_id])
+        server.receive_bundle(rec.bundle.payload, device_id=rec.device_id)
+
+    ex, ey = city.grid.extent_m
+    world = random_world(np.random.default_rng(5),
+                         extent_m=max(ex, ey) + 200.0, n_landmarks=400,
+                         center=(ex / 2, ey / 2))
+    histogram = ContentRetrievalBaseline(world, city.camera, width=96,
+                                         height=72)
+    histogram.index_dataset(city)
+    signature = LandmarkSignatureBaseline(world, city.camera)
+    signature.index_dataset(city)
+    return city, server, histogram, signature
+
+
+def test_t2_fov_vs_content_accuracy(benchmark, show):
+    city, server, histogram, signature = _build()
+    t0, t1 = city.time_span()
+    rng = np.random.default_rng(99)
+
+    fov_metrics, hist_metrics, sig_metrics = [], [], []
+    last_query = None
+    for _ in range(N_QUERIES):
+        qp = city.random_query_point(rng)
+        xy = city.projection.to_local_arrays([qp.lat], [qp.lng])[0]
+        truth = relevant_segments(city, xy, (t0, t1))
+        if not truth:
+            continue
+        q = Query(t_start=t0, t_end=t1, center=qp, radius=100.0, top_n=K)
+        last_query = q
+        fov_keys = server.query(q).keys()
+        fov_metrics.append(aggregate_metrics(fov_keys, truth, K))
+        hist_metrics.append(aggregate_metrics(
+            histogram.query(xy, (t0, t1), top_n=K), truth, K))
+        sig_metrics.append(aggregate_metrics(
+            signature.query(xy, (t0, t1), top_n=K), truth, K))
+
+    assert len(fov_metrics) >= 10, "too few truthful queries"
+
+    def mean(ms, attr):
+        return float(np.mean([getattr(m, attr) for m in ms]))
+
+    def f1(ms):
+        p, r = mean(ms, "precision"), mean(ms, "recall")
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    from repro.eval.statistics import bootstrap_ci, paired_bootstrap_diff
+    ci_rng = np.random.default_rng(7)
+
+    table = Table(f"T2 -- retrieval accuracy over {len(fov_metrics)} queries "
+                  f"(k = {K})",
+                  ["system", "precision@k", "recall@k", "F1", "AP", "nDCG@k"])
+    for name, ms in (("FoV (content-free)", fov_metrics),
+                     ("content: histogram (weak)", hist_metrics),
+                     ("content: local-feature oracle", sig_metrics)):
+        table.add(name, round(mean(ms, "precision"), 3),
+                  round(mean(ms, "recall"), 3), round(f1(ms), 3),
+                  round(mean(ms, "average_precision"), 3),
+                  round(mean(ms, "ndcg"), 3))
+    # Bootstrap CIs over the query sample + a paired comparison of
+    # per-query F-proxy (precision+recall) between FoV and the oracle.
+    fov_scores = np.array([m.precision + m.recall for m in fov_metrics])
+    sig_scores = np.array([m.precision + m.recall for m in sig_metrics])
+    prec_ci = bootstrap_ci([m.precision for m in fov_metrics], rng=ci_rng)
+    diff_ci = paired_bootstrap_diff(fov_scores, sig_scores, rng=ci_rng)
+    table.add("FoV precision 95% CI", f"[{prec_ci.lo:.2f}, {prec_ci.hi:.2f}]",
+              "", "", "", "")
+    table.add("FoV - oracle (P+R) 95% CI",
+              f"[{diff_ci.lo:.2f}, {diff_ci.hi:.2f}]", "", "", "", "")
+    show(table)
+
+    # FoV must not be significantly WORSE than the oracle: the paired
+    # CI's upper bound stays above zero.
+    assert diff_ci.hi > 0.0
+
+    # The paper's claim: comparable accuracy.  Operationalised: the
+    # content-free system is at least on par (F1) with the *strong*
+    # content comparator -- an oracle for local-feature matching -- and
+    # far beyond the cheap histogram family.
+    assert f1(fov_metrics) >= 0.8 * f1(sig_metrics)
+    assert f1(fov_metrics) > 2.0 * f1(hist_metrics)
+    assert mean(fov_metrics, "precision") > 0.4
+    assert mean(fov_metrics, "recall") > 0.4
+
+    assert last_query is not None
+    benchmark(lambda: server.query(last_query))

@@ -1,0 +1,73 @@
+"""Claim T3 (abstract) -- end-to-end latency and traffic.
+
+"The proposed retrieval scheme is scalable with data size and can
+respond in less than 100 ms when the data set has tens of thousands of
+video segments, and the networking traffic between the client and the
+server is negligible."  The reproduction loads 30,000 segments, runs
+the full query pipeline (range search + orientation filter + rank) and
+checks the latency distribution, then accounts every byte that crossed
+the simulated network.
+"""
+
+import numpy as np
+
+from repro import CameraModel, CloudServer, Query
+from repro.eval.harness import Table
+from repro.net.traffic import TrafficModel, VideoProfile
+from repro.traces.dataset import CityDataset, random_representative_fovs
+
+N_SEGMENTS = 30_000
+N_QUERIES = 200
+
+
+def test_t3_latency_under_100ms(benchmark, show):
+    camera = CameraModel()
+    server = CloudServer(camera)
+    rng = np.random.default_rng(2015)
+    reps = random_representative_fovs(N_SEGMENTS, rng)
+    server.ingest(reps)
+    assert server.indexed_count == N_SEGMENTS
+
+    latencies = []
+    returned = []
+    for _ in range(N_QUERIES):
+        anchor = reps[int(rng.integers(N_SEGMENTS))]
+        q = Query(t_start=max(0.0, anchor.t_start - 600.0),
+                  t_end=anchor.t_end + 600.0, center=anchor.point,
+                  radius=float(rng.uniform(50.0, 200.0)), top_n=10)
+        res = server.query(q)
+        latencies.append(res.elapsed_s * 1e3)
+        returned.append(len(res))
+    lat = np.asarray(latencies)
+
+    table = Table(f"T3 -- query latency over {N_SEGMENTS} segments "
+                  f"({N_QUERIES} queries)",
+                  ["metric", "value"])
+    table.add("mean (ms)", round(float(lat.mean()), 3))
+    table.add("p50 (ms)", round(float(np.percentile(lat, 50)), 3))
+    table.add("p99 (ms)", round(float(np.percentile(lat, 99)), 3))
+    table.add("max (ms)", round(float(lat.max()), 3))
+    table.add("mean results", round(float(np.mean(returned)), 2))
+    show(table)
+
+    assert float(np.percentile(lat, 99)) < 100.0, \
+        "the paper's sub-100ms envelope must hold at p99"
+
+    # -- traffic accounting over a realistic provider fleet ---------------
+    city = CityDataset(n_providers=10, seed=3)
+    model = TrafficModel(VideoProfile(1280, 720))
+    desc_bytes = city.total_descriptor_bytes()
+    video_s = city.total_recording_seconds()
+    full = model.profile.bytes_for(video_s)
+    t2 = Table("T3 -- client->server traffic (10 providers)",
+               ["strategy", "bytes", "vs full upload"])
+    t2.add("content-free descriptors", desc_bytes,
+           f"1/{full / desc_bytes:,.0f}")
+    t2.add("full video upload (720p)", int(full), "1")
+    show(t2)
+    assert full / desc_bytes > 1_000, "descriptor traffic must be negligible"
+
+    anchor = reps[123]
+    q = Query(t_start=anchor.t_start - 600.0, t_end=anchor.t_end + 600.0,
+              center=anchor.point, radius=150.0, top_n=10)
+    benchmark(lambda: server.query(q))

@@ -1,0 +1,78 @@
+"""repro -- content-free crowd-sourced mobile video retrieval.
+
+A from-scratch reproduction of "Scan Without a Glance: Towards
+Content-Free Crowd-Sourced Mobile Video Retrieval System" (ICPP 2015).
+Videos are described by their Field of View ``f = (p, theta)`` instead
+of their pixels; similarity, real-time segmentation, a spatio-temporal
+R-tree index and rank-based retrieval make search run in milliseconds
+with negligible network traffic.
+
+Quickstart::
+
+    from repro import CameraModel, ClientPipeline, CloudServer, Query
+    from repro.traces import walk_scenario
+
+    camera = CameraModel(half_angle=30.0, radius=100.0)
+    server = CloudServer(camera)
+    client = ClientPipeline("alice", camera)
+    server.register_client(client)
+
+    trace = walk_scenario(seed=7)
+    bundle = client.record_trace(trace)
+    server.receive_bundle(bundle.payload, device_id="alice")
+
+    result = server.query(Query(t_start=0, t_end=60,
+                                center=trace[0].point, radius=50.0))
+    for row in result.ranked:
+        print(row.fov.key(), f"{row.distance:.1f} m")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core import (
+    CameraModel,
+    ClientPipeline,
+    CloudServer,
+    FoV,
+    FoVIndex,
+    FoVTrace,
+    Query,
+    QueryResult,
+    RepresentativeFoV,
+    RetrievalEngine,
+    StreamingSegmenter,
+    UploadBundle,
+    VideoSegment,
+    abstract_segment,
+    abstract_segments,
+    pairwise_similarity,
+    segment_trace,
+    similarity,
+)
+from repro.core.segmentation import SegmentationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CameraModel",
+    "ClientPipeline",
+    "CloudServer",
+    "FoV",
+    "FoVIndex",
+    "FoVTrace",
+    "Query",
+    "QueryResult",
+    "RepresentativeFoV",
+    "RetrievalEngine",
+    "SegmentationConfig",
+    "StreamingSegmenter",
+    "UploadBundle",
+    "VideoSegment",
+    "abstract_segment",
+    "abstract_segments",
+    "pairwise_similarity",
+    "segment_trace",
+    "similarity",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Section VII "Discussion" made concrete: adaptive parameters.
+
+The paper fixes the radius of view ``R`` and the segmentation threshold
+empirically, and then remarks that "Google Maps can help us do the site
+survey.  By analyzing the visual features on the map, radius of view
+and segmentation threshold could be estimated."  This package
+implements that idea against the synthetic world (our map):
+
+* :mod:`repro.adaptive.visibility` -- site survey: cast rays from a
+  location over the landmark map and estimate how far one can actually
+  see; classify locations into the paper's empirical presets.
+* :mod:`repro.adaptive.threshold` -- pick a segmentation threshold that
+  targets a desired segment duration for an observed motion profile.
+"""
+
+from repro.adaptive.visibility import (
+    SiteSurvey,
+    classify_environment,
+    estimate_radius_of_view,
+)
+from repro.adaptive.threshold import (
+    estimate_threshold_for_duration,
+    motion_profile,
+)
+
+__all__ = [
+    "SiteSurvey",
+    "estimate_radius_of_view",
+    "classify_environment",
+    "estimate_threshold_for_duration",
+    "motion_profile",
+]

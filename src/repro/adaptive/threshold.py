@@ -1,0 +1,85 @@
+"""Adaptive segmentation threshold from an observed motion profile.
+
+Section VII: the threshold controls segmentation density; the right
+value depends on how fast the user moves and turns.  Given the motion
+profile of a recording's first seconds (speed and turn rate), the
+closed-form similarity model predicts how similarity to an anchor
+decays with time, so the threshold that yields a *target segment
+duration* can be solved for directly -- no trial segmentation needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import FoVTrace
+from repro.core.similarity import similarity_local
+from repro.geometry.angles import unwrap_degrees
+
+__all__ = ["MotionProfile", "motion_profile", "estimate_threshold_for_duration"]
+
+
+@dataclass(frozen=True)
+class MotionProfile:
+    """Typical motion of a recording: speed and turn rate."""
+
+    speed_mps: float
+    turn_rate_dps: float
+
+    def __post_init__(self):
+        if self.speed_mps < 0 or self.turn_rate_dps < 0:
+            raise ValueError("motion magnitudes must be non-negative")
+
+
+def motion_profile(trace: FoVTrace) -> MotionProfile:
+    """Median speed and turn rate of a (prefix of a) trace."""
+    if len(trace) < 2:
+        return MotionProfile(speed_mps=0.0, turn_rate_dps=0.0)
+    xy = trace.local_xy()
+    dt = np.diff(trace.t)
+    speed = np.linalg.norm(np.diff(xy, axis=0), axis=-1) / dt
+    turn = np.abs(np.diff(unwrap_degrees(trace.theta))) / dt
+    return MotionProfile(
+        speed_mps=float(np.median(speed)),
+        turn_rate_dps=float(np.median(turn)),
+    )
+
+
+def _predicted_similarity(profile: MotionProfile, camera: CameraModel,
+                          t: np.ndarray) -> np.ndarray:
+    """Model-predicted Sim(anchor, frame at +t) for steady motion.
+
+    Steady motion: the camera advances ``speed * t`` along its optical
+    axis while turning ``turn_rate * t``.  (Forward motion is the common
+    filming posture; it is also the *slowest*-decaying translation, so
+    thresholds derived from it are conservative.)
+    """
+    d = profile.speed_mps * t
+    dtheta = np.minimum(profile.turn_rate_dps * t, 180.0)
+    # Forward motion: displacement along the (average) optical axis.
+    return np.asarray(similarity_local(
+        np.zeros_like(d), d, np.zeros_like(dtheta), dtheta, camera))
+
+
+def estimate_threshold_for_duration(profile: MotionProfile,
+                                    camera: CameraModel,
+                                    target_duration_s: float,
+                                    floor: float = 0.05,
+                                    ceil: float = 0.95) -> float:
+    """Threshold whose predicted segment length is ``target_duration_s``.
+
+    Solves ``Sim(t_target) = thresh`` on the steady-motion decay curve
+    and clamps into ``[floor, ceil]``.  A stationary profile predicts no
+    decay, so the ceiling is returned (segments then only break on
+    actual motion).
+    """
+    if target_duration_s <= 0:
+        raise ValueError("target duration must be positive")
+    if not 0.0 < floor < ceil <= 1.0:
+        raise ValueError("need 0 < floor < ceil <= 1")
+    sim = float(_predicted_similarity(
+        profile, camera, np.asarray([target_duration_s]))[0])
+    return float(np.clip(sim, floor, ceil))

@@ -1,0 +1,60 @@
+"""The paper's contribution: content-free FoV retrieval.
+
+Public surface of the system described in "Scan Without a Glance"
+(ICPP 2015):
+
+* :mod:`repro.core.fov` / :mod:`repro.core.camera` -- the FoV descriptor
+  ``f = (p, theta)`` and the camera constants ``(alpha, R)``.
+* :mod:`repro.core.similarity` -- the rotation/translation similarity
+  measurement (Eqs. 4-10), scalar and vectorised.
+* :mod:`repro.core.segmentation` -- Algorithm 1, offline and streaming.
+* :mod:`repro.core.abstraction` -- representative-FoV extraction (Eq. 11).
+* :mod:`repro.core.index` -- the spatio-temporal FoV index over the R-tree.
+* :mod:`repro.core.retrieval` -- the Section V-B filter/rank query pipeline.
+* :mod:`repro.core.server` / :mod:`repro.core.pipeline` -- cloud-server and
+  client-side facades wiring the pieces into the end-to-end system.
+"""
+
+from repro.core.camera import CameraModel
+from repro.core.fov import FoV, FoVTrace, RepresentativeFoV, VideoSegment
+from repro.core.similarity import (
+    pairwise_similarity,
+    sim_parallel,
+    sim_perpendicular,
+    sim_rotation,
+    sim_translation,
+    similarity,
+)
+from repro.core.segmentation import StreamingSegmenter, segment_trace
+from repro.core.abstraction import abstract_segment, abstract_segments
+from repro.core.query import Query, QueryResult, RankedFoV
+from repro.core.index import FoVIndex
+from repro.core.retrieval import RetrievalEngine
+from repro.core.server import CloudServer
+from repro.core.pipeline import ClientPipeline, UploadBundle
+
+__all__ = [
+    "CameraModel",
+    "FoV",
+    "FoVTrace",
+    "RepresentativeFoV",
+    "VideoSegment",
+    "similarity",
+    "sim_rotation",
+    "sim_translation",
+    "sim_parallel",
+    "sim_perpendicular",
+    "pairwise_similarity",
+    "StreamingSegmenter",
+    "segment_trace",
+    "abstract_segment",
+    "abstract_segments",
+    "Query",
+    "QueryResult",
+    "RankedFoV",
+    "FoVIndex",
+    "RetrievalEngine",
+    "CloudServer",
+    "ClientPipeline",
+    "UploadBundle",
+]

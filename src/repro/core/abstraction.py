@@ -1,0 +1,82 @@
+"""Segment abstraction: the representative FoV (paper Section IV-B, Eq. 11).
+
+Each segment collapses to a single uploaded record: the arithmetic mean
+of its positions, an average of its orientations, and the segment's
+time interval ``[t_s, t_e]``.  Positions average in GPS degrees exactly
+as Eq. 11 prescribes (valid because a segment spans metres, not
+continents).  Orientations default to the *circular* mean -- the
+paper's literal arithmetic mean breaks across the 0/360 wrap; set
+``angle_mean="arithmetic"`` to reproduce it (see DESIGN.md Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.fov import FoVTrace, RepresentativeFoV, VideoSegment
+from repro.core.segmentation import StreamSegment
+from repro.geometry.angles import circular_mean, circular_variance
+
+__all__ = ["abstract_segment", "abstract_segments", "segment_orientation_spread"]
+
+
+def _mean_theta(theta: np.ndarray, angle_mean: str) -> float:
+    if angle_mean == "circular":
+        try:
+            return circular_mean(theta)
+        except ValueError:
+            # Degenerate (uniformly spread) orientations: fall back to the
+            # first sample rather than fail -- the segmenter should never
+            # produce such a segment under a sane threshold anyway.
+            return float(theta[0])
+    if angle_mean == "arithmetic":
+        return float(np.mod(np.mean(theta), 360.0))
+    raise ValueError(f"unknown angle_mean {angle_mean!r}")
+
+
+def _abstract_trace(trace: FoVTrace, video_id: str, segment_id: int,
+                    angle_mean: str) -> RepresentativeFoV:
+    return RepresentativeFoV(
+        lat=float(np.mean(trace.lat)),
+        lng=float(np.mean(trace.lng)),
+        theta=_mean_theta(trace.theta, angle_mean),
+        t_start=float(trace.t[0]),
+        t_end=float(trace.t[-1]),
+        video_id=video_id,
+        segment_id=segment_id,
+    )
+
+
+def abstract_segment(segment: VideoSegment | StreamSegment,
+                     video_id: str = "", segment_id: int = 0,
+                     angle_mean: str = "circular") -> RepresentativeFoV:
+    """Collapse one segment to its representative FoV (Eq. 11).
+
+    Accepts either an offline :class:`VideoSegment` or a streaming
+    :class:`StreamSegment`.
+    """
+    trace = segment.fovs() if isinstance(segment, VideoSegment) else segment.to_trace()
+    return _abstract_trace(trace, video_id, segment_id, angle_mean)
+
+
+def abstract_segments(segments: Sequence[VideoSegment | StreamSegment],
+                      video_id: str = "",
+                      angle_mean: str = "circular") -> list[RepresentativeFoV]:
+    """Abstract a whole recording's segments, numbering them in order."""
+    return [
+        abstract_segment(seg, video_id=video_id, segment_id=i, angle_mean=angle_mean)
+        for i, seg in enumerate(segments)
+    ]
+
+
+def segment_orientation_spread(segment: VideoSegment | StreamSegment) -> float:
+    """Circular variance of a segment's orientations, in ``[0, 1]``.
+
+    Diagnostic for the quality of the representative: under a sane
+    segmentation threshold the spread stays well below the camera
+    aperture, so the mean orientation is meaningful.
+    """
+    trace = segment.fovs() if isinstance(segment, VideoSegment) else segment.to_trace()
+    return circular_variance(trace.theta)

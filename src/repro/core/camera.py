@@ -1,0 +1,72 @@
+"""Camera constants shared by every FoV of a device.
+
+Section II-B: "every camera is born with a fixed viewing angle
+``A = 2 alpha``", and the translation model (Section III) additionally
+needs the radius of view ``R`` -- how far the camera usefully sees, set
+empirically per environment (20 m residential, 100 m highway, Section
+V-B / VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.geometry.sector import Sector
+from repro.geometry.vec import Vec2
+
+__all__ = ["CameraModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CameraModel:
+    """Per-device optical constants ``(alpha, R)``.
+
+    Parameters
+    ----------
+    half_angle : float
+        Half viewing angle ``alpha`` in degrees, ``0 < alpha < 90``.
+        Typical smartphone main cameras have a horizontal viewing angle
+        around 60 deg, i.e. ``alpha = 30``.
+    radius : float
+        Radius of view ``R`` in metres, ``> 0``.
+    """
+
+    half_angle: float = 30.0
+    radius: float = 100.0
+
+    def __post_init__(self):
+        if not 0.0 < self.half_angle < 90.0:
+            raise ValueError(
+                f"half_angle must be in (0, 90) degrees, got {self.half_angle}"
+            )
+        if self.radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+
+    @property
+    def viewing_angle(self) -> float:
+        """Full aperture ``2 alpha`` in degrees."""
+        return 2.0 * self.half_angle
+
+    @property
+    def half_angle_rad(self) -> float:
+        return float(np.radians(self.half_angle))
+
+    @property
+    def max_perpendicular_range(self) -> float:
+        """``2 R sin(alpha)``: the translation at which Sim_perp reaches 0."""
+        return 2.0 * self.radius * float(np.sin(self.half_angle_rad))
+
+    def with_radius(self, radius: float) -> "CameraModel":
+        """Same aperture, different empirical radius of view."""
+        return replace(self, radius=radius)
+
+    def sector_at(self, x: float, y: float, azimuth: float) -> Sector:
+        """Viewing sector covered from local position ``(x, y)`` facing ``azimuth``."""
+        return Sector(
+            apex=Vec2(x, y),
+            azimuth=float(azimuth),
+            half_angle=self.half_angle,
+            radius=self.radius,
+        )

@@ -1,0 +1,148 @@
+"""Crowd redundancy analysis: clustering near-duplicate segments.
+
+A popular scene yields dozens of uploads whose representative FoVs are
+almost identical.  The server can exploit that: cluster representatives
+whose Eq. 10 similarity exceeds a threshold and (a) report crowd
+redundancy, (b) serve one exemplar per cluster when an inquirer asks
+for *coverage* rather than *every witness*.
+
+Clustering is single-linkage connected components over the similarity
+graph, via a union-find; candidate pairs come from a spatial grid hash
+(cell size ~ the radius of view) so city-scale inputs avoid the full
+O(n^2) matrix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.similarity import scalar_similarity
+from repro.geo.earth import LocalProjection
+
+__all__ = ["UnionFind", "SegmentClusters", "cluster_segments"]
+
+
+class UnionFind:
+    """Disjoint sets with path compression and union by size."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def find(self, x: int) -> int:
+        """Representative of x's set (with path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:       # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of a and b; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def groups(self) -> list[list[int]]:
+        """All sets as index lists, largest first."""
+        by_root: dict[int, list[int]] = defaultdict(list)
+        for i in range(len(self._parent)):
+            by_root[self.find(i)].append(i)
+        return sorted(by_root.values(), key=lambda g: (-len(g), g[0]))
+
+
+@dataclass(frozen=True)
+class SegmentClusters:
+    """Clustering outcome over one set of representatives."""
+
+    clusters: list[list[RepresentativeFoV]]
+
+    @property
+    def n_segments(self) -> int:
+        return sum(len(c) for c in self.clusters)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of segments that are duplicates of an exemplar."""
+        if self.n_segments == 0:
+            return 0.0
+        return 1.0 - self.n_clusters / self.n_segments
+
+    def exemplars(self) -> list[RepresentativeFoV]:
+        """One representative per cluster: its longest segment (most
+        footage behind the viewpoint)."""
+        return [max(c, key=lambda f: (f.duration, f.key()))
+                for c in self.clusters]
+
+
+def cluster_segments(fovs: list[RepresentativeFoV], camera: CameraModel,
+                     threshold: float = 0.7,
+                     time_overlap_required: bool = True) -> SegmentClusters:
+    """Single-linkage clustering by FoV similarity.
+
+    Parameters
+    ----------
+    fovs : list of RepresentativeFoV
+    camera : CameraModel
+    threshold : float in (0, 1]
+        Minimum Eq. 10 similarity to link two segments.
+    time_overlap_required : bool
+        When True (default) two segments also need intersecting time
+        intervals -- "duplicates" means *concurrent* near-identical
+        viewpoints; set False to cluster purely by viewpoint.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    n = len(fovs)
+    if n == 0:
+        return SegmentClusters(clusters=[])
+    proj = LocalProjection(fovs[0].point)
+    xy = proj.to_local_arrays([f.lat for f in fovs], [f.lng for f in fovs])
+
+    # Grid hash: only pairs within one cell ring can pass any sane
+    # threshold (similarity is 0 beyond ~2R anyway).
+    cell = max(camera.radius, 1.0)
+    grid: dict[tuple[int, int], list[int]] = defaultdict(list)
+    for i in range(n):
+        grid[(int(np.floor(xy[i, 0] / cell)),
+              int(np.floor(xy[i, 1] / cell)))].append(i)
+
+    uf = UnionFind(n)
+    for (cx, cy), members in grid.items():
+        neighbours: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighbours.extend(grid.get((cx + dx, cy + dy), ()))
+        for i in members:
+            fi = fovs[i]
+            for j in neighbours:
+                if j <= i:
+                    continue
+                fj = fovs[j]
+                if time_overlap_required and (
+                        fi.t_end < fj.t_start or fj.t_end < fi.t_start):
+                    continue
+                sim = scalar_similarity(
+                    float(xy[j, 0] - xy[i, 0]), float(xy[j, 1] - xy[i, 1]),
+                    fi.theta, fj.theta, camera.half_angle, camera.radius)
+                if sim >= threshold:
+                    uf.union(i, j)
+    return SegmentClusters(
+        clusters=[[fovs[i] for i in group] for group in uf.groups()])

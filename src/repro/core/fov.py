@@ -1,0 +1,215 @@
+"""FoV descriptor types: frames, traces, segments, representatives.
+
+The descriptor itself is the 2-tuple ``f = (p, theta)`` of Eq. 1; the
+client pipeline tags each with the frame timestamp, producing the
+``(t_i, p_i, theta_i)`` records of Section II-C.  :class:`FoVTrace` is
+the columnar (structure-of-arrays) form all vectorised kernels consume;
+:class:`RepresentativeFoV` is the record actually uploaded and indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+
+__all__ = ["FoV", "FoVTrace", "VideoSegment", "RepresentativeFoV"]
+
+
+@dataclass(frozen=True, slots=True)
+class FoV:
+    """One per-frame record ``(t, p, theta)``.
+
+    Parameters
+    ----------
+    t : float
+        Frame timestamp, seconds (global clock, Section VI-A).
+    lat, lng : float
+        GPS fix in decimal degrees.
+    theta : float
+        Compass azimuth of the camera, degrees in ``[0, 360)``.
+    """
+
+    t: float
+    lat: float
+    lng: float
+    theta: float
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(lat=self.lat, lng=self.lng)
+
+
+class FoVTrace:
+    """Columnar sequence of FoV records for one continuous recording.
+
+    Stores parallel float64 arrays ``t``, ``lat``, ``lng``, ``theta``
+    (azimuth normalised to ``[0, 360)``); timestamps must be strictly
+    increasing.  The trace owns a :class:`LocalProjection` anchored at
+    its first fix so the similarity/segmentation kernels can work in a
+    consistent local plane via :meth:`local_xy`.
+    """
+
+    __slots__ = ("t", "lat", "lng", "theta", "_projection", "_xy")
+
+    def __init__(self, t, lat, lng, theta, projection: LocalProjection | None = None):
+        self.t = np.ascontiguousarray(t, dtype=float)
+        self.lat = np.ascontiguousarray(lat, dtype=float)
+        self.lng = np.ascontiguousarray(lng, dtype=float)
+        self.theta = np.mod(np.ascontiguousarray(theta, dtype=float), 360.0)
+        n = self.t.shape[0]
+        for name, arr in (("lat", self.lat), ("lng", self.lng), ("theta", self.theta)):
+            if arr.shape != (n,):
+                raise ValueError(f"{name} has shape {arr.shape}, expected ({n},)")
+        if n == 0:
+            raise ValueError("an FoV trace must contain at least one record")
+        if n > 1 and not np.all(np.diff(self.t) > 0):
+            raise ValueError("timestamps must be strictly increasing")
+        for name, arr in (("t", self.t), ("lat", self.lat),
+                          ("lng", self.lng), ("theta", self.theta)):
+            if not np.all(np.isfinite(arr)):
+                raise ValueError(
+                    f"{name} contains non-finite values -- a NaN sensor "
+                    f"reading must be dropped before it reaches the trace"
+                )
+        if projection is None:
+            projection = LocalProjection(GeoPoint(lat=float(self.lat[0]),
+                                                  lng=float(self.lng[0])))
+        self._projection = projection
+        self._xy: np.ndarray | None = None
+
+    # -- construction ------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[FoV],
+                     projection: LocalProjection | None = None) -> "FoVTrace":
+        recs = list(records)
+        if not recs:
+            raise ValueError("an FoV trace must contain at least one record")
+        return cls(
+            t=[r.t for r in recs],
+            lat=[r.lat for r in recs],
+            lng=[r.lng for r in recs],
+            theta=[r.theta for r in recs],
+            projection=projection,
+        )
+
+    @classmethod
+    def from_local(cls, t, xy, theta, projection: LocalProjection) -> "FoVTrace":
+        """Build a trace from local-metre positions (used by simulators)."""
+        lats, lngs = projection.to_geo_arrays(np.asarray(xy, dtype=float))
+        return cls(t=t, lat=lats, lng=lngs, theta=theta,
+                   projection=projection)
+
+    # -- container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.t.shape[0])
+
+    def __getitem__(self, i: int) -> FoV:
+        return FoV(t=float(self.t[i]), lat=float(self.lat[i]),
+                   lng=float(self.lng[i]), theta=float(self.theta[i]))
+
+    def __iter__(self) -> Iterator[FoV]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def slice(self, start: int, stop: int) -> "FoVTrace":
+        """Contiguous sub-trace ``[start, stop)`` sharing the projection."""
+        if not 0 <= start < stop <= len(self):
+            raise IndexError(f"invalid slice [{start}, {stop}) of {len(self)} records")
+        return FoVTrace(self.t[start:stop], self.lat[start:stop],
+                        self.lng[start:stop], self.theta[start:stop],
+                        projection=self._projection)
+
+    # -- geometry ------------------------------------------------------
+
+    @property
+    def projection(self) -> LocalProjection:
+        return self._projection
+
+    def local_xy(self) -> np.ndarray:
+        """Positions projected to local metres, shape ``(n, 2)`` (cached)."""
+        if self._xy is None:
+            self._xy = self._projection.to_local_arrays(self.lat, self.lng)
+        return self._xy
+
+    @property
+    def duration(self) -> float:
+        return float(self.t[-1] - self.t[0])
+
+
+@dataclass(frozen=True)
+class VideoSegment:
+    """One output unit of Algorithm 1: a contiguous run of similar FoVs.
+
+    ``start``/``stop`` index the parent trace (half-open); ``t_start`` /
+    ``t_end`` are the wall-clock bounds the paper calls ``t_s`` / ``t_e``.
+    """
+
+    trace: FoVTrace
+    start: int
+    stop: int
+
+    def __post_init__(self):
+        if not 0 <= self.start < self.stop <= len(self.trace):
+            raise ValueError(
+                f"segment [{self.start}, {self.stop}) out of bounds for "
+                f"trace of length {len(self.trace)}"
+            )
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def t_start(self) -> float:
+        return float(self.trace.t[self.start])
+
+    @property
+    def t_end(self) -> float:
+        return float(self.trace.t[self.stop - 1])
+
+    def fovs(self) -> FoVTrace:
+        """The segment's records as a sub-trace."""
+        return self.trace.slice(self.start, self.stop)
+
+
+@dataclass(frozen=True, slots=True)
+class RepresentativeFoV:
+    """The uploaded/indexed record: ``(p_bar, theta_bar, t_s, t_e)`` plus ids.
+
+    ``video_id`` identifies the source recording on the contributing
+    device; ``segment_id`` is its ordinal within that recording.  The
+    pair lets the server ask exactly one client for exactly one segment
+    (the traffic-saving point of Section IV).
+    """
+
+    lat: float
+    lng: float
+    theta: float
+    t_start: float
+    t_end: float
+    video_id: str = ""
+    segment_id: int = 0
+
+    def __post_init__(self):
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"segment ends ({self.t_end}) before it starts ({self.t_start})"
+            )
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(lat=self.lat, lng=self.lng)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def key(self) -> tuple[str, int]:
+        """Stable identity ``(video_id, segment_id)`` used system-wide."""
+        return (self.video_id, self.segment_id)

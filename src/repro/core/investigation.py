@@ -1,0 +1,117 @@
+"""High-level investigation workflow over the retrieval system.
+
+The paper's motivating scenario (Boston, Section I) is not a single
+query -- an investigator iterates: query the scene, prefer *diverse*
+viewpoints over near-duplicates, pull the evidence, and account for
+what was moved.  :class:`Investigation` packages that loop over a
+:class:`CloudServer` so the example applications and downstream users
+do not re-implement it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.camera import CameraModel
+from repro.core.pipeline import StoredSegment
+from repro.core.query import Query, QueryResult, RankedFoV
+from repro.core.ranking import diversify_results
+from repro.core.server import CloudServer
+from repro.geo.coords import GeoPoint
+
+__all__ = ["Investigation", "EvidenceItem", "InvestigationReport"]
+
+
+@dataclass(frozen=True)
+class EvidenceItem:
+    """One collected segment with its retrieval evidence."""
+
+    row: RankedFoV
+    segment: StoredSegment | None
+    fetch_error: str | None = None
+
+    @property
+    def available(self) -> bool:
+        return self.segment is not None
+
+
+@dataclass
+class InvestigationReport:
+    """Everything one investigation round produced."""
+
+    query: Query
+    result: QueryResult
+    shortlist: list[RankedFoV]
+    evidence: list[EvidenceItem] = field(default_factory=list)
+
+    @property
+    def video_seconds_collected(self) -> float:
+        return sum(e.segment.duration for e in self.evidence if e.available)
+
+    @property
+    def distinct_devices(self) -> int:
+        return len({e.row.fov.video_id for e in self.evidence
+                    if e.available})
+
+    def summary(self) -> str:
+        """One-line human-readable funnel summary."""
+        ok = sum(1 for e in self.evidence if e.available)
+        return (f"{self.result.candidates} candidates -> "
+                f"{self.result.after_filter} covering -> "
+                f"{len(self.shortlist)} shortlisted -> "
+                f"{ok} segments collected "
+                f"({self.video_seconds_collected:.0f}s of video from "
+                f"{self.distinct_devices} devices)")
+
+
+class Investigation:
+    """Query -> diversify -> collect, against one server.
+
+    Parameters
+    ----------
+    server : CloudServer
+    diversity : float in [0, 1]
+        MMR redundancy weight for the shortlist; 0 keeps the paper's
+        pure distance order, higher values trade rank for distinct
+        viewpoints (an investigator wants different angles).
+    """
+
+    def __init__(self, server: CloudServer, diversity: float = 0.5):
+        if not 0.0 <= diversity <= 1.0:
+            raise ValueError("diversity must be in [0, 1]")
+        self.server = server
+        self.diversity = diversity
+
+    def investigate(self, center: GeoPoint, t_start: float, t_end: float,
+                    radius: float = 100.0, shortlist: int = 5,
+                    fetch: bool = True) -> InvestigationReport:
+        """One investigation round around a scene.
+
+        Over-fetches the ranked list (3x the shortlist) so the MMR
+        diversification has viewpoints to choose among, then collects
+        the shortlisted segments from their owning devices.  A device
+        that cannot serve a segment (offline, or its privacy policy
+        withheld it) yields an :class:`EvidenceItem` with the error
+        recorded rather than failing the round.
+        """
+        if shortlist < 1:
+            raise ValueError("shortlist must be >= 1")
+        query = Query(t_start=t_start, t_end=t_end, center=center,
+                      radius=radius, top_n=3 * shortlist)
+        result = self.server.query(query)
+        chosen = diversify_results(result.ranked, self.server.camera,
+                                   top_n=shortlist,
+                                   redundancy_weight=self.diversity)
+        report = InvestigationReport(query=query, result=result,
+                                     shortlist=chosen)
+        if not fetch:
+            return report
+        for row in chosen:
+            try:
+                segment = self.server.fetch_segment(row.fov)
+                report.evidence.append(EvidenceItem(row=row,
+                                                    segment=segment))
+            except KeyError as exc:
+                report.evidence.append(EvidenceItem(
+                    row=row, segment=None, fetch_error=str(exc)))
+        return report

@@ -1,0 +1,171 @@
+"""Client-side pipeline: capture -> segment -> abstract -> upload.
+
+This is the Android-app role of Figure 1, in process.  Sensor records
+``(t, p, theta)`` stream into the O(1) :class:`StreamingSegmenter`;
+when recording stops, every closed segment is abstracted (Eq. 11) and
+the representative FoVs are packed into one binary bundle.  The raw
+video never leaves the device -- the pipeline keeps the per-segment
+frame ranges so the server can later request exactly one matched
+segment by ``(video_id, segment_id)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.abstraction import abstract_segment
+from repro.core.camera import CameraModel
+from repro.core.fov import FoV, FoVTrace, RepresentativeFoV
+from repro.core.segmentation import SegmentationConfig, StreamingSegmenter, StreamSegment
+from repro.net.protocol import encode_bundle
+
+__all__ = ["ClientPipeline", "UploadBundle", "StoredSegment"]
+
+
+@dataclass(frozen=True)
+class StoredSegment:
+    """A segment retained on the device, addressable by the server."""
+
+    video_id: str
+    segment_id: int
+    records: tuple[FoV, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.records[-1].t - self.records[0].t
+
+    def to_trace(self) -> FoVTrace:
+        """Materialise the stored records as a trace."""
+        return FoVTrace.from_records(self.records)
+
+
+@dataclass(frozen=True)
+class UploadBundle:
+    """What actually crosses the network when a recording ends."""
+
+    video_id: str
+    representatives: list[RepresentativeFoV]
+    payload: bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        return len(self.payload)
+
+
+class ClientPipeline:
+    """One provider device: feed sensor records, harvest upload bundles.
+
+    Usage::
+
+        client = ClientPipeline("alice", camera)
+        client.start_recording("alice-video-0")
+        for rec in sensor_stream:
+            client.push(rec)
+        bundle = client.stop_recording()
+        server.receive_bundle(bundle.payload)
+
+    Parameters
+    ----------
+    device_id : str
+    camera : CameraModel
+    config : SegmentationConfig, optional
+        Algorithm 1 parameters (threshold, similarity reference).
+    """
+
+    def __init__(self, device_id: str, camera: CameraModel,
+                 config: SegmentationConfig | None = None,
+                 privacy=None):
+        self.device_id = device_id
+        self.camera = camera
+        self.config = config or SegmentationConfig()
+        #: Optional :class:`repro.privacy.PrivacyPolicy` applied to every
+        #: bundle before upload; audits accumulate in :attr:`audits`.
+        self.privacy = privacy
+        self.audits: list = []
+        self._segmenter: StreamingSegmenter | None = None
+        self._video_id: str | None = None
+        self._closed: list[StreamSegment] = []
+        self._storage: dict[tuple[str, int], StoredSegment] = {}
+        self._video_counter = 0
+
+    # -- recording lifecycle -------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        return self._segmenter is not None
+
+    def start_recording(self, video_id: str | None = None) -> str:
+        """Begin a new capture; returns the (possibly generated) video id."""
+        if self.recording:
+            raise RuntimeError("already recording; stop_recording() first")
+        if video_id is None:
+            video_id = f"{self.device_id}-video-{self._video_counter}"
+        self._video_counter += 1
+        self._video_id = video_id
+        self._segmenter = StreamingSegmenter(self.camera, self.config)
+        self._closed = []
+        return video_id
+
+    def push(self, record: FoV) -> None:
+        """Feed one sensor record (one frame's worth of metadata)."""
+        if self._segmenter is None:
+            raise RuntimeError("not recording; start_recording() first")
+        closed = self._segmenter.push(record)
+        if closed is not None:
+            self._closed.append(closed)
+
+    def stop_recording(self) -> UploadBundle:
+        """End the capture and build the descriptor bundle to upload."""
+        if self._segmenter is None or self._video_id is None:
+            raise RuntimeError("not recording")
+        tail = self._segmenter.finish()
+        if tail is not None:
+            self._closed.append(tail)
+        video_id = self._video_id
+        if not self._closed:
+            raise ValueError("recording produced no frames")
+
+        representatives: list[RepresentativeFoV] = []
+        for seg_id, seg in enumerate(self._closed):
+            rep = abstract_segment(seg, video_id=video_id, segment_id=seg_id)
+            representatives.append(rep)
+            self._storage[(video_id, seg_id)] = StoredSegment(
+                video_id=video_id, segment_id=seg_id, records=seg.records
+            )
+        if self.privacy is not None:
+            representatives, audit = self.privacy.apply(representatives)
+            self.audits.append(audit)
+            # Withheld segments also leave device storage: a fetch for
+            # them must fail rather than leak what the policy hid.
+            kept = {rep.key() for rep in representatives}
+            for seg_id in range(len(self._closed)):
+                if (video_id, seg_id) not in kept:
+                    self._storage.pop((video_id, seg_id), None)
+        payload = encode_bundle(video_id, representatives)
+        self._segmenter = None
+        self._video_id = None
+        self._closed = []
+        return UploadBundle(video_id=video_id, representatives=representatives,
+                            payload=payload)
+
+    def record_trace(self, trace: FoVTrace, video_id: str | None = None) -> UploadBundle:
+        """Convenience: run a complete trace through the live pipeline."""
+        vid = self.start_recording(video_id)
+        for rec in trace:
+            self.push(rec)
+        return self.stop_recording()
+
+    # -- server-initiated segment fetch ---------------------------------
+
+    def fetch_segment(self, video_id: str, segment_id: int) -> StoredSegment:
+        """Serve one stored segment (the only video 'bytes' ever uploaded)."""
+        try:
+            return self._storage[(video_id, segment_id)]
+        except KeyError:
+            raise KeyError(
+                f"no stored segment ({video_id!r}, {segment_id})"
+            ) from None
+
+    @property
+    def stored_segment_count(self) -> int:
+        return len(self._storage)

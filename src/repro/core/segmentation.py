@@ -1,0 +1,180 @@
+"""FoV-based video segmentation (paper Section IV, Algorithm 1).
+
+A segment is a maximal run of frames whose FoVs stay similar to the
+*first* FoV of the run: the algorithm keeps an anchor ``f_s`` and cuts
+whenever ``Sim(f_s, f_i) < thresh``, restarting the anchor at ``f_i``.
+The per-frame decision is one similarity evaluation -- O(1) time and
+O(1) state -- which is what lets it run as a sensor listener while the
+camera records (Section IV-C).
+
+Two entry points:
+
+* :func:`segment_trace` -- offline, over a complete :class:`FoVTrace`.
+* :class:`StreamingSegmenter` -- the real-time client-side form: feed
+  records one at a time, collect closed segments as they are emitted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.camera import CameraModel
+from repro.core.fov import FoV, FoVTrace, VideoSegment
+from repro.core.similarity import scalar_similarity, similarity
+from repro.geo.earth import _M_PER_DEG
+
+__all__ = ["segment_trace", "StreamingSegmenter", "SegmentationConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentationConfig:
+    """Parameters of Algorithm 1.
+
+    ``threshold`` is the similarity floor ``thresh``: larger values cut
+    more eagerly and yield denser segmentation (Section VII).  Must lie
+    in ``(0, 1]``; a threshold of 0 would never cut (any similarity
+    ``>= 0`` passes) and is rejected to avoid silently degenerate runs.
+    """
+
+    threshold: float = 0.5
+    reference: str = "bisector"
+
+    def __post_init__(self):
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+
+
+def segment_trace(trace: FoVTrace, camera: CameraModel,
+                  config: SegmentationConfig | None = None) -> list[VideoSegment]:
+    """Run Algorithm 1 over a complete trace.
+
+    Returns the ordered list of segments; they partition the trace
+    exactly (every frame belongs to one segment, boundaries abut).
+    """
+    config = config or SegmentationConfig()
+    segments: list[VideoSegment] = []
+    # Iterate the columnar arrays directly: building an FoV object per
+    # frame would triple the per-frame cost for nothing.
+    lat, lng, theta = trace.lat, trace.lng, trace.theta
+    half_angle, radius = camera.half_angle, camera.radius
+    start = 0
+    a_lat, a_lng, a_theta = lat[0], lng[0], theta[0]
+    for i in range(1, len(trace)):
+        scale = math.cos(math.radians((a_lat + lat[i]) / 2.0))
+        sim = scalar_similarity(
+            _M_PER_DEG * scale * (lng[i] - a_lng),
+            _M_PER_DEG * (lat[i] - a_lat),
+            a_theta, theta[i], half_angle, radius,
+            reference=config.reference,
+        )
+        if sim < config.threshold:
+            segments.append(VideoSegment(trace=trace, start=start, stop=i))
+            start = i
+            a_lat, a_lng, a_theta = lat[i], lng[i], theta[i]
+    segments.append(VideoSegment(trace=trace, start=start, stop=len(trace)))
+    return segments
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSegment:
+    """A closed segment emitted by the streaming segmenter.
+
+    Holds the raw records (the streaming form has no parent trace yet);
+    :meth:`to_trace` materialises them for abstraction.
+    """
+
+    records: tuple[FoV, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def t_start(self) -> float:
+        return self.records[0].t
+
+    @property
+    def t_end(self) -> float:
+        return self.records[-1].t
+
+    def to_trace(self) -> FoVTrace:
+        """Materialise the closed segment as a trace."""
+        return FoVTrace.from_records(self.records)
+
+
+class StreamingSegmenter:
+    """Real-time Algorithm 1: O(1) work and O(current segment) memory.
+
+    Usage::
+
+        seg = StreamingSegmenter(camera, SegmentationConfig(threshold=0.5))
+        for record in sensor_stream:
+            closed = seg.push(record)     # None or a finished StreamSegment
+            if closed is not None:
+                upload_later(closed)
+        tail = seg.finish()               # the last open segment, if any
+
+    ``push`` performs exactly one similarity evaluation against the
+    anchor FoV of the open segment, matching the paper's O(1) claim.
+    """
+
+    def __init__(self, camera: CameraModel,
+                 config: SegmentationConfig | None = None):
+        self.camera = camera
+        self.config = config or SegmentationConfig()
+        self._anchor: FoV | None = None
+        self._buffer: list[FoV] = []
+        self._last_t: float | None = None
+        self._closed_count = 0
+
+    @property
+    def open_length(self) -> int:
+        """Number of records in the currently open segment."""
+        return len(self._buffer)
+
+    @property
+    def closed_count(self) -> int:
+        """Number of segments emitted so far (excludes the open one)."""
+        return self._closed_count
+
+    def push(self, record: FoV) -> StreamSegment | None:
+        """Feed one record; return the segment it closed, if any."""
+        if not (math.isfinite(record.t) and math.isfinite(record.lat)
+                and math.isfinite(record.lng) and math.isfinite(record.theta)):
+            raise ValueError(
+                "non-finite sensor record -- drop NaN readings upstream"
+            )
+        if self._last_t is not None and record.t <= self._last_t:
+            raise ValueError(
+                f"timestamps must be strictly increasing "
+                f"(got {record.t} after {self._last_t})"
+            )
+        self._last_t = record.t
+        if self._anchor is None:
+            self._anchor = record
+            self._buffer = [record]
+            return None
+        sim = similarity(self._anchor, record, self.camera,
+                         reference=self.config.reference)
+        if sim < self.config.threshold:
+            closed = StreamSegment(records=tuple(self._buffer))
+            self._anchor = record
+            self._buffer = [record]
+            self._closed_count += 1
+            return closed
+        self._buffer.append(record)
+        return None
+
+    def finish(self) -> StreamSegment | None:
+        """Close and return the trailing open segment (None if empty).
+
+        The segmenter resets and can be reused for the next recording.
+        """
+        if not self._buffer:
+            return None
+        closed = StreamSegment(records=tuple(self._buffer))
+        self._anchor = None
+        self._buffer = []
+        self._last_t = None
+        self._closed_count += 1
+        return closed

@@ -1,0 +1,129 @@
+"""Cloud-server facade: ingest descriptor bundles, answer ranked queries.
+
+The server half of Figure 1.  It decodes upload bundles (validating the
+wire format), maintains the dynamic spatio-temporal index, runs the
+filter/rank retrieval, and -- when an inquirer picks a result -- asks
+the owning client for exactly that segment, accounting the bytes moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.index import FoVIndex
+from repro.core.pipeline import ClientPipeline, StoredSegment
+from repro.core.query import Query, QueryResult
+from repro.core.retrieval import RetrievalEngine
+from repro.net.protocol import decode_bundle
+from repro.net.traffic import TrafficModel, VideoProfile
+from repro.spatial.rtree import RTreeConfig
+
+__all__ = ["CloudServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Running counters for the evaluation harness."""
+
+    bundles_received: int = 0
+    records_indexed: int = 0
+    descriptor_bytes_in: int = 0
+    queries_served: int = 0
+    segments_fetched: int = 0
+    segment_bytes_moved: float = 0.0
+
+
+class CloudServer:
+    """The retrieval service.
+
+    Parameters
+    ----------
+    camera : CameraModel
+        Camera constants shared with the provider fleet (used by the
+        orientation filter).
+    backend : {"rtree", "linear"}
+        Index backend; ``"linear"`` swaps in the brute-force baseline.
+    rtree_config : RTreeConfig, optional
+    strict_cover : bool
+        Orientation-filter mode (see :class:`RetrievalEngine`).
+    video_profile : VideoProfile, optional
+        Encoding profile used to account segment-fetch bytes.
+    """
+
+    def __init__(self, camera: CameraModel, backend: str = "rtree",
+                 rtree_config: RTreeConfig | None = None,
+                 strict_cover: bool = True,
+                 video_profile: VideoProfile | None = None):
+        self.camera = camera
+        self.index = FoVIndex(backend=backend, rtree_config=rtree_config)
+        self.engine = RetrievalEngine(self.index, camera, strict_cover=strict_cover)
+        self.traffic = TrafficModel(video_profile)
+        self.stats = ServerStats()
+        self._clients: dict[str, ClientPipeline] = {}
+        self._owners: dict[str, str] = {}  # video_id -> device_id
+
+    # -- provider side ----------------------------------------------------
+
+    def register_client(self, client: ClientPipeline) -> None:
+        """Make a provider reachable for segment fetches."""
+        self._clients[client.device_id] = client
+
+    def receive_bundle(self, payload: bytes, device_id: str | None = None) -> int:
+        """Ingest one upload bundle; returns the number of records indexed."""
+        video_id, fovs = decode_bundle(payload)
+        for fov in fovs:
+            self.index.insert(fov)
+        if device_id is not None:
+            self._owners[video_id] = device_id
+        self.stats.bundles_received += 1
+        self.stats.records_indexed += len(fovs)
+        self.stats.descriptor_bytes_in += len(payload)
+        return len(fovs)
+
+    def ingest(self, fovs: list[RepresentativeFoV]) -> int:
+        """Directly index already-decoded records (dataset loading)."""
+        n = self.index.insert_many(fovs)
+        self.stats.records_indexed += n
+        return n
+
+    # -- inquirer side ------------------------------------------------------
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer one ranked spatio-temporal query."""
+        result = self.engine.execute(query)
+        self.stats.queries_served += 1
+        return result
+
+    def query_many(self, queries: list[Query]) -> list[QueryResult]:
+        """Answer a batch of queries (see RetrievalEngine.execute_many)."""
+        results = self.engine.execute_many(queries)
+        self.stats.queries_served += len(results)
+        return results
+
+    def fetch_segment(self, fov: RepresentativeFoV) -> StoredSegment:
+        """Pull one matched segment from its owning client.
+
+        This is the only step that moves video-scale bytes, and only
+        for segments an inquirer actually selected.
+        """
+        device_id = self._owners.get(fov.video_id)
+        if device_id is None or device_id not in self._clients:
+            raise KeyError(f"no registered owner for video {fov.video_id!r}")
+        segment = self._clients[device_id].fetch_segment(fov.video_id, fov.segment_id)
+        self.stats.segments_fetched += 1
+        self.stats.segment_bytes_moved += self.traffic.profile.bytes_for(
+            segment.duration
+        )
+        return segment
+
+    def evict_older_than(self, cutoff_t: float) -> int:
+        """Enforce a retention window; returns the eviction count."""
+        evicted = self.index.evict_older_than(cutoff_t)
+        self.stats.records_indexed = len(self.index)
+        return evicted
+
+    @property
+    def indexed_count(self) -> int:
+        return len(self.index)

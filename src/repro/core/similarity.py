@@ -1,0 +1,313 @@
+"""The content-free FoV similarity measurement (paper Section III).
+
+Any rigid camera motion decomposes into a rotation and a translation;
+the similarity of two FoVs is the product of the two components
+(Eq. 10):
+
+* ``Sim_R`` (Eq. 4): fractional angular overlap of the two viewing
+  wedges, linear in ``delta_theta`` until it hits 0 at ``2 alpha``.
+* ``Sim_T`` (Eq. 9): a convex combination of the two extreme
+  translation cases -- parallel to the optical axis (Eq. 5) and
+  perpendicular to it (corrected Eq. 6) -- weighted by the translation
+  direction folded into ``[0, 90]`` degrees.
+
+Paper errata handled here (see DESIGN.md Section 2): the translation
+similarities are normalised so that ``Sim(f, f) = 1`` (the printed
+Eq. 7 would give 1/2 for the parallel case at ``d = 0``), and
+``phi_perp`` is re-derived from the chord-overlap geometry so that it
+reaches 0 exactly at ``d = 2 R sin(alpha)`` as the paper's own
+statement 2 requires.
+
+Every function has a scalar form (used by the O(1) streaming segmenter)
+and broadcasts over NumPy arrays (used by the pairwise-matrix kernels
+behind Figs. 4 and 5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import FoV
+from repro.geo.earth import _M_PER_DEG, displacement
+from repro.geometry.angles import angular_difference, fold_to_acute, normalize_angle
+
+__all__ = [
+    "sim_rotation",
+    "phi_parallel",
+    "phi_perpendicular",
+    "sim_parallel",
+    "sim_perpendicular",
+    "sim_translation",
+    "sim_components_local",
+    "similarity_local",
+    "similarity",
+    "pairwise_similarity",
+    "cross_similarity",
+]
+
+
+def _as_float(x):
+    """Return a Python float for 0-d results, pass arrays through."""
+    if np.ndim(x) == 0:
+        return float(x)
+    return x
+
+
+def sim_rotation(delta_theta, half_angle):
+    """Rotation similarity ``Sim_R`` (Eq. 4).
+
+    Parameters
+    ----------
+    delta_theta : float or ndarray
+        Orientation difference in degrees, ``[0, 180]`` (use
+        :func:`repro.geometry.angles.angular_difference`).
+    half_angle : float
+        Camera half viewing angle ``alpha``, degrees.
+
+    Returns
+    -------
+    float or ndarray in ``[0, 1]``.
+    """
+    span = 2.0 * half_angle
+    out = np.clip((span - np.asarray(delta_theta, dtype=float)) / span, 0.0, 1.0)
+    return _as_float(out)
+
+
+def phi_parallel(d, radius, half_angle):
+    """Narrowed half-aperture after a parallel translation (Eq. 5), degrees.
+
+    ``phi_par = arctan(R sin(alpha) / (d + R cos(alpha)))``; equals
+    ``alpha`` at ``d = 0`` and decays towards 0 as ``d`` grows, but never
+    reaches it -- the paper's statement 2.
+    """
+    a = np.radians(half_angle)
+    d = np.abs(np.asarray(d, dtype=float))
+    phi = np.arctan2(radius * np.sin(a), d + radius * np.cos(a))
+    return _as_float(np.degrees(phi))
+
+
+def phi_perpendicular(d, radius, half_angle):
+    """Overlap aperture after a perpendicular translation, degrees.
+
+    Corrected Eq. 6: viewing the shared far chord from the translated
+    apex gives ``phi_perp = alpha + arctan((R sin(alpha) - |d|) / (R
+    cos(alpha)))``, clamped at 0.  This equals ``2 alpha`` at ``d = 0``
+    and reaches 0 exactly at ``d = 2 R sin(alpha)``, matching both of
+    the paper's stated properties (the printed matrix form would zero
+    out at half that distance).
+    """
+    a = np.radians(half_angle)
+    d = np.abs(np.asarray(d, dtype=float))
+    phi = np.degrees(a + np.arctan2(radius * np.sin(a) - d, radius * np.cos(a)))
+    out = np.clip(phi, 0.0, None)
+    return _as_float(out)
+
+
+def sim_parallel(d, radius, half_angle):
+    """``Sim_par`` -- parallel-translation similarity, normalised to 1 at d=0."""
+    out = np.asarray(phi_parallel(d, radius, half_angle)) / half_angle
+    return _as_float(np.clip(out, 0.0, 1.0))
+
+
+def sim_perpendicular(d, radius, half_angle):
+    """``Sim_perp`` -- perpendicular-translation similarity (Eq. 7 on phi_perp)."""
+    out = np.asarray(phi_perpendicular(d, radius, half_angle)) / (2.0 * half_angle)
+    return _as_float(np.clip(out, 0.0, 1.0))
+
+
+def sim_translation(d, translation_bearing, axis_azimuth, radius, half_angle):
+    """Translation similarity ``Sim_T`` (Eq. 9).
+
+    Parameters
+    ----------
+    d : float or ndarray
+        Translation distance ``delta_p`` in metres.
+    translation_bearing : float or ndarray
+        Compass bearing ``theta_p`` of the displacement, degrees.
+        Ignored where ``d == 0`` (``Sim_T = 1`` there).
+    axis_azimuth : float or ndarray
+        Orientation ``theta`` of the optical axis the displacement is
+        measured against, degrees.
+    radius, half_angle : float
+        Camera constants ``R`` (metres) and ``alpha`` (degrees).
+    """
+    d = np.asarray(d, dtype=float)
+    psi = np.asarray(fold_to_acute(translation_bearing, axis_azimuth), dtype=float)
+    w = psi / 90.0
+    s_par = np.asarray(sim_parallel(d, radius, half_angle))
+    s_perp = np.asarray(sim_perpendicular(d, radius, half_angle))
+    out = (1.0 - w) * s_par + w * s_perp
+    out = np.where(d == 0.0, 1.0, out)
+    return _as_float(out)
+
+
+def sim_components_local(dx, dy, theta1, theta2, camera: CameraModel,
+                         reference: str = "bisector"):
+    """``(Sim_R, Sim_T)`` for displacements given in local metres.
+
+    Parameters
+    ----------
+    dx, dy : float or ndarray
+        Eastward/northward displacement from FoV 1 to FoV 2, metres.
+    theta1, theta2 : float or ndarray
+        Azimuths of the two FoVs, degrees.
+    camera : CameraModel
+    reference : {"bisector", "first"}
+        Axis against which the translation direction is folded.  The
+        paper factors the motion as rotate-then-translate without fixing
+        the axis; ``"bisector"`` (the circular midpoint of the two
+        azimuths) makes the measurement symmetric --
+        ``Sim(f1, f2) == Sim(f2, f1)`` -- and is the default.
+        ``"first"`` reproduces the literal reading (axis = ``theta1``).
+    """
+    dx = np.asarray(dx, dtype=float)
+    dy = np.asarray(dy, dtype=float)
+    theta1 = np.asarray(theta1, dtype=float)
+    theta2 = np.asarray(theta2, dtype=float)
+    d = np.hypot(dx, dy)
+    dtheta = angular_difference(theta1, theta2)
+    s_rot = np.asarray(sim_rotation(dtheta, camera.half_angle))
+
+    # Bearing of the displacement; arbitrary (and unused) where d == 0.
+    bearing = np.degrees(np.arctan2(dx, dy))
+    if reference == "bisector":
+        # Midpoint along the shorter arc from theta1 to theta2.
+        signed = np.mod(theta2 - theta1 + 180.0, 360.0) - 180.0
+        axis = normalize_angle(theta1 + signed / 2.0)
+    elif reference == "first":
+        axis = theta1
+    else:
+        raise ValueError(f"unknown reference {reference!r}")
+    s_trans = np.asarray(
+        sim_translation(d, bearing, axis, camera.radius, camera.half_angle)
+    )
+    return _as_float(s_rot), _as_float(s_trans)
+
+
+def similarity_local(dx, dy, theta1, theta2, camera: CameraModel,
+                     reference: str = "bisector"):
+    """Full similarity ``Sim = Sim_R * Sim_T`` (Eq. 10) on local displacements."""
+    s_rot, s_trans = sim_components_local(dx, dy, theta1, theta2, camera,
+                                          reference=reference)
+    return _as_float(np.asarray(s_rot) * np.asarray(s_trans))
+
+
+def scalar_similarity(dx: float, dy: float, theta1: float, theta2: float,
+                      half_angle: float, radius: float,
+                      reference: str = "bisector") -> float:
+    """Pure-scalar Eq. 10 kernel (no NumPy) -- the streaming hot path.
+
+    Identical in value to :func:`similarity_local` (a property test pins
+    the agreement) but ~20x faster for single evaluations, because the
+    O(1)-per-frame segmentation loop cannot amortise NumPy's per-call
+    overhead the way the pairwise-matrix kernels do.
+    """
+    # Rotation component (Eq. 4).
+    d = abs((theta2 - theta1) % 360.0)
+    dtheta = d if d <= 180.0 else 360.0 - d
+    span = 2.0 * half_angle
+    if dtheta >= span:
+        return 0.0
+    s_rot = (span - dtheta) / span
+
+    dist = math.hypot(dx, dy)
+    if dist == 0.0:
+        return s_rot
+
+    # Fold the translation bearing against the reference axis (Eq. 9).
+    bearing = math.degrees(math.atan2(dx, dy))
+    if reference == "bisector":
+        signed = (theta2 - theta1 + 180.0) % 360.0 - 180.0
+        axis = theta1 + signed / 2.0
+    elif reference == "first":
+        axis = theta1
+    else:
+        raise ValueError(f"unknown reference {reference!r}")
+    d = abs((bearing - axis) % 360.0)
+    psi = d if d <= 180.0 else 360.0 - d
+    if psi > 90.0:
+        psi = 180.0 - psi
+
+    a = math.radians(half_angle)
+    sin_a, cos_a = math.sin(a), math.cos(a)
+    phi_par = math.degrees(math.atan2(radius * sin_a, dist + radius * cos_a))
+    s_par = min(1.0, phi_par / half_angle)
+    phi_perp = half_angle + math.degrees(
+        math.atan2(radius * sin_a - dist, radius * cos_a))
+    s_perp = min(1.0, max(0.0, phi_perp / span))
+
+    w = psi / 90.0
+    return s_rot * ((1.0 - w) * s_par + w * s_perp)
+
+
+def similarity(f1: FoV, f2: FoV, camera: CameraModel,
+               reference: str = "bisector") -> float:
+    """Similarity of two GPS-referenced FoV records (Eqs. 2, 10, 12).
+
+    Projects the GPS displacement to local metres per Eq. 12 and applies
+    the rotation x translation model through the scalar fast path.  This
+    is the O(1) kernel the streaming segmenter calls once per frame.
+
+    The Eq. 12 projection is inlined (equivalent to
+    :func:`repro.geo.earth.displacement`) to keep the per-frame cost in
+    the low microseconds.
+    """
+    scale = math.cos(math.radians((f1.lat + f2.lat) / 2.0))
+    dx = _M_PER_DEG * scale * (f2.lng - f1.lng)
+    dy = _M_PER_DEG * (f2.lat - f1.lat)
+    return scalar_similarity(dx, dy, f1.theta, f2.theta,
+                             camera.half_angle, camera.radius,
+                             reference=reference)
+
+
+def pairwise_similarity(xy: np.ndarray, theta: np.ndarray,
+                        camera: CameraModel,
+                        reference: str = "bisector") -> np.ndarray:
+    """All-pairs similarity matrix of one trace (drives Fig. 5).
+
+    Parameters
+    ----------
+    xy : ndarray, shape (n, 2)
+        Local-metre positions (e.g. ``FoVTrace.local_xy()``).
+    theta : ndarray, shape (n,)
+        Azimuths in degrees.
+
+    Returns
+    -------
+    ndarray, shape (n, n)
+        ``out[i, j] = Sim(f_i, f_j)``; symmetric with unit diagonal under
+        the default ``"bisector"`` reference.
+    """
+    xy = np.asarray(xy, dtype=float)
+    theta = np.asarray(theta, dtype=float)
+    if xy.ndim != 2 or xy.shape[1] != 2 or theta.shape != (xy.shape[0],):
+        raise ValueError("xy must be (n, 2) and theta (n,)")
+    diff = xy[None, :, :] - xy[:, None, :]  # (n, n, 2): row i -> column j
+    return np.asarray(
+        similarity_local(diff[..., 0], diff[..., 1],
+                         theta[:, None], theta[None, :], camera,
+                         reference=reference)
+    )
+
+
+def cross_similarity(xy_a, theta_a, xy_b, theta_b, camera: CameraModel,
+                     reference: str = "bisector") -> np.ndarray:
+    """Similarity of every FoV in set A against every FoV in set B.
+
+    Used by the content-free retrieval accuracy experiment to score
+    candidate segments against a virtual query FoV.  Shapes: A is
+    ``(n, 2)``/``(n,)``, B is ``(m, 2)``/``(m,)``; result is ``(n, m)``.
+    """
+    xy_a = np.asarray(xy_a, dtype=float)
+    xy_b = np.asarray(xy_b, dtype=float)
+    theta_a = np.asarray(theta_a, dtype=float)
+    theta_b = np.asarray(theta_b, dtype=float)
+    diff = xy_b[None, :, :] - xy_a[:, None, :]
+    return np.asarray(
+        similarity_local(diff[..., 0], diff[..., 1],
+                         theta_a[:, None], theta_b[None, :], camera,
+                         reference=reference)
+    )

@@ -1,0 +1,37 @@
+"""Evaluation substrate: ground truth, metrics, experiment harness.
+
+* :mod:`repro.eval.groundtruth` -- geometric truth: which segments'
+  cameras *actually* covered a query point during the query window
+  (computed from the ideal trajectories, independent of both systems
+  under test).
+* :mod:`repro.eval.accuracy` -- precision/recall@k, average precision,
+  nDCG, and the head-to-head FoV-vs-content retrieval evaluation.
+* :mod:`repro.eval.simmatrix` -- pairwise similarity matrices and their
+  correlation (Fig. 5's quantitative form).
+* :mod:`repro.eval.harness` -- table formatting and timing helpers the
+  benchmarks share.
+"""
+
+from repro.eval.groundtruth import relevant_segments, segment_covers_point
+from repro.eval.accuracy import (
+    RetrievalMetrics,
+    average_precision,
+    ndcg_at_k,
+    precision_recall_at_k,
+)
+from repro.eval.simmatrix import matrix_correlation, normalized, trace_similarity_matrix
+from repro.eval.harness import Table, time_call
+
+__all__ = [
+    "segment_covers_point",
+    "relevant_segments",
+    "RetrievalMetrics",
+    "precision_recall_at_k",
+    "average_precision",
+    "ndcg_at_k",
+    "trace_similarity_matrix",
+    "matrix_correlation",
+    "normalized",
+    "Table",
+    "time_call",
+]

@@ -1,0 +1,92 @@
+"""Ranking metrics for retrieval accuracy (the abstract's 'comparable
+search accuracy' claim).
+
+Standard IR metrics over a ranked list of segment keys against a
+ground-truth relevant set: precision@k, recall@k, F1@k, average
+precision, and binary nDCG@k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RetrievalMetrics",
+    "precision_recall_at_k",
+    "average_precision",
+    "ndcg_at_k",
+    "aggregate_metrics",
+]
+
+
+@dataclass(frozen=True)
+class RetrievalMetrics:
+    """Metrics of one ranked answer against one relevant set."""
+
+    precision: float
+    recall: float
+    f1: float
+    average_precision: float
+    ndcg: float
+    k: int
+    n_relevant: int
+
+
+def precision_recall_at_k(ranked: list, relevant: set, k: int
+                          ) -> tuple[float, float, float]:
+    """``(precision@k, recall@k, f1@k)``.
+
+    Precision counts hits over ``min(k, len(ranked))`` (an engine is not
+    penalised for returning fewer than k rows when fewer exist); recall
+    counts hits over the relevant set (1.0 when nothing is relevant and
+    nothing was expected).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    top = ranked[:k]
+    hits = sum(1 for key in top if key in relevant)
+    precision = hits / len(top) if top else (1.0 if not relevant else 0.0)
+    recall = hits / len(relevant) if relevant else 1.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall > 0 else 0.0)
+    return precision, recall, f1
+
+
+def average_precision(ranked: list, relevant: set) -> float:
+    """Mean of precision@i over the ranks of relevant hits (AP)."""
+    if not relevant:
+        return 1.0
+    hits = 0
+    total = 0.0
+    for i, key in enumerate(ranked, start=1):
+        if key in relevant:
+            hits += 1
+            total += hits / i
+    return total / len(relevant)
+
+
+def ndcg_at_k(ranked: list, relevant: set, k: int) -> float:
+    """Binary nDCG@k (gain 1 for relevant, log2 position discount)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not relevant:
+        return 1.0
+    gains = np.array([1.0 if key in relevant else 0.0 for key in ranked[:k]])
+    discounts = 1.0 / np.log2(np.arange(2, gains.size + 2))
+    dcg = float((gains * discounts).sum())
+    ideal_n = min(len(relevant), k)
+    idcg = float((1.0 / np.log2(np.arange(2, ideal_n + 2))).sum())
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def aggregate_metrics(ranked: list, relevant: set, k: int) -> RetrievalMetrics:
+    """All metrics for one query at cutoff ``k``."""
+    p, r, f1 = precision_recall_at_k(ranked, relevant, k)
+    return RetrievalMetrics(
+        precision=p, recall=r, f1=f1,
+        average_precision=average_precision(ranked, relevant),
+        ndcg=ndcg_at_k(ranked, relevant, k),
+        k=k, n_relevant=len(relevant),
+    )

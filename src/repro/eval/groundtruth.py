@@ -1,0 +1,83 @@
+"""Geometric ground truth: which segments truly covered a query.
+
+A segment is *relevant* to query ``Q = (t_s, t_e, p, r)`` iff at some
+instant inside both the segment's and the query's time interval the
+camera's true viewing sector covered the query point (or intersected
+the query disc, under the lenient predicate).  Truth is computed from
+the **ideal** trajectories -- not the noisy sensor traces and not the
+index -- so it is independent of both systems under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.geometry.sector import sector_contains_points
+from repro.traces.dataset import CityDataset, ProviderRecording
+from repro.traces.trajectory import Trajectory
+
+__all__ = ["segment_covers_point", "relevant_segments"]
+
+
+def segment_covers_point(trajectory: Trajectory, t_start: float, t_end: float,
+                         point_xy, camera: CameraModel,
+                         query_window: tuple[float, float] | None = None,
+                         world=None) -> bool:
+    """True if the camera covered ``point_xy`` during ``[t_start, t_end]``.
+
+    Parameters
+    ----------
+    trajectory : Trajectory
+        The ideal camera motion (ground truth).
+    t_start, t_end : float
+        The segment's time interval.
+    point_xy : array-like (2,)
+        Query point in the trajectory's local frame, metres.
+    camera : CameraModel
+    query_window : (float, float), optional
+        Additional time restriction (the query's ``[t_s, t_e]``).
+    world : World, optional
+        When given, coverage additionally requires an unobstructed
+        line of sight through this landmark world (occlusion-aware
+        ground truth; see :mod:`repro.vision.occlusion`).
+    """
+    lo, hi = t_start, t_end
+    if query_window is not None:
+        lo, hi = max(lo, query_window[0]), min(hi, query_window[1])
+    if hi < lo:
+        return False
+    mask = (trajectory.t >= lo) & (trajectory.t <= hi)
+    if not np.any(mask):
+        return False
+    point = np.asarray(point_xy, dtype=float).reshape(1, 2)
+    if world is None:
+        covered = sector_contains_points(
+            trajectory.xy[mask], trajectory.azimuth[mask],
+            camera.half_angle, camera.radius, point,
+        )
+        return bool(covered.any())
+    from repro.vision.occlusion import visible_coverage
+    covered = visible_coverage(world, trajectory.xy[mask],
+                               trajectory.azimuth[mask], camera, point)
+    return bool(covered.any())
+
+
+def relevant_segments(dataset: CityDataset, point_xy,
+                      query_window: tuple[float, float],
+                      world=None) -> set[tuple[str, int]]:
+    """All ``(video_id, segment_id)`` keys truly covering a query.
+
+    Segment time bounds come from the uploaded representatives (that is
+    what identifies a segment system-wide); coverage itself is decided
+    against the ideal trajectories.
+    """
+    relevant: set[tuple[str, int]] = set()
+    for rec in dataset.recordings:
+        for rep in rec.bundle.representatives:
+            if segment_covers_point(rec.trajectory, rep.t_start, rep.t_end,
+                                    point_xy, dataset.camera,
+                                    query_window=query_window, world=world):
+                relevant.add(rep.key())
+    return relevant

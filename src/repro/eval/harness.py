@@ -1,0 +1,73 @@
+"""Shared experiment plumbing: aligned tables and timing.
+
+Every benchmark prints its figure/table as rows through
+:class:`Table`, so the EXPERIMENTS.md record and the bench output stay
+in one format.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Table", "time_call", "best_of"]
+
+
+@dataclass
+class Table:
+    """Minimal fixed-width table printer for benchmark output."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def _fmt(self, v: Any) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 0.001:
+                return f"{v:.3g}"
+            return f"{v:.3f}".rstrip("0").rstrip(".")
+        return str(v)
+
+    def render(self) -> str:
+        """The table as an aligned fixed-width string."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        sep = "-+-".join("-" * w for w in widths)
+        body = "\n".join(
+            " | ".join(r[i].rjust(widths[i]) for i in range(len(r))) for r in cells
+        )
+        return f"\n== {self.title} ==\n{header}\n{sep}\n{body}\n"
+
+    def show(self) -> None:
+        """Print the rendered table."""
+        print(self.render())
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """``(elapsed_seconds, result)`` of one call."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Minimum elapsed seconds over ``repeats`` calls (noise-resistant)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return min(time_call(fn)[0] for _ in range(repeats))

@@ -1,0 +1,63 @@
+"""Similarity matrices and their agreement (the quantitative Fig. 5).
+
+The paper shows side-by-side heatmaps of FoV-based and frame-diff
+similarity over the same recording and argues they share structure.
+Here the comparison is made numeric: build both matrices over the same
+(subsampled) frames and report their Pearson correlation over the
+off-diagonal entries, plus min-max normalisation helpers so curves of
+different dynamic range overlay the way the paper's plots do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import FoVTrace
+from repro.core.similarity import pairwise_similarity
+
+__all__ = ["trace_similarity_matrix", "matrix_correlation", "normalized"]
+
+
+def trace_similarity_matrix(trace: FoVTrace, camera: CameraModel,
+                            indices=None) -> np.ndarray:
+    """FoV pairwise-similarity matrix of a (subsampled) trace."""
+    xy = trace.local_xy()
+    theta = trace.theta
+    if indices is not None:
+        idx = np.asarray(indices, dtype=int)
+        xy, theta = xy[idx], theta[idx]
+    return pairwise_similarity(xy, theta, camera)
+
+
+def matrix_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation of two square matrices over off-diagonal cells.
+
+    The diagonals are excluded: both measures are 1 there by
+    construction, which would inflate agreement.
+    """
+    if a.shape != b.shape or a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("matrices must be square and same-shaped")
+    n = a.shape[0]
+    if n < 3:
+        raise ValueError("need at least a 3x3 matrix for a meaningful correlation")
+    mask = ~np.eye(n, dtype=bool)
+    x, y = a[mask], b[mask]
+    sx, sy = x.std(), y.std()
+    if sx == 0.0 or sy == 0.0:
+        raise ValueError("degenerate (constant) matrix has no correlation")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def normalized(values: np.ndarray) -> np.ndarray:
+    """Min-max normalisation to [0, 1] (constant input maps to ones).
+
+    The paper plots the CV similarity "normalized"; raw frame-diff
+    similarities live in a narrow high band (backgrounds always agree),
+    so overlaying them against the FoV model requires this rescale.
+    """
+    v = np.asarray(values, dtype=float)
+    lo, hi = v.min(), v.max()
+    if hi - lo < 1e-12:
+        return np.ones_like(v)
+    return (v - lo) / (hi - lo)

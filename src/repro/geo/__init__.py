@@ -1,0 +1,29 @@
+"""Geodesy substrate: GPS coordinates and the local Euclidean projection.
+
+The paper treats the Earth as a sphere of radius 6 378 140 m and maps
+small GPS displacements onto a local tangent plane (Eq. 12), where all
+FoV geometry happens.  :mod:`repro.geo.earth` implements that transform
+(both the paper's literal formula and the standard equirectangular
+correction), plus haversine distance and the degree<->metre scale
+factors used to build query rectangles (Section V-B).
+"""
+
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    displacement,
+    haversine_distance,
+    metres_per_degree,
+    radius_to_degrees,
+)
+
+__all__ = [
+    "GeoPoint",
+    "EARTH_RADIUS_M",
+    "LocalProjection",
+    "displacement",
+    "haversine_distance",
+    "metres_per_degree",
+    "radius_to_degrees",
+]

@@ -1,0 +1,30 @@
+"""GPS coordinate type shared by the client pipeline and the index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GeoPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS-ish latitude/longitude pair in decimal degrees.
+
+    The paper writes positions as ``p = (p.lat, p.lng)``; validation
+    bounds follow the usual conventions (latitude in ``[-90, 90]``,
+    longitude in ``[-180, 180]``).
+    """
+
+    lat: float
+    lng: float
+
+    def __post_init__(self):
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lng <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lng}")
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The pair ``(lat, lng)``."""
+        return (self.lat, self.lng)

@@ -1,0 +1,74 @@
+"""Planar computational-geometry substrate.
+
+Everything the retrieval system needs from geometry lives here: angle
+arithmetic on the circle (wrapping, folding, circular means), light-weight
+2-D vector helpers, the camera *viewing sector* (the conical area an FoV
+covers) with coverage and intersection predicates, axis-aligned boxes used
+by the spatial index, and rectilinear polygon-union area used by the
+Section VII utility model.
+
+All functions accept scalars or NumPy arrays and broadcast; angles are in
+degrees unless a name says otherwise.
+"""
+
+from repro.geometry.angles import (
+    angle_between,
+    angular_difference,
+    circular_mean,
+    fold_to_acute,
+    normalize_angle,
+    normalize_angle_signed,
+)
+from repro.geometry.vec import (
+    Vec2,
+    bearing_of,
+    distance,
+    heading_to_unit,
+    rotate,
+    unit_to_heading,
+)
+from repro.geometry.sector import (
+    Sector,
+    sector_circle_intersects,
+    sector_contains_point,
+    sectors_overlap_angle,
+)
+from repro.geometry.shapes import (
+    Box,
+    box_area,
+    box_contains,
+    box_intersects,
+    box_union,
+    boxes_intersect_matrix,
+)
+from repro.geometry.polygon import (
+    polygon_area,
+    rectangle_union_area,
+)
+
+__all__ = [
+    "angle_between",
+    "angular_difference",
+    "circular_mean",
+    "fold_to_acute",
+    "normalize_angle",
+    "normalize_angle_signed",
+    "Vec2",
+    "bearing_of",
+    "distance",
+    "heading_to_unit",
+    "rotate",
+    "unit_to_heading",
+    "Sector",
+    "sector_circle_intersects",
+    "sector_contains_point",
+    "sectors_overlap_angle",
+    "Box",
+    "box_area",
+    "box_contains",
+    "box_intersects",
+    "box_union",
+    "boxes_intersect_matrix",
+    "polygon_area",
+    "rectangle_union_area",
+]

@@ -1,0 +1,185 @@
+"""Angle arithmetic on the circle.
+
+Azimuths follow the compass convention used throughout the paper:
+degrees in ``[0, 360)``, measured clockwise from North.  The functions
+here are the single source of truth for wrap-around behaviour -- the
+similarity measurement (Eq. 2), the translation-direction fold (Eq. 9)
+and the representative-FoV orientation average (Eq. 11) all route
+through them.
+
+All functions are NumPy ufunc-style: they accept scalars or arrays and
+broadcast, returning the matching type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalize_angle",
+    "normalize_angle_signed",
+    "angular_difference",
+    "angle_between",
+    "fold_to_acute",
+    "circular_mean",
+    "circular_variance",
+    "unwrap_degrees",
+]
+
+
+def normalize_angle(theta):
+    """Wrap angle(s) into ``[0, 360)`` degrees.
+
+    Parameters
+    ----------
+    theta : float or ndarray
+        Angle(s) in degrees, any range.
+
+    Returns
+    -------
+    float or ndarray
+        ``theta`` modulo 360, in ``[0, 360)``.
+
+    Notes
+    -----
+    ``np.mod(x, 360)`` can round to exactly 360.0 for tiny negative
+    inputs; that case is folded back to 0 so the half-open contract
+    holds for every float.
+    """
+    out = np.mod(theta, 360.0)
+    out = np.where(np.asarray(out) == 360.0, 0.0, out)
+    if np.ndim(theta) == 0:
+        return float(out)
+    return out
+
+
+def normalize_angle_signed(theta):
+    """Wrap angle(s) into ``(-180, 180]`` degrees.
+
+    Useful for signed relative headings (e.g. turn direction).
+    """
+    wrapped = np.mod(np.asarray(theta, dtype=float) + 180.0, 360.0) - 180.0
+    # np.mod maps exact -180 to -180; the convention here is (-180, 180].
+    wrapped = np.where(wrapped == -180.0, 180.0, wrapped)
+    if np.ndim(theta) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def angular_difference(theta1, theta2):
+    """Smallest absolute difference between two azimuths (Eq. 2).
+
+    Implements ``delta_theta = min(|t2 - t1|, 360 - |t2 - t1|)`` and is
+    symmetric in its arguments.  Result is in ``[0, 180]``.
+    """
+    d = np.abs(np.mod(np.asarray(theta2, dtype=float) - theta1, 360.0))
+    out = np.minimum(d, 360.0 - d)
+    if np.ndim(theta1) == 0 and np.ndim(theta2) == 0:
+        return float(out)
+    return out
+
+
+def angle_between(theta, lo, hi):
+    """True where azimuth ``theta`` lies inside the cw arc from ``lo`` to ``hi``.
+
+    The arc is traversed from ``lo`` increasing (clockwise on the compass)
+    to ``hi``; both ends inclusive.  Handles wrap-around arcs such as
+    ``(350, 10)``.
+    """
+    theta = normalize_angle(theta)
+    lo = normalize_angle(lo)
+    hi = normalize_angle(hi)
+    span = np.mod(hi - lo, 360.0)
+    rel = np.mod(theta - lo, 360.0)
+    out = rel <= span
+    if np.ndim(out) == 0:
+        return bool(out)
+    return out
+
+
+def fold_to_acute(theta_p, theta):
+    """Fold a translation direction onto ``[0, 90]`` relative to an axis.
+
+    Equation 9 weights :math:`Sim_\\parallel` and :math:`Sim_\\perp` by the
+    angle between the translation direction ``theta_p`` and the camera
+    orientation ``theta``, mapped into ``[0, 90]``: translations along the
+    optical axis (either way) give 0, translations perpendicular to it
+    give 90.
+
+    Returns
+    -------
+    float or ndarray in ``[0, 90]``.
+    """
+    d = angular_difference(theta_p, theta)
+    out = np.where(np.asarray(d) > 90.0, 180.0 - np.asarray(d), d)
+    if np.ndim(d) == 0:
+        return float(out)
+    return out
+
+
+def circular_mean(angles, weights=None):
+    """Mean direction of a set of azimuths (degrees in ``[0, 360)``).
+
+    The paper's Eq. 11 prescribes an arithmetic average of orientations,
+    which breaks across the 0/360 wrap (mean of 359 and 1 must be 0, not
+    180).  The circular mean -- the argument of the mean unit phasor --
+    is the standard fix and coincides with the arithmetic mean whenever
+    the angles span less than a half-circle without wrapping.
+
+    Parameters
+    ----------
+    angles : array-like
+        Azimuths in degrees.
+    weights : array-like, optional
+        Non-negative weights, broadcast against ``angles``.
+
+    Returns
+    -------
+    float
+        Mean direction in ``[0, 360)``.
+
+    Raises
+    ------
+    ValueError
+        If ``angles`` is empty or the resultant vector is (numerically)
+        zero, i.e. the mean direction is undefined.
+    """
+    a = np.radians(np.asarray(angles, dtype=float))
+    if a.size == 0:
+        raise ValueError("circular_mean of empty set is undefined")
+    if weights is None:
+        s, c = np.sin(a).mean(), np.cos(a).mean()
+    else:
+        w = np.asarray(weights, dtype=float)
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        s = float(np.sum(w * np.sin(a)) / total)
+        c = float(np.sum(w * np.cos(a)) / total)
+    r = np.hypot(s, c)
+    if r < 1e-12:
+        raise ValueError("mean direction undefined: resultant length ~ 0")
+    return float(normalize_angle(np.degrees(np.arctan2(s, c))))
+
+
+def circular_variance(angles):
+    """Circular variance ``1 - R`` of a set of azimuths, in ``[0, 1]``.
+
+    0 means all angles identical; 1 means uniformly spread.  Used by the
+    segment-abstraction diagnostics to flag segments whose orientation
+    average is unreliable.
+    """
+    a = np.radians(np.asarray(angles, dtype=float))
+    if a.size == 0:
+        raise ValueError("circular_variance of empty set is undefined")
+    r = np.hypot(np.sin(a).mean(), np.cos(a).mean())
+    return float(1.0 - r)
+
+
+def unwrap_degrees(angles):
+    """Unwrap a sequence of azimuths to a continuous trace (degrees).
+
+    Like :func:`numpy.unwrap` but in degrees.  Used when averaging or
+    differentiating orientation traces from the compass simulator.
+    """
+    return np.degrees(np.unwrap(np.radians(np.asarray(angles, dtype=float))))

@@ -1,0 +1,127 @@
+"""Sector-sector overlap area via convex polygon clipping.
+
+How redundant are two FoVs *spatially*?  Eq. 10 gives a model-based
+similarity; the geometric ground truth is the area of intersection of
+the two viewing sectors.  For apertures up to a half-plane
+(``half_angle <= 90``) a sector is convex, so approximating its arc
+with a polyline gives a convex polygon and the intersection reduces to
+Sutherland-Hodgman clipping plus the shoelace formula -- exact up to
+the arc discretisation (relative error ~1e-3 at 64 arc points).
+
+Used by the evaluation to audit result-set redundancy and to validate
+the Eq. 10 similarity as a proxy for true view overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import polygon_area
+from repro.geometry.sector import Sector
+
+__all__ = [
+    "sector_polygon",
+    "convex_clip",
+    "sector_overlap_area",
+    "overlap_fraction",
+]
+
+
+def sector_polygon(sector: Sector, arc_points: int = 64) -> np.ndarray:
+    """Approximate a sector by a convex polygon (apex + sampled arc).
+
+    Requires ``half_angle <= 90`` (beyond a half-plane the sector is
+    not convex and clipping would be wrong).
+    """
+    if sector.half_angle > 90.0:
+        raise ValueError("sector_polygon requires half_angle <= 90")
+    if arc_points < 2:
+        raise ValueError("need at least 2 arc points")
+    angles = np.radians(np.linspace(sector.azimuth - sector.half_angle,
+                                    sector.azimuth + sector.half_angle,
+                                    arc_points))
+    arc = np.stack([sector.apex.x + sector.radius * np.sin(angles),
+                    sector.apex.y + sector.radius * np.cos(angles)],
+                   axis=-1)
+    return np.vstack([[sector.apex.x, sector.apex.y], arc])
+
+
+def convex_clip(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
+    """Sutherland-Hodgman: clip polygon ``subject`` by convex ``clip``.
+
+    Both polygons as ``(n, 2)`` vertex arrays.  The clip polygon's
+    winding is detected automatically.  Returns the intersection
+    polygon's vertices (possibly empty).
+    """
+    subject = np.asarray(subject, dtype=float)
+    clip = np.asarray(clip, dtype=float)
+    if clip.shape[0] < 3 or subject.shape[0] < 3:
+        return np.empty((0, 2))
+    # Signed area decides the clip winding so 'inside' is consistent.
+    x, y = clip[:, 0], clip[:, 1]
+    signed = float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    ccw = signed > 0
+
+    output = [tuple(p) for p in subject]
+    for i in range(clip.shape[0]):
+        if not output:
+            return np.empty((0, 2))
+        a = clip[i]
+        b = clip[(i + 1) % clip.shape[0]]
+        edge = b - a
+
+        def inside(p):
+            cross = edge[0] * (p[1] - a[1]) - edge[1] * (p[0] - a[0])
+            return cross >= -1e-12 if ccw else cross <= 1e-12
+
+        new_output = []
+        prev = output[-1]
+        for cur in output:
+            cur_in = inside(cur)
+            prev_in = inside(prev)
+            if cur_in:
+                if not prev_in:
+                    new_output.append(_line_seg_intersect(a, b, prev, cur))
+                new_output.append(cur)
+            elif prev_in:
+                new_output.append(_line_seg_intersect(a, b, prev, cur))
+            prev = cur
+        output = new_output
+    return np.asarray(output, dtype=float).reshape(-1, 2)
+
+
+def _line_seg_intersect(a, b, p, q):
+    """Intersection of infinite line ``ab`` with segment ``pq``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    d1 = b - a
+    d2 = q - p
+    denom = d1[0] * d2[1] - d1[1] * d2[0]          # cross(d1, d2)
+    if abs(denom) < 1e-18:
+        return (float(q[0]), float(q[1]))
+    # Solve cross((p - a) + t d2, d1) = 0  =>  t = cross(p - a, d1) / cross(d1, d2)
+    t = ((p[0] - a[0]) * d1[1] - (p[1] - a[1]) * d1[0]) / denom
+    pt = p + t * d2
+    return (float(pt[0]), float(pt[1]))
+
+
+def sector_overlap_area(s1: Sector, s2: Sector,
+                        arc_points: int = 64) -> float:
+    """Area of the intersection of two sectors, square metres."""
+    poly1 = sector_polygon(s1, arc_points)
+    poly2 = sector_polygon(s2, arc_points)
+    inter = convex_clip(poly1, poly2)
+    if inter.shape[0] < 3:
+        return 0.0
+    return polygon_area(inter)
+
+
+def overlap_fraction(s1: Sector, s2: Sector, arc_points: int = 64) -> float:
+    """Overlap normalised by the smaller sector's area, in [0, 1]."""
+    area = sector_overlap_area(s1, s2, arc_points)
+    smaller = min(s1.area(), s2.area())
+    if smaller <= 0.0:
+        return 0.0
+    return float(min(1.0, area / smaller))

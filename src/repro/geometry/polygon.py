@@ -1,0 +1,114 @@
+"""Polygon area and rectilinear union -- substrate for the utility model.
+
+Section VII defines the utility of an FoV set as the area of the union
+of per-video *utility rectangles* in the (angular coverage) x (temporal
+coverage) plane.  Computing that union exactly is the classic
+sweep-line-over-rectangles problem, implemented here without external
+geometry libraries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "polygon_area",
+    "rectangle_union_area",
+    "rectangle_union_length_1d",
+    "clip_rectangle",
+]
+
+
+def polygon_area(vertices) -> float:
+    """Unsigned area of a simple polygon (shoelace formula).
+
+    Parameters
+    ----------
+    vertices : array-like, shape (n, 2)
+        Polygon vertices in order (either winding); the polygon is
+        closed implicitly.
+    """
+    v = np.asarray(vertices, dtype=float)
+    if v.ndim != 2 or v.shape[1] != 2 or v.shape[0] < 3:
+        raise ValueError("vertices must be an (n>=3, 2) array")
+    x, y = v[:, 0], v[:, 1]
+    s = np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))
+    return float(abs(s) / 2.0)
+
+
+def rectangle_union_length_1d(intervals) -> float:
+    """Total length covered by a union of 1-D closed intervals.
+
+    Parameters
+    ----------
+    intervals : array-like, shape (n, 2)
+        ``(lo, hi)`` pairs; empty input yields 0.
+    """
+    iv = np.asarray(intervals, dtype=float).reshape(-1, 2)
+    if iv.size == 0:
+        return 0.0
+    if np.any(iv[:, 0] > iv[:, 1]):
+        raise ValueError("interval lo must not exceed hi")
+    order = np.argsort(iv[:, 0], kind="stable")
+    total = 0.0
+    cur_lo, cur_hi = iv[order[0]]
+    for i in order[1:]:
+        lo, hi = iv[i]
+        if lo > cur_hi:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    total += cur_hi - cur_lo
+    return float(total)
+
+
+def rectangle_union_area(rectangles) -> float:
+    """Exact area of the union of axis-aligned rectangles.
+
+    Sweep over ``x``: at every vertical slab between consecutive distinct
+    x-events the union's cross-section is a fixed union of y-intervals,
+    whose covered length is computed with
+    :func:`rectangle_union_length_1d`.  O(n^2 log n) overall -- ample for
+    the incentive-mechanism workloads (hundreds of rectangles).
+
+    Parameters
+    ----------
+    rectangles : array-like, shape (n, 4)
+        Rows ``(x_lo, y_lo, x_hi, y_hi)``.  Degenerate rectangles
+        contribute zero area.  Empty input yields 0.
+    """
+    r = np.asarray(rectangles, dtype=float).reshape(-1, 4)
+    if r.size == 0:
+        return 0.0
+    if np.any(r[:, 0] > r[:, 2]) or np.any(r[:, 1] > r[:, 3]):
+        raise ValueError("rectangle lows must not exceed highs")
+    xs = np.unique(np.concatenate([r[:, 0], r[:, 2]]))
+    if xs.size < 2:
+        return 0.0
+    area = 0.0
+    for x_lo, x_hi in zip(xs[:-1], xs[1:]):
+        width = x_hi - x_lo
+        if width <= 0.0:
+            continue
+        active = (r[:, 0] <= x_lo) & (r[:, 2] >= x_hi)
+        if not np.any(active):
+            continue
+        length = rectangle_union_length_1d(r[active][:, [1, 3]])
+        area += width * length
+    return float(area)
+
+
+def clip_rectangle(rect, window):
+    """Clip rectangle ``(x_lo, y_lo, x_hi, y_hi)`` to a window; None if empty.
+
+    Used by the utility model to restrict a video's coverage rectangle to
+    the query's global ``360 x (t_e - t_s)`` utility frame.
+    """
+    x_lo = max(rect[0], window[0])
+    y_lo = max(rect[1], window[1])
+    x_hi = min(rect[2], window[2])
+    y_hi = min(rect[3], window[3])
+    if x_lo > x_hi or y_lo > y_hi:
+        return None
+    return (float(x_lo), float(y_lo), float(x_hi), float(y_hi))

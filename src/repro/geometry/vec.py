@@ -1,0 +1,142 @@
+"""Light-weight 2-D vector helpers on local Euclidean coordinates.
+
+The system projects GPS coordinates onto a local tangent plane (Eq. 12,
+see :mod:`repro.geo.earth`) and does all geometry there, in metres, with
+``x`` pointing East and ``y`` pointing North.  Compass azimuths relate to
+unit vectors via ``(sin theta, cos theta)`` -- 0 deg is North ``(0, 1)``
+and 90 deg is East ``(1, 0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+
+__all__ = [
+    "Vec2",
+    "heading_to_unit",
+    "unit_to_heading",
+    "bearing_of",
+    "distance",
+    "rotate",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Vec2:
+    """Immutable 2-D point/vector in local metres (x=East, y=North)."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, k: float) -> "Vec2":
+        return Vec2(self.x * k, self.y * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def dot(self, other: "Vec2") -> float:
+        """Scalar product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z-component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return float(np.hypot(self.x, self.y))
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction; raises on zero."""
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def as_array(self) -> np.ndarray:
+        """The vector as a length-2 float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    @staticmethod
+    def from_array(a) -> "Vec2":
+        a = np.asarray(a, dtype=float)
+        return Vec2(float(a[0]), float(a[1]))
+
+
+def heading_to_unit(theta):
+    """Compass azimuth (deg) -> unit vector(s) ``(sin, cos)``.
+
+    Accepts scalars or arrays; array input returns shape ``(..., 2)``.
+    """
+    t = np.radians(np.asarray(theta, dtype=float))
+    out = np.stack([np.sin(t), np.cos(t)], axis=-1)
+    return out
+
+
+def unit_to_heading(v):
+    """Vector(s) -> compass azimuth in ``[0, 360)`` degrees.
+
+    ``v`` may be a :class:`Vec2`, a length-2 sequence, or an array of
+    shape ``(..., 2)``.
+    """
+    if isinstance(v, Vec2):
+        return float(normalize_angle(np.degrees(np.arctan2(v.x, v.y))))
+    a = np.asarray(v, dtype=float)
+    ang = np.degrees(np.arctan2(a[..., 0], a[..., 1]))
+    out = normalize_angle(ang)
+    if a.ndim == 1:
+        return float(out)
+    return out
+
+
+def bearing_of(p_from, p_to):
+    """Compass bearing from one local point to another, degrees.
+
+    Both arguments may be :class:`Vec2` or arrays of shape ``(..., 2)``;
+    array inputs broadcast.
+    """
+    if isinstance(p_from, Vec2) and isinstance(p_to, Vec2):
+        return unit_to_heading(p_to - p_from)
+    a = np.asarray(p_from, dtype=float)
+    b = np.asarray(p_to, dtype=float)
+    return unit_to_heading(b - a)
+
+
+def distance(p1, p2):
+    """Euclidean distance between local points (Vec2 or ``(..., 2)`` arrays)."""
+    if isinstance(p1, Vec2) and isinstance(p2, Vec2):
+        return (p2 - p1).norm()
+    a = np.asarray(p1, dtype=float)
+    b = np.asarray(p2, dtype=float)
+    d = np.linalg.norm(b - a, axis=-1)
+    if d.ndim == 0:
+        return float(d)
+    return d
+
+
+def rotate(v, degrees_cw):
+    """Rotate vector(s) clockwise on the compass (i.e. screen-CCW negated).
+
+    A camera pointing North rotated by +90 deg points East, matching how
+    azimuths add: ``unit_to_heading(rotate(heading_to_unit(t), d)) == t + d``.
+    """
+    phi = np.radians(degrees_cw)
+    c, s = np.cos(phi), np.sin(phi)
+    if isinstance(v, Vec2):
+        # Clockwise rotation in (x=E, y=N): x' = x c + y s ; y' = -x s + y c
+        return Vec2(v.x * c + v.y * s, -v.x * s + v.y * c)
+    a = np.asarray(v, dtype=float)
+    x, y = a[..., 0], a[..., 1]
+    return np.stack([x * c + y * s, -x * s + y * c], axis=-1)

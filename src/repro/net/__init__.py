@@ -1,0 +1,34 @@
+"""Networking substrate: serialisation, traffic accounting, clocks.
+
+The paper's networking claims -- negligible client-to-server traffic,
+no explicit clock-sync protocol needed -- are modelled here without
+sockets: :mod:`repro.net.protocol` defines the compact binary wire
+format for representative-FoV uploads (byte-exact sizes),
+:mod:`repro.net.traffic` accounts descriptor bytes against what raw
+video upload would have cost, and :mod:`repro.net.clock` simulates
+per-device clock offset/drift plus SNTP-style correction to show
+retrieval is insensitive to sub-second skew.
+"""
+
+from repro.net.protocol import (
+    FOV_RECORD_SIZE,
+    decode_bundle,
+    decode_fov,
+    encode_bundle,
+    encode_fov,
+)
+from repro.net.traffic import TrafficModel, TrafficReport, VideoProfile
+from repro.net.clock import DeviceClock, SntpSynchronizer
+
+__all__ = [
+    "FOV_RECORD_SIZE",
+    "encode_fov",
+    "decode_fov",
+    "encode_bundle",
+    "decode_bundle",
+    "TrafficModel",
+    "TrafficReport",
+    "VideoProfile",
+    "DeviceClock",
+    "SntpSynchronizer",
+]

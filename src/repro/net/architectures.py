@@ -1,0 +1,153 @@
+"""The two strawman architectures of Section I, as cost models.
+
+The paper motivates the content-free design by arguing that both
+existing architectures are impractical for crowd-sourced video:
+
+* **data-centric** -- every client uploads its whole video up front;
+  the data centre runs content analysis centrally.  Network cost is the
+  full footage; the server pays content-descriptor extraction for every
+  frame ever recorded, queries are then cheap.
+* **query-centric** -- videos stay on the phones; the server broadcasts
+  each query to every client, which runs content matching locally and
+  returns results.  Per-query network cost is small, but every query
+  costs every phone a full content scan, and phones are the *slowest*
+  place to run CV.
+
+This module prices all three architectures (including the paper's
+content-free one) over the same workload with explicit, documented cost
+constants, so the Section I argument becomes a reproducible table
+rather than prose.  Constants are deliberately conservative *against*
+the content-free design (e.g. free server-side CV time does not change
+the outcome; network volume alone decides it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.protocol import bundle_size
+from repro.net.traffic import VideoProfile
+
+__all__ = ["ArchitectureCosts", "Workload", "compare_architectures"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluation workload shared by all three architectures."""
+
+    n_providers: int
+    video_seconds_per_provider: float
+    fps: float
+    segments_per_provider: int
+    n_queries: int
+    matched_segments_per_query: int
+    matched_segment_seconds: float
+
+    def __post_init__(self):
+        if min(self.n_providers, self.n_queries) < 0:
+            raise ValueError("counts must be non-negative")
+        if self.video_seconds_per_provider < 0 or self.fps <= 0:
+            raise ValueError("invalid video parameters")
+
+    @property
+    def total_video_seconds(self) -> float:
+        return self.n_providers * self.video_seconds_per_provider
+
+    @property
+    def total_frames(self) -> float:
+        return self.total_video_seconds * self.fps
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Unit costs; defaults are measured on this reproduction's kernels
+    (see benchmarks/test_t1_descriptor_cost.py) or standard rates."""
+
+    #: CV feature extraction per frame on a phone, seconds (block/SIFT-class).
+    phone_cv_extract_s: float = 2e-3
+    #: Same extraction on a server core (≈10x a phone core).
+    server_cv_extract_s: float = 2e-4
+    #: Content match of one query against one frame descriptor, seconds.
+    content_match_s: float = 3e-6
+    #: FoV match (Eq. 10 scalar kernel), seconds.
+    fov_match_s: float = 2e-6
+    #: FoV sensor-record handling per frame on the phone, seconds.
+    phone_fov_extract_s: float = 3e-6
+    #: Query request/response overhead bytes (headers, result rows).
+    query_overhead_bytes: float = 512.0
+
+
+@dataclass(frozen=True)
+class ArchitectureCosts:
+    """Totals for one architecture over one workload."""
+
+    name: str
+    network_bytes: float
+    phone_cpu_s: float
+    server_cpu_s: float
+    per_query_latency_s: float
+
+    def row(self) -> list:
+        """The costs as a table row."""
+        return [self.name, self.network_bytes, self.phone_cpu_s,
+                self.server_cpu_s, self.per_query_latency_s]
+
+
+def compare_architectures(workload: Workload,
+                          profile: VideoProfile | None = None,
+                          constants: CostConstants | None = None
+                          ) -> list[ArchitectureCosts]:
+    """Cost the three architectures of Section I over one workload.
+
+    Returns data-centric, query-centric and content-free, in that
+    order.  "Latency" is the serial compute on the critical path of one
+    query (network transfer latencies are excluded on purpose -- they
+    depend on link speed and would only widen the gaps).
+    """
+    profile = profile or VideoProfile(1280, 720)
+    c = constants or CostConstants()
+    frames = workload.total_frames
+    q = workload.n_queries
+
+    # Data-centric: all video up, central extraction once, cheap queries.
+    data_centric = ArchitectureCosts(
+        name="data-centric",
+        network_bytes=profile.bytes_for(workload.total_video_seconds)
+        + q * c.query_overhead_bytes,
+        phone_cpu_s=0.0,
+        server_cpu_s=frames * c.server_cv_extract_s
+        + q * frames * c.content_match_s,
+        per_query_latency_s=frames * c.content_match_s,
+    )
+
+    # Query-centric: queries broadcast; every phone scans its footage
+    # per query (extraction amortised once per frame on the phone).
+    per_provider_frames = (workload.video_seconds_per_provider
+                           * workload.fps)
+    query_centric = ArchitectureCosts(
+        name="query-centric",
+        network_bytes=q * workload.n_providers * c.query_overhead_bytes
+        + q * profile.bytes_for(workload.matched_segment_seconds),
+        phone_cpu_s=frames * c.phone_cv_extract_s
+        + q * frames * c.content_match_s,
+        server_cpu_s=0.0,
+        # The inquirer waits for the slowest phone's scan.
+        per_query_latency_s=per_provider_frames * c.content_match_s,
+    )
+
+    # Content-free (this system): descriptors up, R-tree query, fetch
+    # only matched segments.
+    desc_bytes = sum(
+        bundle_size(f"video-{i}", workload.segments_per_provider)
+        for i in range(workload.n_providers))
+    total_segments = workload.n_providers * workload.segments_per_provider
+    content_free = ArchitectureCosts(
+        name="content-free (FoV)",
+        network_bytes=desc_bytes + q * c.query_overhead_bytes
+        + q * profile.bytes_for(workload.matched_segment_seconds),
+        phone_cpu_s=frames * c.phone_fov_extract_s,
+        # R-tree visits ~log(n) nodes; charge a generous full filter pass.
+        server_cpu_s=q * total_segments * c.fov_match_s,
+        per_query_latency_s=total_segments * c.fov_match_s,
+    )
+    return [data_centric, query_centric, content_free]

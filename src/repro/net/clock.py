@@ -1,0 +1,100 @@
+"""Per-device clock skew and SNTP-style synchronisation (Section VI-A).
+
+The paper argues no supernumerary clock synchronisation is needed:
+COTS devices reach sub-second accuracy via NTP/SNTP, and retrieval is
+insensitive to deviations far below a segment's duration.  This module
+makes that argument testable: :class:`DeviceClock` models a local clock
+with a fixed offset and a slow linear drift, :class:`SntpSynchronizer`
+runs the classic four-timestamp exchange against a (simulated) server
+with asymmetric network delay, and the integration tests stamp FoV
+records through skewed clocks to measure the retrieval impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceClock", "SntpSynchronizer", "SyncResult"]
+
+
+@dataclass
+class DeviceClock:
+    """Local clock: ``local(t) = t + offset + drift_ppm * 1e-6 * t``.
+
+    Parameters
+    ----------
+    offset_s : float
+        Initial offset from the global clock, seconds.
+    drift_ppm : float
+        Linear drift in parts per million (typical quartz: 10-50 ppm).
+    """
+
+    offset_s: float = 0.0
+    drift_ppm: float = 0.0
+    correction_s: float = 0.0
+
+    def local_time(self, true_t: float) -> float:
+        """Raw local reading at global time ``true_t`` (no correction)."""
+        return true_t + self.offset_s + self.drift_ppm * 1e-6 * true_t
+
+    def corrected_time(self, true_t: float) -> float:
+        """Local reading after applying the last sync correction."""
+        return self.local_time(true_t) + self.correction_s
+
+    def error_at(self, true_t: float) -> float:
+        """Residual |corrected - true| at global time ``true_t``."""
+        return abs(self.corrected_time(true_t) - true_t)
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Outcome of one SNTP exchange."""
+
+    measured_offset_s: float
+    round_trip_s: float
+    residual_error_s: float
+
+
+class SntpSynchronizer:
+    """Four-timestamp SNTP exchange against a perfect server.
+
+    The classic estimate ``offset = ((T2 - T1) + (T3 - T4)) / 2`` is
+    exact under symmetric delay; asymmetry leaks half the difference
+    into the estimate -- which is precisely why devices end up with
+    *sub-second* rather than zero error, the regime the paper claims is
+    harmless.
+    """
+
+    def __init__(self, uplink_delay_s: float = 0.020,
+                 downlink_delay_s: float = 0.020,
+                 jitter_s: float = 0.005,
+                 rng: np.random.Generator | None = None):
+        if min(uplink_delay_s, downlink_delay_s) < 0 or jitter_s < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        self.uplink_delay_s = uplink_delay_s
+        self.downlink_delay_s = downlink_delay_s
+        self.jitter_s = jitter_s
+        self.rng = rng or np.random.default_rng()
+
+    def synchronize(self, clock: DeviceClock, true_t: float) -> SyncResult:
+        """Run one exchange at global time ``true_t`` and correct ``clock``."""
+        up = self.uplink_delay_s + float(self.rng.exponential(self.jitter_s)) \
+            if self.jitter_s > 0 else self.uplink_delay_s
+        down = self.downlink_delay_s + float(self.rng.exponential(self.jitter_s)) \
+            if self.jitter_s > 0 else self.downlink_delay_s
+        # The client timestamps with its *corrected* clock -- otherwise a
+        # second sync would re-measure the already-corrected offset and
+        # double-apply it.
+        t1 = clock.corrected_time(true_t)                  # client send (local)
+        t2 = true_t + up                                   # server recv (true)
+        t3 = t2                                            # server send (true)
+        t4 = clock.corrected_time(true_t + up + down)      # client recv (local)
+        offset = ((t2 - t1) + (t3 - t4)) / 2.0
+        clock.correction_s += offset
+        return SyncResult(
+            measured_offset_s=offset,
+            round_trip_s=(t4 - t1) - (t3 - t2),
+            residual_error_s=clock.error_at(true_t + up + down),
+        )

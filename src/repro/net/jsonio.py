@@ -1,0 +1,103 @@
+"""JSON interop: the server's machine-readable API surface.
+
+The binary wire format (:mod:`repro.net.protocol`) is for the
+descriptor upload path, where every byte counts.  Query *responses*
+flow the other way -- to dashboards, scripts and the CLI's ``--json``
+mode -- where interoperability wins.  Round-trip-safe converters for
+the public record types, with strict validation on the way in.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import Query, QueryResult, RankedFoV
+from repro.geo.coords import GeoPoint
+
+__all__ = [
+    "fov_to_dict",
+    "fov_from_dict",
+    "query_to_dict",
+    "query_from_dict",
+    "result_to_dict",
+    "result_to_json",
+]
+
+
+def fov_to_dict(fov: RepresentativeFoV) -> dict[str, Any]:
+    """One record as a JSON-ready dict."""
+    return {
+        "video_id": fov.video_id,
+        "segment_id": fov.segment_id,
+        "lat": fov.lat,
+        "lng": fov.lng,
+        "theta": fov.theta,
+        "t_start": fov.t_start,
+        "t_end": fov.t_end,
+    }
+
+
+_FOV_FIELDS = {"video_id", "segment_id", "lat", "lng", "theta",
+               "t_start", "t_end"}
+
+
+def fov_from_dict(d: dict[str, Any]) -> RepresentativeFoV:
+    """Parse and validate one record dict (inverse of fov_to_dict)."""
+    missing = _FOV_FIELDS - set(d)
+    if missing:
+        raise ValueError(f"record missing fields: {sorted(missing)}")
+    return RepresentativeFoV(
+        lat=float(d["lat"]), lng=float(d["lng"]), theta=float(d["theta"]),
+        t_start=float(d["t_start"]), t_end=float(d["t_end"]),
+        video_id=str(d["video_id"]), segment_id=int(d["segment_id"]),
+    )
+
+
+def query_to_dict(query: Query) -> dict[str, Any]:
+    """One query as a JSON-ready dict."""
+    return {
+        "t_start": query.t_start,
+        "t_end": query.t_end,
+        "lat": query.center.lat,
+        "lng": query.center.lng,
+        "radius": query.radius,
+        "top_n": query.top_n,
+    }
+
+
+def query_from_dict(d: dict[str, Any]) -> Query:
+    """Parse and validate one query dict (inverse of query_to_dict)."""
+    try:
+        return Query(
+            t_start=float(d["t_start"]), t_end=float(d["t_end"]),
+            center=GeoPoint(float(d["lat"]), float(d["lng"])),
+            radius=float(d["radius"]), top_n=int(d.get("top_n", 10)),
+        )
+    except KeyError as exc:
+        raise ValueError(f"query missing field: {exc}") from None
+
+
+def result_to_dict(result: QueryResult) -> dict[str, Any]:
+    """One query's answer as a plain dict (rows keep rank order)."""
+    return {
+        "query": query_to_dict(result.query),
+        "candidates": result.candidates,
+        "after_filter": result.after_filter,
+        "elapsed_ms": result.elapsed_s * 1e3,
+        "results": [
+            {
+                "rank": i + 1,
+                "distance_m": row.distance,
+                "covers": row.covers,
+                **fov_to_dict(row.fov),
+            }
+            for i, row in enumerate(result.ranked)
+        ],
+    }
+
+
+def result_to_json(result: QueryResult, indent: int | None = None) -> str:
+    """One answer serialised to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)

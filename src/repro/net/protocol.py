@@ -1,0 +1,100 @@
+"""Compact binary wire format for representative-FoV uploads.
+
+The whole point of the content-free design is that a video segment
+ships as a fixed-size record instead of megabytes of pixels.  One
+record packs::
+
+    lat      float64   8 B
+    lng      float64   8 B
+    theta    float32   4 B   (0.01-degree compass precision is plenty)
+    t_start  float64   8 B
+    t_end    float64   8 B
+    seg_id   uint32    4 B
+    -----------------------
+    total             40 B
+
+A bundle is a small header (magic, version, video-id, record count)
+followed by the records of one recording.  Encoding/decoding round-trip
+exactly (modulo the float32 orientation quantisation), and the byte
+sizes feed the traffic model.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.fov import RepresentativeFoV
+
+__all__ = [
+    "FOV_RECORD_SIZE",
+    "BUNDLE_MAGIC",
+    "encode_fov",
+    "decode_fov",
+    "encode_bundle",
+    "decode_bundle",
+    "bundle_size",
+]
+
+_RECORD = struct.Struct("<ddfddI")
+#: Bytes per representative-FoV record on the wire.
+FOV_RECORD_SIZE = _RECORD.size  # 40
+
+BUNDLE_MAGIC = b"FOV1"
+_HEADER = struct.Struct("<4sBHI")  # magic, version, video-id length, record count
+_VERSION = 1
+
+
+def encode_fov(fov: RepresentativeFoV) -> bytes:
+    """Serialise one record to its fixed 40-byte form (video id lives
+    in the bundle header, not per record)."""
+    return _RECORD.pack(fov.lat, fov.lng, fov.theta,
+                        fov.t_start, fov.t_end, fov.segment_id)
+
+
+def decode_fov(payload: bytes, video_id: str = "") -> RepresentativeFoV:
+    """Inverse of :func:`encode_fov`."""
+    if len(payload) != FOV_RECORD_SIZE:
+        raise ValueError(
+            f"record must be exactly {FOV_RECORD_SIZE} bytes, got {len(payload)}"
+        )
+    lat, lng, theta, t_start, t_end, seg_id = _RECORD.unpack(payload)
+    return RepresentativeFoV(lat=lat, lng=lng, theta=float(theta),
+                             t_start=t_start, t_end=t_end,
+                             video_id=video_id, segment_id=seg_id)
+
+
+def encode_bundle(video_id: str, fovs: list[RepresentativeFoV]) -> bytes:
+    """Serialise one recording's representative FoVs."""
+    vid = video_id.encode("utf-8")
+    if len(vid) > 0xFFFF:
+        raise ValueError("video id too long")
+    parts = [_HEADER.pack(BUNDLE_MAGIC, _VERSION, len(vid), len(fovs)), vid]
+    parts.extend(encode_fov(f) for f in fovs)
+    return b"".join(parts)
+
+
+def decode_bundle(payload: bytes) -> tuple[str, list[RepresentativeFoV]]:
+    """Inverse of :func:`encode_bundle`; validates magic/version/length."""
+    if len(payload) < _HEADER.size:
+        raise ValueError("bundle shorter than its header")
+    magic, version, vid_len, count = _HEADER.unpack_from(payload, 0)
+    if magic != BUNDLE_MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise ValueError(f"unsupported bundle version {version}")
+    offset = _HEADER.size
+    video_id = payload[offset: offset + vid_len].decode("utf-8")
+    offset += vid_len
+    expected = offset + count * FOV_RECORD_SIZE
+    if len(payload) != expected:
+        raise ValueError(f"bundle length {len(payload)} != expected {expected}")
+    fovs = []
+    for i in range(count):
+        rec = payload[offset + i * FOV_RECORD_SIZE: offset + (i + 1) * FOV_RECORD_SIZE]
+        fovs.append(decode_fov(rec, video_id=video_id))
+    return video_id, fovs
+
+
+def bundle_size(video_id: str, n_records: int) -> int:
+    """Wire size in bytes of a bundle without materialising it."""
+    return _HEADER.size + len(video_id.encode("utf-8")) + n_records * FOV_RECORD_SIZE

@@ -1,0 +1,32 @@
+"""Client-side privacy controls for descriptor uploads.
+
+Section I motivates the content-free design partly by privacy: raw
+video never leaves the phone.  But even the 40-byte descriptors are a
+location trace, so a privacy-conscious provider wants control over
+*them* too.  This package implements the standard location-privacy
+toolbox at the descriptor level:
+
+* :class:`GeoFence` -- exclusion zones (home, work): segments whose
+  representative falls inside are never uploaded;
+* :func:`cloak_position` / :class:`SpatialCloak` -- snap positions to a
+  grid so an uploaded record only reveals a cell, with a quantifiable
+  retrieval-accuracy cost (measured in the privacy tests);
+* :class:`PrivacyPolicy` -- composition of the above applied to a
+  bundle before upload, with an audit of what was withheld.
+"""
+
+from repro.privacy.policy import (
+    GeoFence,
+    PrivacyAudit,
+    PrivacyPolicy,
+    SpatialCloak,
+    cloak_position,
+)
+
+__all__ = [
+    "GeoFence",
+    "SpatialCloak",
+    "cloak_position",
+    "PrivacyPolicy",
+    "PrivacyAudit",
+]

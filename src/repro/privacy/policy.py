@@ -1,0 +1,145 @@
+"""Descriptor-level privacy: geofences, cloaking, policy composition.
+
+All operations act on :class:`RepresentativeFoV` records *before* they
+are encoded for upload, so the server (and anyone who compromises it)
+never sees the withheld or pre-cloaking data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fov import RepresentativeFoV
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection, metres_per_degree
+
+__all__ = [
+    "GeoFence",
+    "cloak_position",
+    "SpatialCloak",
+    "PrivacyAudit",
+    "PrivacyPolicy",
+]
+
+
+@dataclass(frozen=True)
+class GeoFence:
+    """A circular exclusion zone (e.g. home): nothing inside uploads.
+
+    Parameters
+    ----------
+    center : GeoPoint
+    radius_m : float
+        Exclusion radius in metres, > 0.
+    label : str
+        Human-readable name used in audits.
+    """
+
+    center: GeoPoint
+    radius_m: float
+    label: str = "zone"
+
+    def __post_init__(self):
+        if self.radius_m <= 0:
+            raise ValueError("geofence radius must be positive")
+
+    def contains(self, lat: float, lng: float) -> bool:
+        """True if the fix falls inside the exclusion zone."""
+        proj = LocalProjection(self.center)
+        x, y = proj.to_local(GeoPoint(lat, lng))
+        return float(np.hypot(x, y)) <= self.radius_m
+
+
+def cloak_position(lat: float, lng: float, cell_m: float) -> tuple[float, float]:
+    """Snap a position to the centre of its ``cell_m``-sized grid cell.
+
+    The grid is aligned to the equator/meridian in local metres at the
+    point's latitude, so any reported position is ambiguous over at
+    least a ``cell_m x cell_m`` area.
+    """
+    if cell_m <= 0:
+        raise ValueError("cell size must be positive")
+    _, m_lat = metres_per_degree(lat)
+    cell_lat = cell_m / m_lat
+    snapped_lat = (np.floor(lat / cell_lat) + 0.5) * cell_lat
+    # Longitude cells are sized at the *snapped* latitude, so cloaking
+    # is idempotent (re-cloaking a cloaked point is a no-op).
+    m_lng, _ = metres_per_degree(snapped_lat)
+    cell_lng = cell_m / m_lng
+    snapped_lng = (np.floor(lng / cell_lng) + 0.5) * cell_lng
+    return float(snapped_lat), float(snapped_lng)
+
+
+@dataclass(frozen=True)
+class SpatialCloak:
+    """Grid cloaking with ``cell_m``-metre cells."""
+
+    cell_m: float = 50.0
+
+    def __post_init__(self):
+        if self.cell_m <= 0:
+            raise ValueError("cell size must be positive")
+
+    def apply(self, fov: RepresentativeFoV) -> RepresentativeFoV:
+        """The record with its position snapped to a cell centre."""
+        lat, lng = cloak_position(fov.lat, fov.lng, self.cell_m)
+        return RepresentativeFoV(
+            lat=lat, lng=lng, theta=fov.theta,
+            t_start=fov.t_start, t_end=fov.t_end,
+            video_id=fov.video_id, segment_id=fov.segment_id,
+        )
+
+
+@dataclass
+class PrivacyAudit:
+    """What a policy did to one bundle (kept on the device)."""
+
+    uploaded: int = 0
+    withheld: int = 0
+    cloaked: int = 0
+    withheld_by_zone: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.uploaded + self.withheld
+
+
+@dataclass(frozen=True)
+class PrivacyPolicy:
+    """Composition: withhold fenced segments, cloak the rest.
+
+    Parameters
+    ----------
+    fences : tuple of GeoFence
+        Exclusion zones; a record inside *any* fence is withheld.
+    cloak : SpatialCloak, optional
+        Applied to every uploaded record when set.
+    """
+
+    fences: tuple[GeoFence, ...] = ()
+    cloak: SpatialCloak | None = None
+
+    def apply(self, fovs: list[RepresentativeFoV]
+              ) -> tuple[list[RepresentativeFoV], PrivacyAudit]:
+        """Filter + transform a bundle; returns (uploadable, audit)."""
+        audit = PrivacyAudit()
+        out: list[RepresentativeFoV] = []
+        for fov in fovs:
+            fenced = None
+            for fence in self.fences:
+                if fence.contains(fov.lat, fov.lng):
+                    fenced = fence
+                    break
+            if fenced is not None:
+                audit.withheld += 1
+                audit.withheld_by_zone[fenced.label] = (
+                    audit.withheld_by_zone.get(fenced.label, 0) + 1)
+                continue
+            if self.cloak is not None:
+                fov = self.cloak.apply(fov)
+                audit.cloaked += 1
+            out.append(fov)
+            audit.uploaded += 1
+        return out, audit

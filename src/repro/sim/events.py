@@ -1,0 +1,63 @@
+"""Minimal discrete-event machinery: a timestamped priority queue.
+
+Deterministic: ties in time break by insertion order, so a seeded
+simulation replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """One scheduled occurrence."""
+
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Time-ordered event queue with stable tie-breaking."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Enqueue an event."""
+        if self._heap and event.time < self._heap[0][0] - 1e-12:
+            # Allowed (heap handles it); asserting monotone *pop* order is
+            # the queue's job, pushes may arrive in any order.
+            pass
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> None:
+        """Enqueue an event built from its parts."""
+        self.push(Event(time=time, kind=kind, payload=payload))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek on an empty event queue")
+        return self._heap[0][0]
+
+    def drain_until(self, t_end: float):
+        """Yield events with ``time <= t_end`` in order."""
+        while self._heap and self._heap[0][0] <= t_end:
+            yield self.pop()

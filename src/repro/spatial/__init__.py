@@ -1,0 +1,25 @@
+"""Spatial indexing substrate: a from-scratch Guttman R-tree.
+
+The paper indexes representative FoVs in an R-tree (ref. [11]); no
+native R-tree library is assumed here, so :mod:`repro.spatial.rtree`
+implements the classic structure -- ChooseLeaf by least enlargement,
+linear/quadratic node splits, condense-and-reinsert deletion -- over
+NumPy-stacked bounding boxes so that every per-node scan is one
+vectorised pass.  :mod:`repro.spatial.bulk` adds Sort-Tile-Recursive
+bulk loading, and :mod:`repro.spatial.linear` provides the brute-force
+baseline the paper compares against in Fig. 6(c).
+"""
+
+from repro.spatial.rtree import RTree, RTreeConfig
+from repro.spatial.linear import LinearScanIndex
+from repro.spatial.bulk import str_bulk_load
+from repro.spatial.metrics import TreeStats, tree_stats
+
+__all__ = [
+    "RTree",
+    "RTreeConfig",
+    "LinearScanIndex",
+    "str_bulk_load",
+    "TreeStats",
+    "tree_stats",
+]

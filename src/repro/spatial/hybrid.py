@@ -1,0 +1,75 @@
+"""Alternative index designs for the Section V-A ablation.
+
+The paper stores each representative FoV as a degenerate 3-D rectangle
+in one R-tree, pruning space and time together.  Two textbook
+alternatives, each pruning on one axis and post-filtering the other:
+
+* :class:`SpatialFirstIndex` -- 2-D R-tree over (lng, lat); candidates
+  are then filtered by time-interval overlap (vectorised);
+* :class:`TemporalFirstIndex` -- centred interval tree over
+  ``[t_s, t_e]``; candidates are then filtered by the spatial box.
+
+All three expose ``range_search(query)`` over representative FoVs with
+identical results, so the design race is purely about pruning power
+(see ``benchmarks/test_ablation_index_design.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fov import RepresentativeFoV
+from repro.core.index import query_box
+from repro.core.query import Query
+from repro.spatial.intervaltree import IntervalTree
+from repro.spatial.rtree import RTree, RTreeConfig
+
+__all__ = ["SpatialFirstIndex", "TemporalFirstIndex"]
+
+
+class SpatialFirstIndex:
+    """2-D R-tree on position; time filtered after the spatial search."""
+
+    def __init__(self, fovs: list[RepresentativeFoV],
+                 config: RTreeConfig | None = None):
+        self._tree = RTree(2, config=config)
+        for fov in fovs:
+            p = np.array([fov.lng, fov.lat])
+            self._tree.insert(p, p, fov)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def range_search(self, query: Query) -> list[RepresentativeFoV]:
+        """Spatial R-tree search, then a vectorised time filter."""
+        bmin, bmax = query_box(query)
+        hits = self._tree.search(bmin[:2], bmax[:2])
+        if not hits:
+            return []
+        t0 = np.array([f.t_start for f in hits])
+        t1 = np.array([f.t_end for f in hits])
+        keep = (t1 >= query.t_start) & (t0 <= query.t_end)
+        return [f for f, k in zip(hits, keep) if k]
+
+
+class TemporalFirstIndex:
+    """Interval tree on time; space filtered after the temporal search."""
+
+    def __init__(self, fovs: list[RepresentativeFoV]):
+        self._tree = IntervalTree(
+            (fov.t_start, fov.t_end, fov) for fov in fovs)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def range_search(self, query: Query) -> list[RepresentativeFoV]:
+        """Interval-tree search, then a vectorised spatial filter."""
+        hits = self._tree.overlapping(query.t_start, query.t_end)
+        if not hits:
+            return []
+        bmin, bmax = query_box(query)
+        lng = np.array([f.lng for f in hits])
+        lat = np.array([f.lat for f in hits])
+        keep = ((lng >= bmin[0]) & (lng <= bmax[0])
+                & (lat >= bmin[1]) & (lat <= bmax[1]))
+        return [f for f, k in zip(hits, keep) if k]

@@ -1,0 +1,128 @@
+"""Centred interval tree: the classic 1-D interval-stabbing structure.
+
+Built to evaluate the paper's Section V-A design decision.  The paper
+folds time into the R-tree as a third (degenerate-in-space) dimension;
+the textbook alternative keeps a dedicated temporal structure.  This
+module provides that alternative -- a static centred interval tree
+(Cormen et al. / Edelsbrunner): O(n log n) build, O(log n + k) overlap
+query -- so :mod:`repro.spatial.hybrid` can assemble the competing
+index designs and the ablation bench can race them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["IntervalTree"]
+
+
+@dataclass
+class _Node:
+    center: float
+    # Intervals crossing the centre, sorted by low (asc) and high (desc).
+    by_low: list[tuple[float, float, Any]]
+    by_high: list[tuple[float, float, Any]]
+    left: "_Node | None"
+    right: "_Node | None"
+
+
+class IntervalTree:
+    """Static centred interval tree over closed intervals ``[lo, hi]``.
+
+    Parameters
+    ----------
+    intervals : sequence of (lo, hi, item)
+        ``lo <= hi`` required.  Built once; immutable afterwards (the
+        retrieval server's snapshot-reload path is bulk anyway).
+    """
+
+    def __init__(self, intervals):
+        rows = [(float(lo), float(hi), item) for lo, hi, item in intervals]
+        for lo, hi, _ in rows:
+            if lo > hi:
+                raise ValueError(f"interval lo {lo} exceeds hi {hi}")
+        self._size = len(rows)
+        self._root = self._build(rows)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, rows) -> _Node | None:
+        if not rows:
+            return None
+        endpoints = np.asarray([r[0] for r in rows] + [r[1] for r in rows])
+        center = float(np.median(endpoints))
+        left_rows, right_rows, crossing = [], [], []
+        for row in rows:
+            if row[1] < center:
+                left_rows.append(row)
+            elif row[0] > center:
+                right_rows.append(row)
+            else:
+                crossing.append(row)
+        # Degenerate guard: if everything crosses, recursion terminates
+        # anyway because crossing rows are not re-distributed.
+        return _Node(
+            center=center,
+            by_low=sorted(crossing, key=lambda r: r[0]),
+            by_high=sorted(crossing, key=lambda r: -r[1]),
+            left=self._build(left_rows),
+            right=self._build(right_rows),
+        )
+
+    def stab(self, point: float) -> list[Any]:
+        """All items whose intervals contain ``point``."""
+        out: list[Any] = []
+        node = self._root
+        while node is not None:
+            if point < node.center:
+                for lo, _, item in node.by_low:
+                    if lo > point:
+                        break
+                    out.append(item)
+                node = node.left
+            elif point > node.center:
+                for _, hi, item in node.by_high:
+                    if hi < point:
+                        break
+                    out.append(item)
+                node = node.right
+            else:
+                out.extend(item for _, _, item in node.by_low)
+                break
+        return out
+
+    def overlapping(self, lo: float, hi: float) -> list[Any]:
+        """All items whose intervals intersect ``[lo, hi]`` (closed)."""
+        if lo > hi:
+            raise ValueError("query interval lo exceeds hi")
+        out: list[Any] = []
+        self._collect(self._root, lo, hi, out)
+        return out
+
+    def _collect(self, node: _Node | None, lo: float, hi: float,
+                 out: list[Any]) -> None:
+        if node is None:
+            return
+        if hi < node.center:
+            # Query entirely left of centre: crossing intervals match
+            # iff their low end reaches back to <= hi.
+            for ilo, _, item in node.by_low:
+                if ilo > hi:
+                    break
+                out.append(item)
+            self._collect(node.left, lo, hi, out)
+        elif lo > node.center:
+            for _, ihi, item in node.by_high:
+                if ihi < lo:
+                    break
+                out.append(item)
+            self._collect(node.right, lo, hi, out)
+        else:
+            # Query straddles the centre: every crossing interval hits.
+            out.extend(item for _, _, item in node.by_low)
+            self._collect(node.left, lo, hi, out)
+            self._collect(node.right, lo, hi, out)

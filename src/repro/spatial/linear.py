@@ -1,0 +1,111 @@
+"""Brute-force linear-scan index -- the Fig. 6(c) baseline.
+
+Same interface as :class:`repro.spatial.rtree.RTree` for insert/search/
+delete, backed by growing flat arrays.  A range query is one vectorised
+overlap test over every stored box, which is exactly the O(n) cost the
+paper's R-tree comparison is against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["LinearScanIndex"]
+
+
+class LinearScanIndex:
+    """Flat array of boxes with O(n) vectorised range search.
+
+    Uses capacity doubling so that inserts are amortised O(1) and the
+    search path is a single contiguous NumPy pass (no per-item Python
+    work until the hit list is materialised).
+    """
+
+    def __init__(self, dim: int, initial_capacity: int = 64):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self._cap = max(4, initial_capacity)
+        self._mins = np.empty((self._cap, dim), dtype=float)
+        self._maxs = np.empty((self._cap, dim), dtype=float)
+        self._items: list[Any] = []
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _check_box(self, box_min, box_max) -> tuple[np.ndarray, np.ndarray]:
+        bmin = np.asarray(box_min, dtype=float).reshape(-1)
+        bmax = np.asarray(box_max, dtype=float).reshape(-1)
+        if bmin.shape != (self.dim,) or bmax.shape != (self.dim,):
+            raise ValueError(f"box must have dimension {self.dim}")
+        if np.any(bmin > bmax):
+            raise ValueError("box min exceeds max")
+        return bmin, bmax
+
+    def _grow(self) -> None:
+        self._cap *= 2
+        new_mins = np.empty((self._cap, self.dim), dtype=float)
+        new_maxs = np.empty((self._cap, self.dim), dtype=float)
+        new_mins[: self._n] = self._mins[: self._n]
+        new_maxs[: self._n] = self._maxs[: self._n]
+        self._mins, self._maxs = new_mins, new_maxs
+
+    def insert(self, box_min, box_max, item: Any) -> None:
+        """Append one box/item pair (amortised O(1))."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        if self._n == self._cap:
+            self._grow()
+        self._mins[self._n] = bmin
+        self._maxs[self._n] = bmax
+        self._items.append(item)
+        self._n += 1
+
+    def search(self, box_min, box_max) -> list[Any]:
+        """All items intersecting the closed query box (one vector pass)."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        if self._n == 0:
+            return []
+        m = self._n
+        hit = np.flatnonzero(
+            np.all((self._mins[:m] <= bmax) & (self._maxs[:m] >= bmin), axis=-1)
+        )
+        return [self._items[i] for i in hit]
+
+    def count_intersecting(self, box_min, box_max) -> int:
+        """Number of intersecting items without materialising them."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        if self._n == 0:
+            return 0
+        m = self._n
+        return int(np.sum(
+            np.all((self._mins[:m] <= bmax) & (self._maxs[:m] >= bmin), axis=-1)
+        ))
+
+    def delete(self, box_min, box_max, item: Any) -> bool:
+        """Remove one entry matching box and item; True if found."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        m = self._n
+        hit = np.flatnonzero(
+            np.all((self._mins[:m] <= bmax) & (self._maxs[:m] >= bmin), axis=-1)
+        )
+        for i in hit:
+            if (self._items[i] is item or self._items[i] == item) and \
+                    np.array_equal(self._mins[i], bmin) and \
+                    np.array_equal(self._maxs[i], bmax):
+                last = self._n - 1
+                if i != last:
+                    self._mins[i] = self._mins[last]
+                    self._maxs[i] = self._maxs[last]
+                    self._items[i] = self._items[last]
+                self._items.pop()
+                self._n = last
+                return True
+        return False
+
+    def items(self) -> Iterator[tuple[np.ndarray, np.ndarray, Any]]:
+        """Iterate every stored ``(box_min, box_max, item)``."""
+        for i in range(self._n):
+            yield self._mins[i].copy(), self._maxs[i].copy(), self._items[i]

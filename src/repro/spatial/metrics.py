@@ -1,0 +1,120 @@
+"""Structural statistics and invariant checks for R-trees.
+
+Used by the property tests (every internal entry's box must equal its
+child's MBR; fills must respect ``[min, max]``; leaf depth is uniform)
+and by the ablation benchmark that compares split strategies by node
+count / overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spatial.rtree import RTree, _Node
+
+__all__ = ["TreeStats", "tree_stats", "check_invariants"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Aggregate shape metrics of one R-tree."""
+
+    size: int
+    height: int
+    node_count: int
+    leaf_count: int
+    avg_leaf_fill: float
+    avg_internal_fill: float
+    total_leaf_overlap: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RTree(size={self.size}, height={self.height}, nodes={self.node_count}, "
+            f"leaves={self.leaf_count}, leaf_fill={self.avg_leaf_fill:.2f}, "
+            f"internal_fill={self.avg_internal_fill:.2f}, "
+            f"leaf_overlap={self.total_leaf_overlap:.3g})"
+        )
+
+
+def _walk(node: _Node, depth: int, out: list[tuple[_Node, int]]) -> None:
+    out.append((node, depth))
+    if not node.leaf:
+        for child in node.children[: node.n]:
+            _walk(child, depth + 1, out)
+
+
+def tree_stats(tree: RTree) -> TreeStats:
+    """Compute shape metrics; see :class:`TreeStats`."""
+    nodes: list[tuple[_Node, int]] = []
+    _walk(tree.root, 0, nodes)
+    leaves = [n for n, _ in nodes if n.leaf]
+    internal = [n for n, _ in nodes if not n.leaf]
+    leaf_fill = float(np.mean([n.n for n in leaves])) if leaves else 0.0
+    int_fill = float(np.mean([n.n for n in internal])) if internal else 0.0
+
+    # Pairwise overlap volume between sibling leaf MBRs: a proxy for how
+    # much extra work range queries do; used to compare split strategies.
+    overlap = 0.0
+    if len(leaves) > 1:
+        mbrs = np.array([np.concatenate(leaf.mbr()) for leaf in leaves])
+        d = mbrs.shape[1] // 2
+        lo = np.maximum(mbrs[:, None, :d], mbrs[None, :, :d])
+        hi = np.minimum(mbrs[:, None, d:], mbrs[None, :, d:])
+        inter = np.prod(np.clip(hi - lo, 0.0, None), axis=-1)
+        overlap = float((inter.sum() - np.trace(inter)) / 2.0)
+
+    return TreeStats(
+        size=len(tree),
+        height=tree.height,
+        node_count=len(nodes),
+        leaf_count=len(leaves),
+        avg_leaf_fill=leaf_fill,
+        avg_internal_fill=int_fill,
+        total_leaf_overlap=overlap,
+    )
+
+
+def check_invariants(tree: RTree) -> None:
+    """Assert the Guttman invariants; raises AssertionError on violation.
+
+    1. Every internal entry's stored box equals its child's MBR.
+    2. Every non-root node holds between ``min_entries`` and
+       ``max_entries`` entries; the root holds at least 1 when non-empty
+       (at least 2 children when internal).
+    3. All leaves sit at the same depth, equal to ``height - 1``.
+    4. The number of leaf entries equals ``len(tree)``.
+    """
+    cfg = tree.config
+    min_e, max_e = cfg.resolved_min(), cfg.max_entries
+    nodes: list[tuple[_Node, int]] = []
+    _walk(tree.root, 0, nodes)
+
+    leaf_depths = {d for n, d in nodes if n.leaf}
+    assert len(leaf_depths) == 1, f"leaves at multiple depths: {leaf_depths}"
+    assert leaf_depths == {tree.height - 1}, (
+        f"leaf depth {leaf_depths} != height-1 ({tree.height - 1})"
+    )
+
+    total = 0
+    for node, _depth in nodes:
+        assert len(node.children) == node.n, "children list out of sync with count"
+        if node is tree.root:
+            if not node.leaf:
+                assert node.n >= 2, "internal root must have >= 2 children"
+        else:
+            assert min_e <= node.n <= max_e, (
+                f"node fill {node.n} outside [{min_e}, {max_e}]"
+            )
+        if node.leaf:
+            total += node.n
+        else:
+            for i in range(node.n):
+                child: _Node = node.children[i]
+                cm, cx = child.mbr()
+                assert np.array_equal(node.mins[i], cm) and \
+                    np.array_equal(node.maxs[i], cx), (
+                        "internal entry box != child MBR"
+                    )
+    assert total == len(tree), f"leaf entries {total} != tree size {len(tree)}"

@@ -1,0 +1,444 @@
+"""A from-scratch Guttman R-tree (ref. [11] of the paper).
+
+Dynamic, height-balanced, N-dimensional.  Nodes hold their children's
+bounding boxes as *stacked* NumPy arrays preallocated to capacity, so
+ChooseLeaf enlargement scans, range-search overlap tests and split
+seeding are each a single vectorised pass over the node -- the idiom the
+HPC guides prescribe (no per-entry Python loops on the hot path).
+
+Supported operations: :meth:`RTree.insert`, :meth:`RTree.search` (range
+query, closed intervals), :meth:`RTree.delete` (with Guttman's
+CondenseTree re-insertion), :meth:`RTree.count_intersecting`, iteration
+over all items, and structural introspection used by the tests and
+benchmarks.  Bulk loading lives in :mod:`repro.spatial.bulk`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.spatial.split import linear_split, quadratic_split, rstar_split
+
+__all__ = ["RTree", "RTreeConfig", "_Node"]
+
+
+@dataclass(frozen=True)
+class RTreeConfig:
+    """Structural parameters.
+
+    ``max_entries`` is the node capacity ``M``; ``min_entries`` defaults
+    to ``ceil(0.4 * M)`` (the usual 40 % fill factor) and must satisfy
+    ``2 <= min_entries <= M // 2``.  ``split`` selects the overflow
+    strategy: ``"quadratic"`` (default, better trees), ``"linear"``
+    (faster inserts) or ``"rstar"`` (R*-style margin/overlap split,
+    tightest trees) -- the ablation benchmark compares all three.
+    """
+
+    max_entries: int = 32
+    min_entries: int | None = None
+    split: str = "quadratic"
+
+    def __post_init__(self):
+        if self.max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if self.split not in ("quadratic", "linear", "rstar"):
+            raise ValueError(f"unknown split strategy {self.split!r}")
+        m = self.resolved_min()
+        if not 2 <= m <= self.max_entries // 2:
+            raise ValueError(
+                f"min_entries={m} must be in [2, max_entries//2={self.max_entries // 2}]"
+            )
+
+    def resolved_min(self) -> int:
+        """The effective minimum fill (explicit or the 40 % default)."""
+        if self.min_entries is not None:
+            return self.min_entries
+        return max(2, int(np.ceil(0.4 * self.max_entries)))
+
+
+class _Node:
+    """Internal or leaf node.
+
+    ``mins``/``maxs`` are ``(M + 1, d)`` scratch-padded stacks (one extra
+    row so an overflowing entry can be staged in place before the
+    split); ``children[i]`` is a child ``_Node`` for internal nodes or
+    the user's item for leaves.
+    """
+
+    __slots__ = ("mins", "maxs", "children", "n", "leaf")
+
+    def __init__(self, dim: int, capacity: int, leaf: bool):
+        self.mins = np.empty((capacity + 1, dim), dtype=float)
+        self.maxs = np.empty((capacity + 1, dim), dtype=float)
+        self.children: list[Any] = []
+        self.n = 0
+        self.leaf = leaf
+
+    def mbr(self) -> tuple[np.ndarray, np.ndarray]:
+        return (self.mins[: self.n].min(axis=0), self.maxs[: self.n].max(axis=0))
+
+    def add(self, box_min: np.ndarray, box_max: np.ndarray, child: Any) -> None:
+        self.mins[self.n] = box_min
+        self.maxs[self.n] = box_max
+        self.children.append(child)
+        self.n += 1
+
+    def remove_at(self, i: int) -> None:
+        last = self.n - 1
+        if i != last:
+            self.mins[i] = self.mins[last]
+            self.maxs[i] = self.maxs[last]
+            self.children[i] = self.children[last]
+        self.children.pop()
+        self.n = last
+
+
+class RTree:
+    """Dynamic R-tree over axis-aligned boxes with attached items.
+
+    Parameters
+    ----------
+    dim : int
+        Dimensionality of the indexed boxes (3 for the FoV index:
+        longitude, latitude, time).
+    config : RTreeConfig, optional
+
+    Notes
+    -----
+    Boxes are closed intervals: a search box that merely touches an
+    entry's boundary reports it, matching the overlap convention of the
+    query-rectangle construction in Section V-B.
+    """
+
+    def __init__(self, dim: int, config: RTreeConfig | None = None):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.config = config or RTreeConfig()
+        self._min_entries = self.config.resolved_min()
+        self._split_fn: Callable = {
+            "quadratic": quadratic_split,
+            "linear": linear_split,
+            "rstar": rstar_split,
+        }[self.config.split]
+        self._root = _Node(dim, self.config.max_entries, leaf=True)
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # properties
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = a single leaf root)."""
+        return self._height
+
+    @property
+    def root(self) -> _Node:
+        return self._root
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """MBR of the whole tree, or None when empty."""
+        if self._size == 0:
+            return None
+        return self._root.mbr()
+
+    # ------------------------------------------------------------------
+    # insertion
+
+    def _check_box(self, box_min, box_max) -> tuple[np.ndarray, np.ndarray]:
+        bmin = np.asarray(box_min, dtype=float).reshape(-1)
+        bmax = np.asarray(box_max, dtype=float).reshape(-1)
+        if bmin.shape != (self.dim,) or bmax.shape != (self.dim,):
+            raise ValueError(f"box must have dimension {self.dim}")
+        if np.any(bmin > bmax):
+            raise ValueError("box min exceeds max")
+        if not (np.all(np.isfinite(bmin)) and np.all(np.isfinite(bmax))):
+            raise ValueError("box coordinates must be finite")
+        return bmin, bmax
+
+    def insert(self, box_min, box_max, item: Any) -> None:
+        """Insert an item with its bounding box."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        split = self._insert(self._root, bmin, bmax, item)
+        if split is not None:
+            old_root = self._root
+            new_root = _Node(self.dim, self.config.max_entries, leaf=False)
+            for node in (old_root, split):
+                nm, nx = node.mbr()
+                new_root.add(nm, nx, node)
+            self._root = new_root
+            self._height += 1
+        self._size += 1
+
+    def _choose_subtree(self, node: _Node, bmin: np.ndarray, bmax: np.ndarray) -> int:
+        """ChooseLeaf step: least enlargement, ties by least area."""
+        m = node.n
+        cur_min, cur_max = node.mins[:m], node.maxs[:m]
+        area = np.prod(cur_max - cur_min, axis=-1)
+        enlarged = (np.prod(np.maximum(cur_max, bmax) - np.minimum(cur_min, bmin),
+                            axis=-1) - area)
+        best = np.flatnonzero(enlarged == enlarged.min())
+        if best.size > 1:
+            best = best[np.argmin(area[best])]
+            return int(best)
+        return int(best[0])
+
+    def _insert(self, node: _Node, bmin: np.ndarray, bmax: np.ndarray,
+                item: Any) -> _Node | None:
+        """Recursive insert; returns a new sibling if ``node`` split."""
+        if node.leaf:
+            node.add(bmin, bmax, item)
+            if node.n > self.config.max_entries:
+                return self._split_node(node)
+            return None
+        i = self._choose_subtree(node, bmin, bmax)
+        child: _Node = node.children[i]
+        split = self._insert(child, bmin, bmax, item)
+        cm, cx = child.mbr()
+        node.mins[i] = cm
+        node.maxs[i] = cx
+        if split is not None:
+            sm, sx = split.mbr()
+            node.add(sm, sx, split)
+            if node.n > self.config.max_entries:
+                return self._split_node(node)
+        return None
+
+    def _split_node(self, node: _Node) -> _Node:
+        """Split an overflowing node in place; return the new sibling."""
+        n = node.n
+        mins = node.mins[:n].copy()
+        maxs = node.maxs[:n].copy()
+        children = list(node.children)
+        g1, g2 = self._split_fn(mins, maxs, self._min_entries)
+        node.children = [children[i] for i in g1]
+        node.n = len(g1)
+        node.mins[: node.n] = mins[g1]
+        node.maxs[: node.n] = maxs[g1]
+        sibling = _Node(self.dim, self.config.max_entries, leaf=node.leaf)
+        sibling.children = [children[i] for i in g2]
+        sibling.n = len(g2)
+        sibling.mins[: sibling.n] = mins[g2]
+        sibling.maxs[: sibling.n] = maxs[g2]
+        return sibling
+
+    # ------------------------------------------------------------------
+    # search
+
+    def search(self, box_min, box_max) -> list[Any]:
+        """All items whose boxes intersect the (closed) query box."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        if self._size == 0:
+            return []
+        out: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            m = node.n
+            if m == 0:
+                continue
+            hit = np.flatnonzero(
+                np.all((node.mins[:m] <= bmax) & (node.maxs[:m] >= bmin), axis=-1)
+            )
+            if node.leaf:
+                out.extend(node.children[i] for i in hit)
+            else:
+                stack.extend(node.children[i] for i in hit)
+        return out
+
+    def search_boxes(self, box_min, box_max) -> list[tuple[np.ndarray, np.ndarray, Any]]:
+        """Like :meth:`search` but also returns each hit's stored box."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        if self._size == 0:
+            return []
+        out: list[tuple[np.ndarray, np.ndarray, Any]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            m = node.n
+            if m == 0:
+                continue
+            hit = np.flatnonzero(
+                np.all((node.mins[:m] <= bmax) & (node.maxs[:m] >= bmin), axis=-1)
+            )
+            if node.leaf:
+                out.extend((node.mins[i].copy(), node.maxs[i].copy(), node.children[i])
+                           for i in hit)
+            else:
+                stack.extend(node.children[i] for i in hit)
+        return out
+
+    def count_intersecting(self, box_min, box_max) -> int:
+        """Number of items intersecting the query box (no materialisation)."""
+        bmin, bmax = self._check_box(box_min, box_max)
+        if self._size == 0:
+            return 0
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            m = node.n
+            if m == 0:
+                continue
+            hit = np.flatnonzero(
+                np.all((node.mins[:m] <= bmax) & (node.maxs[:m] >= bmin), axis=-1)
+            )
+            if node.leaf:
+                total += hit.size
+            else:
+                stack.extend(node.children[i] for i in hit)
+        return total
+
+    def items(self) -> Iterator[tuple[np.ndarray, np.ndarray, Any]]:
+        """Iterate over every stored ``(box_min, box_max, item)``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for i in range(node.n):
+                    yield node.mins[i].copy(), node.maxs[i].copy(), node.children[i]
+            else:
+                stack.extend(node.children[: node.n])
+
+    # ------------------------------------------------------------------
+    # deletion
+
+    def delete(self, box_min, box_max, item: Any) -> bool:
+        """Remove one entry matching box *and* item; True if found.
+
+        Follows Guttman's FindLeaf / CondenseTree: underfull nodes along
+        the path are dissolved and their surviving entries re-inserted
+        at the appropriate level; the root collapses when reduced to a
+        single internal child.
+        """
+        bmin, bmax = self._check_box(box_min, box_max)
+        path = self._find_leaf(self._root, bmin, bmax, item)
+        if path is None:
+            return False
+        leaf, entry_idx = path[-1]
+        leaf.remove_at(entry_idx)
+        self._size -= 1
+        self._condense(path)
+        # Shrink the root while it is an internal node with one child.
+        while not self._root.leaf and self._root.n == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+        if self._root.leaf and self._root.n == 0:
+            self._height = 1
+        return True
+
+    def _find_leaf(self, node: _Node, bmin: np.ndarray, bmax: np.ndarray,
+                   item: Any, _path=None):
+        """DFS for the leaf entry matching (box, item); returns the path
+        as a list of ``(node, child_index)`` ending at the leaf entry."""
+        _path = _path or []
+        m = node.n
+        hit = np.flatnonzero(
+            np.all((node.mins[:m] <= bmax) & (node.maxs[:m] >= bmin), axis=-1)
+        )
+        if node.leaf:
+            for i in hit:
+                if (node.children[i] is item or node.children[i] == item) and \
+                        np.array_equal(node.mins[i], bmin) and \
+                        np.array_equal(node.maxs[i], bmax):
+                    return _path + [(node, int(i))]
+            return None
+        for i in hit:
+            found = self._find_leaf(node.children[i], bmin, bmax, item,
+                                    _path + [(node, int(i))])
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, path: list[tuple[_Node, int]]) -> None:
+        """Dissolve underfull nodes bottom-up, collecting orphans per level.
+
+        ``orphans`` holds ``(node, levels_above_leaf)`` pairs whose
+        entries must be re-inserted at their original level so leaf
+        depth stays uniform.
+        """
+        orphans: list[tuple[_Node, int]] = []
+        # path[-1] is the leaf; walk parents bottom-up.
+        level_above_leaf = 0
+        for depth in range(len(path) - 1, 0, -1):
+            node, _ = path[depth]
+            parent, child_idx = path[depth - 1]
+            if node.n < self._min_entries:
+                parent.remove_at(child_idx)
+                orphans.append((node, level_above_leaf))
+            else:
+                nm, nx = node.mbr()
+                parent.mins[child_idx] = nm
+                parent.maxs[child_idx] = nx
+            level_above_leaf += 1
+            # After removal, parent indices for shallower path entries may
+            # have been invalidated by the swap-remove; recompute lazily.
+            if depth - 2 >= 0:
+                gp, gi = path[depth - 2]
+                child = path[depth - 1][0]
+                if gi >= gp.n or gp.children[gi] is not child:
+                    # Find the parent's new slot in the grandparent.
+                    for j in range(gp.n):
+                        if gp.children[j] is child:
+                            path[depth - 2] = (gp, j)
+                            break
+        # Handle the root-level underflow implicitly (root may have any n).
+        for node, lvl in orphans:
+            self._reinsert_node(node, lvl)
+
+    def _reinsert_node(self, node: _Node, level_above_leaf: int) -> None:
+        if node.leaf:
+            for i in range(node.n):
+                split = self._insert(self._root, node.mins[i].copy(),
+                                     node.maxs[i].copy(), node.children[i])
+                self._grow_root_if(split)
+            return
+        # Internal orphan: re-insert each child subtree at its level.
+        for i in range(node.n):
+            self._insert_subtree(node.children[i], level_above_leaf - 1)
+
+    def _insert_subtree(self, subtree: _Node, level_above_leaf: int) -> None:
+        """Insert a whole subtree so its leaves land at leaf level."""
+        sm, sx = subtree.mbr()
+        split = self._insert_at_level(self._root, sm, sx, subtree,
+                                      target=level_above_leaf + 1,
+                                      current=self._height - 1)
+        self._grow_root_if(split)
+
+    def _insert_at_level(self, node: _Node, bmin, bmax, subtree: _Node,
+                         target: int, current: int) -> _Node | None:
+        if current == target:
+            node.add(bmin, bmax, subtree)
+            if node.n > self.config.max_entries:
+                return self._split_node(node)
+            return None
+        i = self._choose_subtree(node, bmin, bmax)
+        child: _Node = node.children[i]
+        split = self._insert_at_level(child, bmin, bmax, subtree, target, current - 1)
+        cm, cx = child.mbr()
+        node.mins[i] = cm
+        node.maxs[i] = cx
+        if split is not None:
+            sm, sx = split.mbr()
+            node.add(sm, sx, split)
+            if node.n > self.config.max_entries:
+                return self._split_node(node)
+        return None
+
+    def _grow_root_if(self, split: _Node | None) -> None:
+        if split is None:
+            return
+        old_root = self._root
+        new_root = _Node(self.dim, self.config.max_entries, leaf=False)
+        for n in (old_root, split):
+            nm, nx = n.mbr()
+            new_root.add(nm, nx, n)
+        self._root = new_root
+        self._height += 1

@@ -1,0 +1,48 @@
+"""Synthetic sensor substrate: trajectories, noise, scenarios, datasets.
+
+The paper's experiments used an Android phone logging GPS + compass
+while walking, driving and biking.  This package generates equivalent
+``(t, p, theta)`` streams: ideal motion models (:mod:`walkers`), sensor
+noise (:mod:`noise`), a Manhattan street grid with routed trips
+(:mod:`citygrid`), the paper's three named experiment scenarios
+(:mod:`scenarios`), and citywide datasets of providers and queries
+(:mod:`dataset`).
+"""
+
+from repro.traces.trajectory import Trajectory
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.walkers import (
+    bike_ride_with_turn,
+    random_waypoint,
+    rotate_in_place,
+    straight_line,
+)
+from repro.traces.citygrid import CityGrid, grid_route_trajectory
+from repro.traces.scenarios import (
+    CITY_ORIGIN,
+    bike_turn_scenario,
+    drive_scenario,
+    rotation_scenario,
+    translation_scenario,
+    walk_scenario,
+)
+from repro.traces.dataset import CityDataset, random_representative_fovs
+
+__all__ = [
+    "Trajectory",
+    "SensorNoiseModel",
+    "straight_line",
+    "rotate_in_place",
+    "random_waypoint",
+    "bike_ride_with_turn",
+    "CityGrid",
+    "grid_route_trajectory",
+    "CITY_ORIGIN",
+    "rotation_scenario",
+    "translation_scenario",
+    "bike_turn_scenario",
+    "walk_scenario",
+    "drive_scenario",
+    "CityDataset",
+    "random_representative_fovs",
+]

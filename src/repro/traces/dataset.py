@@ -1,0 +1,162 @@
+"""Citywide datasets: the workloads behind Figs. 6(b)/6(c) and the
+accuracy/end-to-end claims.
+
+Two generation modes:
+
+* :func:`random_representative_fovs` -- the paper's own Fig. 6 workload
+  ("randomly simulate citywide representative FoVs"): i.i.d. records
+  over a city extent and a time horizon, for pure index benchmarks.
+* :class:`CityDataset` -- a full simulation: providers walk routed trips
+  on a street grid, their sensed traces run through the real client
+  pipeline (segmentation + abstraction), and the ground-truth ideal
+  trajectories are kept so the evaluation can decide which segments
+  *actually* covered a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import FoVTrace, RepresentativeFoV
+from repro.core.pipeline import ClientPipeline, UploadBundle
+from repro.core.segmentation import SegmentationConfig
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.traces.citygrid import CityGrid, grid_route_trajectory
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import CITY_ORIGIN
+from repro.traces.trajectory import Trajectory
+
+__all__ = ["random_representative_fovs", "CityDataset", "ProviderRecording"]
+
+
+def random_representative_fovs(n: int, rng: np.random.Generator,
+                               origin: GeoPoint = CITY_ORIGIN,
+                               extent_m: float = 5000.0,
+                               horizon_s: float = 86400.0,
+                               segment_len_range=(2.0, 30.0)) -> list[RepresentativeFoV]:
+    """I.i.d. citywide records for index benchmarks (paper Fig. 6 workload).
+
+    Positions are uniform over an ``extent_m`` square anchored at
+    ``origin``; segment start times uniform over ``horizon_s``; segment
+    durations uniform over ``segment_len_range``; azimuths uniform.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    proj = LocalProjection(origin)
+    xy = rng.uniform(0.0, extent_m, size=(n, 2))
+    theta = rng.uniform(0.0, 360.0, size=n)
+    t_start = rng.uniform(0.0, horizon_s, size=n)
+    dur = rng.uniform(*segment_len_range, size=n)
+    out = []
+    for i in range(n):
+        p = proj.to_geo(float(xy[i, 0]), float(xy[i, 1]))
+        out.append(RepresentativeFoV(
+            lat=p.lat, lng=p.lng, theta=float(theta[i]),
+            t_start=float(t_start[i]), t_end=float(t_start[i] + dur[i]),
+            video_id=f"sim-{i}", segment_id=0,
+        ))
+    return out
+
+
+@dataclass(frozen=True)
+class ProviderRecording:
+    """One provider trip: ground truth + sensed trace + upload bundle."""
+
+    device_id: str
+    video_id: str
+    trajectory: Trajectory          # ideal motion (ground truth)
+    trace: FoVTrace                 # sensed records fed to the pipeline
+    bundle: UploadBundle            # what reached the server
+
+
+@dataclass
+class CityDataset:
+    """A simulated city of providers recording routed trips.
+
+    Parameters
+    ----------
+    n_providers : int
+        Number of contributing devices; each records one trip.
+    seed : int
+        Master seed; everything downstream is reproducible from it.
+    grid : CityGrid, optional
+    camera : CameraModel, optional
+    noise : SensorNoiseModel, optional
+    seg_config : SegmentationConfig, optional
+    fps : float
+        Sensor sampling rate fed to the pipeline (1 Hz GPS-rate default
+        keeps city-scale generation fast; the segmenter is rate-agnostic).
+    """
+
+    n_providers: int = 20
+    seed: int = 0
+    grid: CityGrid = field(default_factory=CityGrid)
+    camera: CameraModel = field(default_factory=CameraModel)
+    noise: SensorNoiseModel = field(default_factory=SensorNoiseModel)
+    seg_config: SegmentationConfig = field(default_factory=SegmentationConfig)
+    fps: float = 1.0
+    origin: GeoPoint = CITY_ORIGIN
+
+    recordings: list[ProviderRecording] = field(init=False, default_factory=list)
+    clients: dict[str, ClientPipeline] = field(init=False, default_factory=dict)
+    projection: LocalProjection = field(init=False)
+
+    def __post_init__(self):
+        if self.n_providers < 1:
+            raise ValueError("need at least one provider")
+        object.__setattr__(self, "projection", LocalProjection(self.origin))
+        self._generate()
+
+    def _generate(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        for k in range(self.n_providers):
+            device_id = f"device-{k:03d}"
+            client = ClientPipeline(device_id, self.camera, self.seg_config)
+            route = self.grid.random_route(rng)
+            speed = float(rng.uniform(1.0, 2.0))
+            t0 = float(rng.uniform(0.0, 3600.0))
+            traj = grid_route_trajectory(self.grid, route, speed_mps=speed,
+                                         fps=self.fps, t0=t0)
+            trace = self.noise.apply(traj, self.origin, rng,
+                                     projection=self.projection)
+            bundle = client.record_trace(trace)
+            self.clients[device_id] = client
+            self.recordings.append(ProviderRecording(
+                device_id=device_id, video_id=bundle.video_id,
+                trajectory=traj, trace=trace, bundle=bundle,
+            ))
+
+    # -- aggregate views -------------------------------------------------
+
+    def all_representatives(self) -> list[RepresentativeFoV]:
+        """Every uploaded record across all recordings."""
+        return [rep for rec in self.recordings for rep in rec.bundle.representatives]
+
+    def total_descriptor_bytes(self) -> int:
+        """Sum of all bundle wire sizes."""
+        return sum(rec.bundle.wire_bytes for rec in self.recordings)
+
+    def total_recording_seconds(self) -> float:
+        """Sum of all recording durations."""
+        return sum(rec.trace.duration for rec in self.recordings)
+
+    def time_span(self) -> tuple[float, float]:
+        """Earliest start and latest end across all recordings."""
+        t0 = min(float(rec.trace.t[0]) for rec in self.recordings)
+        t1 = max(float(rec.trace.t[-1]) for rec in self.recordings)
+        return t0, t1
+
+    def random_query_point(self, rng: np.random.Generator) -> GeoPoint:
+        """A query location drawn near the providers' paths (so queries
+        are answerable, as in the paper's campus experiments)."""
+        rec = self.recordings[int(rng.integers(len(self.recordings)))]
+        i = int(rng.integers(len(rec.trajectory)))
+        x, y = rec.trajectory.xy[i]
+        # Offset the query off the path, into view range of the camera.
+        r = float(rng.uniform(5.0, self.camera.radius * 0.5))
+        phi = float(rng.uniform(0.0, 2.0 * np.pi))
+        return self.projection.to_geo(x + r * np.sin(phi), y + r * np.cos(phi))

@@ -1,0 +1,95 @@
+"""Sensor error models: what separates the red line from the blue one.
+
+Fig. 4 compares the theoretical similarity ("blue") against what the
+phone's sensors actually report ("red"); the gap is GPS and compass
+error.  The model here is the standard decomposition:
+
+* GPS: white Gaussian error per fix plus a slowly-varying correlated
+  component (first-order Gauss-Markov random walk) -- consumer GPS is
+  not independent noise frame to frame;
+* compass: white Gaussian jitter plus a constant hard-iron bias.
+
+Applying a :class:`SensorNoiseModel` to a :class:`Trajectory` yields
+the :class:`FoVTrace` the client pipeline would have logged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fov import FoVTrace
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.traces.trajectory import Trajectory
+
+__all__ = ["SensorNoiseModel"]
+
+
+@dataclass(frozen=True)
+class SensorNoiseModel:
+    """Consumer-grade GPS + compass error model.
+
+    Parameters
+    ----------
+    gps_white_m : float
+        Std-dev of the independent per-fix position error, metres.
+    gps_walk_m : float
+        Stationary std-dev of the correlated (Gauss-Markov) component.
+    gps_walk_tau_s : float
+        Correlation time of the Gauss-Markov component, seconds.
+    compass_white_deg : float
+        Std-dev of per-frame azimuth jitter, degrees.
+    compass_bias_deg : float
+        Std-dev of the per-recording constant azimuth bias, degrees.
+    """
+
+    gps_white_m: float = 2.0
+    gps_walk_m: float = 3.0
+    gps_walk_tau_s: float = 20.0
+    compass_white_deg: float = 3.0
+    compass_bias_deg: float = 2.0
+
+    def __post_init__(self):
+        for name in ("gps_white_m", "gps_walk_m", "gps_walk_tau_s",
+                     "compass_white_deg", "compass_bias_deg"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def ideal(cls) -> "SensorNoiseModel":
+        """Zero-error sensors (theory == practice)."""
+        return cls(gps_white_m=0.0, gps_walk_m=0.0,
+                   compass_white_deg=0.0, compass_bias_deg=0.0)
+
+    def _gauss_markov(self, t: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Correlated 2-D error track with stationary std ``gps_walk_m``."""
+        n = t.shape[0]
+        out = np.zeros((n, 2))
+        if self.gps_walk_m == 0.0 or n == 0:
+            return out
+        out[0] = rng.normal(0.0, self.gps_walk_m, size=2)
+        for i in range(1, n):
+            dt = t[i] - t[i - 1]
+            a = float(np.exp(-dt / self.gps_walk_tau_s))
+            q = self.gps_walk_m * np.sqrt(max(0.0, 1.0 - a * a))
+            out[i] = a * out[i - 1] + rng.normal(0.0, q, size=2)
+        return out
+
+    def apply(self, trajectory: Trajectory, origin: GeoPoint,
+              rng: np.random.Generator,
+              projection: LocalProjection | None = None) -> FoVTrace:
+        """Produce the sensed FoV trace for an ideal trajectory."""
+        n = len(trajectory)
+        xy = trajectory.xy.copy()
+        if self.gps_white_m > 0:
+            xy = xy + rng.normal(0.0, self.gps_white_m, size=(n, 2))
+        xy = xy + self._gauss_markov(trajectory.t, rng)
+        theta = trajectory.azimuth.copy()
+        if self.compass_bias_deg > 0:
+            theta = theta + rng.normal(0.0, self.compass_bias_deg)
+        if self.compass_white_deg > 0:
+            theta = theta + rng.normal(0.0, self.compass_white_deg, size=n)
+        proj = projection or LocalProjection(origin)
+        return FoVTrace.from_local(trajectory.t, xy, np.mod(theta, 360.0), proj)

@@ -1,0 +1,76 @@
+"""Out-of-order sensor delivery: the reorder buffer.
+
+The streaming segmenter requires strictly increasing timestamps, but a
+real phone's sensor bus delivers events slightly out of order (GPS
+callbacks, batched IMU interrupts).  :class:`ReorderBuffer` restores
+order for bounded disorder: it holds events in a min-heap keyed by
+timestamp and releases everything older than the newest arrival minus
+``max_delay_s``.  Events arriving later than that bound (or at a
+duplicate timestamp) are dropped and counted -- the segmenter never
+sees invalid input.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["ReorderBuffer"]
+
+
+class ReorderBuffer(Generic[T]):
+    """Bounded-disorder sorting buffer.
+
+    Parameters
+    ----------
+    max_delay_s : float
+        Maximum lateness handled: an event may arrive up to this long
+        (in event time) after a later-stamped event and still be
+        delivered in order.  Events later than that are dropped.
+    """
+
+    def __init__(self, max_delay_s: float):
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.max_delay_s = max_delay_s
+        self._heap: list[tuple[float, int, T]] = []
+        self._counter = itertools.count()
+        self._watermark = -float("inf")    # newest arrival time seen
+        self._released = -float("inf")     # last delivered timestamp
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, t: float, event: T) -> list[T]:
+        """Insert an event; returns the events released in order."""
+        if t <= self._released:
+            self.dropped += 1
+            return []
+        heapq.heappush(self._heap, (t, next(self._counter), event))
+        self._watermark = max(self._watermark, t)
+        return self._release(self._watermark - self.max_delay_s)
+
+    def _release(self, up_to: float) -> list[T]:
+        out: list[T] = []
+        while self._heap and self._heap[0][0] <= up_to:
+            t, _, event = heapq.heappop(self._heap)
+            if t <= self._released:
+                self.dropped += 1      # duplicate timestamp inside buffer
+                continue
+            self._released = t
+            out.append(event)
+        return out
+
+    def flush(self) -> list[T]:
+        """Release everything still buffered (end of stream)."""
+        return self._release(float("inf"))
+
+    def stream(self, events: Iterator[tuple[float, T]]) -> Iterator[T]:
+        """Convenience: reorder a whole ``(t, event)`` iterable."""
+        for t, event in events:
+            yield from self.push(t, event)
+        yield from self.flush()

@@ -1,0 +1,141 @@
+"""The paper's named experiment scenarios, as one-call presets.
+
+Each preset reproduces one of the motion regimes in Section VI-B,
+returning a sensed :class:`FoVTrace` (noise applied) or, with
+``noise=SensorNoiseModel.ideal()``, the theoretical trace:
+
+* :func:`rotation_scenario`  -- Fig. 5(a): pivot in place;
+* :func:`translation_scenario` -- Figs. 4 / 5(b): straight line with the
+  camera at theta_p = 0 or 90 deg to the motion;
+* :func:`bike_turn_scenario` -- Fig. 5(c): ride with a right turn;
+* :func:`walk_scenario` / :func:`drive_scenario` -- generic pedestrian /
+  vehicle captures used by the examples and integration tests.
+
+The shared anchor :data:`CITY_ORIGIN` is the Tsinghua campus area the
+authors would have walked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fov import FoVTrace
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.trajectory import Trajectory
+from repro.traces.walkers import bike_ride_with_turn, rotate_in_place, straight_line
+
+__all__ = [
+    "CITY_ORIGIN",
+    "rotation_scenario",
+    "translation_scenario",
+    "bike_turn_scenario",
+    "walk_scenario",
+    "drive_scenario",
+    "stadium_scenario",
+]
+
+#: Anchor of the local plane for all presets (Beijing, Tsinghua area).
+CITY_ORIGIN = GeoPoint(lat=40.003, lng=116.326)
+
+
+def _sense(trajectory: Trajectory, noise: SensorNoiseModel | None,
+           seed: int, projection: LocalProjection | None) -> FoVTrace:
+    model = noise if noise is not None else SensorNoiseModel()
+    rng = np.random.default_rng(seed)
+    return model.apply(trajectory, CITY_ORIGIN, rng, projection=projection)
+
+
+def rotation_scenario(rate_deg_s: float = 12.0, duration_s: float = 30.0,
+                      fps: float = 30.0, noise: SensorNoiseModel | None = None,
+                      seed: int = 0,
+                      projection: LocalProjection | None = None) -> FoVTrace:
+    """Fig. 5(a): the user stands still and pans the camera."""
+    traj = rotate_in_place(rate_deg_s=rate_deg_s, duration_s=duration_s, fps=fps)
+    return _sense(traj, noise, seed, projection)
+
+
+def translation_scenario(theta_p: float = 0.0, speed_mps: float = 1.4,
+                         duration_s: float = 60.0, fps: float = 30.0,
+                         noise: SensorNoiseModel | None = None, seed: int = 0,
+                         projection: LocalProjection | None = None) -> FoVTrace:
+    """Figs. 4 / 5(b): straight-line motion, camera offset ``theta_p``.
+
+    ``theta_p = 0`` films forward (parallel translation); ``theta_p =
+    90`` films sideways (perpendicular translation).  The camera moves
+    *away* from the initially filmed scene relative to its optical axis
+    when filming backward; the similarity model is symmetric in that
+    regard, so forward suffices.
+    """
+    traj = straight_line(speed_mps=speed_mps, duration_s=duration_s, fps=fps,
+                         heading_deg=0.0, camera_offset_deg=theta_p)
+    return _sense(traj, noise, seed, projection)
+
+
+def bike_turn_scenario(speed_mps: float = 4.0, leg_s: float = 15.0,
+                       turn_s: float = 2.0, fps: float = 30.0,
+                       noise: SensorNoiseModel | None = None, seed: int = 0,
+                       projection: LocalProjection | None = None) -> FoVTrace:
+    """Fig. 5(c): residential bike ride with a right turn halfway."""
+    traj = bike_ride_with_turn(speed_mps=speed_mps, leg_s=leg_s,
+                               turn_s=turn_s, turn_deg=90.0, fps=fps)
+    return _sense(traj, noise, seed, projection)
+
+
+def walk_scenario(duration_s: float = 60.0, fps: float = 30.0,
+                  noise: SensorNoiseModel | None = None, seed: int = 0,
+                  projection: LocalProjection | None = None) -> FoVTrace:
+    """A pedestrian filming forward at walking speed (quickstart trace)."""
+    traj = straight_line(speed_mps=1.4, duration_s=duration_s, fps=fps,
+                         heading_deg=30.0, camera_offset_deg=0.0)
+    return _sense(traj, noise, seed, projection)
+
+
+def stadium_scenario(n_cameras: int = 20, stage_xy=(0.0, 0.0),
+                     ring_radius_m: float = 60.0, duration_s: float = 30.0,
+                     fps: float = 5.0, facing_fraction: float = 0.5,
+                     noise: SensorNoiseModel | None = None, seed: int = 0,
+                     projection: LocalProjection | None = None
+                     ) -> list[tuple[FoVTrace, bool]]:
+    """Section V-B's grandstand example: a ring of cameras around a stage.
+
+    ``n_cameras`` phones stand on a circle of radius ``ring_radius_m``
+    around ``stage_xy``; a ``facing_fraction`` of them film the stage
+    (the match), the rest film outward (Chancellor Merkel on the
+    grandstand).  Returns ``(sensed_trace, faces_stage)`` pairs -- the
+    orientation-filter tests use the boolean as ground truth.
+    """
+    if not 0.0 <= facing_fraction <= 1.0:
+        raise ValueError("facing_fraction must be in [0, 1]")
+    if n_cameras < 1:
+        raise ValueError("need at least one camera")
+    rng = np.random.default_rng(seed)
+    model = noise if noise is not None else SensorNoiseModel()
+    proj = projection or LocalProjection(CITY_ORIGIN)
+    sx, sy = float(stage_xy[0]), float(stage_xy[1])
+    n_facing = int(round(facing_fraction * n_cameras))
+    out: list[tuple[FoVTrace, bool]] = []
+    for k in range(n_cameras):
+        phi = 360.0 * k / n_cameras
+        x = sx + ring_radius_m * np.sin(np.radians(phi))
+        y = sy + ring_radius_m * np.cos(np.radians(phi))
+        faces_stage = k < n_facing
+        azimuth = (phi + 180.0) % 360.0 if faces_stage else phi
+        # Spectators sway a little but hold their aim.
+        traj = rotate_in_place(rate_deg_s=float(rng.uniform(-1.0, 1.0)),
+                               duration_s=duration_s, fps=fps,
+                               start_azimuth_deg=azimuth, position=(x, y))
+        trace = model.apply(traj, CITY_ORIGIN, rng, projection=proj)
+        out.append((trace, faces_stage))
+    return out
+
+
+def drive_scenario(speed_mps: float = 12.0, duration_s: float = 60.0,
+                   fps: float = 30.0, noise: SensorNoiseModel | None = None,
+                   seed: int = 0,
+                   projection: LocalProjection | None = None) -> FoVTrace:
+    """Dash-cam style capture down a street (the paper's R = 100 m case)."""
+    traj = straight_line(speed_mps=speed_mps, duration_s=duration_s, fps=fps,
+                         heading_deg=0.0, camera_offset_deg=0.0)
+    return _sense(traj, noise, seed, projection)

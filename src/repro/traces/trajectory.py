@@ -1,0 +1,108 @@
+"""Ideal (noise-free) motion: the ground truth behind a sensor trace.
+
+A :class:`Trajectory` is the true camera path in local metres --
+timestamps, positions and camera azimuths -- before GPS/compass error
+is applied.  It is what the world renderer consumes (pixels do not
+jitter with GPS error; sensors do), and what the noise models perturb
+to produce the :class:`repro.core.fov.FoVTrace` the system ingests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fov import FoVTrace
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+
+__all__ = ["Trajectory"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """True camera motion sampled at frame instants.
+
+    Attributes
+    ----------
+    t : ndarray, shape (n,)
+        Strictly increasing timestamps, seconds.
+    xy : ndarray, shape (n, 2)
+        Positions in local metres (x=East, y=North).
+    azimuth : ndarray, shape (n,)
+        Camera compass azimuth per frame, degrees in ``[0, 360)``.
+    """
+
+    t: np.ndarray
+    xy: np.ndarray
+    azimuth: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(self, "t", np.ascontiguousarray(self.t, dtype=float))
+        object.__setattr__(self, "xy", np.ascontiguousarray(self.xy, dtype=float))
+        object.__setattr__(
+            self, "azimuth",
+            np.mod(np.ascontiguousarray(self.azimuth, dtype=float), 360.0),
+        )
+        n = self.t.shape[0]
+        if n == 0:
+            raise ValueError("a trajectory needs at least one sample")
+        if self.xy.shape != (n, 2):
+            raise ValueError(f"xy shape {self.xy.shape} != ({n}, 2)")
+        if self.azimuth.shape != (n,):
+            raise ValueError(f"azimuth shape {self.azimuth.shape} != ({n},)")
+        if n > 1 and not np.all(np.diff(self.t) > 0):
+            raise ValueError("timestamps must be strictly increasing")
+
+    def __len__(self) -> int:
+        return int(self.t.shape[0])
+
+    @property
+    def duration(self) -> float:
+        return float(self.t[-1] - self.t[0])
+
+    def travel_headings(self) -> np.ndarray:
+        """Per-sample direction of travel (degrees); repeats the last
+        segment's heading for the final sample, 0 where stationary."""
+        d = np.diff(self.xy, axis=0)
+        heading = np.degrees(np.arctan2(d[:, 0], d[:, 1]))
+        heading = np.where(np.linalg.norm(d, axis=-1) < 1e-12, 0.0, heading)
+        if len(self) == 1:
+            return np.zeros(1)
+        return np.mod(np.concatenate([heading, heading[-1:]]), 360.0)
+
+    def path_length(self) -> float:
+        """Total distance travelled, metres."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.sum(np.linalg.norm(np.diff(self.xy, axis=0), axis=-1)))
+
+    def concat(self, other: "Trajectory") -> "Trajectory":
+        """Append another trajectory (its clock must start after ours ends)."""
+        if other.t[0] <= self.t[-1]:
+            raise ValueError("concatenated trajectory must start later")
+        return Trajectory(
+            t=np.concatenate([self.t, other.t]),
+            xy=np.concatenate([self.xy, other.xy]),
+            azimuth=np.concatenate([self.azimuth, other.azimuth]),
+        )
+
+    def shifted(self, dt: float = 0.0, dxy=(0.0, 0.0)) -> "Trajectory":
+        """Copy displaced in time and/or space (fleet generation)."""
+        return Trajectory(
+            t=self.t + dt,
+            xy=self.xy + np.asarray(dxy, dtype=float),
+            azimuth=self.azimuth.copy(),
+        )
+
+    def to_fov_trace(self, origin: GeoPoint,
+                     projection: LocalProjection | None = None) -> FoVTrace:
+        """Lift the *ideal* motion to GPS space (no sensor noise).
+
+        ``origin`` anchors the local plane at a real-world location;
+        pass an existing ``projection`` to place several trajectories in
+        one shared frame.
+        """
+        proj = projection or LocalProjection(origin)
+        return FoVTrace.from_local(self.t, self.xy, self.azimuth, proj)

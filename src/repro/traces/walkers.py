@@ -1,0 +1,143 @@
+"""Ideal motion generators: walking, driving, rotating, wandering.
+
+Each generator returns a noise-free :class:`Trajectory` sampled at the
+video frame rate.  The paper's three experiment motions map to:
+
+* ``rotate_in_place`` -- Fig. 5(a), the user pivots holding the phone;
+* ``straight_line`` with ``camera_offset`` 0 or 90 -- Figs. 4 / 5(b),
+  walking or driving with the camera along or across the motion;
+* ``bike_ride_with_turn`` -- Fig. 5(c), straight, a right turn, straight.
+
+``random_waypoint`` is the classic mobility model used to populate
+citywide datasets with background providers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+from repro.geometry.vec import heading_to_unit
+from repro.traces.trajectory import Trajectory
+
+__all__ = [
+    "straight_line",
+    "rotate_in_place",
+    "random_waypoint",
+    "bike_ride_with_turn",
+]
+
+
+def _timeline(duration_s: float, fps: float, t0: float) -> np.ndarray:
+    if duration_s <= 0 or fps <= 0:
+        raise ValueError("duration and fps must be positive")
+    n = max(2, int(round(duration_s * fps)) + 1)
+    return t0 + np.arange(n) / fps
+
+
+def straight_line(speed_mps: float = 1.4, duration_s: float = 30.0,
+                  fps: float = 30.0, heading_deg: float = 0.0,
+                  camera_offset_deg: float = 0.0,
+                  start_xy=(0.0, 0.0), t0: float = 0.0) -> Trajectory:
+    """Constant-velocity motion with the camera at a fixed offset.
+
+    ``camera_offset_deg`` is the angle from the travel heading to the
+    camera azimuth: 0 films forward (the paper's theta_p = 0 walk), 90
+    films out the side window (theta_p = 90).
+    """
+    t = _timeline(duration_s, fps, t0)
+    u = heading_to_unit(heading_deg)
+    s = speed_mps * (t - t[0])
+    xy = np.asarray(start_xy, dtype=float) + s[:, None] * u
+    azimuth = np.full(t.shape, normalize_angle(heading_deg + camera_offset_deg))
+    return Trajectory(t=t, xy=xy, azimuth=azimuth)
+
+
+def rotate_in_place(rate_deg_s: float = 12.0, duration_s: float = 30.0,
+                    fps: float = 30.0, start_azimuth_deg: float = 0.0,
+                    position=(0.0, 0.0), t0: float = 0.0) -> Trajectory:
+    """Pivot at a fixed spot, panning the camera at a constant rate."""
+    t = _timeline(duration_s, fps, t0)
+    azimuth = normalize_angle(start_azimuth_deg + rate_deg_s * (t - t[0]))
+    xy = np.tile(np.asarray(position, dtype=float), (t.shape[0], 1))
+    return Trajectory(t=t, xy=xy, azimuth=np.atleast_1d(azimuth))
+
+
+def bike_ride_with_turn(speed_mps: float = 4.0, leg_s: float = 15.0,
+                        turn_s: float = 2.0, turn_deg: float = 90.0,
+                        fps: float = 30.0, heading_deg: float = 0.0,
+                        start_xy=(0.0, 0.0), t0: float = 0.0) -> Trajectory:
+    """Straight leg, a smooth turn (default 90 deg right), straight leg.
+
+    The camera films forward throughout, so the azimuth sweeps with the
+    handlebars during the turn -- producing the four-quadrant similarity
+    pattern of Fig. 5(c).
+    """
+    if leg_s <= 0 or turn_s <= 0:
+        raise ValueError("leg and turn durations must be positive")
+    t = _timeline(2 * leg_s + turn_s, fps, t0)
+    rel = t - t[0]
+    # Heading as a function of time: constant, linear ramp, constant.
+    heading = np.piecewise(
+        rel,
+        [rel < leg_s, (rel >= leg_s) & (rel < leg_s + turn_s), rel >= leg_s + turn_s],
+        [
+            lambda _: heading_deg,
+            lambda x: heading_deg + turn_deg * (x - leg_s) / turn_s,
+            lambda _: heading_deg + turn_deg,
+        ],
+    )
+    # Integrate velocity along the instantaneous heading.
+    u = heading_to_unit(heading)              # (n, 2)
+    dt = np.diff(t)
+    steps = speed_mps * dt[:, None] * u[:-1]
+    xy = np.vstack([np.zeros((1, 2)), np.cumsum(steps, axis=0)])
+    xy = xy + np.asarray(start_xy, dtype=float)
+    return Trajectory(t=t, xy=xy, azimuth=normalize_angle(heading))
+
+
+def random_waypoint(rng: np.random.Generator, area_m: float = 1000.0,
+                    speed_range=(0.8, 2.0), pause_range=(0.0, 5.0),
+                    duration_s: float = 60.0, fps: float = 1.0,
+                    camera_offset_deg: float = 0.0,
+                    t0: float = 0.0) -> Trajectory:
+    """Random-waypoint mobility inside a square of side ``area_m``.
+
+    Sampled at ``fps`` (1 Hz default -- GPS rate; the segmenter does not
+    need per-frame fixes for background providers).  The camera points
+    along travel plus a fixed offset and holds its last azimuth while
+    paused.
+    """
+    t = _timeline(duration_s, fps, t0)
+    n = t.shape[0]
+    xy = np.empty((n, 2))
+    azimuth = np.empty(n)
+    pos = rng.uniform(0.0, area_m, size=2)
+    target = rng.uniform(0.0, area_m, size=2)
+    speed = float(rng.uniform(*speed_range))
+    pause_left = 0.0
+    current_azimuth = float(rng.uniform(0.0, 360.0))
+    for i in range(n):
+        xy[i] = pos
+        if i == n - 1:
+            azimuth[i] = current_azimuth
+            break
+        dt = t[i + 1] - t[i]
+        if pause_left > 0.0:
+            azimuth[i] = current_azimuth   # hold the last view while paused
+            pause_left = max(0.0, pause_left - dt)
+            continue
+        to_target = target - pos
+        dist = float(np.hypot(*to_target))
+        step = speed * dt
+        heading = float(np.degrees(np.arctan2(to_target[0], to_target[1])))
+        current_azimuth = float(normalize_angle(heading + camera_offset_deg))
+        azimuth[i] = current_azimuth       # the step leaving this sample
+        if step >= dist:
+            pos = target.copy()
+            target = rng.uniform(0.0, area_m, size=2)
+            speed = float(rng.uniform(*speed_range))
+            pause_left = float(rng.uniform(*pause_range))
+        else:
+            pos = pos + to_target / dist * step
+    return Trajectory(t=t, xy=xy, azimuth=azimuth)

@@ -1,0 +1,36 @@
+"""Section VII: video utility and the budgeted incentive mechanism.
+
+A video's utility for a query is the area of its *utility rectangle* --
+(angular coverage) x (temporal coverage) -- inside the query's global
+``360 deg x (t_e - t_s)`` frame; a set's utility is the area of the
+union of its rectangles, a non-negative monotone submodular function.
+:mod:`repro.utility.incentive` implements the classic cost-benefit
+greedy selection under a reserved budget, with the brute-force optimum
+for verification at small scale.
+"""
+
+from repro.utility.coverage import (
+    fov_utility_rectangles,
+    marginal_utility,
+    set_utility,
+    single_utility,
+)
+from repro.utility.incentive import (
+    PricedVideo,
+    SelectionResult,
+    brute_force_selection,
+    greedy_budgeted_selection,
+    random_selection,
+)
+
+__all__ = [
+    "fov_utility_rectangles",
+    "set_utility",
+    "single_utility",
+    "marginal_utility",
+    "PricedVideo",
+    "SelectionResult",
+    "greedy_budgeted_selection",
+    "brute_force_selection",
+    "random_selection",
+]

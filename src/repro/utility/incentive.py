@@ -1,0 +1,134 @@
+"""Budgeted incentive mechanism over the submodular utility.
+
+Section VII sketches an incentive scheme for the "zero arrival-departure
+interval" case with a reserved budget: the inquirer pays providers for
+segments, maximising covered utility subject to total cost <= budget --
+budgeted maximum coverage.  The classic treatment:
+
+* :func:`greedy_budgeted_selection` -- cost-benefit greedy, taking the
+  better of (greedy solution, best single affordable item), which
+  guarantees a ``(1 - 1/e) / 2`` approximation for monotone submodular
+  utility (Khuller-Moss-Naor / Leskovec et al.);
+* :func:`brute_force_selection` -- the exact optimum by subset
+  enumeration, used by tests to check the guarantee at small scale;
+* :func:`random_selection` -- the ablation's naive baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import Query
+from repro.utility.coverage import set_utility
+
+__all__ = [
+    "PricedVideo",
+    "SelectionResult",
+    "greedy_budgeted_selection",
+    "brute_force_selection",
+    "random_selection",
+]
+
+
+@dataclass(frozen=True)
+class PricedVideo:
+    """A candidate segment with the provider's asking price."""
+
+    fov: RepresentativeFoV
+    cost: float
+
+    def __post_init__(self):
+        if self.cost <= 0:
+            raise ValueError("cost must be positive")
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Chosen set with its utility and spend."""
+
+    chosen: tuple[PricedVideo, ...]
+    utility: float
+    spent: float
+
+
+def _utility_of(videos, camera: CameraModel, query: Query) -> float:
+    return set_utility([v.fov for v in videos], camera, query)
+
+
+def greedy_budgeted_selection(candidates: list[PricedVideo], budget: float,
+                              camera: CameraModel, query: Query) -> SelectionResult:
+    """Cost-benefit greedy with the best-single-item safeguard."""
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    remaining = list(candidates)
+    chosen: list[PricedVideo] = []
+    spent = 0.0
+    current = 0.0
+    while remaining:
+        best_i = -1
+        best_ratio = 0.0
+        best_util = current
+        for i, cand in enumerate(remaining):
+            if spent + cand.cost > budget:
+                continue
+            util = _utility_of([*chosen, cand], camera, query)
+            ratio = (util - current) / cand.cost
+            if ratio > best_ratio:
+                best_i, best_ratio, best_util = i, ratio, util
+        if best_i < 0:
+            break
+        chosen.append(remaining.pop(best_i))
+        spent += chosen[-1].cost
+        current = best_util
+
+    # Safeguard: the single affordable item with the highest utility.
+    best_single = None
+    best_single_util = 0.0
+    for cand in candidates:
+        if cand.cost <= budget:
+            u = _utility_of([cand], camera, query)
+            if u > best_single_util:
+                best_single, best_single_util = cand, u
+    if best_single is not None and best_single_util > current:
+        return SelectionResult(chosen=(best_single,), utility=best_single_util,
+                               spent=best_single.cost)
+    return SelectionResult(chosen=tuple(chosen), utility=current, spent=spent)
+
+
+def brute_force_selection(candidates: list[PricedVideo], budget: float,
+                          camera: CameraModel, query: Query) -> SelectionResult:
+    """Exact optimum by enumeration; exponential -- tests only."""
+    if len(candidates) > 16:
+        raise ValueError("brute force limited to 16 candidates")
+    best = SelectionResult(chosen=(), utility=0.0, spent=0.0)
+    for k in range(1, len(candidates) + 1):
+        for subset in combinations(candidates, k):
+            cost = sum(v.cost for v in subset)
+            if cost > budget:
+                continue
+            util = _utility_of(list(subset), camera, query)
+            if util > best.utility:
+                best = SelectionResult(chosen=subset, utility=util, spent=cost)
+    return best
+
+
+def random_selection(candidates: list[PricedVideo], budget: float,
+                     camera: CameraModel, query: Query,
+                     rng: np.random.Generator) -> SelectionResult:
+    """Pick affordable items in random order until the budget runs out."""
+    order = rng.permutation(len(candidates))
+    chosen: list[PricedVideo] = []
+    spent = 0.0
+    for i in order:
+        cand = candidates[int(i)]
+        if spent + cand.cost <= budget:
+            chosen.append(cand)
+            spent += cand.cost
+    return SelectionResult(chosen=tuple(chosen),
+                           utility=_utility_of(chosen, camera, query),
+                           spent=spent)

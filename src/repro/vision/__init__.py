@@ -1,0 +1,46 @@
+"""Synthetic computer-vision substrate: the content-based baseline.
+
+The paper validates the FoV similarity against OpenCV frame
+differencing on real video.  Here the "real video" is produced by a
+ray-cast column renderer over a 2-D world of coloured landmarks
+(:mod:`world`, :mod:`camera`): rotation shifts columns, translation
+produces parallax and scale change, so pixel-level similarity responds
+to camera motion the way real footage does.
+
+On top of the frames: frame differencing (:mod:`framediff`), a colour
+histogram global descriptor (:mod:`histogram`), a Gist-like block-mean
+descriptor (:mod:`blockdesc`), a CV-based segmentation baseline
+(:mod:`segmentation_cv`) and descriptor cost accounting
+(:mod:`descriptors`).
+"""
+
+from repro.vision.world import Landmark, World, random_world
+from repro.vision.camera import ColumnRenderer
+from repro.vision.frames import render_trajectory
+from repro.vision.framediff import (
+    frame_difference_similarity,
+    pairwise_frame_similarity,
+    sequential_frame_similarity,
+)
+from repro.vision.histogram import color_histogram, histogram_similarity
+from repro.vision.blockdesc import block_descriptor, block_similarity
+from repro.vision.segmentation_cv import cv_segment_frames
+from repro.vision.descriptors import DescriptorCost, measure_descriptor_costs
+
+__all__ = [
+    "Landmark",
+    "World",
+    "random_world",
+    "ColumnRenderer",
+    "render_trajectory",
+    "frame_difference_similarity",
+    "pairwise_frame_similarity",
+    "sequential_frame_similarity",
+    "color_histogram",
+    "histogram_similarity",
+    "block_descriptor",
+    "block_similarity",
+    "cv_segment_frames",
+    "DescriptorCost",
+    "measure_descriptor_costs",
+]

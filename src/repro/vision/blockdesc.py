@@ -1,0 +1,42 @@
+"""Block-mean grid descriptor: a Gist-like spatial global feature.
+
+The frame is divided into a ``grid x grid`` cell lattice; the
+descriptor is the per-cell mean colour, flattened.  Unlike the colour
+histogram it preserves coarse spatial layout, so it behaves more like
+the 'global features' family the paper cites (Gist/HLAC) while staying
+a few hundred bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_descriptor", "block_similarity", "block_bytes"]
+
+
+def block_descriptor(frame: np.ndarray, grid: int = 8) -> np.ndarray:
+    """Per-cell mean colour, shape ``(grid * grid * 3,)``, float64 0..255."""
+    if frame.ndim != 3 or frame.shape[2] != 3 or frame.dtype != np.uint8:
+        raise ValueError("frame must be uint8 with shape (H, W, 3)")
+    h, w, _ = frame.shape
+    if not 1 <= grid <= min(h, w):
+        raise ValueError(f"grid must be in [1, min(H, W) = {min(h, w)}]")
+    ys = np.linspace(0, h, grid + 1).astype(int)
+    xs = np.linspace(0, w, grid + 1).astype(int)
+    out = np.empty((grid, grid, 3))
+    for i in range(grid):
+        for j in range(grid):
+            out[i, j] = frame[ys[i]: ys[i + 1], xs[j]: xs[j + 1]].mean(axis=(0, 1))
+    return out.ravel()
+
+
+def block_similarity(d1: np.ndarray, d2: np.ndarray) -> float:
+    """``1 - L1 / 255``: normalised block-descriptor similarity in [0, 1]."""
+    if d1.shape != d2.shape:
+        raise ValueError("descriptor shapes differ")
+    return float(1.0 - np.mean(np.abs(d1 - d2)) / 255.0)
+
+
+def block_bytes(grid: int = 8, dtype_bytes: int = 4) -> int:
+    """Wire size of one block descriptor (float32 by default)."""
+    return grid * grid * 3 * dtype_bytes

@@ -1,0 +1,92 @@
+"""Compass calibration auditing from pixels.
+
+The whole content-free system trusts the compass; a hard-iron bias (a
+magnet in the phone case, a car body) rotates every uploaded FoV and
+silently misaims the orientation filter.  Pixels do not lie about
+*relative* rotation: the column-correlation estimator
+(:mod:`repro.vision.motion`) recovers frame-to-frame rotation from the
+footage itself, so comparing it with compass deltas audits the sensor:
+
+* per-frame-pair residuals estimate the compass *noise*;
+* to detect absolute *bias*, the validator integrates both signals
+  over a pan: the compass reproduces the total swept angle from its
+  (bias-cancelling) deltas, while a drifting or scaled sensor shows up
+  as accumulated divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.geometry.angles import normalize_angle_signed, unwrap_degrees
+from repro.vision.motion import estimate_rotation_deg
+
+__all__ = ["CalibrationReport", "audit_compass"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of one compass-vs-pixels audit."""
+
+    n_pairs: int
+    mean_abs_residual_deg: float   # per-step disagreement
+    scale: float                   # fitted compass-deltas ~ scale * pixel-deltas
+    total_compass_deg: float
+    total_pixel_deg: float
+
+    @property
+    def consistent(self) -> bool:
+        """True when the compass deltas track the footage (scale ~ 1,
+        small residuals) -- a miscalibrated or jammed sensor fails."""
+        return (abs(self.scale - 1.0) < 0.15
+                and self.mean_abs_residual_deg < 3.0)
+
+
+def audit_compass(frames: np.ndarray, compass_deg: np.ndarray,
+                  camera: CameraModel) -> CalibrationReport:
+    """Compare per-step compass rotation against pixel-estimated rotation.
+
+    Parameters
+    ----------
+    frames : ndarray, uint8, shape (k, H, W, 3)
+        Consecutive frames of one recording (k >= 2).  Steps whose
+        rotation exceeds the reliable envelope (about the half-angle)
+        are skipped.
+    compass_deg : ndarray, shape (k,)
+        The compass azimuth logged with each frame.
+    camera : CameraModel
+    """
+    if frames.ndim != 4 or frames.shape[0] < 2:
+        raise ValueError("need at least two frames")
+    compass_deg = np.asarray(compass_deg, dtype=float)
+    if compass_deg.shape != (frames.shape[0],):
+        raise ValueError("one compass sample per frame required")
+
+    unwrapped = unwrap_degrees(compass_deg)
+    compass_steps: list[float] = []
+    pixel_steps: list[float] = []
+    for i in range(frames.shape[0] - 1):
+        step = unwrapped[i + 1] - unwrapped[i]
+        if abs(step) > camera.half_angle:
+            continue   # beyond the estimator's reliable envelope
+        est = estimate_rotation_deg(frames[i], frames[i + 1], camera)
+        compass_steps.append(step)
+        pixel_steps.append(est)
+    if not compass_steps:
+        raise ValueError("no frame pairs within the estimator's envelope")
+
+    c = np.asarray(compass_steps)
+    p = np.asarray(pixel_steps)
+    residual = float(np.mean(np.abs(c - p)))
+    denom = float(p @ p)
+    scale = float((c @ p) / denom) if denom > 1e-9 else 1.0
+    return CalibrationReport(
+        n_pairs=len(compass_steps),
+        mean_abs_residual_deg=residual,
+        scale=scale,
+        total_compass_deg=float(c.sum()),
+        total_pixel_deg=float(p.sum()),
+    )

@@ -1,0 +1,67 @@
+"""Frame differencing: the paper's representative CV similarity.
+
+Section VI-B uses "frame differencing algorithm (as a representative of
+CV algorithms)" normalised to a similarity.  Implemented as
+``1 - mean(|a - b|) / 255`` over all pixels and channels -- identical
+frames score 1, maximally different frames score 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "frame_difference_similarity",
+    "sequential_frame_similarity",
+    "pairwise_frame_similarity",
+]
+
+
+def _check_frames(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"frame shapes differ: {a.shape} vs {b.shape}")
+    if a.dtype != np.uint8 or b.dtype != np.uint8:
+        raise ValueError("frames must be uint8")
+
+
+def frame_difference_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalised frame-differencing similarity of two uint8 frames."""
+    _check_frames(a, b)
+    mad = np.mean(np.abs(a.astype(np.int16) - b.astype(np.int16)))
+    return float(1.0 - mad / 255.0)
+
+
+def sequential_frame_similarity(frames: np.ndarray,
+                                anchor: int | None = None) -> np.ndarray:
+    """Similarity of every frame to one reference frame.
+
+    With ``anchor=None`` the reference is frame 0 -- the form the Fig. 4
+    curves use (similarity versus distance walked from the start).
+    """
+    if frames.ndim != 4:
+        raise ValueError("frames must have shape (k, H, W, C)")
+    ref = frames[anchor if anchor is not None else 0].astype(np.int16)
+    diffs = np.abs(frames.astype(np.int16) - ref[None])
+    return 1.0 - diffs.mean(axis=(1, 2, 3)) / 255.0
+
+
+def pairwise_frame_similarity(frames: np.ndarray,
+                              block: int = 16) -> np.ndarray:
+    """All-pairs frame-differencing matrix (the right halves of Fig. 5).
+
+    Computed block-by-block to bound peak memory at
+    ``block^2 * H * W * C`` int16 elements.
+    """
+    if frames.ndim != 4:
+        raise ValueError("frames must have shape (k, H, W, C)")
+    k = frames.shape[0]
+    out = np.empty((k, k), dtype=float)
+    f16 = frames.astype(np.int16)
+    for i0 in range(0, k, block):
+        a = f16[i0: i0 + block]
+        for j0 in range(i0, k, block):
+            b = f16[j0: j0 + block]
+            d = np.abs(a[:, None] - b[None, :]).mean(axis=(2, 3, 4))
+            out[i0: i0 + a.shape[0], j0: j0 + b.shape[0]] = 1.0 - d / 255.0
+            out[j0: j0 + b.shape[0], i0: i0 + a.shape[0]] = (1.0 - d / 255.0).T
+    return out

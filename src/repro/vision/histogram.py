@@ -1,0 +1,37 @@
+"""Colour-histogram global descriptor (the 'cheap CV' baseline).
+
+A joint RGB histogram with ``bins`` cells per channel, L1-normalised;
+matching is histogram intersection (1 = identical distribution).  This
+is the class of low-cost global features (colour Gist et al., paper
+Section VIII) that the content-based accuracy baseline uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["color_histogram", "histogram_similarity", "histogram_bytes"]
+
+
+def color_histogram(frame: np.ndarray, bins: int = 8) -> np.ndarray:
+    """Joint RGB histogram, shape ``(bins**3,)``, L1-normalised float64."""
+    if frame.ndim != 3 or frame.shape[2] != 3 or frame.dtype != np.uint8:
+        raise ValueError("frame must be uint8 with shape (H, W, 3)")
+    if not 2 <= bins <= 16:
+        raise ValueError("bins must be in [2, 16]")
+    q = (frame.astype(np.int32) * bins) >> 8          # 0..bins-1 per channel
+    flat = (q[..., 0] * bins + q[..., 1]) * bins + q[..., 2]
+    hist = np.bincount(flat.ravel(), minlength=bins**3).astype(float)
+    return hist / hist.sum()
+
+
+def histogram_similarity(h1: np.ndarray, h2: np.ndarray) -> float:
+    """Histogram intersection of two L1-normalised histograms, in [0, 1]."""
+    if h1.shape != h2.shape:
+        raise ValueError("histogram shapes differ")
+    return float(np.minimum(h1, h2).sum())
+
+
+def histogram_bytes(bins: int = 8, dtype_bytes: int = 4) -> int:
+    """Wire size of one histogram descriptor (float32 by default)."""
+    return bins**3 * dtype_bytes

@@ -1,0 +1,53 @@
+"""Keyframe selection: which frame stands for a segment?
+
+When a matched segment's preview (or its content descriptor) must be a
+single frame, the choice matters: the paper's abstraction averages FoVs
+(Eq. 11), and the frame whose FoV is *closest to that average* is the
+segment's most representative view.  Strategies:
+
+* ``first`` / ``middle`` / ``last`` -- positional (what naive systems do);
+* ``representative`` -- the frame maximising Eq. 10 similarity to the
+  segment's representative FoV (the abstraction-consistent choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.abstraction import abstract_segment
+from repro.core.camera import CameraModel
+from repro.core.fov import FoV, FoVTrace, VideoSegment
+from repro.core.similarity import cross_similarity
+
+__all__ = ["select_keyframe", "keyframe_index", "STRATEGIES"]
+
+STRATEGIES = ("first", "middle", "last", "representative")
+
+
+def keyframe_index(segment: VideoSegment, camera: CameraModel,
+                   strategy: str = "representative") -> int:
+    """Index (within the parent trace) of the segment's keyframe."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         f"choose from {STRATEGIES}")
+    if strategy == "first":
+        return segment.start
+    if strategy == "last":
+        return segment.stop - 1
+    if strategy == "middle":
+        return segment.start + (len(segment) - 1) // 2
+
+    # representative: maximise similarity to the Eq. 11 abstraction.
+    rep = abstract_segment(segment)
+    trace = segment.fovs()
+    xy = trace.local_xy()
+    rep_xy = trace.projection.to_local_arrays([rep.lat], [rep.lng])
+    sims = cross_similarity(rep_xy, np.array([rep.theta]),
+                            xy, trace.theta, camera)[0]
+    return segment.start + int(np.argmax(sims))
+
+
+def select_keyframe(segment: VideoSegment, camera: CameraModel,
+                    strategy: str = "representative") -> FoV:
+    """The keyframe's FoV record (its timestamp locates the pixels)."""
+    return segment.trace[keyframe_index(segment, camera, strategy)]

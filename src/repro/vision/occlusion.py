@@ -1,0 +1,82 @@
+"""Line-of-sight and occlusion-aware coverage.
+
+The FoV model is purely geometric: it declares a point covered whenever
+it falls inside the viewing sector.  Reality has "trees or walls
+obscuring our vision" -- the paper's stated reason for ranking results
+by camera distance (Section V-B item 2: "closer FoVs will have a higher
+probability to cover the query area").  Against the synthetic world the
+obstruction is computable exactly: a point is *visibly* covered only if
+the sector contains it **and** no landmark blocks the straight ray from
+the camera.  The occlusion-aware ground truth quantifies how often the
+content-free model over-promises, and the ranking ablation tests the
+paper's mitigation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.geometry.sector import sector_contains_points
+from repro.vision.world import World
+
+__all__ = ["line_of_sight", "visible_coverage"]
+
+
+def line_of_sight(world: World, from_xy, to_xy,
+                  clearance: float = 0.0) -> bool:
+    """True if the open segment from camera to target dodges every pillar.
+
+    Parameters
+    ----------
+    world : World
+    from_xy, to_xy : array-like (2,)
+        Camera and target positions, local metres.
+    clearance : float
+        Extra radius added to every landmark (a safety margin, or to
+        model foliage wider than the trunk).
+
+    Notes
+    -----
+    A landmark containing either endpoint does not block (the camera
+    can stand next to a wall and film along it; a target on a facade is
+    visible from in front of it).
+    """
+    a = np.asarray(from_xy, dtype=float)
+    b = np.asarray(to_xy, dtype=float)
+    if len(world) == 0:
+        return True
+    ab = b - a
+    seg_len2 = float(ab @ ab)
+    radii = world.radii + clearance
+    if seg_len2 == 0.0:
+        return True
+    rel = world.centers - a                       # (L, 2)
+    t = np.clip((rel @ ab) / seg_len2, 0.0, 1.0)  # closest point parameter
+    closest = a + t[:, None] * ab
+    d2 = np.sum((world.centers - closest) ** 2, axis=-1)
+    blocking = d2 <= radii**2
+    if not np.any(blocking):
+        return True
+    # Exempt landmarks containing an endpoint.
+    d_from = np.sum(rel**2, axis=-1) <= radii**2
+    d_to = np.sum((world.centers - b) ** 2, axis=-1) <= radii**2
+    return bool(np.all(~blocking | d_from | d_to))
+
+
+def visible_coverage(world: World, apexes: np.ndarray, azimuths: np.ndarray,
+                     camera: CameraModel, points: np.ndarray) -> np.ndarray:
+    """Occlusion-aware version of ``sector_contains_points``.
+
+    Returns a boolean ``(n_fovs, n_points)`` matrix: geometric sector
+    coverage AND unobstructed line of sight.  The sector test is
+    vectorised; the LoS check only runs on pairs that pass it.
+    """
+    apexes = np.asarray(apexes, dtype=float)
+    points = np.asarray(points, dtype=float)
+    geo = sector_contains_points(apexes, np.asarray(azimuths, dtype=float),
+                                 camera.half_angle, camera.radius, points)
+    out = np.zeros_like(geo)
+    for i, j in zip(*np.nonzero(geo)):
+        out[i, j] = line_of_sight(world, apexes[i], points[j])
+    return out

@@ -1,0 +1,91 @@
+"""A 2-D world of coloured landmarks for the synthetic camera.
+
+The world is a plan-view scatter of vertical pillars (circles with a
+colour and a height).  It is deliberately simple: the CV baseline only
+needs frames whose pixels respond plausibly to camera pose, and pillars
+give exactly that -- rotation slides them across columns, approaching
+them grows them, strafing produces parallax between near and far ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Landmark", "World", "random_world"]
+
+
+@dataclass(frozen=True, slots=True)
+class Landmark:
+    """A vertical pillar: plan-view circle + colour + height.
+
+    Parameters
+    ----------
+    x, y : float
+        Centre in local metres.
+    radius : float
+        Plan-view radius, metres (> 0).
+    color : tuple of 3 ints
+        RGB in 0..255.
+    height : float
+        Physical height in metres (> 0); controls how much of a frame
+        column the pillar fills at a given distance.
+    """
+
+    x: float
+    y: float
+    radius: float
+    color: tuple[int, int, int]
+    height: float = 10.0
+
+    def __post_init__(self):
+        if self.radius <= 0:
+            raise ValueError("landmark radius must be positive")
+        if self.height <= 0:
+            raise ValueError("landmark height must be positive")
+        if len(self.color) != 3 or not all(0 <= c <= 255 for c in self.color):
+            raise ValueError("color must be three channels in 0..255")
+
+
+class World:
+    """Immutable landmark collection with columnar arrays for ray casting."""
+
+    __slots__ = ("landmarks", "centers", "radii", "colors", "heights")
+
+    def __init__(self, landmarks: list[Landmark]):
+        self.landmarks = tuple(landmarks)
+        n = len(self.landmarks)
+        self.centers = np.array([[lm.x, lm.y] for lm in self.landmarks],
+                                dtype=float).reshape(n, 2)
+        self.radii = np.array([lm.radius for lm in self.landmarks], dtype=float)
+        self.colors = np.array([lm.color for lm in self.landmarks], dtype=float)
+        self.heights = np.array([lm.height for lm in self.landmarks], dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.landmarks)
+
+
+def random_world(rng: np.random.Generator, extent_m: float = 500.0,
+                 n_landmarks: int = 180, radius_range=(2.0, 9.0),
+                 height_range=(6.0, 40.0), center=(0.0, 0.0)) -> World:
+    """Scatter landmarks uniformly in a square around ``center``.
+
+    Defaults produce a built-up street scene -- building-scale pillars
+    dense enough that most rendered columns hit something, so pixel
+    similarity responds strongly to camera motion (which is what the
+    frame-differencing baseline needs to be a meaningful comparator).
+    """
+    if n_landmarks < 1:
+        raise ValueError("need at least one landmark")
+    cx, cy = center
+    xy = rng.uniform(-extent_m / 2.0, extent_m / 2.0, size=(n_landmarks, 2))
+    xy += np.array([cx, cy])
+    radii = rng.uniform(*radius_range, size=n_landmarks)
+    heights = rng.uniform(*height_range, size=n_landmarks)
+    colors = rng.integers(40, 256, size=(n_landmarks, 3))
+    return World([
+        Landmark(x=float(xy[i, 0]), y=float(xy[i, 1]), radius=float(radii[i]),
+                 color=tuple(int(c) for c in colors[i]), height=float(heights[i]))
+        for i in range(n_landmarks)
+    ])

@@ -1,0 +1,137 @@
+"""Unit tests for the Section VII adaptive-parameter extensions."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, segment_trace
+from repro.adaptive.threshold import (
+    MotionProfile,
+    estimate_threshold_for_duration,
+    motion_profile,
+)
+from repro.adaptive.visibility import (
+    OPEN_FIELD_M,
+    classify_environment,
+    estimate_radius_of_view,
+)
+from repro.core.segmentation import SegmentationConfig
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import rotation_scenario, translation_scenario
+from repro.vision.world import Landmark, World, random_world
+
+
+class TestSiteSurvey:
+    def test_open_field(self):
+        survey = estimate_radius_of_view(World([]), 0.0, 0.0)
+        assert survey.median_m == OPEN_FIELD_M
+        assert survey.hit_fraction == 0.0
+        assert classify_environment(survey) == "highway"
+
+    def test_dense_courtyard(self):
+        # A tight ring of pillars ~15 m away in every direction.
+        ring = [
+            Landmark(15.0 * np.sin(a), 15.0 * np.cos(a), 3.0, (100, 100, 100))
+            for a in np.linspace(0, 2 * np.pi, 24, endpoint=False)
+        ]
+        survey = estimate_radius_of_view(World(ring), 0.0, 0.0)
+        assert survey.median_m < 20.0
+        assert survey.hit_fraction > 0.9
+        assert classify_environment(survey) == "residential"
+
+    def test_street_canyon_directional(self):
+        # Walls east and west, open north-south: median reflects the mix.
+        walls = [Landmark(12.0, float(y), 2.0, (50, 50, 50))
+                 for y in range(-100, 101, 4)]
+        walls += [Landmark(-12.0, float(y), 2.0, (50, 50, 50))
+                  for y in range(-100, 101, 4)]
+        survey = estimate_radius_of_view(World(walls), 0.0, 0.0)
+        assert survey.p25_m < 20.0          # the walls
+        assert survey.ray_distances.max() == OPEN_FIELD_M  # the street
+
+    def test_ray_count_validated(self):
+        with pytest.raises(ValueError):
+            estimate_radius_of_view(World([]), 0.0, 0.0, n_rays=4)
+
+    def test_monotone_with_density(self, rng):
+        sparse = random_world(np.random.default_rng(1), n_landmarks=30,
+                              extent_m=400.0)
+        dense = random_world(np.random.default_rng(1), n_landmarks=600,
+                             extent_m=400.0)
+        r_sparse = estimate_radius_of_view(sparse, 0.0, 0.0).median_m
+        r_dense = estimate_radius_of_view(dense, 0.0, 0.0).median_m
+        assert r_dense <= r_sparse
+
+
+class TestMotionProfile:
+    def test_stationary(self):
+        trace = rotation_scenario(rate_deg_s=0.001, duration_s=5, fps=5,
+                                  noise=SensorNoiseModel.ideal())
+        p = motion_profile(trace)
+        assert p.speed_mps == pytest.approx(0.0, abs=1e-6)
+
+    def test_walk(self):
+        trace = translation_scenario(theta_p=0.0, speed_mps=1.4,
+                                     duration_s=10, fps=5,
+                                     noise=SensorNoiseModel.ideal())
+        p = motion_profile(trace)
+        assert p.speed_mps == pytest.approx(1.4, rel=0.05)
+        assert p.turn_rate_dps == pytest.approx(0.0, abs=1e-6)
+
+    def test_rotation(self):
+        trace = rotation_scenario(rate_deg_s=12.0, duration_s=10, fps=5,
+                                  noise=SensorNoiseModel.ideal())
+        p = motion_profile(trace)
+        assert p.turn_rate_dps == pytest.approx(12.0, rel=0.05)
+
+    def test_single_record(self):
+        trace = rotation_scenario(duration_s=1, fps=1,
+                                  noise=SensorNoiseModel.ideal())
+        p = motion_profile(trace.slice(0, 1))
+        assert p.speed_mps == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MotionProfile(speed_mps=-1.0, turn_rate_dps=0.0)
+
+
+class TestThresholdEstimation:
+    CAMERA = CameraModel()
+
+    def test_stationary_gets_ceiling(self):
+        p = MotionProfile(speed_mps=0.0, turn_rate_dps=0.0)
+        assert estimate_threshold_for_duration(p, self.CAMERA, 5.0) == 0.95
+
+    def test_faster_motion_lower_threshold(self):
+        slow = MotionProfile(speed_mps=1.0, turn_rate_dps=5.0)
+        fast = MotionProfile(speed_mps=5.0, turn_rate_dps=20.0)
+        t_slow = estimate_threshold_for_duration(slow, self.CAMERA, 5.0)
+        t_fast = estimate_threshold_for_duration(fast, self.CAMERA, 5.0)
+        assert t_fast <= t_slow
+
+    def test_longer_target_lower_threshold(self):
+        p = MotionProfile(speed_mps=1.4, turn_rate_dps=6.0)
+        t_short = estimate_threshold_for_duration(p, self.CAMERA, 2.0)
+        t_long = estimate_threshold_for_duration(p, self.CAMERA, 10.0)
+        assert t_long <= t_short
+
+    def test_validation(self):
+        p = MotionProfile(speed_mps=1.0, turn_rate_dps=1.0)
+        with pytest.raises(ValueError):
+            estimate_threshold_for_duration(p, self.CAMERA, 0.0)
+        with pytest.raises(ValueError):
+            estimate_threshold_for_duration(p, self.CAMERA, 1.0, floor=0.9,
+                                            ceil=0.5)
+
+    def test_achieves_target_duration_on_real_motion(self):
+        """The closed-form threshold actually yields segments near the
+        requested duration when applied to a matching recording."""
+        target = 2.5
+        trace = rotation_scenario(rate_deg_s=12.0, duration_s=30, fps=10,
+                                  noise=SensorNoiseModel.ideal())
+        profile = motion_profile(trace)
+        thresh = estimate_threshold_for_duration(profile, self.CAMERA, target)
+        segs = segment_trace(trace, self.CAMERA,
+                             SegmentationConfig(threshold=thresh))
+        durations = [s.t_end - s.t_start for s in segs[:-1]]
+        assert durations, "expected multiple segments"
+        assert np.mean(durations) == pytest.approx(target, rel=0.25)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+
+
+@pytest.fixture
+def camera() -> CameraModel:
+    """The paper's default camera: alpha = 30 deg, R = 100 m."""
+    return CameraModel(half_angle=30.0, radius=100.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def origin() -> GeoPoint:
+    return GeoPoint(lat=40.003, lng=116.326)
+
+
+@pytest.fixture
+def projection(origin) -> LocalProjection:
+    return LocalProjection(origin)

@@ -1,0 +1,108 @@
+"""Unit tests for segment abstraction (Eq. 11)."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, FoVTrace, abstract_segment, abstract_segments, segment_trace
+from repro.core.abstraction import segment_orientation_spread
+from repro.core.fov import VideoSegment
+from repro.core.segmentation import StreamingSegmenter
+
+
+def make_trace(thetas, lat0=40.0, lng0=116.3):
+    n = len(thetas)
+    return FoVTrace(np.arange(n, dtype=float),
+                    lat0 + np.linspace(0, 1e-5, n),
+                    np.full(n, lng0), thetas)
+
+
+def one_segment(trace):
+    return VideoSegment(trace=trace, start=0, stop=len(trace))
+
+
+class TestAbstractSegment:
+    def test_position_is_arithmetic_mean(self):
+        tr = make_trace([10.0, 20.0, 30.0])
+        rep = abstract_segment(one_segment(tr))
+        assert rep.lat == pytest.approx(float(np.mean(tr.lat)))
+        assert rep.lng == pytest.approx(float(np.mean(tr.lng)))
+
+    def test_time_bounds(self):
+        tr = make_trace([0.0] * 5)
+        rep = abstract_segment(one_segment(tr))
+        assert rep.t_start == 0.0
+        assert rep.t_end == 4.0
+
+    def test_orientation_circular_mean_across_wrap(self):
+        tr = make_trace([350.0, 10.0])
+        rep = abstract_segment(one_segment(tr))
+        # Circular mean of 350 and 10 is 0 -- NOT the arithmetic 180.
+        assert min(rep.theta, 360.0 - rep.theta) == pytest.approx(0.0, abs=1e-9)
+
+    def test_arithmetic_option_reproduces_paper_literal(self):
+        tr = make_trace([350.0, 10.0])
+        rep = abstract_segment(one_segment(tr), angle_mean="arithmetic")
+        assert rep.theta == pytest.approx(180.0)
+
+    def test_no_wrap_means_agree(self):
+        tr = make_trace([10.0, 20.0, 30.0])
+        circ = abstract_segment(one_segment(tr)).theta
+        arit = abstract_segment(one_segment(tr), angle_mean="arithmetic").theta
+        assert circ == pytest.approx(arit)
+
+    def test_unknown_mode_raises(self):
+        tr = make_trace([0.0])
+        with pytest.raises(ValueError):
+            abstract_segment(one_segment(tr), angle_mean="median")
+
+    def test_ids_attached(self):
+        tr = make_trace([0.0, 1.0])
+        rep = abstract_segment(one_segment(tr), video_id="vid", segment_id=7)
+        assert rep.key() == ("vid", 7)
+
+    def test_stream_segment_accepted(self, camera):
+        seg = StreamingSegmenter(camera)
+        for rec in make_trace([0.0, 1.0, 2.0]):
+            seg.push(rec)
+        stream_seg = seg.finish()
+        rep = abstract_segment(stream_seg, video_id="v")
+        assert rep.t_start == 0.0
+        assert rep.t_end == 2.0
+
+    def test_degenerate_orientations_fall_back(self):
+        # Perfectly opposed azimuths have no circular mean; the
+        # abstraction must not crash (falls back to the first sample).
+        tr = make_trace([0.0, 180.0])
+        rep = abstract_segment(one_segment(tr))
+        assert rep.theta in (0.0, 180.0)
+
+
+class TestAbstractSegments:
+    def test_numbering_and_order(self, camera):
+        tr = make_trace(np.linspace(0, 160, 80))
+        segs = segment_trace(tr, camera)
+        reps = abstract_segments(segs, video_id="v")
+        assert [r.segment_id for r in reps] == list(range(len(segs)))
+        assert all(r.video_id == "v" for r in reps)
+        # Representatives are time-ordered and non-overlapping.
+        for a, b in zip(reps, reps[1:]):
+            assert a.t_end <= b.t_start
+
+    def test_representative_inside_segment_hull(self, camera):
+        tr = make_trace(np.linspace(0, 40, 30))
+        reps = abstract_segments(segment_trace(tr, camera))
+        eps = 1e-9  # np.mean of a constant array is only accurate to fp error
+        for rep in reps:
+            assert tr.lat.min() - eps <= rep.lat <= tr.lat.max() + eps
+            assert tr.lng.min() - eps <= rep.lng <= tr.lng.max() + eps
+
+
+class TestOrientationSpread:
+    def test_zero_for_constant(self):
+        tr = make_trace([90.0] * 4)
+        assert segment_orientation_spread(one_segment(tr)) == pytest.approx(0.0)
+
+    def test_grows_with_spread(self):
+        tight = segment_orientation_spread(one_segment(make_trace([0, 5, 10.0])))
+        loose = segment_orientation_spread(one_segment(make_trace([0, 60, 120.0])))
+        assert tight < loose

@@ -1,0 +1,50 @@
+"""Unit tests for the camera model."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+
+
+class TestCameraModel:
+    def test_defaults_match_paper(self):
+        cam = CameraModel()
+        assert cam.half_angle == 30.0
+        assert cam.radius == 100.0
+        assert cam.viewing_angle == 60.0
+
+    def test_rejects_bad_half_angle(self):
+        with pytest.raises(ValueError):
+            CameraModel(half_angle=0.0)
+        with pytest.raises(ValueError):
+            CameraModel(half_angle=90.0)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            CameraModel(radius=0.0)
+
+    def test_max_perpendicular_range(self):
+        cam = CameraModel(half_angle=30.0, radius=100.0)
+        assert cam.max_perpendicular_range == pytest.approx(100.0)
+
+    def test_with_radius(self):
+        cam = CameraModel().with_radius(20.0)
+        assert cam.radius == 20.0
+        assert cam.half_angle == 30.0
+
+    def test_sector_at(self):
+        cam = CameraModel()
+        s = cam.sector_at(1.0, 2.0, 45.0)
+        assert (s.apex.x, s.apex.y) == (1.0, 2.0)
+        assert s.azimuth == 45.0
+        assert s.half_angle == cam.half_angle
+        assert s.radius == cam.radius
+
+    def test_half_angle_rad(self):
+        assert CameraModel(half_angle=45.0).half_angle_rad == pytest.approx(
+            np.pi / 4)
+
+    def test_frozen(self):
+        cam = CameraModel()
+        with pytest.raises(Exception):
+            cam.radius = 5.0

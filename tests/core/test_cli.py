@@ -1,0 +1,111 @@
+"""Unit tests for the command-line front-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = tmp_path / "city.fov"
+    rc = main(["generate", "--providers", "4", "--seed", "7",
+               "--out", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "fresh.fov"
+        assert main(["generate", "--providers", "3", "--seed", "1",
+                     "--out", str(path)]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "segments" in out
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.fov"
+        b = tmp_path / "b.fov"
+        main(["generate", "--providers", "3", "--seed", "5", "--out", str(a)])
+        main(["generate", "--providers", "3", "--seed", "5", "--out", str(b)])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestInspect:
+    def test_summary(self, snapshot, capsys):
+        assert main(["inspect", "--snapshot", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "R-tree height" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        rc = main(["inspect", "--snapshot", str(tmp_path / "nope.fov")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_file_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fov"
+        bad.write_bytes(b"definitely not a snapshot")
+        assert main(["inspect", "--snapshot", str(bad)]) == 2
+
+
+class TestQuery:
+    def test_query_runs(self, snapshot, capsys):
+        # Inspect to find a plausible area, then query the city origin.
+        rc = main(["query", "--snapshot", str(snapshot),
+                   "--lat", "40.0046", "--lng", "116.3284",
+                   "--t0", "0", "--t1", "5000", "--radius", "300",
+                   "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "candidates" in out
+
+    def test_invalid_radius_reports_error(self, snapshot, capsys):
+        rc = main(["query", "--snapshot", str(snapshot),
+                   "--lat", "40.0", "--lng", "116.3",
+                   "--t0", "0", "--t1", "10", "--radius", "-5"])
+        assert rc == 2
+
+
+class TestNearest:
+    def test_nearest_lists_k(self, snapshot, capsys):
+        rc = main(["nearest", "--snapshot", str(snapshot),
+                   "--lat", "40.0046", "--lng", "116.3284",
+                   "--t", "1000", "--k", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("#") == 3
+
+    def test_time_weight_accepted(self, snapshot):
+        assert main(["nearest", "--snapshot", str(snapshot),
+                     "--lat", "40.0046", "--lng", "116.3284",
+                     "--t", "1000", "--k", "2",
+                     "--time-weight", "1.5"]) == 0
+
+
+class TestJsonOutput:
+    def test_query_json(self, snapshot, capsys):
+        import json
+        rc = main(["query", "--snapshot", str(snapshot),
+                   "--lat", "40.0046", "--lng", "116.3284",
+                   "--t0", "0", "--t1", "5000", "--radius", "300",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "results" in payload and "candidates" in payload
+        assert payload["query"]["radius"] == 300.0
+
+
+class TestCoverage:
+    def test_coverage_summary(self, snapshot, capsys):
+        rc = main(["coverage", "--snapshot", str(snapshot), "--cell", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "covered:" in out and "hotspot" in out
+
+    def test_coverage_empty_snapshot(self, tmp_path, capsys):
+        from repro.core.snapshot import save_snapshot
+        path = tmp_path / "empty.fov"
+        save_snapshot(path, [])
+        assert main(["coverage", "--snapshot", str(path)]) == 0
+        assert "empty" in capsys.readouterr().out

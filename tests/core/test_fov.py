@@ -1,0 +1,136 @@
+"""Unit tests for FoV record/trace/segment/representative types."""
+
+import numpy as np
+import pytest
+
+from repro.core.fov import FoV, FoVTrace, RepresentativeFoV, VideoSegment
+from repro.geo.coords import GeoPoint
+
+
+def make_trace(n=10, dt=0.1):
+    t = np.arange(n) * dt
+    lat = 40.0 + np.linspace(0, 1e-4, n)
+    lng = np.full(n, 116.3)
+    theta = np.linspace(0, 45, n)
+    return FoVTrace(t, lat, lng, theta)
+
+
+class TestFoV:
+    def test_point_property(self):
+        f = FoV(t=1.0, lat=40.0, lng=116.0, theta=90.0)
+        assert f.point == GeoPoint(40.0, 116.0)
+
+
+class TestFoVTrace:
+    def test_length_and_indexing(self):
+        tr = make_trace(5)
+        assert len(tr) == 5
+        f = tr[2]
+        assert f.t == pytest.approx(0.2)
+        assert f.theta == pytest.approx(22.5)
+
+    def test_iteration_matches_indexing(self):
+        tr = make_trace(4)
+        assert [f.t for f in tr] == [tr[i].t for i in range(4)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FoVTrace([], [], [], [])
+
+    def test_rejects_non_increasing_time(self):
+        with pytest.raises(ValueError):
+            FoVTrace([0.0, 0.0], [40, 40], [116, 116], [0, 0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FoVTrace([0.0, 1.0], [40], [116, 116], [0, 0])
+
+    def test_theta_normalised(self):
+        tr = FoVTrace([0.0], [40.0], [116.0], [370.0])
+        assert tr.theta[0] == pytest.approx(10.0)
+
+    def test_from_records_roundtrip(self):
+        tr = make_trace(6)
+        tr2 = FoVTrace.from_records(list(tr))
+        assert np.allclose(tr2.t, tr.t)
+        assert np.allclose(tr2.theta, tr.theta)
+
+    def test_from_records_empty_raises(self):
+        with pytest.raises(ValueError):
+            FoVTrace.from_records([])
+
+    def test_slice(self):
+        tr = make_trace(10)
+        sub = tr.slice(2, 5)
+        assert len(sub) == 3
+        assert sub[0].t == tr[2].t
+        assert sub.projection is tr.projection
+
+    def test_slice_bounds_checked(self):
+        tr = make_trace(5)
+        with pytest.raises(IndexError):
+            tr.slice(3, 3)
+        with pytest.raises(IndexError):
+            tr.slice(0, 6)
+
+    def test_local_xy_anchored_at_first_fix(self):
+        tr = make_trace(5)
+        xy = tr.local_xy()
+        assert xy.shape == (5, 2)
+        assert np.allclose(xy[0], [0.0, 0.0])
+        assert xy[-1, 1] > 0  # northward drift
+
+    def test_local_xy_cached(self):
+        tr = make_trace(5)
+        assert tr.local_xy() is tr.local_xy()
+
+    def test_from_local_roundtrip(self, projection):
+        t = np.array([0.0, 1.0, 2.0])
+        xy = np.array([[0.0, 0.0], [10.0, 5.0], [20.0, -3.0]])
+        theta = np.array([0.0, 10.0, 20.0])
+        tr = FoVTrace.from_local(t, xy, theta, projection)
+        back = tr.local_xy()
+        # Trace re-anchors at its own first fix; shape is preserved.
+        assert np.allclose(back - back[0], xy - xy[0], atol=1e-5)
+
+    def test_duration(self):
+        assert make_trace(11, dt=0.5).duration == pytest.approx(5.0)
+
+
+class TestVideoSegment:
+    def test_times_and_length(self):
+        tr = make_trace(10)
+        seg = VideoSegment(trace=tr, start=2, stop=6)
+        assert len(seg) == 4
+        assert seg.t_start == tr[2].t
+        assert seg.t_end == tr[5].t
+
+    def test_bounds_validated(self):
+        tr = make_trace(5)
+        with pytest.raises(ValueError):
+            VideoSegment(trace=tr, start=3, stop=3)
+        with pytest.raises(ValueError):
+            VideoSegment(trace=tr, start=0, stop=6)
+
+    def test_fovs_returns_subtrace(self):
+        tr = make_trace(8)
+        seg = VideoSegment(trace=tr, start=1, stop=4)
+        sub = seg.fovs()
+        assert len(sub) == 3
+        assert sub[0].t == tr[1].t
+
+
+class TestRepresentativeFoV:
+    def test_validates_interval(self):
+        with pytest.raises(ValueError):
+            RepresentativeFoV(lat=0, lng=0, theta=0, t_start=5.0, t_end=4.0)
+
+    def test_key_and_duration(self):
+        rep = RepresentativeFoV(lat=0, lng=0, theta=0, t_start=1.0, t_end=3.0,
+                                video_id="v", segment_id=2)
+        assert rep.key() == ("v", 2)
+        assert rep.duration == 2.0
+
+    def test_point(self):
+        rep = RepresentativeFoV(lat=40.0, lng=116.0, theta=0, t_start=0, t_end=1)
+        assert rep.point == GeoPoint(40.0, 116.0)

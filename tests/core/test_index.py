@@ -1,0 +1,116 @@
+"""Unit tests for the spatio-temporal FoV index (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fov import RepresentativeFoV
+from repro.core.index import FoVIndex, fov_box, query_box
+from repro.core.query import Query
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import radius_to_degrees
+from repro.traces.dataset import random_representative_fovs
+
+P = GeoPoint(40.003, 116.326)
+
+
+def rep_at(lat, lng, t0, t1, theta=0.0, vid="v", sid=0):
+    return RepresentativeFoV(lat=lat, lng=lng, theta=theta,
+                             t_start=t0, t_end=t1, video_id=vid, segment_id=sid)
+
+
+class TestBoxes:
+    def test_fov_box_is_degenerate_segment(self):
+        # Section V-A: min/max share lng and lat; time spans [t_s, t_e].
+        rep = rep_at(40.0, 116.0, 5.0, 9.0)
+        bmin, bmax = fov_box(rep)
+        assert np.allclose(bmin[:2], bmax[:2])
+        assert bmin[2] == 5.0 and bmax[2] == 9.0
+        assert bmin[0] == 116.0 and bmin[1] == 40.0   # lng first, lat second
+
+    def test_query_box_conversion(self):
+        q = Query(t_start=1.0, t_end=2.0, center=P, radius=100.0)
+        bmin, bmax = query_box(q)
+        r_lng, r_lat = radius_to_degrees(100.0, P.lat)
+        assert bmax[0] - bmin[0] == pytest.approx(2 * r_lng)
+        assert bmax[1] - bmin[1] == pytest.approx(2 * r_lat)
+        assert (bmin[2], bmax[2]) == (1.0, 2.0)
+
+
+class TestFoVIndex:
+    def test_backends_agree(self, rng):
+        reps = random_representative_fovs(400, rng)
+        rt = FoVIndex(backend="rtree")
+        lin = FoVIndex(backend="linear")
+        rt.insert_many(reps)
+        lin.insert_many(reps)
+        assert len(rt) == len(lin) == 400
+        for _ in range(20):
+            center = reps[int(rng.integers(400))].point
+            t0 = float(rng.uniform(0, 86000))
+            q = Query(t_start=t0, t_end=t0 + 600, center=center,
+                      radius=float(rng.uniform(50, 500)))
+            a = sorted(f.key() for f in rt.range_search(q))
+            b = sorted(f.key() for f in lin.range_search(q))
+            assert a == b
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            FoVIndex(backend="btree")
+
+    def test_linear_rejects_rtree_config(self):
+        from repro.spatial.rtree import RTreeConfig
+        with pytest.raises(ValueError):
+            FoVIndex(backend="linear", rtree_config=RTreeConfig())
+
+    def test_temporal_filtering(self):
+        idx = FoVIndex()
+        idx.insert(rep_at(P.lat, P.lng, 0.0, 10.0, sid=0))
+        idx.insert(rep_at(P.lat, P.lng, 100.0, 110.0, sid=1))
+        q = Query(t_start=0.0, t_end=50.0, center=P, radius=100.0)
+        found = idx.range_search(q)
+        assert [f.segment_id for f in found] == [0]
+
+    def test_temporal_touching_counts(self):
+        # Closed intervals: a segment ending exactly at t_start matches.
+        idx = FoVIndex()
+        idx.insert(rep_at(P.lat, P.lng, 0.0, 10.0))
+        q = Query(t_start=10.0, t_end=20.0, center=P, radius=100.0)
+        assert len(idx.range_search(q)) == 1
+
+    def test_spatial_filtering(self):
+        idx = FoVIndex()
+        near = rep_at(P.lat, P.lng, 0.0, 1.0, sid=0)
+        far = rep_at(P.lat + 0.1, P.lng, 0.0, 1.0, sid=1)   # ~11 km north
+        idx.insert(near)
+        idx.insert(far)
+        q = Query(t_start=0.0, t_end=1.0, center=P, radius=200.0)
+        assert [f.segment_id for f in idx.range_search(q)] == [0]
+
+    def test_count_matches_search(self, rng):
+        reps = random_representative_fovs(200, rng)
+        idx = FoVIndex()
+        idx.insert_many(reps)
+        q = Query(t_start=0.0, t_end=86400.0, center=P, radius=3000.0)
+        assert idx.count_in_range(q) == len(idx.range_search(q))
+
+    def test_delete(self):
+        idx = FoVIndex()
+        rep = rep_at(P.lat, P.lng, 0.0, 1.0)
+        idx.insert(rep)
+        assert idx.delete(rep)
+        assert len(idx) == 0
+        assert not idx.delete(rep)
+
+    def test_bulk_equals_incremental(self, rng):
+        reps = random_representative_fovs(500, rng)
+        inc = FoVIndex()
+        inc.insert_many(reps)
+        blk = FoVIndex.bulk(reps)
+        assert len(blk) == len(inc)
+        q = Query(t_start=0.0, t_end=86400.0, center=P, radius=2000.0)
+        assert sorted(f.key() for f in blk.range_search(q)) == \
+            sorted(f.key() for f in inc.range_search(q))
+
+    def test_bulk_empty(self):
+        idx = FoVIndex.bulk([])
+        assert len(idx) == 0

@@ -1,0 +1,92 @@
+"""Tests for the high-level investigation workflow."""
+
+import numpy as np
+import pytest
+
+from repro import CloudServer
+from repro.core.investigation import Investigation
+from repro.traces.dataset import CityDataset
+
+
+@pytest.fixture(scope="module")
+def city_server():
+    city = CityDataset(n_providers=15, seed=23)
+    server = CloudServer(city.camera)
+    for rec in city.recordings:
+        server.register_client(city.clients[rec.device_id])
+        server.receive_bundle(rec.bundle.payload, device_id=rec.device_id)
+    return city, server
+
+
+def scene(city, seed=0):
+    rng = np.random.default_rng(seed)
+    qp = city.random_query_point(rng)
+    t0, t1 = city.time_span()
+    return qp, t0, t1
+
+
+class TestInvestigation:
+    def test_validation(self, city_server):
+        _, server = city_server
+        with pytest.raises(ValueError):
+            Investigation(server, diversity=1.5)
+        inv = Investigation(server)
+        with pytest.raises(ValueError):
+            inv.investigate(center=None, t_start=0, t_end=1, shortlist=0)
+
+    def test_full_round_collects_evidence(self, city_server):
+        city, server = city_server
+        inv = Investigation(server, diversity=0.4)
+        for seed in range(8):
+            qp, t0, t1 = scene(city, seed)
+            report = inv.investigate(qp, t0, t1, shortlist=3)
+            if not report.shortlist:
+                continue
+            assert len(report.evidence) == len(report.shortlist)
+            assert all(e.available for e in report.evidence)
+            assert report.video_seconds_collected > 0
+            assert "collected" in report.summary()
+            return
+        pytest.fail("no scene produced any results")
+
+    def test_shortlist_is_subset_of_result(self, city_server):
+        city, server = city_server
+        inv = Investigation(server)
+        qp, t0, t1 = scene(city, 3)
+        report = inv.investigate(qp, t0, t1, shortlist=4, fetch=False)
+        all_keys = {r.fov.key() for r in report.result.ranked}
+        assert {r.fov.key() for r in report.shortlist} <= all_keys
+        assert len(report.shortlist) <= 4
+        assert report.evidence == []
+
+    def test_zero_diversity_keeps_distance_order(self, city_server):
+        city, server = city_server
+        inv = Investigation(server, diversity=0.0)
+        qp, t0, t1 = scene(city, 5)
+        report = inv.investigate(qp, t0, t1, shortlist=5, fetch=False)
+        dists = [r.distance for r in report.shortlist]
+        assert dists == sorted(dists)
+
+    def test_missing_owner_recorded_not_raised(self, city_server, camera):
+        """Evidence from an unregistered device degrades gracefully."""
+        city, _ = city_server
+        lonely = CloudServer(camera)
+        # Ingest records without registering any client.
+        lonely.ingest(city.all_representatives())
+        inv = Investigation(lonely)
+        for seed in range(8):
+            qp, t0, t1 = scene(city, seed)
+            report = inv.investigate(qp, t0, t1, shortlist=3)
+            if report.shortlist:
+                assert all(not e.available for e in report.evidence)
+                assert all(e.fetch_error for e in report.evidence)
+                return
+        pytest.fail("no scene produced any results")
+
+    def test_distinct_devices_counted(self, city_server):
+        city, server = city_server
+        inv = Investigation(server, diversity=0.8)
+        qp, t0, t1 = scene(city, 1)
+        report = inv.investigate(qp, t0, t1, shortlist=5)
+        if report.evidence:
+            assert 1 <= report.distinct_devices <= len(report.evidence)

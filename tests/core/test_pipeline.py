@@ -1,0 +1,93 @@
+"""Unit tests for the client-side pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, ClientPipeline, FoV
+from repro.core.segmentation import SegmentationConfig
+from repro.net.protocol import decode_bundle
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import rotation_scenario
+
+IDEAL = SensorNoiseModel.ideal()
+
+
+@pytest.fixture
+def client(camera):
+    return ClientPipeline("alice", camera, SegmentationConfig(threshold=0.5))
+
+
+class TestRecordingLifecycle:
+    def test_generated_video_ids_unique(self, client):
+        vid1 = client.start_recording()
+        client.push(FoV(t=0.0, lat=40, lng=116, theta=0))
+        client.stop_recording()
+        vid2 = client.start_recording()
+        assert vid1 != vid2
+
+    def test_push_without_recording_raises(self, client):
+        with pytest.raises(RuntimeError):
+            client.push(FoV(t=0.0, lat=40, lng=116, theta=0))
+
+    def test_double_start_raises(self, client):
+        client.start_recording()
+        with pytest.raises(RuntimeError):
+            client.start_recording()
+
+    def test_stop_without_start_raises(self, client):
+        with pytest.raises(RuntimeError):
+            client.stop_recording()
+
+    def test_empty_recording_raises(self, client):
+        client.start_recording()
+        with pytest.raises(ValueError):
+            client.stop_recording()
+
+
+class TestBundles:
+    def test_bundle_decodes_to_representatives(self, client):
+        trace = rotation_scenario(duration_s=20, fps=10, noise=IDEAL)
+        bundle = client.record_trace(trace, video_id="vid-1")
+        video_id, fovs = decode_bundle(bundle.payload)
+        assert video_id == "vid-1"
+        assert len(fovs) == len(bundle.representatives)
+        for sent, wire in zip(bundle.representatives, fovs):
+            assert wire.key() == sent.key()
+            assert wire.t_start == pytest.approx(sent.t_start)
+            assert wire.theta == pytest.approx(sent.theta, abs=1e-4)  # float32
+
+    def test_segments_cover_whole_recording(self, client):
+        trace = rotation_scenario(duration_s=20, fps=10, noise=IDEAL)
+        bundle = client.record_trace(trace)
+        reps = bundle.representatives
+        assert reps[0].t_start == pytest.approx(float(trace.t[0]))
+        assert reps[-1].t_end == pytest.approx(float(trace.t[-1]))
+        total_frames = sum(
+            len(client.fetch_segment(r.video_id, r.segment_id).records)
+            for r in reps)
+        assert total_frames == len(trace)
+
+    def test_wire_bytes_tiny_vs_video(self, client):
+        # 20 s of 30 fps video -> a bundle of a few hundred bytes.
+        trace = rotation_scenario(duration_s=20, fps=30, noise=IDEAL)
+        bundle = client.record_trace(trace)
+        assert bundle.wire_bytes < 2000
+
+
+class TestSegmentStorage:
+    def test_fetch_returns_stored_frames(self, client):
+        trace = rotation_scenario(duration_s=10, fps=10, noise=IDEAL)
+        bundle = client.record_trace(trace, video_id="v")
+        seg = client.fetch_segment("v", 0)
+        assert seg.records[0].t == pytest.approx(float(trace.t[0]))
+        assert seg.duration >= 0.0
+
+    def test_fetch_unknown_raises(self, client):
+        with pytest.raises(KeyError):
+            client.fetch_segment("nope", 0)
+
+    def test_storage_accumulates_across_recordings(self, client):
+        for _ in range(2):
+            trace = rotation_scenario(duration_s=10, fps=10, noise=IDEAL)
+            client.record_trace(trace)
+        assert client.stored_segment_count >= 2

@@ -1,0 +1,116 @@
+"""Integration tests: privacy in the pipeline, diversified results."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, ClientPipeline, CloudServer, Query
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import RankedFoV
+from repro.core.ranking import diversify_results
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.privacy import GeoFence, PrivacyPolicy, SpatialCloak
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import CITY_ORIGIN, walk_scenario
+
+
+class TestPrivacyInPipeline:
+    def _record(self, policy, camera):
+        client = ClientPipeline("priv-dev", camera, privacy=policy)
+        trace = walk_scenario(duration_s=120, fps=5,
+                              noise=SensorNoiseModel.ideal())
+        bundle = client.record_trace(trace, video_id="walk")
+        return client, trace, bundle
+
+    def test_fenced_start_withheld(self, camera):
+        # Fence the walk's starting area: early segments never upload.
+        policy = PrivacyPolicy(
+            fences=(GeoFence(center=CITY_ORIGIN, radius_m=60.0,
+                             label="home"),))
+        client, trace, bundle = self._record(policy, camera)
+        audit = client.audits[-1]
+        assert audit.withheld >= 1
+        assert audit.uploaded == len(bundle.representatives)
+        # The uploaded bundle contains no record inside the fence.
+        for rep in bundle.representatives:
+            assert not policy.fences[0].contains(rep.lat, rep.lng)
+
+    def test_withheld_segments_not_fetchable(self, camera):
+        policy = PrivacyPolicy(
+            fences=(GeoFence(center=CITY_ORIGIN, radius_m=60.0,
+                             label="home"),))
+        client, _, bundle = self._record(policy, camera)
+        uploaded = {rep.segment_id for rep in bundle.representatives}
+        withheld = set(range(client.audits[-1].total)) - uploaded
+        assert withheld
+        for seg_id in withheld:
+            with pytest.raises(KeyError):
+                client.fetch_segment("walk", seg_id)
+
+    def test_cloaked_bundle_round_trip(self, camera):
+        policy = PrivacyPolicy(cloak=SpatialCloak(cell_m=100.0))
+        client, _, bundle = self._record(policy, camera)
+        assert client.audits[-1].cloaked == len(bundle.representatives)
+        # Server still indexes and answers with cloaked records.
+        server = CloudServer(camera)
+        server.register_client(client)
+        server.receive_bundle(bundle.payload, device_id="priv-dev")
+        assert server.indexed_count == len(bundle.representatives)
+
+    def test_no_policy_no_audit(self, camera):
+        client = ClientPipeline("plain", camera)
+        trace = walk_scenario(duration_s=30, fps=5,
+                              noise=SensorNoiseModel.ideal())
+        client.record_trace(trace)
+        assert client.audits == []
+
+
+def rows_at(positions_and_thetas):
+    proj = LocalProjection(CITY_ORIGIN)
+    rows = []
+    for i, (x, y, theta) in enumerate(positions_and_thetas):
+        p = proj.to_geo(x, y)
+        rep = RepresentativeFoV(lat=p.lat, lng=p.lng, theta=theta,
+                                t_start=0.0, t_end=10.0, video_id="v",
+                                segment_id=i)
+        rows.append(RankedFoV(fov=rep, distance=float(i), covers=True))
+    return rows
+
+
+class TestDiversifyResults:
+    CAMERA = CameraModel()
+
+    def test_zero_weight_keeps_order(self):
+        rows = rows_at([(0, -10, 0.0), (0, -11, 0.0), (50, -10, 90.0)])
+        out = diversify_results(rows, self.CAMERA, top_n=3,
+                                redundancy_weight=0.0)
+        assert [r.fov.segment_id for r in out] == [0, 1, 2]
+
+    def test_promotes_different_viewpoint(self):
+        # Rows 0 and 1 are near-duplicates; row 2 is a distinct angle.
+        rows = rows_at([(0, -10, 0.0), (0.5, -10, 1.0), (60, -10, 120.0)])
+        out = diversify_results(rows, self.CAMERA, top_n=2,
+                                redundancy_weight=0.6)
+        ids = [r.fov.segment_id for r in out]
+        assert ids[0] == 0          # best row always first
+        assert ids[1] == 2          # the duplicate is displaced
+
+    def test_returns_at_most_top_n(self):
+        rows = rows_at([(i * 5.0, -10.0, 0.0) for i in range(6)])
+        assert len(diversify_results(rows, self.CAMERA, top_n=4)) == 4
+
+    def test_empty_input(self):
+        assert diversify_results([], self.CAMERA, top_n=3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diversify_results([], self.CAMERA, top_n=0)
+        with pytest.raises(ValueError):
+            diversify_results([], self.CAMERA, top_n=1,
+                              redundancy_weight=1.5)
+
+    def test_membership_preserved(self):
+        rows = rows_at([(i * 7.0, -15.0, i * 30.0) for i in range(8)])
+        out = diversify_results(rows, self.CAMERA, top_n=8,
+                                redundancy_weight=0.7)
+        assert {r.fov.segment_id for r in out} == set(range(8))

@@ -1,0 +1,58 @@
+"""Unit tests for query/result types."""
+
+import pytest
+
+from repro.core.query import AREA_RADII, Query, QueryResult, RankedFoV
+from repro.core.fov import RepresentativeFoV
+from repro.geo.coords import GeoPoint
+
+P = GeoPoint(40.0, 116.3)
+
+
+class TestQuery:
+    def test_valid(self):
+        q = Query(t_start=0.0, t_end=10.0, center=P, radius=50.0)
+        assert q.top_n == 10
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            Query(t_start=10.0, t_end=0.0, center=P, radius=50.0)
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(ValueError):
+            Query(t_start=0.0, t_end=1.0, center=P, radius=0.0)
+
+    def test_rejects_bad_top_n(self):
+        with pytest.raises(ValueError):
+            Query(t_start=0.0, t_end=1.0, center=P, radius=1.0, top_n=0)
+
+    def test_instant_query_allowed(self):
+        q = Query(t_start=5.0, t_end=5.0, center=P, radius=1.0)
+        assert q.t_start == q.t_end
+
+    def test_for_area_presets(self):
+        # Section V-B: 20 m residential, 100 m highway.
+        q = Query.for_area(0.0, 1.0, P, area="residential")
+        assert q.radius == AREA_RADII["residential"] == 20.0
+        q = Query.for_area(0.0, 1.0, P, area="highway")
+        assert q.radius == 100.0
+
+    def test_for_area_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Query.for_area(0.0, 1.0, P, area="ocean")
+
+
+class TestQueryResult:
+    def _rep(self, i):
+        return RepresentativeFoV(lat=40.0, lng=116.3, theta=0.0,
+                                 t_start=0.0, t_end=1.0,
+                                 video_id="v", segment_id=i)
+
+    def test_accessors(self):
+        q = Query(t_start=0.0, t_end=1.0, center=P, radius=1.0)
+        rows = [RankedFoV(fov=self._rep(i), distance=float(i), covers=True)
+                for i in range(3)]
+        res = QueryResult(query=q, ranked=rows, candidates=5, after_filter=3)
+        assert len(res) == 3
+        assert res.keys() == [("v", 0), ("v", 1), ("v", 2)]
+        assert [f.segment_id for f in res.fovs()] == [0, 1, 2]

@@ -1,0 +1,128 @@
+"""Unit tests for the Section V-B filter/rank retrieval."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.index import FoVIndex
+from repro.core.query import Query
+from repro.core.retrieval import RetrievalEngine
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+
+ORIGIN = GeoPoint(40.003, 116.326)
+PROJ = LocalProjection(ORIGIN)
+
+
+def rep_local(x, y, theta, t0=0.0, t1=10.0, vid="v", sid=0):
+    """Representative FoV placed at local metres around ORIGIN."""
+    p = PROJ.to_geo(x, y)
+    return RepresentativeFoV(lat=p.lat, lng=p.lng, theta=theta,
+                             t_start=t0, t_end=t1, video_id=vid, segment_id=sid)
+
+
+def engine_with(reps, camera, **kw):
+    idx = FoVIndex()
+    idx.insert_many(reps)
+    return RetrievalEngine(idx, camera, **kw)
+
+
+def query_at_origin(radius=150.0, top_n=10):
+    return Query(t_start=0.0, t_end=10.0, center=ORIGIN, radius=radius,
+                 top_n=top_n)
+
+
+class TestOrientationFilter:
+    def test_facing_camera_kept(self, camera):
+        # Camera 50 m south of the query point, facing north: covers it.
+        eng = engine_with([rep_local(0, -50, 0.0)], camera)
+        res = eng.execute(query_at_origin())
+        assert len(res) == 1
+        assert res.ranked[0].covers
+
+    def test_facing_away_dropped(self, camera):
+        # Same position, camera facing south: the Merkel/World-Cup case.
+        eng = engine_with([rep_local(0, -50, 180.0)], camera)
+        res = eng.execute(query_at_origin())
+        assert res.candidates == 1
+        assert res.after_filter == 0
+        assert len(res) == 0
+
+    def test_too_far_to_cover_dropped(self, camera):
+        # Facing the right way but beyond the radius of view (R = 100).
+        eng = engine_with([rep_local(0, -140, 0.0)], camera)
+        res = eng.execute(query_at_origin(radius=200.0))
+        assert len(res) == 0
+
+    def test_edge_of_wedge_kept(self, camera):
+        # Query point exactly on the 30-deg wedge boundary.
+        eng = engine_with([rep_local(0, -50, 30.0)], camera)
+        res = eng.execute(query_at_origin())
+        assert len(res) == 1
+
+    def test_just_outside_wedge_dropped(self, camera):
+        eng = engine_with([rep_local(0, -50, 31.5)], camera)
+        res = eng.execute(query_at_origin())
+        assert len(res) == 0
+
+
+class TestRanking:
+    def test_sorted_by_distance(self, camera):
+        reps = [rep_local(0, -d, 0.0, sid=i)
+                for i, d in enumerate((80, 20, 50))]
+        eng = engine_with(reps, camera)
+        res = eng.execute(query_at_origin())
+        dists = [r.distance for r in res.ranked]
+        assert dists == sorted(dists)
+        assert [r.fov.segment_id for r in res.ranked] == [1, 2, 0]
+
+    def test_top_n_truncation(self, camera):
+        reps = [rep_local(0, -10 - i, 0.0, sid=i) for i in range(8)]
+        eng = engine_with(reps, camera)
+        res = eng.execute(query_at_origin(top_n=3))
+        assert len(res) == 3
+        assert res.after_filter == 8
+
+    def test_distance_values(self, camera):
+        eng = engine_with([rep_local(30, -40, 320.0)], camera)
+        res = eng.execute(query_at_origin())
+        assert res.ranked[0].distance == pytest.approx(50.0, rel=1e-3)
+
+
+class TestLenientMode:
+    def test_strict_drops_lenient_keeps_near_miss(self, camera):
+        # Camera slightly outside the wedge of the centre but its sector
+        # overlaps the query disc.
+        rep = rep_local(0, -60, 35.0)
+        strict = engine_with([rep], camera, strict_cover=True)
+        lenient = engine_with([rep], camera, strict_cover=False)
+        # Radius must reach the camera position or the R-tree range
+        # search never surfaces it -- the Section V-B radius tradeoff.
+        q = query_at_origin(radius=70.0)
+        assert len(strict.execute(q)) == 0
+        assert len(lenient.execute(q)) == 1
+
+    def test_lenient_still_drops_opposite_direction(self, camera):
+        rep = rep_local(0, -90, 180.0)
+        lenient = engine_with([rep], camera, strict_cover=False)
+        assert len(lenient.execute(query_at_origin(radius=20.0))) == 0
+
+
+class TestFunnelCounters:
+    def test_counts_are_consistent(self, camera, rng):
+        reps = []
+        for i in range(40):
+            x, y = rng.uniform(-200, 200, 2)
+            reps.append(rep_local(float(x), float(y),
+                                  float(rng.uniform(0, 360)), sid=i))
+        eng = engine_with(reps, camera)
+        res = eng.execute(query_at_origin(radius=150.0, top_n=5))
+        assert res.after_filter <= res.candidates
+        assert len(res) <= min(5, res.after_filter)
+        assert res.elapsed_s >= 0.0
+
+    def test_empty_index(self, camera):
+        eng = engine_with([], camera)
+        res = eng.execute(query_at_origin())
+        assert res.candidates == 0 and len(res) == 0

@@ -1,0 +1,153 @@
+"""Unit tests for Algorithm 1 (offline and streaming forms)."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, FoV, FoVTrace, segment_trace
+from repro.core.segmentation import (
+    SegmentationConfig,
+    StreamingSegmenter,
+)
+from repro.traces.scenarios import (
+    rotation_scenario,
+    translation_scenario,
+)
+from repro.traces.noise import SensorNoiseModel
+
+IDEAL = SensorNoiseModel.ideal()
+
+
+def stationary_trace(n=20, theta=0.0):
+    return FoVTrace(np.arange(n) * 0.1, np.full(n, 40.0), np.full(n, 116.3),
+                    np.full(n, theta))
+
+
+class TestSegmentationConfig:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(threshold=0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(threshold=1.5)
+
+
+class TestSegmentTrace:
+    def test_stationary_single_segment(self, camera):
+        segs = segment_trace(stationary_trace(), camera)
+        assert len(segs) == 1
+        assert len(segs[0]) == 20
+
+    def test_partition_property(self, camera):
+        trace = rotation_scenario(duration_s=20, fps=10, noise=IDEAL)
+        segs = segment_trace(trace, camera, SegmentationConfig(threshold=0.7))
+        assert segs[0].start == 0
+        assert segs[-1].stop == len(trace)
+        for a, b in zip(segs, segs[1:]):
+            assert a.stop == b.start
+
+    def test_rotation_cuts_at_threshold(self, camera):
+        # 12 deg/s rotation, threshold 0.5 => cut when Sim_R < 0.5, i.e.
+        # after 30 deg of rotation = 2.5 s = 25 frames at 10 fps.
+        trace = rotation_scenario(rate_deg_s=12.0, duration_s=30, fps=10,
+                                  noise=IDEAL)
+        segs = segment_trace(trace, camera, SegmentationConfig(threshold=0.5))
+        lengths = [len(s) for s in segs[:-1]]
+        assert all(24 <= n <= 27 for n in lengths), lengths
+        assert len(segs) == pytest.approx(12, abs=1)
+
+    def test_higher_threshold_denser_segmentation(self, camera):
+        # Section VII: bigger threshold => denser segmentation.
+        trace = rotation_scenario(duration_s=30, fps=10, noise=IDEAL)
+        lo = segment_trace(trace, camera, SegmentationConfig(threshold=0.3))
+        hi = segment_trace(trace, camera, SegmentationConfig(threshold=0.8))
+        assert len(hi) > len(lo)
+
+    def test_anchor_semantics(self, camera):
+        # Every frame of a segment is similar to the segment's FIRST
+        # frame (not its neighbours) by construction.
+        from repro import similarity
+        trace = translation_scenario(theta_p=90.0, duration_s=30, fps=10,
+                                     noise=IDEAL)
+        cfg = SegmentationConfig(threshold=0.6)
+        for seg in segment_trace(trace, camera, cfg):
+            anchor = trace[seg.start]
+            for i in range(seg.start, seg.stop):
+                assert similarity(anchor, trace[i], camera) >= cfg.threshold
+
+    def test_cut_frame_starts_new_segment(self, camera):
+        # The first frame past a cut must violate the threshold against
+        # the previous anchor.
+        from repro import similarity
+        trace = rotation_scenario(duration_s=20, fps=10, noise=IDEAL)
+        cfg = SegmentationConfig(threshold=0.5)
+        segs = segment_trace(trace, camera, cfg)
+        for prev, nxt in zip(segs, segs[1:]):
+            anchor = trace[prev.start]
+            first_of_next = trace[nxt.start]
+            assert similarity(anchor, first_of_next, camera) < cfg.threshold
+
+    def test_single_frame_trace(self, camera):
+        segs = segment_trace(stationary_trace(1), camera)
+        assert len(segs) == 1 and len(segs[0]) == 1
+
+
+class TestStreamingSegmenter:
+    def test_matches_offline(self, camera):
+        """Streaming and offline Algorithm 1 produce identical cuts."""
+        trace = rotation_scenario(duration_s=30, fps=10, noise=IDEAL, seed=3)
+        cfg = SegmentationConfig(threshold=0.5)
+        offline = segment_trace(trace, camera, cfg)
+
+        seg = StreamingSegmenter(camera, cfg)
+        closed = []
+        for rec in trace:
+            out = seg.push(rec)
+            if out is not None:
+                closed.append(out)
+        tail = seg.finish()
+        if tail is not None:
+            closed.append(tail)
+
+        assert len(closed) == len(offline)
+        for stream_seg, off_seg in zip(closed, offline):
+            assert len(stream_seg) == len(off_seg)
+            assert stream_seg.t_start == pytest.approx(off_seg.t_start)
+            assert stream_seg.t_end == pytest.approx(off_seg.t_end)
+
+    def test_rejects_non_increasing_time(self, camera):
+        seg = StreamingSegmenter(camera)
+        seg.push(FoV(t=1.0, lat=40, lng=116, theta=0))
+        with pytest.raises(ValueError):
+            seg.push(FoV(t=1.0, lat=40, lng=116, theta=0))
+
+    def test_finish_empty_returns_none(self, camera):
+        assert StreamingSegmenter(camera).finish() is None
+
+    def test_finish_resets_for_reuse(self, camera):
+        seg = StreamingSegmenter(camera)
+        seg.push(FoV(t=0.0, lat=40, lng=116, theta=0))
+        first = seg.finish()
+        assert first is not None and len(first) == 1
+        # Clock may restart for the next recording.
+        seg.push(FoV(t=0.0, lat=40, lng=116, theta=0))
+        assert seg.open_length == 1
+
+    def test_counters(self, camera):
+        trace = rotation_scenario(duration_s=10, fps=10, noise=IDEAL)
+        seg = StreamingSegmenter(camera, SegmentationConfig(threshold=0.5))
+        for rec in trace:
+            seg.push(rec)
+        assert seg.closed_count >= 1
+        assert seg.open_length >= 1
+
+    def test_o1_state(self, camera):
+        """The segmenter keeps only the open segment, not history."""
+        trace = rotation_scenario(duration_s=30, fps=10, noise=IDEAL)
+        seg = StreamingSegmenter(camera, SegmentationConfig(threshold=0.5))
+        max_open = 0
+        for rec in trace:
+            seg.push(rec)
+            max_open = max(max_open, seg.open_length)
+        # At threshold 0.5 and 12 deg/s, segments are ~25 frames.
+        assert max_open < 40

@@ -1,0 +1,91 @@
+"""Unit tests for the cloud-server facade."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, ClientPipeline, CloudServer, Query
+from repro.core.segmentation import SegmentationConfig
+from repro.net.protocol import encode_bundle
+from repro.traces.dataset import random_representative_fovs
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import CITY_ORIGIN, walk_scenario
+
+
+@pytest.fixture
+def server(camera):
+    return CloudServer(camera)
+
+
+class TestIngest:
+    def test_receive_bundle_indexes_records(self, server, camera):
+        client = ClientPipeline("alice", camera)
+        trace = walk_scenario(duration_s=30, fps=10,
+                              noise=SensorNoiseModel.ideal())
+        bundle = client.record_trace(trace)
+        n = server.receive_bundle(bundle.payload, device_id="alice")
+        assert n == len(bundle.representatives)
+        assert server.indexed_count == n
+        assert server.stats.bundles_received == 1
+        assert server.stats.descriptor_bytes_in == bundle.wire_bytes
+
+    def test_corrupt_bundle_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.receive_bundle(b"garbage-not-a-bundle")
+
+    def test_ingest_decoded(self, server, rng):
+        reps = random_representative_fovs(50, rng)
+        assert server.ingest(reps) == 50
+        assert server.indexed_count == 50
+
+
+class TestQueryAndFetch:
+    def _populate(self, server, camera):
+        client = ClientPipeline("alice", camera)
+        server.register_client(client)
+        trace = walk_scenario(duration_s=60, fps=10,
+                              noise=SensorNoiseModel.ideal())
+        bundle = client.record_trace(trace)
+        server.receive_bundle(bundle.payload, device_id="alice")
+        return client, trace
+
+    def test_query_finds_covered_point(self, server, camera):
+        _, trace = self._populate(server, camera)
+        # A point 50 m ahead of the first camera pose is covered.
+        from repro.geo.earth import LocalProjection
+        proj = trace.projection
+        xy = trace.local_xy()
+        import numpy as np
+        ahead = proj.to_geo(xy[0, 0] + 50 * np.sin(np.radians(30.0)),
+                            xy[0, 1] + 50 * np.cos(np.radians(30.0)))
+        res = server.query(Query(t_start=0.0, t_end=60.0, center=ahead,
+                                 radius=60.0))
+        assert len(res) >= 1
+        assert server.stats.queries_served == 1
+
+    def test_fetch_segment_moves_bytes(self, server, camera):
+        _, trace = self._populate(server, camera)
+        rep = next(iter(server.index.range_search(
+            Query(t_start=0.0, t_end=60.0, center=trace[0].point,
+                  radius=500.0))))
+        seg = server.fetch_segment(rep)
+        assert len(seg.records) >= 1
+        assert server.stats.segments_fetched == 1
+        assert server.stats.segment_bytes_moved > 0
+
+    def test_fetch_unregistered_owner_raises(self, server, camera, rng):
+        reps = random_representative_fovs(1, rng)
+        server.ingest(reps)
+        with pytest.raises(KeyError):
+            server.fetch_segment(reps[0])
+
+
+class TestBackends:
+    def test_linear_backend_equivalent(self, camera, rng):
+        reps = random_representative_fovs(300, rng)
+        rt = CloudServer(camera, backend="rtree")
+        ln = CloudServer(camera, backend="linear")
+        rt.ingest(reps)
+        ln.ingest(reps)
+        q = Query(t_start=0.0, t_end=86400.0, center=CITY_ORIGIN,
+                  radius=2500.0, top_n=50)
+        assert rt.query(q).keys() == ln.query(q).keys()

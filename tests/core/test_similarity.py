@@ -1,0 +1,261 @@
+"""Unit tests for the Eq. 4-10 similarity measurement.
+
+These tests pin the paper's stated properties: normalisation (Eq. 3),
+the rotation law (Eq. 4), translation extremes (Eq. 5 / corrected Eq. 6
+with statement 2's zero at ``2 R sin alpha``), the convex combination
+(Eq. 9) and the product form (Eq. 10).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, FoV, similarity
+from repro.core.similarity import (
+    cross_similarity,
+    pairwise_similarity,
+    phi_parallel,
+    phi_perpendicular,
+    sim_parallel,
+    sim_perpendicular,
+    sim_rotation,
+    sim_translation,
+    similarity_local,
+)
+
+
+ALPHA = 30.0
+R = 100.0
+
+
+class TestSimRotation:
+    def test_identity(self):
+        assert sim_rotation(0.0, ALPHA) == 1.0
+
+    def test_linear_decay(self):
+        # Eq. 4: Sim_R = (2a - dt) / 2a for dt < 2a.
+        assert sim_rotation(30.0, ALPHA) == pytest.approx(0.5)
+        assert sim_rotation(15.0, ALPHA) == pytest.approx(0.75)
+
+    def test_zero_beyond_aperture(self):
+        assert sim_rotation(60.0, ALPHA) == 0.0
+        assert sim_rotation(120.0, ALPHA) == 0.0
+
+    def test_array(self):
+        out = sim_rotation(np.array([0.0, 30.0, 90.0]), ALPHA)
+        assert np.allclose(out, [1.0, 0.5, 0.0])
+
+
+class TestPhiParallel:
+    def test_equals_alpha_at_zero(self):
+        # Eq. 5 at d = 0: arctan(tan(alpha)) = alpha.
+        assert phi_parallel(0.0, R, ALPHA) == pytest.approx(ALPHA)
+
+    def test_decreases_with_distance(self):
+        ds = np.linspace(0, 500, 50)
+        phis = phi_parallel(ds, R, ALPHA)
+        assert np.all(np.diff(phis) < 0)
+
+    def test_always_positive(self):
+        # Paper statement 2: Sim_par never reaches 0.
+        assert phi_parallel(10_000.0, R, ALPHA) > 0.0
+
+    def test_symmetric_in_sign(self):
+        assert phi_parallel(-50.0, R, ALPHA) == phi_parallel(50.0, R, ALPHA)
+
+
+class TestPhiPerpendicular:
+    def test_full_aperture_at_zero(self):
+        assert phi_perpendicular(0.0, R, ALPHA) == pytest.approx(2 * ALPHA)
+
+    def test_zero_exactly_at_2R_sin_alpha(self):
+        # Paper statement 2: Sim_perp drops to 0 at d = 2 R sin(alpha).
+        d_zero = 2 * R * np.sin(np.radians(ALPHA))
+        assert phi_perpendicular(d_zero, R, ALPHA) == pytest.approx(0.0, abs=1e-9)
+        assert phi_perpendicular(d_zero * 0.99, R, ALPHA) > 0.0
+        assert phi_perpendicular(d_zero * 1.5, R, ALPHA) == 0.0
+
+    def test_monotone_until_zero(self):
+        d_zero = 2 * R * np.sin(np.radians(ALPHA))
+        ds = np.linspace(0, d_zero, 50)
+        phis = phi_perpendicular(ds, R, ALPHA)
+        assert np.all(np.diff(phis) < 1e-12)
+
+
+class TestTranslationSims:
+    def test_both_one_at_zero(self):
+        assert sim_parallel(0.0, R, ALPHA) == pytest.approx(1.0)
+        assert sim_perpendicular(0.0, R, ALPHA) == pytest.approx(1.0)
+
+    def test_parallel_geq_perpendicular_bulk(self):
+        # Eq. 8 over the bulk of the domain.  For wide apertures
+        # (alpha >= ~28 deg) Sim_par dips marginally below Sim_perp very
+        # close to d = 0 (see DESIGN.md Section 2); beyond ~0.3 R sin(a)
+        # the paper's inequality holds strictly.
+        d_lo = 0.3 * R * np.sin(np.radians(ALPHA))
+        ds = np.linspace(d_lo, 3 * R, 100)
+        assert np.all(sim_parallel(ds, R, ALPHA) >=
+                      sim_perpendicular(ds, R, ALPHA) - 1e-12)
+
+    def test_parallel_geq_perpendicular_everywhere_narrow(self):
+        # For narrow apertures Eq. 8 holds on the whole domain.
+        for alpha in (10.0, 20.0, 25.0):
+            ds = np.linspace(0.0, 3 * R, 200)
+            assert np.all(sim_parallel(ds, R, alpha) >=
+                          sim_perpendicular(ds, R, alpha) - 1e-9)
+
+    def test_near_zero_violation_is_tiny(self):
+        # The wide-aperture violation near d = 0 stays below 2 %.
+        ds = np.linspace(0.0, 20.0, 100)
+        gap = sim_perpendicular(ds, R, ALPHA) - sim_parallel(ds, R, ALPHA)
+        assert gap.max() < 0.02
+
+    def test_parallel_much_slower_at_range(self):
+        d = 2 * R * np.sin(np.radians(ALPHA))   # Sim_perp == 0 here
+        assert sim_parallel(d, R, ALPHA) > 0.4
+
+    def test_values_in_unit_interval(self, rng):
+        ds = rng.uniform(0, 5 * R, 200)
+        for f in (sim_parallel, sim_perpendicular):
+            v = f(ds, R, ALPHA)
+            assert np.all((v >= 0.0) & (v <= 1.0))
+
+
+class TestSimTranslation:
+    def test_convex_combination(self):
+        # Eq. 9 at 45 deg: the exact midpoint of the two extremes.
+        d = 40.0
+        s = sim_translation(d, 45.0, 0.0, R, ALPHA)
+        mid = 0.5 * (sim_parallel(d, R, ALPHA) + sim_perpendicular(d, R, ALPHA))
+        assert s == pytest.approx(mid)
+
+    def test_parallel_extreme(self):
+        assert sim_translation(50.0, 0.0, 0.0, R, ALPHA) == pytest.approx(
+            sim_parallel(50.0, R, ALPHA))
+
+    def test_perpendicular_extreme(self):
+        assert sim_translation(50.0, 90.0, 0.0, R, ALPHA) == pytest.approx(
+            sim_perpendicular(50.0, R, ALPHA))
+
+    def test_unit_at_zero_distance(self):
+        # theta_p is undefined at d = 0; Sim_T must be exactly 1.
+        assert sim_translation(0.0, 123.0, 45.0, R, ALPHA) == 1.0
+
+    def test_direction_folding(self):
+        # Moving backward along the axis == moving forward (fold to acute).
+        fwd = sim_translation(30.0, 0.0, 0.0, R, ALPHA)
+        bwd = sim_translation(30.0, 180.0, 0.0, R, ALPHA)
+        assert fwd == pytest.approx(bwd)
+
+
+class TestSimilarityLocal:
+    def test_eq10_product_form(self, camera):
+        dx, dy, t1, t2 = 20.0, 30.0, 10.0, 40.0
+        from repro.core.similarity import sim_components_local
+        s_rot, s_trans = sim_components_local(dx, dy, t1, t2, camera)
+        assert similarity_local(dx, dy, t1, t2, camera) == pytest.approx(
+            s_rot * s_trans)
+
+    def test_identity_is_one(self, camera):
+        assert similarity_local(0.0, 0.0, 77.0, 77.0, camera) == 1.0
+
+    def test_bounded(self, camera, rng):
+        dx = rng.uniform(-300, 300, 500)
+        dy = rng.uniform(-300, 300, 500)
+        t1 = rng.uniform(0, 360, 500)
+        t2 = rng.uniform(0, 360, 500)
+        v = similarity_local(dx, dy, t1, t2, camera)
+        assert np.all((v >= 0.0) & (v <= 1.0))
+
+    def test_symmetric_under_bisector(self, camera, rng):
+        dx, dy = rng.uniform(-100, 100, 50), rng.uniform(-100, 100, 50)
+        t1, t2 = rng.uniform(0, 360, 50), rng.uniform(0, 360, 50)
+        fwd = similarity_local(dx, dy, t1, t2, camera)
+        bwd = similarity_local(-dx, -dy, t2, t1, camera)
+        assert np.allclose(fwd, bwd)
+
+    def test_first_reference_matches_paper_reading(self, camera):
+        # With reference="first" the fold axis is theta_1.
+        v = similarity_local(0.0, 50.0, 0.0, 0.0, camera, reference="first")
+        assert v == pytest.approx(sim_parallel(50.0, R, ALPHA))
+
+    def test_unknown_reference_raises(self, camera):
+        with pytest.raises(ValueError):
+            similarity_local(1.0, 1.0, 0.0, 0.0, camera, reference="nope")
+
+    def test_rotation_only(self, camera):
+        assert similarity_local(0.0, 0.0, 0.0, 30.0, camera) == pytest.approx(0.5)
+        assert similarity_local(0.0, 0.0, 0.0, 61.0, camera) == 0.0
+
+    def test_monotone_in_rotation(self, camera):
+        sims = [similarity_local(0.0, 0.0, 0.0, t, camera)
+                for t in np.linspace(0, 180, 60)]
+        assert np.all(np.diff(sims) <= 1e-12)
+
+    def test_monotone_in_distance_parallel(self, camera):
+        sims = [similarity_local(0.0, d, 0.0, 0.0, camera)
+                for d in np.linspace(0, 400, 60)]
+        assert np.all(np.diff(sims) <= 1e-12)
+
+
+class TestSimilarityGPS:
+    def test_self_similarity(self, camera):
+        f = FoV(t=0.0, lat=40.0, lng=116.3, theta=123.0)
+        assert similarity(f, f, camera) == 1.0
+
+    def test_eq3_strictness(self, camera):
+        # Any position or orientation change strictly reduces similarity.
+        f1 = FoV(t=0.0, lat=40.0, lng=116.3, theta=0.0)
+        moved = FoV(t=1.0, lat=40.0001, lng=116.3, theta=0.0)
+        turned = FoV(t=1.0, lat=40.0, lng=116.3, theta=5.0)
+        assert similarity(f1, moved, camera) < 1.0
+        assert similarity(f1, turned, camera) < 1.0
+
+    def test_symmetry(self, camera):
+        f1 = FoV(t=0.0, lat=40.0, lng=116.3, theta=10.0)
+        f2 = FoV(t=1.0, lat=40.0004, lng=116.3005, theta=70.0)
+        assert similarity(f1, f2, camera) == pytest.approx(
+            similarity(f2, f1, camera))
+
+    def test_matches_local_form(self, camera):
+        from repro.geo.earth import displacement
+        f1 = FoV(t=0.0, lat=40.0, lng=116.3, theta=10.0)
+        f2 = FoV(t=1.0, lat=40.0003, lng=116.3004, theta=55.0)
+        dx, dy = displacement(f1.point, f2.point)
+        assert similarity(f1, f2, camera) == pytest.approx(
+            float(similarity_local(dx, dy, f1.theta, f2.theta, camera)))
+
+
+class TestPairwise:
+    def test_matches_scalar(self, camera, rng):
+        n = 12
+        xy = rng.uniform(-80, 80, (n, 2))
+        theta = rng.uniform(0, 360, n)
+        M = pairwise_similarity(xy, theta, camera)
+        for i in range(n):
+            for j in range(n):
+                expect = similarity_local(
+                    xy[j, 0] - xy[i, 0], xy[j, 1] - xy[i, 1],
+                    theta[i], theta[j], camera)
+                assert M[i, j] == pytest.approx(float(expect))
+
+    def test_symmetric_unit_diagonal(self, camera, rng):
+        xy = rng.uniform(-50, 50, (20, 2))
+        theta = rng.uniform(0, 360, 20)
+        M = pairwise_similarity(xy, theta, camera)
+        assert np.allclose(M, M.T)
+        assert np.allclose(np.diag(M), 1.0)
+
+    def test_shape_validation(self, camera):
+        with pytest.raises(ValueError):
+            pairwise_similarity(np.zeros((3, 2)), np.zeros(4), camera)
+
+    def test_cross_similarity_shape_and_agreement(self, camera, rng):
+        xy_a = rng.uniform(-50, 50, (4, 2))
+        th_a = rng.uniform(0, 360, 4)
+        xy_b = rng.uniform(-50, 50, (7, 2))
+        th_b = rng.uniform(0, 360, 7)
+        C = cross_similarity(xy_a, th_a, xy_b, th_b, camera)
+        assert C.shape == (4, 7)
+        full = pairwise_similarity(np.vstack([xy_a, xy_b]),
+                                   np.concatenate([th_a, th_b]), camera)
+        assert np.allclose(C, full[:4, 4:])

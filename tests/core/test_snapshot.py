@@ -1,0 +1,102 @@
+"""Unit tests for index snapshot persistence."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query
+from repro.core.snapshot import SNAPSHOT_MAGIC, load_snapshot, save_snapshot
+from repro.traces.dataset import random_representative_fovs
+from repro.traces.scenarios import CITY_ORIGIN
+
+
+@pytest.fixture
+def records(rng):
+    return random_representative_fovs(200, rng)
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_records(self, tmp_path, records):
+        path = tmp_path / "index.snap"
+        written = save_snapshot(path, records)
+        assert written == path.stat().st_size
+        index, loaded = load_snapshot(path)
+        assert len(index) == len(records)
+        assert sorted(r.key() for r in loaded) == \
+            sorted(r.key() for r in records)
+
+    def test_loaded_index_answers_queries(self, tmp_path, records):
+        from repro.core.index import FoVIndex
+        path = tmp_path / "index.snap"
+        save_snapshot(path, records)
+        loaded_index, _ = load_snapshot(path)
+        fresh = FoVIndex()
+        fresh.insert_many(records)
+        q = Query(t_start=0.0, t_end=86400.0, center=CITY_ORIGIN,
+                  radius=2500.0)
+        assert sorted(f.key() for f in loaded_index.range_search(q)) == \
+            sorted(f.key() for f in fresh.range_search(q))
+
+    def test_empty_snapshot(self, tmp_path):
+        path = tmp_path / "empty.snap"
+        save_snapshot(path, [])
+        index, loaded = load_snapshot(path)
+        assert len(index) == 0 and loaded == []
+
+    def test_field_fidelity(self, tmp_path, records):
+        path = tmp_path / "index.snap"
+        save_snapshot(path, records[:3])
+        _, loaded = load_snapshot(path)
+        by_key = {r.key(): r for r in loaded}
+        for orig in records[:3]:
+            back = by_key[orig.key()]
+            assert back.lat == orig.lat
+            assert back.t_start == orig.t_start
+            assert back.theta == pytest.approx(orig.theta, abs=1e-4)
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path, records):
+        path = tmp_path / "x.snap"
+        save_snapshot(path, records)
+        blob = bytearray(path.read_bytes())
+        blob[0] = ord("X")
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="magic"):
+            load_snapshot(path)
+
+    def test_flipped_payload_bit_fails_crc(self, tmp_path, records):
+        path = tmp_path / "x.snap"
+        save_snapshot(path, records)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="CRC"):
+            load_snapshot(path)
+
+    def test_truncated_file(self, tmp_path, records):
+        path = tmp_path / "x.snap"
+        save_snapshot(path, records)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "x.snap"
+        path.write_bytes(b"FOVSNA")
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+    def test_trailing_garbage(self, tmp_path, records):
+        path = tmp_path / "x.snap"
+        save_snapshot(path, records[:5])
+        blob = bytearray(path.read_bytes())
+        # Append garbage and fix the CRC so only the length check trips.
+        import zlib
+        payload = bytes(blob[struct.calcsize("<8sII"):]) + b"JUNK"
+        header = struct.pack("<8sII", SNAPSHOT_MAGIC, 1, zlib.crc32(payload))
+        path.write_bytes(header + payload)
+        with pytest.raises(ValueError):
+            load_snapshot(path)

@@ -1,0 +1,80 @@
+"""Unit tests for the IR metrics."""
+
+import pytest
+
+from repro.eval.accuracy import (
+    aggregate_metrics,
+    average_precision,
+    ndcg_at_k,
+    precision_recall_at_k,
+)
+
+RANKED = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionRecall:
+    def test_perfect_prefix(self):
+        p, r, f1 = precision_recall_at_k(RANKED, {"a", "b"}, k=2)
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_partial(self):
+        p, r, f1 = precision_recall_at_k(RANKED, {"a", "z"}, k=2)
+        assert p == 0.5 and r == 0.5 and f1 == 0.5
+
+    def test_k_beyond_list(self):
+        p, r, _ = precision_recall_at_k(["a"], {"a"}, k=10)
+        assert p == 1.0 and r == 1.0
+
+    def test_empty_ranked(self):
+        p, r, f1 = precision_recall_at_k([], {"a"}, k=3)
+        assert p == 0.0 and r == 0.0 and f1 == 0.0
+
+    def test_nothing_relevant_nothing_returned(self):
+        p, r, _ = precision_recall_at_k([], set(), k=3)
+        assert p == 1.0 and r == 1.0
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            precision_recall_at_k(RANKED, set(), k=0)
+
+
+class TestAveragePrecision:
+    def test_all_relevant_first(self):
+        assert average_precision(["a", "b", "x"], {"a", "b"}) == 1.0
+
+    def test_relevant_last(self):
+        # Single relevant item at rank 3: AP = 1/3.
+        assert average_precision(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_missing_relevant_penalised(self):
+        assert average_precision(["a"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_empty_relevant(self):
+        assert average_precision(RANKED, set()) == 1.0
+
+
+class TestNdcg:
+    def test_ideal_ordering(self):
+        assert ndcg_at_k(["a", "b", "x"], {"a", "b"}, k=3) == 1.0
+
+    def test_worst_ordering_lower(self):
+        good = ndcg_at_k(["a", "x", "y"], {"a"}, k=3)
+        bad = ndcg_at_k(["x", "y", "a"], {"a"}, k=3)
+        assert good == 1.0 and bad < good
+
+    def test_range(self):
+        v = ndcg_at_k(["x", "a", "y", "b"], {"a", "b", "c"}, k=4)
+        assert 0.0 < v < 1.0
+
+    def test_empty_relevant(self):
+        assert ndcg_at_k(RANKED, set(), k=3) == 1.0
+
+
+class TestAggregate:
+    def test_fields_consistent(self):
+        m = aggregate_metrics(RANKED, {"a", "c"}, k=3)
+        assert m.k == 3
+        assert m.n_relevant == 2
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == 1.0
+        assert 0.0 < m.ndcg <= 1.0

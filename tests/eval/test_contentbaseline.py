@@ -1,0 +1,74 @@
+"""Unit tests for the content-based retrieval baseline."""
+
+import numpy as np
+import pytest
+
+from repro.eval.contentbaseline import ContentRetrievalBaseline
+from repro.traces.dataset import CityDataset
+from repro.traces.noise import SensorNoiseModel
+from repro.vision.world import random_world
+
+
+@pytest.fixture(scope="module")
+def city():
+    return CityDataset(n_providers=5, seed=21, noise=SensorNoiseModel.ideal())
+
+
+@pytest.fixture(scope="module")
+def baseline(city):
+    rng = np.random.default_rng(5)
+    ex, ey = city.grid.extent_m
+    world = random_world(rng, extent_m=max(ex, ey) + 200.0,
+                         n_landmarks=250, center=(ex / 2, ey / 2))
+    from repro import CameraModel
+    b = ContentRetrievalBaseline(world, city.camera, width=64, height=48)
+    b.index_dataset(city)
+    return b
+
+
+class TestContentBaseline:
+    def test_indexes_every_segment(self, city, baseline):
+        assert len(baseline) == len(city.all_representatives())
+
+    def test_example_photos_shape(self, baseline):
+        d = baseline.example_photos((100.0, 100.0), n_views=4)
+        assert d.shape == (4, 512)
+        assert np.allclose(d.sum(axis=1), 1.0)
+
+    def test_query_returns_ranked_keys(self, city, baseline):
+        t0, t1 = city.time_span()
+        keys = baseline.query((200.0, 200.0), (t0, t1), top_n=5)
+        assert 0 < len(keys) <= 5
+        all_keys = {rep.key() for rep in city.all_representatives()}
+        assert set(keys) <= all_keys
+
+    def test_temporal_window_filters(self, city, baseline):
+        keys = baseline.query((200.0, 200.0), (1e9, 2e9), top_n=5)
+        assert keys == []
+
+    def test_empty_index(self, city):
+        from repro import CameraModel
+        rng = np.random.default_rng(0)
+        b = ContentRetrievalBaseline(random_world(rng), CameraModel())
+        assert b.query((0.0, 0.0), (0.0, 1.0)) == []
+
+    def test_better_than_chance_on_truth(self, city, baseline):
+        """Top-ranked content matches beat a random ranking on average."""
+        from repro.eval.groundtruth import relevant_segments
+        from repro.eval.accuracy import precision_recall_at_k
+        rng = np.random.default_rng(11)
+        t_window = city.time_span()
+        all_keys = [rep.key() for rep in city.all_representatives()]
+        content_p, random_p = [], []
+        for _ in range(8):
+            qp = city.random_query_point(rng)
+            xy = city.projection.to_local_arrays([qp.lat], [qp.lng])[0]
+            truth = relevant_segments(city, xy, t_window)
+            if not truth:
+                continue
+            got = baseline.query(xy, t_window, top_n=5)
+            content_p.append(precision_recall_at_k(got, truth, 5)[0])
+            shuffled = [all_keys[i] for i in rng.permutation(len(all_keys))]
+            random_p.append(precision_recall_at_k(shuffled[:5], truth, 5)[0])
+        assert content_p, "no truthful queries sampled"
+        assert np.mean(content_p) >= np.mean(random_p)

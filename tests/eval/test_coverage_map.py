@@ -1,0 +1,89 @@
+"""Unit tests for spatial coverage maps."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.eval.coverage_map import build_coverage_map
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+
+ORIGIN = GeoPoint(40.0, 116.3)
+PROJ = LocalProjection(ORIGIN)
+CAMERA = CameraModel(half_angle=30.0, radius=100.0)
+
+
+def rep_local(x, y, theta, t0=0.0, t1=10.0, sid=0):
+    p = PROJ.to_geo(x, y)
+    return RepresentativeFoV(lat=p.lat, lng=p.lng, theta=theta,
+                             t_start=t0, t_end=t1, video_id="v",
+                             segment_id=sid)
+
+
+EXTENT = (-100.0, -100.0, 100.0, 100.0)
+
+
+class TestBuildCoverageMap:
+    def test_empty(self):
+        m = build_coverage_map([], PROJ, CAMERA, EXTENT, cell_m=50.0)
+        assert m.counts.sum() == 0
+        assert m.covered_fraction() == 0.0
+
+    def test_single_north_facing_camera(self):
+        m = build_coverage_map([rep_local(0.0, -90.0, 0.0)], PROJ, CAMERA,
+                               EXTENT, cell_m=20.0)
+        # Cells straight ahead are covered; cells behind are not.
+        assert m.count_at(0.0, -30.0) == 1     # 60 m ahead
+        assert m.count_at(0.0, -99.0) == 0     # just behind (cell centre -90
+        assert m.count_at(90.0, 90.0) == 0     # far corner
+
+    def test_counts_accumulate(self):
+        reps = [rep_local(0.0, -90.0, 0.0, sid=i) for i in range(3)]
+        m = build_coverage_map(reps, PROJ, CAMERA, EXTENT, cell_m=20.0)
+        assert m.count_at(0.0, -30.0) == 3
+
+    def test_time_window_filters(self):
+        reps = [rep_local(0.0, -90.0, 0.0, t0=0.0, t1=10.0),
+                rep_local(0.0, -90.0, 0.0, t0=100.0, t1=110.0, sid=1)]
+        m = build_coverage_map(reps, PROJ, CAMERA, EXTENT, cell_m=20.0,
+                               t_window=(0.0, 50.0))
+        assert m.count_at(0.0, -30.0) == 1
+
+    def test_covered_fraction_monotone(self):
+        reps = [rep_local(0.0, 0.0, float(t), sid=i)
+                for i, t in enumerate(range(0, 360, 60))]
+        m = build_coverage_map(reps, PROJ, CAMERA, EXTENT, cell_m=20.0)
+        assert m.covered_fraction(1) >= m.covered_fraction(2)
+        with pytest.raises(ValueError):
+            m.covered_fraction(0)
+
+    def test_hotspots_sorted(self):
+        reps = [rep_local(0.0, -90.0, 0.0, sid=i) for i in range(4)]
+        m = build_coverage_map(reps, PROJ, CAMERA, EXTENT, cell_m=20.0)
+        hs = m.hotspots(3)
+        counts = [c for _, _, c in hs]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] == 4
+
+    def test_out_of_extent_query_rejected(self):
+        m = build_coverage_map([], PROJ, CAMERA, EXTENT, cell_m=50.0)
+        with pytest.raises(ValueError):
+            m.count_at(500.0, 0.0)
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            build_coverage_map([], PROJ, CAMERA, (0, 0, 0, 10), cell_m=10.0)
+
+    def test_zero_coverage_cell_is_truthful(self):
+        """A retrieval query centred on a zero-coverage cell finds nothing."""
+        from repro import CloudServer, Query
+        reps = [rep_local(0.0, -90.0, 0.0)]
+        m = build_coverage_map(reps, PROJ, CAMERA, EXTENT, cell_m=20.0)
+        server = CloudServer(CAMERA)
+        server.ingest(reps)
+        # Pick a far cell with zero coverage.
+        assert m.count_at(90.0, 90.0) == 0
+        res = server.query(Query(t_start=0.0, t_end=10.0,
+                                 center=PROJ.to_geo(90.0, 90.0), radius=10.0))
+        assert len(res) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for geometric ground truth and similarity matrices."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.eval.groundtruth import relevant_segments, segment_covers_point
+from repro.eval.harness import Table, best_of, time_call
+from repro.eval.simmatrix import (
+    matrix_correlation,
+    normalized,
+    trace_similarity_matrix,
+)
+from repro.traces.dataset import CityDataset
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import rotation_scenario
+from repro.traces.walkers import straight_line
+
+
+class TestSegmentCoversPoint:
+    def test_point_in_front_covered(self, camera):
+        traj = straight_line(duration_s=10, fps=2, heading_deg=0.0)
+        # 50 m north of the start, in view of the first frames.
+        assert segment_covers_point(traj, 0.0, 10.0, (0.0, 50.0), camera)
+
+    def test_point_behind_not_covered(self, camera):
+        traj = straight_line(duration_s=10, fps=2, heading_deg=0.0)
+        assert not segment_covers_point(traj, 0.0, 10.0, (0.0, -50.0), camera)
+
+    def test_time_window_restricts(self, camera):
+        traj = straight_line(speed_mps=10.0, duration_s=30, fps=2,
+                             heading_deg=0.0)
+        pt = (0.0, 350.0)   # only visible near t = 25..30
+        assert segment_covers_point(traj, 0.0, 30.0, pt, camera)
+        assert not segment_covers_point(traj, 0.0, 30.0, pt, camera,
+                                        query_window=(0.0, 10.0))
+
+    def test_empty_window_false(self, camera):
+        traj = straight_line(duration_s=10, fps=2)
+        assert not segment_covers_point(traj, 0.0, 10.0, (0.0, 10.0), camera,
+                                        query_window=(20.0, 30.0))
+
+
+class TestRelevantSegments:
+    def test_keys_well_formed_and_truthful(self, camera):
+        ds = CityDataset(n_providers=4, seed=3,
+                         noise=SensorNoiseModel.ideal())
+        rng = np.random.default_rng(0)
+        qp = ds.random_query_point(rng)
+        xy = ds.projection.to_local_arrays([qp.lat], [qp.lng])[0]
+        window = ds.time_span()
+        rel = relevant_segments(ds, xy, window)
+        all_keys = {rep.key() for rec in ds.recordings
+                    for rep in rec.bundle.representatives}
+        assert rel <= all_keys
+        # Verify one positive example against the raw predicate.
+        for rec in ds.recordings:
+            for rep in rec.bundle.representatives:
+                expected = segment_covers_point(
+                    rec.trajectory, rep.t_start, rep.t_end, xy, camera,
+                    query_window=window)
+                assert (rep.key() in rel) == expected
+
+
+class TestSimMatrix:
+    def test_trace_matrix_properties(self, camera):
+        trace = rotation_scenario(duration_s=10, fps=3,
+                                  noise=SensorNoiseModel.ideal())
+        M = trace_similarity_matrix(trace, camera)
+        assert M.shape == (len(trace), len(trace))
+        assert np.allclose(np.diag(M), 1.0)
+        assert np.allclose(M, M.T)
+
+    def test_subsampling(self, camera):
+        trace = rotation_scenario(duration_s=10, fps=3,
+                                  noise=SensorNoiseModel.ideal())
+        M = trace_similarity_matrix(trace, camera, indices=[0, 5, 10])
+        assert M.shape == (3, 3)
+
+    def test_correlation_perfect_for_identical(self, rng):
+        a = rng.uniform(0, 1, (6, 6))
+        a = (a + a.T) / 2
+        assert matrix_correlation(a, a) == pytest.approx(1.0)
+
+    def test_correlation_sign(self, rng):
+        a = rng.uniform(0, 1, (6, 6))
+        assert matrix_correlation(a, 1.0 - a) == pytest.approx(-1.0)
+
+    def test_correlation_validation(self, rng):
+        with pytest.raises(ValueError):
+            matrix_correlation(np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            matrix_correlation(np.ones((4, 4)), np.ones((4, 4)))  # constant
+
+    def test_normalized(self):
+        v = normalized(np.array([2.0, 4.0, 6.0]))
+        assert np.allclose(v, [0.0, 0.5, 1.0])
+        assert np.allclose(normalized(np.array([3.0, 3.0])), 1.0)
+
+
+class TestHarness:
+    def test_table_renders(self):
+        t = Table("demo", ["name", "value"])
+        t.add("x", 1.5)
+        t.add("longer-name", 1234567.0)
+        out = t.render()
+        assert "demo" in out and "longer-name" in out
+
+    def test_table_arity_checked(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_time_call(self):
+        dt, result = time_call(lambda: 42)
+        assert result == 42 and dt >= 0.0
+
+    def test_best_of(self):
+        assert best_of(lambda: None, repeats=2) >= 0.0
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)

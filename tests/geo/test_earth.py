@@ -1,0 +1,142 @@
+"""Unit tests for the Eq. 12 transform and the local projection."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    displacement,
+    haversine_distance,
+    metres_per_degree,
+    radius_to_degrees,
+)
+
+
+class TestMetresPerDegree:
+    def test_equator(self):
+        m_lng, m_lat = metres_per_degree(0.0)
+        expected = 2 * np.pi * EARTH_RADIUS_M / 360.0
+        assert m_lng == pytest.approx(expected)
+        assert m_lat == pytest.approx(expected)
+
+    def test_longitude_shrinks_with_latitude(self):
+        m_lng_40, m_lat_40 = metres_per_degree(40.0)
+        assert m_lng_40 == pytest.approx(m_lat_40 * np.cos(np.radians(40.0)))
+
+    def test_roughly_111km(self):
+        _, m_lat = metres_per_degree(40.0)
+        assert 110_000 < m_lat < 112_000
+
+
+class TestDisplacement:
+    def test_zero(self):
+        p = GeoPoint(40.0, 116.0)
+        assert displacement(p, p) == (0.0, 0.0)
+
+    def test_north_positive_y(self):
+        p1 = GeoPoint(40.0, 116.0)
+        p2 = GeoPoint(40.001, 116.0)
+        dx, dy = displacement(p1, p2)
+        assert dx == pytest.approx(0.0)
+        assert dy > 0
+
+    def test_east_positive_x(self):
+        p1 = GeoPoint(40.0, 116.0)
+        p2 = GeoPoint(40.0, 116.001)
+        dx, dy = displacement(p1, p2)
+        assert dy == pytest.approx(0.0)
+        assert dx > 0
+
+    def test_antisymmetric(self):
+        p1 = GeoPoint(40.0, 116.0)
+        p2 = GeoPoint(40.002, 116.003)
+        d12 = displacement(p1, p2)
+        d21 = displacement(p2, p1)
+        assert d12[0] == pytest.approx(-d21[0], rel=1e-9)
+        assert d12[1] == pytest.approx(-d21[1], rel=1e-9)
+
+    def test_agrees_with_haversine_city_scale(self):
+        p1 = GeoPoint(40.0, 116.0)
+        p2 = GeoPoint(40.01, 116.015)   # ~1.7 km apart
+        dx, dy = displacement(p1, p2)
+        flat = float(np.hypot(dx, dy))
+        sphere = haversine_distance(p1, p2)
+        assert flat == pytest.approx(sphere, rel=1e-3)
+
+    def test_paper_formula_close_at_small_scale(self):
+        p1 = GeoPoint(40.0, 116.0)
+        p2 = GeoPoint(40.0005, 116.0008)
+        corrected = displacement(p1, p2)
+        literal = displacement(p1, p2, paper_formula=True)
+        # The literal Eq. 12 mis-scales longitude by ~cos(lat) but at
+        # sub-km displacements both give the same order of magnitude;
+        # this documents the deviation rather than hiding it.
+        assert np.sign(corrected[0]) == np.sign(literal[0])
+        assert corrected[1] == pytest.approx(literal[1])
+
+
+class TestHaversine:
+    def test_zero(self):
+        p = GeoPoint(40.0, 116.0)
+        assert haversine_distance(p, p) == 0.0
+
+    def test_one_degree_latitude(self):
+        d = haversine_distance(GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0))
+        assert d == pytest.approx(2 * np.pi * EARTH_RADIUS_M / 360.0, rel=1e-9)
+
+    def test_symmetric(self):
+        p1, p2 = GeoPoint(40.0, 116.0), GeoPoint(41.0, 117.0)
+        assert haversine_distance(p1, p2) == pytest.approx(
+            haversine_distance(p2, p1)
+        )
+
+
+class TestRadiusToDegrees:
+    def test_inverse_of_scale(self):
+        r_lng, r_lat = radius_to_degrees(1000.0, 40.0)
+        m_lng, m_lat = metres_per_degree(40.0)
+        assert r_lng * m_lng == pytest.approx(1000.0)
+        assert r_lat * m_lat == pytest.approx(1000.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            radius_to_degrees(-1.0, 40.0)
+
+    def test_pole_raises(self):
+        with pytest.raises(ValueError):
+            radius_to_degrees(10.0, 90.0)
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self, projection, origin):
+        assert projection.to_local(origin) == (0.0, 0.0)
+
+    def test_roundtrip(self, projection):
+        p = projection.to_geo(123.4, -56.7)
+        x, y = projection.to_local(p)
+        assert x == pytest.approx(123.4, abs=1e-6)
+        assert y == pytest.approx(-56.7, abs=1e-6)
+
+    def test_vectorised_matches_scalar(self, projection, rng):
+        lats = 40.003 + rng.uniform(-0.01, 0.01, 20)
+        lngs = 116.326 + rng.uniform(-0.01, 0.01, 20)
+        xy = projection.to_local_arrays(lats, lngs)
+        for i in range(20):
+            x, y = projection.to_local(GeoPoint(float(lats[i]), float(lngs[i])))
+            assert xy[i, 0] == pytest.approx(x, abs=1e-9)
+            assert xy[i, 1] == pytest.approx(y, abs=1e-9)
+
+
+class TestGeoPoint:
+    def test_validates_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_validates_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_as_tuple(self):
+        assert GeoPoint(1.0, 2.0).as_tuple() == (1.0, 2.0)

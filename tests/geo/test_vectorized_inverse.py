@@ -1,0 +1,50 @@
+"""Tests for the vectorised inverse projection and batch queries."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, CloudServer, Query
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.traces.dataset import random_representative_fovs
+
+
+class TestToGeoArrays:
+    def test_matches_scalar(self, projection, rng):
+        xy = rng.uniform(-2000, 2000, (50, 2))
+        lats, lngs = projection.to_geo_arrays(xy)
+        for i in range(50):
+            p = projection.to_geo(float(xy[i, 0]), float(xy[i, 1]))
+            assert lats[i] == pytest.approx(p.lat, abs=1e-12)
+            assert lngs[i] == pytest.approx(p.lng, abs=1e-12)
+
+    def test_roundtrip(self, projection, rng):
+        xy = rng.uniform(-5000, 5000, (100, 2))
+        lats, lngs = projection.to_geo_arrays(xy)
+        back = projection.to_local_arrays(lats, lngs)
+        assert np.allclose(back, xy, atol=1e-6)
+
+    def test_empty(self, projection):
+        lats, lngs = projection.to_geo_arrays(np.empty((0, 2)))
+        assert lats.size == 0 and lngs.size == 0
+
+
+class TestBatchQueries:
+    def test_query_many_matches_singles(self, camera, rng):
+        server = CloudServer(camera)
+        reps = random_representative_fovs(500, rng)
+        server.ingest(reps)
+        queries = []
+        for _ in range(10):
+            anchor = reps[int(rng.integers(len(reps)))]
+            queries.append(Query(t_start=anchor.t_start - 100,
+                                 t_end=anchor.t_end + 100,
+                                 center=anchor.point, radius=200.0))
+        batch = server.query_many(queries)
+        singles = [server.query(q) for q in queries]
+        assert [r.keys() for r in batch] == [r.keys() for r in singles]
+        assert server.stats.queries_served == 20
+
+    def test_empty_batch(self, camera):
+        server = CloudServer(camera)
+        assert server.query_many([]) == []

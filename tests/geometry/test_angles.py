@@ -1,0 +1,167 @@
+"""Unit tests for angle arithmetic (wrap, fold, circular statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import (
+    angle_between,
+    angular_difference,
+    circular_mean,
+    circular_variance,
+    fold_to_acute,
+    normalize_angle,
+    normalize_angle_signed,
+    unwrap_degrees,
+)
+
+
+class TestNormalizeAngle:
+    def test_identity_in_range(self):
+        assert normalize_angle(45.0) == 45.0
+
+    def test_wraps_over_360(self):
+        assert normalize_angle(370.0) == pytest.approx(10.0)
+
+    def test_wraps_negative(self):
+        assert normalize_angle(-30.0) == pytest.approx(330.0)
+
+    def test_multiple_turns(self):
+        assert normalize_angle(725.0) == pytest.approx(5.0)
+
+    def test_array_input(self):
+        out = normalize_angle(np.array([-10.0, 0.0, 360.0, 540.0]))
+        assert np.allclose(out, [350.0, 0.0, 0.0, 180.0])
+
+
+class TestNormalizeAngleSigned:
+    def test_small_positive(self):
+        assert normalize_angle_signed(30.0) == pytest.approx(30.0)
+
+    def test_wraps_to_negative(self):
+        assert normalize_angle_signed(270.0) == pytest.approx(-90.0)
+
+    def test_exact_180_maps_to_positive(self):
+        assert normalize_angle_signed(180.0) == pytest.approx(180.0)
+        assert normalize_angle_signed(-180.0) == pytest.approx(180.0)
+
+    def test_array(self):
+        out = normalize_angle_signed(np.array([0.0, 359.0, 181.0]))
+        assert np.allclose(out, [0.0, -1.0, -179.0])
+
+
+class TestAngularDifference:
+    def test_zero_for_equal(self):
+        assert angular_difference(123.0, 123.0) == 0.0
+
+    def test_simple(self):
+        assert angular_difference(10.0, 50.0) == pytest.approx(40.0)
+
+    def test_wraparound_shorter_arc(self):
+        assert angular_difference(350.0, 10.0) == pytest.approx(20.0)
+
+    def test_max_is_180(self):
+        assert angular_difference(0.0, 180.0) == pytest.approx(180.0)
+
+    def test_symmetric(self):
+        assert angular_difference(33.0, 271.0) == angular_difference(271.0, 33.0)
+
+    def test_eq2_definition(self):
+        # delta_theta = min(|t2 - t1|, 360 - |t2 - t1|) for t in [0, 360)
+        for t1, t2 in [(0, 90), (45, 315), (359, 1), (180, 180)]:
+            d = abs(t2 - t1)
+            assert angular_difference(t1, t2) == pytest.approx(min(d, 360 - d))
+
+    def test_broadcast(self):
+        out = angular_difference(np.array([0.0, 90.0]), 45.0)
+        assert np.allclose(out, [45.0, 45.0])
+
+
+class TestAngleBetween:
+    def test_inside_simple_arc(self):
+        assert angle_between(30.0, 0.0, 90.0)
+
+    def test_outside_simple_arc(self):
+        assert not angle_between(120.0, 0.0, 90.0)
+
+    def test_wraparound_arc(self):
+        assert angle_between(5.0, 350.0, 20.0)
+        assert angle_between(355.0, 350.0, 20.0)
+        assert not angle_between(180.0, 350.0, 20.0)
+
+    def test_endpoints_inclusive(self):
+        assert angle_between(350.0, 350.0, 20.0)
+        assert angle_between(20.0, 350.0, 20.0)
+
+
+class TestFoldToAcute:
+    def test_parallel_is_zero(self):
+        assert fold_to_acute(0.0, 0.0) == 0.0
+
+    def test_antiparallel_is_zero(self):
+        # Moving backward along the axis is still a parallel translation.
+        assert fold_to_acute(180.0, 0.0) == pytest.approx(0.0)
+
+    def test_perpendicular_is_90(self):
+        assert fold_to_acute(90.0, 0.0) == pytest.approx(90.0)
+        assert fold_to_acute(270.0, 0.0) == pytest.approx(90.0)
+
+    def test_oblique(self):
+        assert fold_to_acute(45.0, 0.0) == pytest.approx(45.0)
+        assert fold_to_acute(135.0, 0.0) == pytest.approx(45.0)
+
+    def test_relative_to_axis(self):
+        assert fold_to_acute(100.0, 40.0) == pytest.approx(60.0)
+
+    def test_range_bounds(self):
+        rng = np.random.default_rng(0)
+        tp = rng.uniform(0, 360, 200)
+        ax = rng.uniform(0, 360, 200)
+        out = fold_to_acute(tp, ax)
+        assert np.all(out >= 0.0) and np.all(out <= 90.0)
+
+
+class TestCircularMean:
+    def test_plain_mean_when_no_wrap(self):
+        assert circular_mean([10.0, 20.0, 30.0]) == pytest.approx(20.0)
+
+    def test_wraparound(self):
+        # The mean of 359 and 1 is 0 (equivalently 360), never 180.
+        mean = circular_mean([359.0, 1.0])
+        assert angular_difference(mean, 0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_weighted(self):
+        out = circular_mean([0.0, 90.0], weights=[3.0, 1.0])
+        assert 0.0 < out < 45.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean([])
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean([0.0, 180.0])
+
+    def test_bad_weights_raise(self):
+        with pytest.raises(ValueError):
+            circular_mean([0.0, 10.0], weights=[0.0, 0.0])
+
+
+class TestCircularVariance:
+    def test_zero_for_identical(self):
+        assert circular_variance([42.0] * 5) == pytest.approx(0.0)
+
+    def test_one_for_opposed(self):
+        assert circular_variance([0.0, 180.0]) == pytest.approx(1.0)
+
+    def test_monotone_with_spread(self):
+        tight = circular_variance([0.0, 5.0, 10.0])
+        loose = circular_variance([0.0, 60.0, 120.0])
+        assert tight < loose
+
+
+class TestUnwrapDegrees:
+    def test_continuous_through_wrap(self):
+        wrapped = [350.0, 355.0, 0.0, 5.0]
+        out = unwrap_degrees(wrapped)
+        assert np.all(np.diff(out) > 0)
+        assert out[-1] == pytest.approx(365.0)

@@ -1,0 +1,130 @@
+"""Unit tests for sector overlap via convex clipping.
+
+Includes the model-validation test: for co-located sectors the exact
+geometric overlap fraction equals the paper's rotation similarity
+(Eq. 4) -- the overlap interpretation the paper builds Sim_R from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import sim_rotation
+from repro.geometry.overlap import (
+    convex_clip,
+    overlap_fraction,
+    sector_overlap_area,
+    sector_polygon,
+)
+from repro.geometry.polygon import polygon_area
+from repro.geometry.sector import Sector
+from repro.geometry.vec import Vec2
+
+
+def sector(x=0.0, y=0.0, az=0.0, half=30.0, r=100.0):
+    return Sector(Vec2(x, y), az, half, r)
+
+
+class TestConvexClip:
+    def test_overlapping_squares(self):
+        a = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], float)
+        b = np.array([[1, 1], [3, 1], [3, 3], [1, 3]], float)
+        assert polygon_area(convex_clip(a, b)) == pytest.approx(1.0)
+
+    def test_winding_independent(self):
+        a = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], float)
+        b = np.array([[1, 1], [3, 1], [3, 3], [1, 3]], float)
+        assert polygon_area(convex_clip(a, b[::-1])) == pytest.approx(1.0)
+
+    def test_contained(self):
+        outer = np.array([[0, 0], [10, 0], [10, 10], [0, 10]], float)
+        inner = np.array([[2, 2], [3, 2], [3, 3], [2, 3]], float)
+        assert polygon_area(convex_clip(inner, outer)) == pytest.approx(1.0)
+        assert polygon_area(convex_clip(outer, inner)) == pytest.approx(1.0)
+
+    def test_disjoint_empty(self):
+        a = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], float)
+        b = np.array([[5, 5], [6, 5], [6, 6], [5, 6]], float)
+        assert convex_clip(a, b).shape[0] < 3 or \
+            polygon_area(convex_clip(a, b)) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSectorPolygon:
+    def test_area_converges_to_sector(self):
+        s = sector()
+        approx = polygon_area(sector_polygon(s, arc_points=128))
+        assert approx == pytest.approx(s.area(), rel=1e-3)
+
+    def test_rejects_reflex(self):
+        with pytest.raises(ValueError):
+            sector_polygon(sector(half=100.0))
+
+    def test_rejects_tiny_arc(self):
+        with pytest.raises(ValueError):
+            sector_polygon(sector(), arc_points=1)
+
+
+class TestSectorOverlap:
+    def test_self_overlap_is_area(self):
+        s = sector()
+        assert sector_overlap_area(s, s) == pytest.approx(s.area(), rel=1e-3)
+        assert overlap_fraction(s, s) == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetric(self):
+        a = sector(az=10.0)
+        b = sector(x=30.0, y=20.0, az=50.0)
+        assert sector_overlap_area(a, b) == pytest.approx(
+            sector_overlap_area(b, a), rel=1e-9)
+
+    def test_opposite_directions_zero(self):
+        assert sector_overlap_area(sector(az=0.0), sector(az=180.0)) == 0.0
+
+    def test_far_apart_zero(self):
+        assert sector_overlap_area(sector(), sector(x=500.0)) == 0.0
+
+    def test_rotation_overlap_matches_eq4(self):
+        """Co-located sectors: exact overlap fraction == Sim_R (Eq. 4)."""
+        base = sector()
+        for dtheta in (0.0, 10.0, 25.0, 45.0, 59.0, 61.0, 90.0):
+            frac = overlap_fraction(base, sector(az=dtheta), arc_points=256)
+            assert frac == pytest.approx(
+                sim_rotation(dtheta, 30.0), abs=2e-3), f"dtheta={dtheta}"
+
+    def test_monotone_in_separation(self):
+        base = sector()
+        areas = [sector_overlap_area(base, sector(x=d))
+                 for d in (0.0, 20.0, 50.0, 90.0, 130.0)]
+        assert all(b <= a + 1e-9 for a, b in zip(areas, areas[1:]))
+
+    def test_correlates_with_overlap_for_similar_orientations(self, rng):
+        """For near-parallel cameras, Eq. 10 tracks true area overlap.
+
+        Restricted to similar orientations on purpose: for *opposed*
+        cameras the two measures diverge by design -- their sectors can
+        overlap almost entirely in area while Sim is 0, because they
+        film opposite faces of the same space (see the next test).
+        """
+        from repro.core.similarity import similarity_local
+        from repro import CameraModel
+        camera = CameraModel()
+        sims, overlaps = [], []
+        for _ in range(60):
+            dx, dy = rng.uniform(-120, 120, 2)
+            t1 = float(rng.uniform(0, 360))
+            t2 = t1 + float(rng.uniform(-40, 40))
+            sims.append(float(similarity_local(dx, dy, t1, t2, camera)))
+            overlaps.append(overlap_fraction(
+                sector(az=t1), sector(x=dx, y=dy, az=t2), arc_points=32))
+        corr = float(np.corrcoef(sims, overlaps)[0, 1])
+        assert corr > 0.6, f"model vs geometry correlation too low: {corr}"
+
+    def test_opposed_cameras_overlap_without_similarity(self):
+        """Facing cameras: large area overlap, zero model similarity --
+        the content-free measure is about *shared view direction*, not
+        shared floor space (you cannot match footage of the front of a
+        building against footage of its back)."""
+        from repro.core.similarity import similarity_local
+        from repro import CameraModel
+        a = sector(az=0.0)
+        b = sector(x=0.0, y=100.0, az=180.0)   # 100 m ahead, facing back
+        assert overlap_fraction(a, b) > 0.4
+        assert similarity_local(0.0, 100.0, 0.0, 180.0, CameraModel()) == 0.0

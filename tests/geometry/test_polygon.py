@@ -1,0 +1,104 @@
+"""Unit tests for polygon area and rectangle-union sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import (
+    clip_rectangle,
+    polygon_area,
+    rectangle_union_area,
+    rectangle_union_length_1d,
+)
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        assert polygon_area([(0, 0), (1, 0), (1, 1), (0, 1)]) == 1.0
+
+    def test_winding_invariant(self):
+        cw = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        ccw = list(reversed(cw))
+        assert polygon_area(cw) == polygon_area(ccw) == 1.0
+
+    def test_triangle(self):
+        assert polygon_area([(0, 0), (4, 0), (0, 3)]) == 6.0
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            polygon_area([(0, 0), (1, 1)])
+
+
+class TestUnionLength1D:
+    def test_empty(self):
+        assert rectangle_union_length_1d(np.empty((0, 2))) == 0.0
+
+    def test_disjoint(self):
+        assert rectangle_union_length_1d([(0, 1), (2, 3)]) == 2.0
+
+    def test_overlapping(self):
+        assert rectangle_union_length_1d([(0, 2), (1, 3)]) == 3.0
+
+    def test_nested(self):
+        assert rectangle_union_length_1d([(0, 10), (2, 3)]) == 10.0
+
+    def test_touching(self):
+        assert rectangle_union_length_1d([(0, 1), (1, 2)]) == 2.0
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            rectangle_union_length_1d([(2, 1)])
+
+
+class TestUnionArea:
+    def test_empty(self):
+        assert rectangle_union_area([]) == 0.0
+
+    def test_single(self):
+        assert rectangle_union_area([(0, 0, 2, 3)]) == 6.0
+
+    def test_disjoint_sum(self):
+        assert rectangle_union_area([(0, 0, 1, 1), (5, 5, 7, 6)]) == 3.0
+
+    def test_identical_count_once(self):
+        assert rectangle_union_area([(0, 0, 2, 2)] * 4) == 4.0
+
+    def test_partial_overlap(self):
+        # Two 2x2 squares overlapping in a 1x1 corner: 4 + 4 - 1.
+        assert rectangle_union_area([(0, 0, 2, 2), (1, 1, 3, 3)]) == 7.0
+
+    def test_cross_shape(self):
+        # Horizontal 6x2 and vertical 2x6 bars crossing: 12 + 12 - 4.
+        out = rectangle_union_area([(-3, -1, 3, 1), (-1, -3, 1, 3)])
+        assert out == 20.0
+
+    def test_degenerate_contributes_zero(self):
+        assert rectangle_union_area([(0, 0, 0, 5), (1, 1, 1, 1)]) == 0.0
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            rectangle_union_area([(1, 0, 0, 1)])
+
+    def test_montecarlo_agreement(self, rng):
+        """Sweep-line area must match Monte-Carlo estimation."""
+        rects = []
+        for _ in range(12):
+            x0, y0 = rng.uniform(0, 8, 2)
+            rects.append((x0, y0, x0 + rng.uniform(0.5, 3), y0 + rng.uniform(0.5, 3)))
+        exact = rectangle_union_area(rects)
+        pts = rng.uniform(0, 12, size=(200_000, 2))
+        r = np.asarray(rects)
+        inside = ((pts[:, None, 0] >= r[None, :, 0]) & (pts[:, None, 0] <= r[None, :, 2]) &
+                  (pts[:, None, 1] >= r[None, :, 1]) & (pts[:, None, 1] <= r[None, :, 3]))
+        mc = inside.any(axis=1).mean() * 144.0
+        assert exact == pytest.approx(mc, rel=0.05)
+
+
+class TestClipRectangle:
+    def test_inside_unchanged(self):
+        assert clip_rectangle((1, 1, 2, 2), (0, 0, 10, 10)) == (1, 1, 2, 2)
+
+    def test_partial_clip(self):
+        assert clip_rectangle((-1, -1, 5, 5), (0, 0, 3, 3)) == (0, 0, 3, 3)
+
+    def test_disjoint_returns_none(self):
+        assert clip_rectangle((10, 10, 12, 12), (0, 0, 5, 5)) is None

@@ -1,0 +1,156 @@
+"""Unit tests for the viewing sector and its predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.sector import (
+    Sector,
+    sector_circle_intersects,
+    sector_contains_point,
+    sector_contains_points,
+    sectors_overlap_angle,
+)
+from repro.geometry.vec import Vec2
+
+
+def north_sector(radius=100.0, half_angle=30.0, apex=Vec2(0, 0)):
+    return Sector(apex=apex, azimuth=0.0, half_angle=half_angle, radius=radius)
+
+
+class TestSectorValidation:
+    def test_rejects_zero_half_angle(self):
+        with pytest.raises(ValueError):
+            Sector(Vec2(0, 0), 0.0, 0.0, 10.0)
+
+    def test_rejects_wide_half_angle(self):
+        with pytest.raises(ValueError):
+            Sector(Vec2(0, 0), 0.0, 181.0, 10.0)
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(ValueError):
+            Sector(Vec2(0, 0), 0.0, 30.0, 0.0)
+
+    def test_angle_range_wraps(self):
+        s = Sector(Vec2(0, 0), 10.0, 30.0, 10.0)
+        assert s.angle_range == (340.0, 40.0)
+
+    def test_area(self):
+        s = north_sector(radius=10.0, half_angle=90.0)  # half disc
+        assert s.area() == pytest.approx(np.pi * 100.0 / 2.0)
+
+
+class TestContainsPoint:
+    def test_apex_inside(self):
+        assert sector_contains_point(north_sector(), Vec2(0, 0))
+
+    def test_straight_ahead_inside(self):
+        assert sector_contains_point(north_sector(), Vec2(0, 50))
+
+    def test_beyond_radius_outside(self):
+        assert not sector_contains_point(north_sector(), Vec2(0, 101))
+
+    def test_on_arc_inside(self):
+        assert sector_contains_point(north_sector(), Vec2(0, 100))
+
+    def test_outside_wedge(self):
+        # 45 deg off-axis > 30 deg half angle.
+        assert not sector_contains_point(north_sector(), Vec2(50, 50))
+
+    def test_on_edge_inside(self):
+        # Exactly 30 deg off axis.
+        p = Vec2(50 * np.sin(np.radians(30)), 50 * np.cos(np.radians(30)))
+        assert sector_contains_point(north_sector(), p)
+
+    def test_behind_outside(self):
+        assert not sector_contains_point(north_sector(), Vec2(0, -10))
+
+    def test_wrapping_azimuth(self):
+        s = Sector(Vec2(0, 0), 350.0, 30.0, 100.0)
+        assert sector_contains_point(s, Vec2(0, 50))       # north within (320, 20)
+        assert not sector_contains_point(s, Vec2(50, 0))   # east outside
+
+
+class TestContainsPointsVectorised:
+    def test_matches_scalar(self, rng):
+        apexes = rng.uniform(-50, 50, size=(8, 2))
+        azimuths = rng.uniform(0, 360, size=8)
+        points = rng.uniform(-120, 120, size=(20, 2))
+        out = sector_contains_points(apexes, azimuths, 30.0, 100.0, points)
+        assert out.shape == (8, 20)
+        for i in range(8):
+            s = Sector(Vec2(*apexes[i]), float(azimuths[i]), 30.0, 100.0)
+            for j in range(20):
+                assert out[i, j] == sector_contains_point(s, Vec2(*points[j])), (
+                    f"mismatch at sector {i}, point {j}"
+                )
+
+
+class TestCircleIntersects:
+    def test_disc_containing_apex(self):
+        assert sector_circle_intersects(north_sector(), Vec2(0, -3), 5.0)
+
+    def test_center_inside_sector(self):
+        assert sector_circle_intersects(north_sector(), Vec2(0, 50), 1.0)
+
+    def test_disc_far_away(self):
+        assert not sector_circle_intersects(north_sector(), Vec2(0, 300), 10.0)
+
+    def test_disc_behind(self):
+        assert not sector_circle_intersects(north_sector(), Vec2(0, -50), 10.0)
+
+    def test_disc_touching_edge(self):
+        # Circle centred east of the sector, touching the right edge.
+        edge_dir = np.radians(30.0)
+        mid_edge = Vec2(50 * np.sin(edge_dir), 50 * np.cos(edge_dir))
+        outward = Vec2(np.cos(edge_dir), -np.sin(edge_dir))  # perpendicular
+        c = mid_edge + outward * 4.0
+        assert sector_circle_intersects(north_sector(), c, 4.5)
+        assert not sector_circle_intersects(north_sector(), c, 3.0)
+
+    def test_disc_beyond_arc_within_reach(self):
+        assert sector_circle_intersects(north_sector(), Vec2(0, 105), 6.0)
+        assert not sector_circle_intersects(north_sector(), Vec2(0, 105), 4.0)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            sector_circle_intersects(north_sector(), Vec2(0, 0), -1.0)
+
+    def test_montecarlo_against_sampling(self, rng):
+        """The predicate must agree with dense point sampling of the disc."""
+        for _ in range(30):
+            s = Sector(Vec2(*rng.uniform(-20, 20, 2)),
+                       float(rng.uniform(0, 360)), 35.0, 60.0)
+            c = Vec2(*rng.uniform(-80, 80, 2))
+            r = float(rng.uniform(1.0, 25.0))
+            # Sample the disc densely.
+            phi = rng.uniform(0, 2 * np.pi, 400)
+            rad = np.sqrt(rng.uniform(0, 1, 400)) * r
+            pts = np.stack([c.x + rad * np.cos(phi), c.y + rad * np.sin(phi)],
+                           axis=-1)
+            sampled = sector_contains_points(
+                np.array([[s.apex.x, s.apex.y]]), np.array([s.azimuth]),
+                s.half_angle, s.radius, pts,
+            ).any()
+            predicate = sector_circle_intersects(s, c, r)
+            if sampled:
+                assert predicate, "sampling found overlap the predicate missed"
+            # (predicate may be True when only the boundary sliver overlaps;
+            # sampling can miss that, so no assertion the other way)
+
+
+class TestOverlapAngle:
+    def test_identical(self):
+        assert sectors_overlap_angle(10.0, 10.0, 30.0) == 60.0
+
+    def test_partial(self):
+        assert sectors_overlap_angle(0.0, 20.0, 30.0) == pytest.approx(40.0)
+
+    def test_disjoint(self):
+        assert sectors_overlap_angle(0.0, 90.0, 30.0) == 0.0
+
+    def test_wraparound(self):
+        assert sectors_overlap_angle(350.0, 10.0, 30.0) == pytest.approx(40.0)
+
+    def test_wide_sectors_min_overlap(self):
+        # Two 150-deg half-angle sectors always overlap >= 2*300 - 360.
+        assert sectors_overlap_angle(0.0, 180.0, 150.0) == pytest.approx(240.0)

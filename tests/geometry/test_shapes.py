@@ -1,0 +1,117 @@
+"""Unit tests for box algebra (the R-tree's substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.shapes import (
+    Box,
+    box_area,
+    box_contains,
+    box_intersects,
+    box_union,
+    boxes_intersect_matrix,
+    boxes_union_all,
+    enlargement,
+    stacked_area,
+    stacked_margin,
+    stacked_union,
+)
+
+
+class TestBoxValidation:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Box((1.0,), (0.0,))
+
+    def test_rejects_mismatched_dims(self):
+        with pytest.raises(ValueError):
+            Box((0.0,), (1.0, 2.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box((), ())
+
+    def test_degenerate_allowed(self):
+        b = Box.from_point((1.0, 2.0, 3.0))
+        assert b.mins == b.maxs
+        assert box_area(b) == 0.0
+
+    def test_center_and_extents(self):
+        b = Box((0.0, 0.0), (4.0, 2.0))
+        assert b.center == (2.0, 1.0)
+        assert b.extents() == (4.0, 2.0)
+
+
+class TestPredicates:
+    def test_area(self):
+        assert box_area(Box((0, 0, 0), (2, 3, 4))) == 24.0
+
+    def test_intersects_overlapping(self):
+        assert box_intersects(Box((0, 0), (2, 2)), Box((1, 1), (3, 3)))
+
+    def test_intersects_touching(self):
+        assert box_intersects(Box((0, 0), (1, 1)), Box((1, 1), (2, 2)))
+
+    def test_disjoint(self):
+        assert not box_intersects(Box((0, 0), (1, 1)), Box((2, 2), (3, 3)))
+
+    def test_contains(self):
+        outer = Box((0, 0), (10, 10))
+        assert box_contains(outer, Box((1, 1), (9, 9)))
+        assert box_contains(outer, outer)
+        assert not box_contains(outer, Box((5, 5), (11, 11)))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            box_intersects(Box((0,), (1,)), Box((0, 0), (1, 1)))
+
+
+class TestUnion:
+    def test_union_covers_both(self):
+        a, b = Box((0, 0), (1, 1)), Box((2, -1), (3, 0.5))
+        u = box_union(a, b)
+        assert box_contains(u, a) and box_contains(u, b)
+        assert u == Box((0, -1), (3, 1))
+
+    def test_union_all(self):
+        boxes = [Box((i, i), (i + 1, i + 1)) for i in range(5)]
+        u = boxes_union_all(boxes)
+        assert u == Box((0, 0), (5, 5))
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxes_union_all([])
+
+    def test_enlargement(self):
+        mbr = Box((0, 0), (2, 2))
+        assert enlargement(mbr, Box((1, 1), (2, 2))) == 0.0
+        assert enlargement(mbr, Box((0, 0), (4, 2))) == pytest.approx(4.0)
+
+
+class TestStackedKernels:
+    def test_stacked_area_margin(self):
+        mins = np.array([[0.0, 0.0], [1.0, 1.0]])
+        maxs = np.array([[2.0, 3.0], [1.0, 4.0]])
+        assert np.allclose(stacked_area(mins, maxs), [6.0, 0.0])
+        assert np.allclose(stacked_margin(mins, maxs), [5.0, 3.0])
+
+    def test_stacked_union(self):
+        mins = np.array([[0.0, 0.0]])
+        maxs = np.array([[1.0, 1.0]])
+        u_min, u_max = stacked_union(mins, maxs, np.array([-1.0, 0.5]),
+                                     np.array([0.5, 2.0]))
+        assert np.allclose(u_min, [[-1.0, 0.0]])
+        assert np.allclose(u_max, [[1.0, 2.0]])
+
+    def test_intersect_matrix_matches_scalar(self, rng):
+        a_min = rng.uniform(0, 10, (6, 3))
+        a_max = a_min + rng.uniform(0, 5, (6, 3))
+        b_min = rng.uniform(0, 10, (9, 3))
+        b_max = b_min + rng.uniform(0, 5, (9, 3))
+        mat = boxes_intersect_matrix(a_min, a_max, b_min, b_max)
+        assert mat.shape == (6, 9)
+        for i in range(6):
+            for j in range(9):
+                expect = box_intersects(Box.from_arrays(a_min[i], a_max[i]),
+                                        Box.from_arrays(b_min[j], b_max[j]))
+                assert mat[i, j] == expect

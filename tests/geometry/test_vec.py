@@ -1,0 +1,109 @@
+"""Unit tests for 2-D vector helpers and the compass convention."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import (
+    Vec2,
+    bearing_of,
+    distance,
+    heading_to_unit,
+    rotate,
+    unit_to_heading,
+)
+
+
+class TestVec2:
+    def test_arithmetic(self):
+        a, b = Vec2(1, 2), Vec2(3, -1)
+        assert a + b == Vec2(4, 1)
+        assert a - b == Vec2(-2, 3)
+        assert 2 * a == Vec2(2, 4)
+        assert -a == Vec2(-1, -2)
+
+    def test_dot_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+
+    def test_norm_and_normalized(self):
+        v = Vec2(3, 4)
+        assert v.norm() == 5.0
+        assert v.normalized().norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0, 0).normalized()
+
+    def test_array_roundtrip(self):
+        v = Vec2(1.5, -2.5)
+        assert Vec2.from_array(v.as_array()) == v
+
+
+class TestCompassConvention:
+    def test_north_is_plus_y(self):
+        u = heading_to_unit(0.0)
+        assert np.allclose(u, [0.0, 1.0])
+
+    def test_east_is_plus_x(self):
+        u = heading_to_unit(90.0)
+        assert np.allclose(u, [1.0, 0.0], atol=1e-12)
+
+    def test_roundtrip(self):
+        for theta in [0.0, 30.0, 90.0, 179.0, 270.0, 359.0]:
+            assert unit_to_heading(heading_to_unit(theta)) == pytest.approx(theta)
+
+    def test_array_form(self):
+        thetas = np.array([0.0, 90.0, 180.0, 270.0])
+        u = heading_to_unit(thetas)
+        assert u.shape == (4, 2)
+        back = unit_to_heading(u)
+        assert np.allclose(back, thetas, atol=1e-9)
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert bearing_of(Vec2(0, 0), Vec2(0, 10)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert bearing_of(Vec2(0, 0), Vec2(10, 0)) == pytest.approx(90.0)
+
+    def test_south_west(self):
+        b = bearing_of(Vec2(0, 0), Vec2(-1, -1))
+        assert b == pytest.approx(225.0)
+
+    def test_array_inputs(self):
+        a = np.zeros((3, 2))
+        b = np.array([[0, 1], [1, 0], [0, -1]], dtype=float)
+        assert np.allclose(bearing_of(a, b), [0.0, 90.0, 180.0])
+
+
+class TestDistance:
+    def test_vec2(self):
+        assert distance(Vec2(0, 0), Vec2(3, 4)) == 5.0
+
+    def test_arrays(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[3.0, 4.0], [1.0, 1.0]])
+        assert np.allclose(distance(a, b), [5.0, 0.0])
+
+
+class TestRotate:
+    def test_plus_90_north_to_east(self):
+        v = rotate(Vec2(0, 1), 90.0)
+        assert v.x == pytest.approx(1.0)
+        assert v.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_heading_addition(self):
+        # unit(theta) rotated by d equals unit(theta + d)
+        for theta, d in [(0, 45), (30, 90), (300, 120)]:
+            v = rotate(heading_to_unit(float(theta)), float(d))
+            assert unit_to_heading(v) == pytest.approx((theta + d) % 360)
+
+    def test_preserves_norm(self):
+        v = rotate(Vec2(3, 4), 37.0)
+        assert v.norm() == pytest.approx(5.0)
+
+    def test_array_form(self):
+        vs = heading_to_unit(np.array([0.0, 90.0]))
+        out = rotate(vs, 90.0)
+        assert np.allclose(unit_to_heading(out), [90.0, 180.0])

@@ -1,0 +1,139 @@
+"""End-to-end integration: capture -> segment -> upload -> index -> query
+-> fetch, across multiple providers, exactly the Figure 1 workflow."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, ClientPipeline, CloudServer, Query
+from repro.core.segmentation import SegmentationConfig
+from repro.eval.accuracy import aggregate_metrics
+from repro.eval.groundtruth import relevant_segments
+from repro.net.clock import DeviceClock
+from repro.traces.dataset import CityDataset
+from repro.traces.noise import SensorNoiseModel
+from repro.core.fov import FoV
+
+
+@pytest.fixture(scope="module")
+def city():
+    return CityDataset(n_providers=8, seed=42)
+
+
+@pytest.fixture(scope="module")
+def city_server(city):
+    server = CloudServer(city.camera)
+    for rec in city.recordings:
+        server.register_client(city.clients[rec.device_id])
+        server.receive_bundle(rec.bundle.payload, device_id=rec.device_id)
+    return server
+
+
+class TestFullWorkflow:
+    def test_everything_indexed(self, city, city_server):
+        assert city_server.indexed_count == len(city.all_representatives())
+
+    def test_queries_answerable_and_fetchable(self, city, city_server):
+        rng = np.random.default_rng(7)
+        t0, t1 = city.time_span()
+        answered = 0
+        for _ in range(10):
+            qp = city.random_query_point(rng)
+            res = city_server.query(Query(t_start=t0, t_end=t1, center=qp,
+                                          radius=60.0, top_n=5))
+            if len(res) == 0:
+                continue
+            answered += 1
+            seg = city_server.fetch_segment(res.ranked[0].fov)
+            assert seg.records, "fetched segment must contain frames"
+            # The fetched segment's time range matches the indexed record.
+            rep = res.ranked[0].fov
+            assert seg.records[0].t == pytest.approx(rep.t_start)
+            assert seg.records[-1].t == pytest.approx(rep.t_end)
+        assert answered >= 3, "too few answerable queries in a dense city"
+
+    def test_results_ranked_and_within_radius_of_view(self, city, city_server):
+        rng = np.random.default_rng(8)
+        t0, t1 = city.time_span()
+        for _ in range(5):
+            qp = city.random_query_point(rng)
+            res = city_server.query(Query(t_start=t0, t_end=t1, center=qp,
+                                          radius=80.0, top_n=10))
+            dists = [r.distance for r in res.ranked]
+            assert dists == sorted(dists)
+            assert all(r.covers for r in res.ranked)
+            assert all(r.distance <= city.camera.radius for r in res.ranked)
+
+    def test_retrieval_matches_ground_truth_reasonably(self, city, city_server):
+        """FoV retrieval finds most truly-covering segments (recall) and
+        what it returns mostly covers (precision) -- the abstract's
+        'comparable search accuracy' sanity floor."""
+        rng = np.random.default_rng(9)
+        t0, t1 = city.time_span()
+        metrics = []
+        for _ in range(15):
+            qp = city.random_query_point(rng)
+            xy = city.projection.to_local_arrays([qp.lat], [qp.lng])[0]
+            truth = relevant_segments(city, xy, (t0, t1))
+            if not truth:
+                continue
+            res = city_server.query(Query(t_start=t0, t_end=t1, center=qp,
+                                          radius=100.0, top_n=10))
+            metrics.append(aggregate_metrics(res.keys(), truth, k=10))
+        assert metrics, "no queries had any relevant segments"
+        mean_recall = float(np.mean([m.recall for m in metrics]))
+        mean_precision = float(np.mean([m.precision for m in metrics]))
+        assert mean_recall > 0.4, f"recall too low: {mean_recall}"
+        assert mean_precision > 0.4, f"precision too low: {mean_precision}"
+
+    def test_traffic_negligible(self, city, city_server):
+        """Descriptor traffic is orders of magnitude below raw upload."""
+        total_desc = city.total_descriptor_bytes()
+        raw = city_server.traffic.profile.bytes_for(
+            city.total_recording_seconds())
+        assert raw / total_desc > 1000
+
+
+class TestClockSkewInsensitivity:
+    def test_subsecond_skew_preserves_results(self, camera):
+        """Section VI-A: sub-second clock error does not change answers."""
+        from repro.traces.scenarios import walk_scenario
+        trace = walk_scenario(duration_s=60, fps=10,
+                              noise=SensorNoiseModel.ideal())
+
+        def build(skew_s):
+            client = ClientPipeline("dev", camera)
+            server = CloudServer(camera)
+            server.register_client(client)
+            clock = DeviceClock(offset_s=skew_s)
+            client.start_recording("vid")
+            for rec in trace:
+                client.push(FoV(t=clock.local_time(rec.t), lat=rec.lat,
+                                lng=rec.lng, theta=rec.theta))
+            bundle = client.stop_recording()
+            server.receive_bundle(bundle.payload, device_id="dev")
+            return server
+
+        q = Query(t_start=-5.0, t_end=65.0, center=trace[30].point,
+                  radius=80.0, top_n=10)
+        baseline = build(0.0).query(q).keys()
+        skewed = build(0.4).query(q).keys()
+        assert baseline == skewed
+
+    def test_large_skew_does_break_results(self, camera):
+        """Sanity check of the test above: hour-scale skew shifts segments
+        out of the query window, so the insensitivity is really about the
+        *magnitude* of the error."""
+        from repro.traces.scenarios import walk_scenario
+        trace = walk_scenario(duration_s=60, fps=10,
+                              noise=SensorNoiseModel.ideal())
+        client = ClientPipeline("dev", camera)
+        server = CloudServer(camera)
+        server.register_client(client)
+        client.start_recording("vid")
+        for rec in trace:
+            client.push(FoV(t=rec.t + 3600.0, lat=rec.lat, lng=rec.lng,
+                            theta=rec.theta))
+        server.receive_bundle(client.stop_recording().payload, device_id="dev")
+        q = Query(t_start=-5.0, t_end=65.0, center=trace[30].point,
+                  radius=80.0)
+        assert len(server.query(q)) == 0

@@ -1,0 +1,62 @@
+"""Operational integration: retention, snapshots and the live service
+working together — the lifecycle a real deployment runs daily."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, CloudServer, Query
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.sim.simulation import ServiceSimulation, SimulationConfig
+
+
+class TestServiceLifecycle:
+    @pytest.fixture(scope="class")
+    def served(self):
+        cfg = SimulationConfig(duration_s=1800.0, n_providers=8,
+                               recordings_per_provider=1.5,
+                               query_rate_hz=0.01, seed=17)
+        sim = ServiceSimulation(cfg)
+        sim.run()
+        return sim
+
+    def test_snapshot_after_service_roundtrips(self, served, tmp_path):
+        """Nightly snapshot: dump the live index, reload, same answers."""
+        server = served.server
+        records = [fov for _, _, fov in server.index._index.items()]
+        assert records, "the simulated service must have indexed something"
+        path = tmp_path / "nightly.fov"
+        save_snapshot(path, records)
+        restored, loaded = load_snapshot(path)
+        assert len(restored) == server.indexed_count
+
+        q = Query(t_start=0.0, t_end=1800.0,
+                  center=records[0].point, radius=300.0, top_n=50)
+        assert sorted(f.key() for f in restored.range_search(q)) == \
+            sorted(f.key() for f in server.index.range_search(q))
+
+    def test_retention_during_service(self, served):
+        """Evicting the first half-hour leaves later queries intact."""
+        server = served.server
+        before = server.indexed_count
+        cutoff = 900.0
+        old = sum(1 for _, _, f in server.index._index.items()
+                  if f.t_end < cutoff)
+        evicted = server.evict_older_than(cutoff)
+        assert evicted == old
+        assert server.indexed_count == before - evicted
+        # Early-window queries now come back empty...
+        early = Query(t_start=0.0, t_end=cutoff - 1.0,
+                      center=served.projection.to_geo(400.0, 400.0),
+                      radius=5000.0, top_n=50)
+        assert all(f.t_end >= cutoff
+                   for f in server.index.range_search(early))
+        # ...and the index is still structurally sound.
+        from repro.spatial.metrics import check_invariants
+        check_invariants(server.index._index)
+
+    def test_stats_reflect_lifecycle(self, served):
+        stats = served.server.stats
+        assert stats.bundles_received == served.report.recordings_completed
+        assert stats.queries_served >= served.report.queries_issued - \
+            served.report.queries_issued  # served counts only routed queries
+        assert stats.descriptor_bytes_in == served.report.descriptor_bytes

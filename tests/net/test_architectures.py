@@ -1,0 +1,95 @@
+"""Unit tests for the Section I architecture cost models."""
+
+import pytest
+
+from repro.net.architectures import (
+    ArchitectureCosts,
+    CostConstants,
+    Workload,
+    compare_architectures,
+)
+from repro.net.traffic import VideoProfile
+
+WORKLOAD = Workload(
+    n_providers=100,
+    video_seconds_per_provider=300.0,
+    fps=30.0,
+    segments_per_provider=20,
+    n_queries=50,
+    matched_segments_per_query=5,
+    matched_segment_seconds=30.0,
+)
+
+
+class TestWorkload:
+    def test_totals(self):
+        assert WORKLOAD.total_video_seconds == 30_000.0
+        assert WORKLOAD.total_frames == 900_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(n_providers=-1, video_seconds_per_provider=1, fps=30,
+                     segments_per_provider=1, n_queries=1,
+                     matched_segments_per_query=1, matched_segment_seconds=1)
+        with pytest.raises(ValueError):
+            Workload(n_providers=1, video_seconds_per_provider=1, fps=0,
+                     segments_per_provider=1, n_queries=1,
+                     matched_segments_per_query=1, matched_segment_seconds=1)
+
+
+class TestCompare:
+    def test_names_and_order(self):
+        rows = compare_architectures(WORKLOAD)
+        assert [r.name for r in rows] == [
+            "data-centric", "query-centric", "content-free (FoV)"]
+
+    def test_content_free_wins_network(self):
+        data, query, free = compare_architectures(WORKLOAD)
+        # The on-demand evidence fetch dominates the content-free and
+        # query-centric totals equally; the decisive gap is the upfront
+        # full-footage upload only data-centric pays.
+        assert free.network_bytes < data.network_bytes / 10
+        assert free.network_bytes <= query.network_bytes
+
+    def test_upfront_gap_is_orders_of_magnitude(self):
+        # With no queries issued yet, content-free has moved only
+        # descriptor bytes while data-centric has moved all the footage.
+        idle = Workload(n_providers=100, video_seconds_per_provider=300.0,
+                        fps=30.0, segments_per_provider=20, n_queries=0,
+                        matched_segments_per_query=0,
+                        matched_segment_seconds=0.0)
+        data, _, free = compare_architectures(idle)
+        assert data.network_bytes / free.network_bytes > 100_000
+
+    def test_content_free_wins_phone_cpu(self):
+        _, query, free = compare_architectures(WORKLOAD)
+        assert free.phone_cpu_s < query.phone_cpu_s / 100
+
+    def test_content_free_wins_latency(self):
+        data, query, free = compare_architectures(WORKLOAD)
+        assert free.per_query_latency_s < data.per_query_latency_s
+        assert free.per_query_latency_s < query.per_query_latency_s
+
+    def test_data_centric_network_dominated_by_video(self):
+        data, _, _ = compare_architectures(WORKLOAD,
+                                           profile=VideoProfile(1280, 720))
+        expected = VideoProfile(1280, 720).bytes_for(30_000.0)
+        assert data.network_bytes == pytest.approx(expected, rel=0.01)
+
+    def test_query_centric_scales_with_queries(self):
+        few = compare_architectures(WORKLOAD)[1]
+        many = compare_architectures(Workload(
+            n_providers=100, video_seconds_per_provider=300.0, fps=30.0,
+            segments_per_provider=20, n_queries=500,
+            matched_segments_per_query=5, matched_segment_seconds=30.0))[1]
+        assert many.phone_cpu_s > few.phone_cpu_s
+
+    def test_custom_constants_respected(self):
+        c = CostConstants(fov_match_s=1.0)
+        free = compare_architectures(WORKLOAD, constants=c)[2]
+        assert free.per_query_latency_s == pytest.approx(
+            100 * 20 * 1.0)
+
+    def test_row_shape(self):
+        for r in compare_architectures(WORKLOAD):
+            assert len(r.row()) == 5

@@ -1,0 +1,60 @@
+"""Unit tests for clock skew and SNTP synchronisation."""
+
+import numpy as np
+import pytest
+
+from repro.net.clock import DeviceClock, SntpSynchronizer
+
+
+class TestDeviceClock:
+    def test_offset(self):
+        c = DeviceClock(offset_s=1.5)
+        assert c.local_time(10.0) == 11.5
+
+    def test_drift(self):
+        c = DeviceClock(offset_s=0.0, drift_ppm=100.0)
+        assert c.local_time(1e6) == pytest.approx(1e6 + 100.0)
+
+    def test_error_at(self):
+        c = DeviceClock(offset_s=-2.0)
+        assert c.error_at(5.0) == 2.0
+        c.correction_s = 2.0
+        assert c.error_at(5.0) == 0.0
+
+
+class TestSntp:
+    def test_symmetric_delay_gives_exact_offset(self):
+        clock = DeviceClock(offset_s=3.7)
+        sync = SntpSynchronizer(uplink_delay_s=0.05, downlink_delay_s=0.05,
+                                jitter_s=0.0)
+        res = sync.synchronize(clock, true_t=100.0)
+        assert res.measured_offset_s == pytest.approx(-3.7)
+        assert res.residual_error_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_asymmetric_delay_leaves_subsecond_residual(self):
+        clock = DeviceClock(offset_s=10.0)
+        sync = SntpSynchronizer(uplink_delay_s=0.200, downlink_delay_s=0.020,
+                                jitter_s=0.0)
+        res = sync.synchronize(clock, true_t=0.0)
+        # Residual equals half the delay asymmetry: 90 ms here.
+        assert res.residual_error_s == pytest.approx(0.090, abs=1e-6)
+        assert res.residual_error_s < 1.0   # the paper's sub-second claim
+
+    def test_jitter_reproducible_with_seed(self):
+        def run(seed):
+            clock = DeviceClock(offset_s=5.0)
+            sync = SntpSynchronizer(jitter_s=0.01,
+                                    rng=np.random.default_rng(seed))
+            return sync.synchronize(clock, 0.0).measured_offset_s
+        assert run(3) == run(3)
+
+    def test_repeated_sync_converges(self):
+        clock = DeviceClock(offset_s=30.0, drift_ppm=20.0)
+        sync = SntpSynchronizer(jitter_s=0.0)
+        for k in range(3):
+            sync.synchronize(clock, true_t=float(k * 60))
+        assert clock.error_at(180.0) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SntpSynchronizer(uplink_delay_s=-0.1)

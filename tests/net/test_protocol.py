@@ -1,0 +1,88 @@
+"""Unit tests for the binary wire format."""
+
+import pytest
+
+from repro.core.fov import RepresentativeFoV
+from repro.net.protocol import (
+    FOV_RECORD_SIZE,
+    bundle_size,
+    decode_bundle,
+    decode_fov,
+    encode_bundle,
+    encode_fov,
+)
+
+
+def rep(i=0, vid="video-1"):
+    return RepresentativeFoV(lat=40.0 + i * 1e-4, lng=116.3, theta=123.45,
+                             t_start=float(i), t_end=float(i) + 2.5,
+                             video_id=vid, segment_id=i)
+
+
+class TestRecord:
+    def test_fixed_size(self):
+        assert len(encode_fov(rep())) == FOV_RECORD_SIZE == 40
+
+    def test_roundtrip(self):
+        r = rep(3)
+        back = decode_fov(encode_fov(r), video_id=r.video_id)
+        assert back.lat == r.lat
+        assert back.lng == r.lng
+        assert back.t_start == r.t_start
+        assert back.t_end == r.t_end
+        assert back.segment_id == r.segment_id
+        assert back.theta == pytest.approx(r.theta, abs=1e-4)  # float32
+
+    def test_decode_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            decode_fov(b"\x00" * 39)
+
+
+class TestBundle:
+    def test_roundtrip(self):
+        fovs = [rep(i) for i in range(5)]
+        payload = encode_bundle("video-1", fovs)
+        vid, back = decode_bundle(payload)
+        assert vid == "video-1"
+        assert [f.key() for f in back] == [f.key() for f in fovs]
+
+    def test_empty_bundle(self):
+        payload = encode_bundle("v", [])
+        vid, back = decode_bundle(payload)
+        assert vid == "v" and back == []
+
+    def test_size_formula(self):
+        fovs = [rep(i) for i in range(7)]
+        payload = encode_bundle("video-xyz", fovs)
+        assert len(payload) == bundle_size("video-xyz", 7)
+
+    def test_unicode_video_id(self):
+        payload = encode_bundle("caméra-07", [rep()])
+        vid, _ = decode_bundle(payload)
+        assert vid == "caméra-07"
+
+    def test_bad_magic_rejected(self):
+        payload = bytearray(encode_bundle("v", [rep()]))
+        payload[0] = ord("X")
+        with pytest.raises(ValueError):
+            decode_bundle(bytes(payload))
+
+    def test_truncated_rejected(self):
+        payload = encode_bundle("v", [rep()])
+        with pytest.raises(ValueError):
+            decode_bundle(payload[:-1])
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError):
+            decode_bundle(b"FO")
+
+    def test_bad_version_rejected(self):
+        payload = bytearray(encode_bundle("v", [rep()]))
+        payload[4] = 9
+        with pytest.raises(ValueError):
+            decode_bundle(bytes(payload))
+
+    def test_minute_of_video_under_a_kilobyte(self):
+        # A minute of capture at a typical segmentation density (one
+        # segment every ~3 s) -> ~20 records -> < 1 kB on the wire.
+        assert bundle_size("video-1", 20) < 1024

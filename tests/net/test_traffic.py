@@ -1,0 +1,61 @@
+"""Unit tests for the traffic model."""
+
+import pytest
+
+from repro.net.traffic import BITRATE_PRESETS_KBPS, TrafficModel, VideoProfile
+
+
+class TestVideoProfile:
+    def test_preset_bitrates(self):
+        assert VideoProfile(1280, 720).resolved_bitrate_kbps() == 4000.0
+        assert VideoProfile(320, 240).resolved_bitrate_kbps() == 500.0
+
+    def test_explicit_bitrate_wins(self):
+        p = VideoProfile(1280, 720, bitrate_kbps=1234.0)
+        assert p.resolved_bitrate_kbps() == 1234.0
+
+    def test_unknown_resolution_scales(self):
+        p = VideoProfile(2560, 1440)
+        assert p.resolved_bitrate_kbps() == pytest.approx(
+            4000.0 * (2560 * 1440) / (1280 * 720))
+
+    def test_bytes_for(self):
+        p = VideoProfile(bitrate_kbps=8000.0)
+        assert p.bytes_for(10.0) == pytest.approx(8000 * 1000 / 8 * 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoProfile(width=0)
+        with pytest.raises(ValueError):
+            VideoProfile().bytes_for(-1.0)
+
+
+class TestTrafficModel:
+    def test_savings_orders_of_magnitude(self):
+        # 60 s of 720p, 20 segments uploaded as descriptors, nothing
+        # fetched: the content-free total is >10,000x smaller.
+        model = TrafficModel(VideoProfile(1280, 720))
+        rpt = model.report("vid", n_segments=20, duration_s=60.0)
+        assert rpt.full_video_bytes == pytest.approx(30e6, rel=0.01)
+        assert rpt.descriptor_bytes < 1000
+        assert rpt.savings_ratio > 10_000
+
+    def test_matched_segments_accounted(self):
+        model = TrafficModel(VideoProfile(bitrate_kbps=1000.0))
+        rpt = model.report("vid", n_segments=10, duration_s=100.0,
+                           matched_durations_s=[5.0, 5.0])
+        assert rpt.matched_segment_bytes == pytest.approx(1000 * 1000 / 8 * 10)
+        assert rpt.content_free_total == rpt.descriptor_bytes + \
+            rpt.matched_segment_bytes
+
+    def test_matched_cannot_exceed_duration(self):
+        model = TrafficModel()
+        with pytest.raises(ValueError):
+            model.report("vid", 5, duration_s=10.0,
+                         matched_durations_s=[11.0])
+
+    def test_zero_total_gives_infinite_ratio(self):
+        from repro.net.traffic import TrafficReport
+        rpt = TrafficReport(descriptor_bytes=0, matched_segment_bytes=0.0,
+                            full_video_bytes=100.0)
+        assert rpt.savings_ratio == float("inf")

@@ -1,0 +1,133 @@
+"""Hypothesis property tests for geometry substrates."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.angles import angular_difference, fold_to_acute, normalize_angle
+from repro.geometry.polygon import rectangle_union_area, rectangle_union_length_1d
+from repro.geometry.sector import Sector, sector_circle_intersects, sector_contains_point
+from repro.geometry.shapes import Box, box_area, box_contains, box_intersects, box_union
+from repro.geometry.vec import Vec2
+
+finite = st.floats(-1e6, 1e6)
+angle = st.floats(-720.0, 720.0)
+
+
+@given(angle)
+def test_normalize_idempotent(a):
+    once = normalize_angle(a)
+    assert 0.0 <= once < 360.0
+    assert normalize_angle(once) == once
+
+
+@given(angle, angle)
+def test_angular_difference_metric_axioms(a, b):
+    d = angular_difference(a, b)
+    assert 0.0 <= d <= 180.0
+    # Symmetric up to fp rounding of np.mod near the wrap point.
+    assert np.isclose(angular_difference(b, a), d, atol=1e-12)
+    assert angular_difference(a, a) == 0.0
+
+
+@given(angle, angle, angle)
+def test_angular_difference_triangle_inequality(a, b, c):
+    assert angular_difference(a, c) <= \
+        angular_difference(a, b) + angular_difference(b, c) + 1e-9
+
+
+@given(angle, angle)
+def test_fold_invariant_to_reversal(tp, axis):
+    assert np.isclose(fold_to_acute(tp, axis), fold_to_acute(tp + 180.0, axis),
+                      atol=1e-9)
+
+
+@st.composite
+def box_pairs(draw, dim=3):
+    a = np.asarray(draw(st.lists(st.floats(-100, 100), min_size=dim,
+                                 max_size=dim)))
+    ea = np.asarray(draw(st.lists(st.floats(0, 50), min_size=dim,
+                                  max_size=dim)))
+    b = np.asarray(draw(st.lists(st.floats(-100, 100), min_size=dim,
+                                 max_size=dim)))
+    eb = np.asarray(draw(st.lists(st.floats(0, 50), min_size=dim,
+                                  max_size=dim)))
+    return (Box.from_arrays(a, a + ea), Box.from_arrays(b, b + eb))
+
+
+@given(box_pairs())
+def test_union_contains_and_dominates(pair):
+    a, b = pair
+    u = box_union(a, b)
+    assert box_contains(u, a) and box_contains(u, b)
+    assert box_area(u) >= max(box_area(a), box_area(b)) - 1e-9
+
+
+@given(box_pairs())
+def test_intersection_symmetric(pair):
+    a, b = pair
+    assert box_intersects(a, b) == box_intersects(b, a)
+
+
+@given(box_pairs())
+def test_containment_implies_intersection(pair):
+    a, b = pair
+    if box_contains(a, b):
+        assert box_intersects(a, b)
+
+
+rect = st.tuples(st.floats(0, 50), st.floats(0, 50),
+                 st.floats(0, 10), st.floats(0, 10)).map(
+    lambda t: (t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+@settings(max_examples=50)
+@given(st.lists(rect, max_size=15))
+def test_union_area_bounds(rects):
+    total = sum((r[2] - r[0]) * (r[3] - r[1]) for r in rects)
+    biggest = max(((r[2] - r[0]) * (r[3] - r[1]) for r in rects), default=0.0)
+    u = rectangle_union_area(rects)
+    assert biggest - 1e-9 <= u <= total + 1e-9
+
+
+@settings(max_examples=50)
+@given(st.lists(rect, max_size=10), rect)
+def test_union_area_monotone(rects, extra):
+    assert rectangle_union_area(rects + [extra]) >= \
+        rectangle_union_area(rects) - 1e-9
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 20)).map(
+    lambda t: (t[0], t[0] + t[1])), min_size=1, max_size=20))
+def test_union_length_le_sum(intervals):
+    u = rectangle_union_length_1d(intervals)
+    assert u <= sum(hi - lo for lo, hi in intervals) + 1e-9
+    assert u >= max(hi - lo for lo, hi in intervals) - 1e-9
+
+
+@st.composite
+def sectors(draw):
+    return Sector(
+        apex=Vec2(draw(st.floats(-50, 50)), draw(st.floats(-50, 50))),
+        azimuth=draw(st.floats(0, 360, exclude_max=True)),
+        half_angle=draw(st.floats(5, 90)),
+        radius=draw(st.floats(5, 150)),
+    )
+
+
+@settings(max_examples=60)
+@given(sectors(), st.floats(-200, 200), st.floats(-200, 200))
+def test_contained_point_implies_circle_intersection(sector, px, py):
+    p = Vec2(px, py)
+    if sector_contains_point(sector, p):
+        # A tiny disc around a contained point must intersect.
+        assert sector_circle_intersects(sector, p, 0.1)
+
+
+@settings(max_examples=60)
+@given(sectors(), st.floats(-200, 200), st.floats(-200, 200),
+       st.floats(0.1, 50))
+def test_circle_intersection_monotone_in_radius(sector, px, py, r):
+    p = Vec2(px, py)
+    if sector_circle_intersects(sector, p, r):
+        assert sector_circle_intersects(sector, p, r * 2.0)

@@ -1,0 +1,100 @@
+"""Hypothesis property tests for the wire protocol and utility model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import CameraModel, Query, RepresentativeFoV
+from repro.geo.coords import GeoPoint
+from repro.net.protocol import FOV_RECORD_SIZE, decode_bundle, encode_bundle
+from repro.utility.coverage import set_utility, single_utility
+
+@st.composite
+def _rep(draw):
+    t0 = draw(st.floats(0.0, 1e6))
+    return RepresentativeFoV(
+        lat=draw(st.floats(-89.0, 89.0)),
+        lng=draw(st.floats(-179.0, 179.0)),
+        theta=draw(st.floats(0.0, 360.0, exclude_max=True)),
+        t_start=t0,
+        t_end=t0 + draw(st.floats(0.0, 1e4)),
+    )
+
+
+reps = _rep()
+
+video_ids = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FFF),
+    max_size=40)
+
+
+@settings(max_examples=60)
+@given(video_ids, st.lists(reps, max_size=20))
+def test_bundle_roundtrip(video_id, fovs):
+    fovs = [RepresentativeFoV(lat=f.lat, lng=f.lng, theta=f.theta,
+                              t_start=f.t_start, t_end=f.t_end,
+                              video_id=video_id, segment_id=i)
+            for i, f in enumerate(fovs)]
+    payload = encode_bundle(video_id, fovs)
+    assert len(payload) >= 11 + len(fovs) * FOV_RECORD_SIZE
+    vid, back = decode_bundle(payload)
+    assert vid == video_id
+    assert len(back) == len(fovs)
+    for a, b in zip(fovs, back):
+        assert (a.lat, a.lng, a.t_start, a.t_end, a.segment_id) == \
+            (b.lat, b.lng, b.t_start, b.t_end, b.segment_id)
+        assert abs(a.theta - b.theta) < 1e-3  # float32 orientation
+
+
+cameras = st.builds(CameraModel, half_angle=st.floats(5.0, 80.0),
+                    radius=st.floats(5.0, 300.0))
+
+
+@st.composite
+def utility_instances(draw):
+    camera = draw(cameras)
+    t_end = draw(st.floats(10.0, 500.0))
+    query = Query(t_start=0.0, t_end=t_end, center=GeoPoint(40.0, 116.3),
+                  radius=50.0)
+    n = draw(st.integers(0, 8))
+    fovs = []
+    for i in range(n):
+        a = draw(st.floats(0.0, t_end))
+        b = draw(st.floats(0.0, t_end))
+        fovs.append(RepresentativeFoV(
+            lat=40.0, lng=116.3,
+            theta=draw(st.floats(0.0, 360.0, exclude_max=True)),
+            t_start=min(a, b), t_end=max(a, b),
+            video_id="v", segment_id=i,
+        ))
+    return camera, query, fovs
+
+
+@settings(max_examples=60, deadline=None)
+@given(utility_instances())
+def test_utility_bounds_and_monotonicity(instance):
+    camera, query, fovs = instance
+    total = set_utility(fovs, camera, query)
+    # Bounded by the global frame and by the sum of singles.
+    assert 0.0 <= total <= 360.0 * (query.t_end - query.t_start) + 1e-6
+    singles = sum(single_utility(f, camera, query) for f in fovs)
+    assert total <= singles + 1e-6
+    # Monotone: dropping an element never increases utility.
+    if fovs:
+        assert set_utility(fovs[:-1], camera, query) <= total + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(utility_instances(), st.data())
+def test_utility_submodular(instance, data):
+    camera, query, fovs = instance
+    if len(fovs) < 3:
+        return
+    new = fovs[-1]
+    rest = fovs[:-1]
+    k = data.draw(st.integers(1, len(rest)))
+    small, large = rest[:k - 1], rest
+    gain_small = (set_utility(small + [new], camera, query)
+                  - set_utility(small, camera, query))
+    gain_large = (set_utility(large + [new], camera, query)
+                  - set_utility(large, camera, query))
+    assert gain_large <= gain_small + 1e-6

@@ -1,0 +1,101 @@
+"""Hypothesis property tests: the R-tree is an exact range index.
+
+Whatever sequence of inserts and deletes runs, (a) the structural
+invariants hold and (b) every range query returns exactly what a naive
+scan returns.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.bulk import str_bulk_load
+from repro.spatial.linear import LinearScanIndex
+from repro.spatial.metrics import check_invariants
+from repro.spatial.rtree import RTree, RTreeConfig
+
+DIM = 2
+
+finite = st.floats(-100.0, 100.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw, n_min=1, n_max=60):
+    n = draw(st.integers(n_min, n_max))
+    mins = draw(st.lists(st.tuples(finite, finite), min_size=n, max_size=n))
+    extents = draw(st.lists(
+        st.tuples(st.floats(0.0, 20.0), st.floats(0.0, 20.0)),
+        min_size=n, max_size=n))
+    lo = np.asarray(mins, dtype=float)
+    hi = lo + np.asarray(extents, dtype=float)
+    return lo, hi
+
+
+@st.composite
+def query_box(draw):
+    a = draw(st.tuples(finite, finite))
+    b = draw(st.tuples(finite, finite))
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    return lo, hi
+
+
+@settings(max_examples=40, deadline=None)
+@given(boxes(), query_box(), st.sampled_from(["quadratic", "linear", "rstar"]))
+def test_insert_search_exact(data, query, split):
+    lo, hi = data
+    tree = RTree(DIM, RTreeConfig(max_entries=5, split=split))
+    lin = LinearScanIndex(DIM)
+    for i in range(lo.shape[0]):
+        tree.insert(lo[i], hi[i], i)
+        lin.insert(lo[i], hi[i], i)
+    check_invariants(tree)
+    qlo, qhi = query
+    assert sorted(tree.search(qlo, qhi)) == sorted(lin.search(qlo, qhi))
+
+
+@settings(max_examples=25, deadline=None)
+@given(boxes(n_min=5, n_max=50), st.data())
+def test_delete_keeps_exactness(data, data_strategy):
+    lo, hi = data
+    n = lo.shape[0]
+    tree = RTree(DIM, RTreeConfig(max_entries=5))
+    lin = LinearScanIndex(DIM)
+    for i in range(n):
+        tree.insert(lo[i], hi[i], i)
+        lin.insert(lo[i], hi[i], i)
+    victims = data_strategy.draw(
+        st.lists(st.integers(0, n - 1), unique=True, max_size=n))
+    for v in victims:
+        assert tree.delete(lo[v], hi[v], v) == lin.delete(lo[v], hi[v], v)
+    check_invariants(tree)
+    assert len(tree) == len(lin)
+    qlo, qhi = data_strategy.draw(query_box())
+    assert sorted(tree.search(qlo, qhi)) == sorted(lin.search(qlo, qhi))
+
+
+@settings(max_examples=25, deadline=None)
+@given(boxes(n_min=0, n_max=80))
+def test_bulk_load_exact(data):
+    lo, hi = data
+    n = lo.shape[0] if lo.size else 0
+    tree = str_bulk_load(lo.reshape(n, DIM), hi.reshape(n, DIM),
+                         list(range(n)), dim=DIM,
+                         config=RTreeConfig(max_entries=5))
+    if n:
+        check_invariants(tree)
+    assert len(tree) == n
+    got = sorted(item for _, _, item in tree.items())
+    assert got == list(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(boxes(n_min=2, n_max=40))
+def test_count_matches_search_everywhere(data):
+    lo, hi = data
+    tree = RTree(DIM, RTreeConfig(max_entries=4))
+    for i in range(lo.shape[0]):
+        tree.insert(lo[i], hi[i], i)
+    whole_lo = lo.min(axis=0) - 1
+    whole_hi = hi.max(axis=0) + 1
+    assert tree.count_intersecting(whole_lo, whole_hi) == lo.shape[0]
+    assert len(tree.search(whole_lo, whole_hi)) == lo.shape[0]

@@ -1,0 +1,99 @@
+"""Hypothesis property tests for Algorithm 1.
+
+Invariants: the segments exactly partition the input in order; every
+frame satisfies the threshold against its segment's anchor; the
+streaming form agrees with the offline form on any input; abstraction
+produces time bounds inside the segment.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import CameraModel, FoVTrace, abstract_segments, segment_trace, similarity
+from repro.core.segmentation import SegmentationConfig, StreamingSegmenter
+
+CAMERA = CameraModel(half_angle=30.0, radius=100.0)
+
+
+@st.composite
+def traces(draw):
+    """Random but physically plausible FoV traces around one city block."""
+    n = draw(st.integers(1, 60))
+    dt = draw(st.floats(0.05, 1.0))
+    lat0 = draw(st.floats(-60.0, 60.0))
+    lng0 = draw(st.floats(-170.0, 170.0))
+    # Random walk in position (metres-scale steps) and azimuth.
+    steps = draw(st.lists(
+        st.tuples(st.floats(-10.0, 10.0), st.floats(-10.0, 10.0),
+                  st.floats(-30.0, 30.0)),
+        min_size=n, max_size=n))
+    arr = np.asarray(steps, dtype=float)
+    x = np.cumsum(arr[:, 0])
+    y = np.cumsum(arr[:, 1])
+    theta = np.mod(np.cumsum(arr[:, 2]), 360.0)
+    lat = lat0 + y / 111_000.0
+    lng = lng0 + x / 111_000.0
+    t = np.arange(n) * dt
+    return FoVTrace(t, lat, lng, theta)
+
+
+thresholds = st.floats(0.05, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces(), thresholds)
+def test_partition(trace, thresh):
+    segs = segment_trace(trace, CAMERA, SegmentationConfig(threshold=thresh))
+    assert segs[0].start == 0
+    assert segs[-1].stop == len(trace)
+    for a, b in zip(segs, segs[1:]):
+        assert a.stop == b.start
+    assert sum(len(s) for s in segs) == len(trace)
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces(), thresholds)
+def test_threshold_respected_within_segments(trace, thresh):
+    cfg = SegmentationConfig(threshold=thresh)
+    for seg in segment_trace(trace, CAMERA, cfg):
+        anchor = trace[seg.start]
+        for i in range(seg.start, seg.stop):
+            assert similarity(anchor, trace[i], CAMERA) >= thresh
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces(), thresholds)
+def test_streaming_equals_offline(trace, thresh):
+    cfg = SegmentationConfig(threshold=thresh)
+    offline = segment_trace(trace, CAMERA, cfg)
+    seg = StreamingSegmenter(CAMERA, cfg)
+    closed = [s for s in (seg.push(r) for r in trace) if s is not None]
+    tail = seg.finish()
+    if tail is not None:
+        closed.append(tail)
+    assert [len(s) for s in closed] == [len(s) for s in offline]
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces(), thresholds)
+def test_abstraction_bounds(trace, thresh):
+    segs = segment_trace(trace, CAMERA, SegmentationConfig(threshold=thresh))
+    reps = abstract_segments(segs, video_id="v")
+    assert len(reps) == len(segs)
+    for rep, seg in zip(reps, segs):
+        assert rep.t_start == seg.t_start
+        assert rep.t_end == seg.t_end
+        assert 0.0 <= rep.theta < 360.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(traces())
+def test_threshold_one_cuts_at_every_change(trace):
+    """At threshold 1.0 any deviation from the anchor starts a segment,
+    so consecutive in-segment frames are exact FoV duplicates."""
+    segs = segment_trace(trace, CAMERA, SegmentationConfig(threshold=1.0))
+    for seg in segs:
+        anchor = trace[seg.start]
+        for i in range(seg.start, seg.stop):
+            f = trace[i]
+            assert similarity(anchor, f, CAMERA) >= 1.0

@@ -1,0 +1,110 @@
+"""Hypothesis property tests for the similarity measurement.
+
+The axioms come straight from Section III: boundedness (Eq. 3),
+identity, symmetry (under the bisector reference), monotone decay in
+both rotation and translation, and agreement between the scalar and
+vectorised kernels.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import CameraModel
+from repro.core.similarity import (
+    pairwise_similarity,
+    sim_parallel,
+    sim_perpendicular,
+    sim_rotation,
+    sim_translation,
+    similarity_local,
+)
+
+cameras = st.builds(
+    CameraModel,
+    half_angle=st.floats(5.0, 80.0),
+    radius=st.floats(5.0, 500.0),
+)
+angles = st.floats(0.0, 360.0, exclude_max=True)
+coords = st.floats(-1000.0, 1000.0)
+
+
+@given(cameras, coords, coords, angles, angles)
+def test_bounded_unit_interval(camera, dx, dy, t1, t2):
+    v = similarity_local(dx, dy, t1, t2, camera)
+    assert 0.0 <= v <= 1.0
+
+
+@given(cameras, angles)
+def test_identity_is_exactly_one(camera, theta):
+    assert similarity_local(0.0, 0.0, theta, theta, camera) == 1.0
+
+
+@given(cameras, coords, coords, angles, angles)
+def test_symmetry(camera, dx, dy, t1, t2):
+    fwd = similarity_local(dx, dy, t1, t2, camera)
+    bwd = similarity_local(-dx, -dy, t2, t1, camera)
+    assert np.isclose(fwd, bwd, atol=1e-9)
+
+
+@given(cameras, st.floats(0.0, 180.0), st.floats(0.0, 180.0))
+def test_rotation_monotone(camera, d1, d2):
+    lo, hi = sorted((d1, d2))
+    assert sim_rotation(hi, camera.half_angle) <= \
+        sim_rotation(lo, camera.half_angle) + 1e-12
+
+
+@given(cameras, st.floats(0.0, 2000.0), st.floats(0.0, 2000.0))
+def test_parallel_translation_monotone(camera, a, b):
+    lo, hi = sorted((a, b))
+    assert sim_parallel(hi, camera.radius, camera.half_angle) <= \
+        sim_parallel(lo, camera.radius, camera.half_angle) + 1e-12
+
+
+@given(cameras, st.floats(0.0, 2000.0), st.floats(0.0, 2000.0))
+def test_perpendicular_translation_monotone(camera, a, b):
+    lo, hi = sorted((a, b))
+    assert sim_perpendicular(hi, camera.radius, camera.half_angle) <= \
+        sim_perpendicular(lo, camera.radius, camera.half_angle) + 1e-12
+
+
+@given(cameras, st.floats(0.0, 1000.0), angles, angles)
+def test_translation_between_extremes(camera, d, bearing, axis):
+    """Eq. 9's convex combination stays inside [Sim_perp, Sim_par]."""
+    v = sim_translation(d, bearing, axis, camera.radius, camera.half_angle)
+    lo = sim_perpendicular(d, camera.radius, camera.half_angle)
+    hi = sim_parallel(d, camera.radius, camera.half_angle)
+    lo, hi = min(lo, hi), max(lo, hi)
+    assert lo - 1e-12 <= v <= hi + 1e-12 or d == 0.0
+
+
+@given(cameras, st.floats(0.0, 360.0, exclude_max=True))
+def test_rotation_beyond_aperture_is_zero(camera, extra):
+    dtheta = camera.viewing_angle + extra
+    if dtheta > 180.0:   # angular_difference never exceeds 180
+        dtheta = 180.0
+    if dtheta >= camera.viewing_angle:
+        assert sim_rotation(dtheta, camera.half_angle) == 0.0
+
+
+@settings(max_examples=25)
+@given(
+    cameras,
+    st.integers(2, 8).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.tuples(coords, coords), min_size=n, max_size=n),
+            st.lists(angles, min_size=n, max_size=n),
+        )
+    ),
+)
+def test_pairwise_matches_scalar(camera, data):
+    pts, thetas = data
+    xy = np.asarray(pts, dtype=float)
+    th = np.asarray(thetas, dtype=float)
+    M = pairwise_similarity(xy, th, camera)
+    n = xy.shape[0]
+    i, j = 0, n - 1
+    expect = similarity_local(xy[j, 0] - xy[i, 0], xy[j, 1] - xy[i, 1],
+                              th[i], th[j], camera)
+    assert np.isclose(M[i, j], float(expect), atol=1e-12)
+    assert np.allclose(np.diag(M), 1.0)
+    assert np.allclose(M, M.T, atol=1e-9)

@@ -1,0 +1,105 @@
+"""Tests for the discrete-event service simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.simulation import ServiceSimulation, SimulationConfig
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.schedule(5.0, "b")
+        q.schedule(1.0, "a")
+        q.schedule(3.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["a", "c", "b"]
+
+    def test_stable_ties(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_drain_until(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0, 10.0):
+            q.schedule(t, "e")
+        drained = list(q.drain_until(3.0))
+        assert len(drained) == 3
+        assert len(q) == 1
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(n_providers=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(query_rate_hz=-1.0)
+
+
+SMALL = SimulationConfig(duration_s=1200.0, n_providers=6,
+                         recordings_per_provider=1.5, query_rate_hz=0.02,
+                         seed=3)
+
+
+class TestServiceSimulation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ServiceSimulation(SMALL).run()
+
+    def test_recordings_complete_and_index_grows(self, report):
+        assert report.recordings_completed >= 4
+        assert report.segments_indexed > 0
+        assert report.descriptor_bytes > 0
+
+    def test_index_timeline_monotone(self, report):
+        sizes = [n for _, n in report.index_size_timeline]
+        assert sizes == sorted(sizes)
+        times = [t for t, _ in report.index_size_timeline]
+        assert times == sorted(times)
+
+    def test_queries_flow(self, report):
+        assert report.queries_issued >= 5
+        assert 0.0 <= report.answered_fraction <= 1.0
+        assert len(report.query_latencies_ms) <= report.queries_issued
+        if report.query_latencies_ms:
+            assert report.latency_percentile(99) < 100.0
+
+    def test_clock_errors_bounded_after_sync(self, report):
+        # Boot-time SNTP under symmetric delay leaves sub-second error
+        # even with drift over the hour.
+        assert report.max_clock_error_s < 1.0
+
+    def test_deterministic_with_seed(self):
+        a = ServiceSimulation(SMALL).run()
+        b = ServiceSimulation(SMALL).run()
+        assert a.recordings_completed == b.recordings_completed
+        assert a.segments_indexed == b.segments_indexed
+        assert a.queries_issued == b.queries_issued
+        assert a.queries_answered == b.queries_answered
+
+    def test_queries_answerable_once_data_arrives(self):
+        """With heavy provider activity most queries about visited spots
+        are answerable."""
+        cfg = SimulationConfig(duration_s=2400.0, n_providers=12,
+                               recordings_per_provider=2.0,
+                               query_rate_hz=0.02, seed=9)
+        report = ServiceSimulation(cfg).run()
+        assert report.answered_fraction > 0.3
+
+    def test_no_queries_configured(self):
+        cfg = SimulationConfig(duration_s=600.0, n_providers=3,
+                               query_rate_hz=0.0, seed=1)
+        report = ServiceSimulation(cfg).run()
+        assert report.queries_issued == 0
+        assert report.answered_fraction == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.bulk import _chunk_bounds, str_bulk_load
+from repro.spatial.linear import LinearScanIndex
+from repro.spatial.metrics import check_invariants, tree_stats
+from repro.spatial.rtree import RTreeConfig
+
+
+def random_boxes(rng, n, dim=3):
+    mins = rng.uniform(0, 100, (n, dim))
+    maxs = mins + rng.uniform(0, 3, (n, dim))
+    return mins, maxs
+
+
+class TestChunkBounds:
+    def test_single_chunk(self):
+        assert _chunk_bounds(5, 8, 4) == [(0, 5)]
+
+    def test_exact_multiples(self):
+        assert _chunk_bounds(16, 8, 4) == [(0, 8), (8, 16)]
+
+    def test_underfull_tail_rebalanced(self):
+        bounds = _chunk_bounds(17, 8, 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sum(sizes) == 17
+        assert all(s >= 4 for s in sizes)
+        # Chunks must tile the range contiguously.
+        assert bounds[0][0] == 0 and bounds[-1][1] == 17
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == c
+
+
+class TestStrBulkLoad:
+    def test_empty(self):
+        t = str_bulk_load(np.empty((0, 3)), np.empty((0, 3)), [])
+        assert len(t) == 0
+
+    def test_validates_inputs(self, rng):
+        mins, maxs = random_boxes(rng, 10)
+        with pytest.raises(ValueError):
+            str_bulk_load(mins, maxs, list(range(9)))
+        with pytest.raises(ValueError):
+            str_bulk_load(maxs, mins, list(range(10)))  # inverted
+        with pytest.raises(ValueError):
+            str_bulk_load(mins, maxs, list(range(10)), dim=2)
+
+    @pytest.mark.parametrize("n", [1, 7, 33, 200, 3000])
+    def test_invariants_at_many_sizes(self, rng, n):
+        mins, maxs = random_boxes(rng, n)
+        t = str_bulk_load(mins, maxs, list(range(n)),
+                          config=RTreeConfig(max_entries=8))
+        assert len(t) == n
+        check_invariants(t)
+
+    def test_search_equals_linear(self, rng):
+        mins, maxs = random_boxes(rng, 2000)
+        t = str_bulk_load(mins, maxs, list(range(2000)))
+        lin = LinearScanIndex(3)
+        for i in range(2000):
+            lin.insert(mins[i], maxs[i], i)
+        for _ in range(25):
+            q0 = rng.uniform(0, 100, 3)
+            q1 = q0 + rng.uniform(0, 25, 3)
+            assert sorted(t.search(q0, q1)) == sorted(lin.search(q0, q1))
+
+    def test_packed_tree_fuller_than_incremental(self, rng):
+        from repro.spatial.rtree import RTree
+        mins, maxs = random_boxes(rng, 1000)
+        cfg = RTreeConfig(max_entries=16)
+        packed = str_bulk_load(mins, maxs, list(range(1000)), config=cfg)
+        inc = RTree(3, cfg)
+        for i in range(1000):
+            inc.insert(mins[i], maxs[i], i)
+        assert tree_stats(packed).avg_leaf_fill > tree_stats(inc).avg_leaf_fill
+
+    def test_tree_remains_dynamic(self, rng):
+        mins, maxs = random_boxes(rng, 100)
+        t = str_bulk_load(mins, maxs, list(range(100)),
+                          config=RTreeConfig(max_entries=8))
+        t.insert([1.0, 1.0, 1.0], [2.0, 2.0, 2.0], "new")
+        assert "new" in t.search([0, 0, 0], [3, 3, 3])
+        assert t.delete(mins[0], maxs[0], 0)
+        assert len(t) == 100
+        check_invariants(t)

@@ -1,0 +1,98 @@
+"""Unit tests for the interval tree and the alternative index designs."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import FoVIndex
+from repro.core.query import Query
+from repro.spatial.hybrid import SpatialFirstIndex, TemporalFirstIndex
+from repro.spatial.intervaltree import IntervalTree
+from repro.traces.dataset import random_representative_fovs
+from repro.traces.scenarios import CITY_ORIGIN
+
+
+def brute_overlap(rows, lo, hi):
+    return sorted(item for a, b, item in rows if b >= lo and a <= hi)
+
+
+class TestIntervalTree:
+    def test_empty(self):
+        t = IntervalTree([])
+        assert len(t) == 0
+        assert t.overlapping(0.0, 1.0) == []
+        assert t.stab(0.5) == []
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalTree([(2.0, 1.0, "x")])
+        t = IntervalTree([(0.0, 1.0, "a")])
+        with pytest.raises(ValueError):
+            t.overlapping(5.0, 4.0)
+
+    def test_stab_basics(self):
+        t = IntervalTree([(0, 10, "a"), (5, 15, "b"), (20, 30, "c")])
+        assert sorted(t.stab(7.0)) == ["a", "b"]
+        assert t.stab(25.0) == ["c"]
+        assert t.stab(17.0) == []
+        # Closed intervals: endpoints stab.
+        assert "a" in t.stab(10.0)
+        assert "c" in t.stab(20.0)
+
+    def test_overlap_touching_counts(self):
+        t = IntervalTree([(0, 10, "a")])
+        assert t.overlapping(10.0, 20.0) == ["a"]
+        assert t.overlapping(-5.0, 0.0) == ["a"]
+
+    def test_matches_brute_force(self, rng):
+        rows = []
+        for i in range(500):
+            lo = float(rng.uniform(0, 1000))
+            rows.append((lo, lo + float(rng.uniform(0, 50)), i))
+        t = IntervalTree(rows)
+        for _ in range(50):
+            lo = float(rng.uniform(-20, 1050))
+            hi = lo + float(rng.uniform(0, 100))
+            assert sorted(t.overlapping(lo, hi)) == brute_overlap(rows, lo, hi)
+
+    def test_stab_matches_overlap_point(self, rng):
+        rows = [(float(a), float(a) + float(b), i)
+                for i, (a, b) in enumerate(rng.uniform(0, 100, (200, 2)))]
+        t = IntervalTree(rows)
+        for _ in range(30):
+            p = float(rng.uniform(-10, 220))
+            assert sorted(t.stab(p)) == sorted(t.overlapping(p, p))
+
+    def test_identical_intervals(self):
+        t = IntervalTree([(0, 10, i) for i in range(50)])
+        assert sorted(t.overlapping(5, 6)) == list(range(50))
+
+
+class TestHybridDesigns:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(11)
+        reps = random_representative_fovs(800, rng)
+        paper = FoVIndex()
+        paper.insert_many(reps)
+        return reps, paper, SpatialFirstIndex(reps), TemporalFirstIndex(reps)
+
+    def test_all_designs_agree(self, setup, rng):
+        reps, paper, spatial, temporal = setup
+        for _ in range(25):
+            anchor = reps[int(rng.integers(len(reps)))]
+            q = Query(t_start=max(0.0, anchor.t_start - 400.0),
+                      t_end=anchor.t_end + 400.0, center=anchor.point,
+                      radius=float(rng.uniform(50.0, 1000.0)))
+            want = sorted(f.key() for f in paper.range_search(q))
+            assert sorted(f.key() for f in spatial.range_search(q)) == want
+            assert sorted(f.key() for f in temporal.range_search(q)) == want
+
+    def test_sizes(self, setup):
+        reps, paper, spatial, temporal = setup
+        assert len(spatial) == len(temporal) == len(reps)
+
+    def test_empty_results(self, setup):
+        _, _, spatial, temporal = setup
+        q = Query(t_start=1e9, t_end=2e9, center=CITY_ORIGIN, radius=10.0)
+        assert spatial.range_search(q) == []
+        assert temporal.range_search(q) == []

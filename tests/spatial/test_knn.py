@@ -1,0 +1,147 @@
+"""Unit and randomized tests for branch-and-bound k-NN search."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.knn import knn_search, mindist
+from repro.spatial.rtree import RTree, RTreeConfig
+
+
+def brute_force(tree, point, k, weights=None):
+    w = np.ones(tree.dim) if weights is None else np.asarray(weights)
+    p = np.asarray(point, dtype=float)
+    rows = []
+    for bmin, bmax, item in tree.items():
+        d = float(mindist(p, bmin[None, :], bmax[None, :], w)[0])
+        rows.append((d, item))
+    rows.sort(key=lambda r: r[0])
+    return rows[:k]
+
+
+class TestMindist:
+    def test_inside_is_zero(self):
+        d = mindist(np.array([1.0, 1.0]), np.array([[0.0, 0.0]]),
+                    np.array([[2.0, 2.0]]), np.ones(2))
+        assert d[0] == 0.0
+
+    def test_outside_axis(self):
+        d = mindist(np.array([5.0, 1.0]), np.array([[0.0, 0.0]]),
+                    np.array([[2.0, 2.0]]), np.ones(2))
+        assert d[0] == pytest.approx(3.0)
+
+    def test_corner(self):
+        d = mindist(np.array([5.0, 6.0]), np.array([[0.0, 0.0]]),
+                    np.array([[2.0, 2.0]]), np.ones(2))
+        assert d[0] == pytest.approx(5.0)
+
+    def test_weights_scale(self):
+        d = mindist(np.array([4.0, 0.0]), np.array([[0.0, 0.0]]),
+                    np.array([[2.0, 2.0]]), np.array([10.0, 1.0]))
+        assert d[0] == pytest.approx(20.0)
+
+
+class TestKnnSearch:
+    def test_empty_tree(self):
+        assert knn_search(RTree(2), [0, 0], 3) == []
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            knn_search(RTree(2), [0, 0], 0)
+
+    def test_point_dim_validated(self):
+        with pytest.raises(ValueError):
+            knn_search(RTree(2), [0, 0, 0], 1)
+
+    def test_weights_validated(self):
+        t = RTree(2)
+        t.insert([0, 0], [1, 1], "a")
+        with pytest.raises(ValueError):
+            knn_search(t, [0, 0], 1, weights=[-1.0, 1.0])
+        with pytest.raises(ValueError):
+            knn_search(t, [0, 0], 1, weights=[1.0])
+
+    def test_single_item(self):
+        t = RTree(2)
+        t.insert([3, 4], [3, 4], "a")
+        out = knn_search(t, [0, 0], 1)
+        assert out == [(5.0, "a")]
+
+    def test_exact_ordering_small(self):
+        t = RTree(1, RTreeConfig(max_entries=4))
+        for x in (10.0, 3.0, 7.0, 1.0, 20.0):
+            t.insert([x], [x], x)
+        out = knn_search(t, [0.0], 3)
+        assert [item for _, item in out] == [1.0, 3.0, 7.0]
+        assert [d for d, _ in out] == [1.0, 3.0, 7.0]
+
+    def test_k_larger_than_tree(self):
+        t = RTree(1)
+        t.insert([1.0], [1.0], "a")
+        t.insert([2.0], [2.0], "b")
+        out = knn_search(t, [0.0], 10)
+        assert len(out) == 2
+
+    def test_inside_box_distance_zero(self):
+        t = RTree(2)
+        t.insert([0, 0], [10, 10], "big")
+        out = knn_search(t, [5, 5], 1)
+        assert out[0][0] == 0.0
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_matches_brute_force_points(self, rng, dim):
+        t = RTree(dim, RTreeConfig(max_entries=8))
+        pts = rng.uniform(0, 100, (500, dim))
+        for i, p in enumerate(pts):
+            t.insert(p, p, i)
+        for _ in range(15):
+            q = rng.uniform(0, 100, dim)
+            k = int(rng.integers(1, 20))
+            got = knn_search(t, q, k)
+            want = brute_force(t, q, k)
+            assert [round(d, 9) for d, _ in got] == \
+                [round(d, 9) for d, _ in want]
+
+    def test_matches_brute_force_boxes_weighted(self, rng):
+        t = RTree(3, RTreeConfig(max_entries=8))
+        mins = rng.uniform(0, 100, (400, 3))
+        maxs = mins + rng.uniform(0, 5, (400, 3))
+        for i in range(400):
+            t.insert(mins[i], maxs[i], i)
+        w = np.array([2.0, 0.5, 10.0])
+        for _ in range(10):
+            q = rng.uniform(0, 100, 3)
+            got = knn_search(t, q, 8, weights=w)
+            want = brute_force(t, q, 8, weights=w)
+            assert [round(d, 9) for d, _ in got] == \
+                [round(d, 9) for d, _ in want]
+
+    def test_zero_weight_dimension_ignored(self, rng):
+        t = RTree(2, RTreeConfig(max_entries=8))
+        for i in range(50):
+            t.insert([float(i), float(1000 * i)], [float(i), float(1000 * i)], i)
+        out = knn_search(t, [10.0, 0.0], 3, weights=[1.0, 0.0])
+        assert out[0][1] == 10
+        assert {item for _, item in out[1:]} == {9, 11}  # tie order free
+
+
+class TestFoVIndexNearest:
+    def test_matches_bruteforce(self, rng):
+        from repro.core.index import FoVIndex
+        from repro.traces.dataset import random_representative_fovs
+        from repro.geo.coords import GeoPoint
+        reps = random_representative_fovs(300, rng)
+        idx = FoVIndex()
+        idx.insert_many(reps)
+        center = GeoPoint(40.02, 116.34)
+        for tw in (0.0, 1.0):
+            got = idx.nearest(center, t=40_000.0, k=7, time_weight_m_per_s=tw)
+            want = idx.nearest_bruteforce(center, t=40_000.0, k=7,
+                                          time_weight_m_per_s=tw)
+            assert [r.key() for _, r in got] == [r.key() for _, r in want]
+
+    def test_linear_backend_rejected(self):
+        from repro.core.index import FoVIndex
+        from repro.geo.coords import GeoPoint
+        idx = FoVIndex(backend="linear")
+        with pytest.raises(TypeError):
+            idx.nearest(GeoPoint(40.0, 116.0), t=0.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the linear-scan baseline index."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.linear import LinearScanIndex
+
+
+class TestLinearScanIndex:
+    def test_empty(self):
+        idx = LinearScanIndex(2)
+        assert len(idx) == 0
+        assert idx.search([0, 0], [1, 1]) == []
+        assert idx.count_intersecting([0, 0], [1, 1]) == 0
+
+    def test_insert_search(self):
+        idx = LinearScanIndex(2)
+        idx.insert([0, 0], [1, 1], "a")
+        idx.insert([5, 5], [6, 6], "b")
+        assert idx.search([0.5, 0.5], [5.5, 5.5]) == ["a", "b"]
+        assert idx.search([2, 2], [3, 3]) == []
+
+    def test_growth_beyond_initial_capacity(self, rng):
+        idx = LinearScanIndex(3, initial_capacity=4)
+        mins = rng.uniform(0, 10, (500, 3))
+        for i in range(500):
+            idx.insert(mins[i], mins[i] + 1, i)
+        assert len(idx) == 500
+        assert idx.count_intersecting([0, 0, 0], [11, 11, 11]) == 500
+
+    def test_touching_boxes_intersect(self):
+        idx = LinearScanIndex(1)
+        idx.insert([0.0], [1.0], "a")
+        assert idx.search([1.0], [2.0]) == ["a"]
+
+    def test_delete(self):
+        idx = LinearScanIndex(2)
+        idx.insert([0, 0], [1, 1], "a")
+        idx.insert([0, 0], [1, 1], "b")
+        assert idx.delete([0, 0], [1, 1], "a")
+        assert len(idx) == 1
+        assert idx.search([0, 0], [1, 1]) == ["b"]
+        assert not idx.delete([0, 0], [1, 1], "a")
+
+    def test_delete_requires_matching_box(self):
+        idx = LinearScanIndex(2)
+        idx.insert([0, 0], [1, 1], "a")
+        assert not idx.delete([0, 0], [2, 2], "a")
+
+    def test_items(self):
+        idx = LinearScanIndex(2)
+        idx.insert([0, 0], [1, 1], "a")
+        rows = list(idx.items())
+        assert len(rows) == 1
+        assert rows[0][2] == "a"
+
+    def test_dimension_validation(self):
+        idx = LinearScanIndex(2)
+        with pytest.raises(ValueError):
+            idx.insert([0], [1], "x")
+        with pytest.raises(ValueError):
+            idx.search([0], [1])
+        with pytest.raises(ValueError):
+            LinearScanIndex(0)

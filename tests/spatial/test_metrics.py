@@ -1,0 +1,60 @@
+"""Unit tests for tree statistics and invariant checking."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.metrics import check_invariants, tree_stats
+from repro.spatial.rtree import RTree, RTreeConfig
+
+
+def build_tree(rng, n=500, cap=8):
+    t = RTree(2, RTreeConfig(max_entries=cap))
+    mins = rng.uniform(0, 100, (n, 2))
+    for i in range(n):
+        t.insert(mins[i], mins[i] + 1.0, i)
+    return t
+
+
+class TestTreeStats:
+    def test_counts_consistent(self, rng):
+        t = build_tree(rng)
+        s = tree_stats(t)
+        assert s.size == 500
+        assert s.height == t.height
+        assert s.leaf_count <= s.node_count
+        assert 0 < s.avg_leaf_fill <= 8
+
+    def test_single_leaf_root(self):
+        t = RTree(2)
+        t.insert([0, 0], [1, 1], "a")
+        s = tree_stats(t)
+        assert s.node_count == s.leaf_count == 1
+        assert s.avg_internal_fill == 0.0
+
+    def test_overlap_zero_for_disjoint_leaves(self):
+        # A 1-D tree over well-separated points: sibling leaf MBRs along
+        # a line packed by STR have no overlapping volume.
+        from repro.spatial.bulk import str_bulk_load
+        xs = np.arange(100, dtype=float).reshape(-1, 1)
+        t = str_bulk_load(xs, xs, list(range(100)),
+                          config=RTreeConfig(max_entries=8))
+        assert tree_stats(t).total_leaf_overlap == pytest.approx(0.0)
+
+
+class TestCheckInvariants:
+    def test_passes_on_valid_tree(self, rng):
+        check_invariants(build_tree(rng))
+
+    def test_detects_corrupted_mbr(self, rng):
+        t = build_tree(rng)
+        node = t.root
+        assert not node.leaf
+        node.mins[0] = node.mins[0] + 50.0  # corrupt an internal entry box
+        with pytest.raises(AssertionError):
+            check_invariants(t)
+
+    def test_detects_size_mismatch(self, rng):
+        t = build_tree(rng)
+        t._size += 1
+        with pytest.raises(AssertionError):
+            check_invariants(t)

@@ -1,0 +1,198 @@
+"""Unit tests for the from-scratch Guttman R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.linear import LinearScanIndex
+from repro.spatial.metrics import check_invariants
+from repro.spatial.rtree import RTree, RTreeConfig
+
+
+def random_boxes(rng, n, dim=3, extent=100.0, size=3.0):
+    mins = rng.uniform(0, extent, (n, dim))
+    maxs = mins + rng.uniform(0, size, (n, dim))
+    return mins, maxs
+
+
+def fill(tree, mins, maxs):
+    for i in range(mins.shape[0]):
+        tree.insert(mins[i], maxs[i], i)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = RTreeConfig()
+        assert cfg.resolved_min() == max(2, int(np.ceil(0.4 * cfg.max_entries)))
+
+    def test_rejects_small_capacity(self):
+        with pytest.raises(ValueError):
+            RTreeConfig(max_entries=3)
+
+    def test_rejects_bad_min(self):
+        with pytest.raises(ValueError):
+            RTreeConfig(max_entries=8, min_entries=5)
+        with pytest.raises(ValueError):
+            RTreeConfig(max_entries=8, min_entries=1)
+
+    def test_rejects_unknown_split(self):
+        with pytest.raises(ValueError):
+            RTreeConfig(split="r-star")
+
+
+class TestInsertSearch:
+    def test_empty_tree(self):
+        t = RTree(2)
+        assert len(t) == 0
+        assert t.height == 1
+        assert t.bounds() is None
+        assert t.search([0, 0], [1, 1]) == []
+
+    def test_single_item(self):
+        t = RTree(2)
+        t.insert([0, 0], [1, 1], "a")
+        assert len(t) == 1
+        assert t.search([0.5, 0.5], [2, 2]) == ["a"]
+        assert t.search([2, 2], [3, 3]) == []
+
+    def test_point_boxes(self):
+        t = RTree(3)
+        t.insert([1, 2, 3], [1, 2, 3], "pt")
+        assert t.search([1, 2, 3], [1, 2, 3]) == ["pt"]
+        assert t.search([0, 0, 0], [0.9, 5, 5]) == []
+
+    def test_dimension_checked(self):
+        t = RTree(3)
+        with pytest.raises(ValueError):
+            t.insert([0, 0], [1, 1], "x")
+
+    def test_inverted_box_rejected(self):
+        t = RTree(2)
+        with pytest.raises(ValueError):
+            t.insert([1, 1], [0, 0], "x")
+
+    def test_nonfinite_rejected(self):
+        t = RTree(2)
+        with pytest.raises(ValueError):
+            t.insert([0, np.nan], [1, 1], "x")
+        with pytest.raises(ValueError):
+            t.insert([0, 0], [np.inf, 1], "x")
+
+    @pytest.mark.parametrize("split", ["quadratic", "linear", "rstar"])
+    def test_matches_linear_scan(self, rng, split):
+        mins, maxs = random_boxes(rng, 1500)
+        tree = RTree(3, RTreeConfig(max_entries=16, split=split))
+        lin = LinearScanIndex(3)
+        for i in range(1500):
+            tree.insert(mins[i], maxs[i], i)
+            lin.insert(mins[i], maxs[i], i)
+        check_invariants(tree)
+        for _ in range(30):
+            q0 = rng.uniform(0, 100, 3)
+            q1 = q0 + rng.uniform(0, 30, 3)
+            assert sorted(tree.search(q0, q1)) == sorted(lin.search(q0, q1))
+            assert tree.count_intersecting(q0, q1) == lin.count_intersecting(q0, q1)
+
+    def test_duplicates_supported(self):
+        t = RTree(2, RTreeConfig(max_entries=4))
+        for i in range(50):
+            t.insert([1, 1], [2, 2], i)
+        assert sorted(t.search([0, 0], [3, 3])) == list(range(50))
+        check_invariants(t)
+
+    def test_height_grows_logarithmically(self, rng):
+        mins, maxs = random_boxes(rng, 2000, dim=2)
+        t = RTree(2, RTreeConfig(max_entries=8))
+        fill(t, mins, maxs)
+        # 8-ary tree with >= 40% fill: height comfortably below 8.
+        assert 3 <= t.height <= 8
+
+    def test_items_iteration(self, rng):
+        mins, maxs = random_boxes(rng, 100)
+        t = RTree(3)
+        fill(t, mins, maxs)
+        got = sorted(item for _, _, item in t.items())
+        assert got == list(range(100))
+
+    def test_search_boxes_returns_stored_geometry(self):
+        t = RTree(2)
+        t.insert([1, 2], [3, 4], "a")
+        hits = t.search_boxes([0, 0], [10, 10])
+        assert len(hits) == 1
+        bmin, bmax, item = hits[0]
+        assert item == "a"
+        assert np.allclose(bmin, [1, 2]) and np.allclose(bmax, [3, 4])
+
+    def test_bounds_cover_everything(self, rng):
+        mins, maxs = random_boxes(rng, 300)
+        t = RTree(3)
+        fill(t, mins, maxs)
+        bmin, bmax = t.bounds()
+        assert np.all(bmin <= mins.min(axis=0) + 1e-12)
+        assert np.all(bmax >= maxs.max(axis=0) - 1e-12)
+
+
+class TestDelete:
+    def test_delete_existing(self, rng):
+        mins, maxs = random_boxes(rng, 200)
+        t = RTree(3, RTreeConfig(max_entries=8))
+        fill(t, mins, maxs)
+        for i in range(0, 200, 2):
+            assert t.delete(mins[i], maxs[i], i)
+        assert len(t) == 100
+        check_invariants(t)
+        remaining = sorted(item for _, _, item in t.items())
+        assert remaining == list(range(1, 200, 2))
+
+    def test_delete_missing_returns_false(self):
+        t = RTree(2)
+        t.insert([0, 0], [1, 1], "a")
+        assert not t.delete([0, 0], [1, 1], "b")         # wrong item
+        assert not t.delete([0, 0], [2, 2], "a")         # wrong box
+        assert len(t) == 1
+
+    def test_delete_everything(self, rng):
+        mins, maxs = random_boxes(rng, 300, dim=2)
+        t = RTree(2, RTreeConfig(max_entries=8))
+        fill(t, mins, maxs)
+        order = rng.permutation(300)
+        for i in order:
+            assert t.delete(mins[i], maxs[i], int(i))
+        assert len(t) == 0
+        assert t.height == 1
+        assert t.search([0, 0], [200, 200]) == []
+
+    def test_search_correct_after_heavy_churn(self, rng):
+        """Interleaved inserts and deletes keep queries exact."""
+        t = RTree(2, RTreeConfig(max_entries=8))
+        lin = LinearScanIndex(2)
+        alive = {}
+        next_id = 0
+        for round_ in range(30):
+            for _ in range(40):
+                m = rng.uniform(0, 100, 2)
+                x = m + rng.uniform(0, 5, 2)
+                t.insert(m, x, next_id)
+                lin.insert(m, x, next_id)
+                alive[next_id] = (m, x)
+                next_id += 1
+            victims = rng.choice(list(alive), size=15, replace=False)
+            for v in victims:
+                m, x = alive.pop(int(v))
+                assert t.delete(m, x, int(v))
+                assert lin.delete(m, x, int(v))
+            q0 = rng.uniform(0, 100, 2)
+            q1 = q0 + rng.uniform(5, 40, 2)
+            assert sorted(t.search(q0, q1)) == sorted(lin.search(q0, q1))
+        check_invariants(t)
+
+    def test_root_collapse(self):
+        # Fill enough to grow height, then delete down to a leaf root.
+        t = RTree(1, RTreeConfig(max_entries=4))
+        for i in range(40):
+            t.insert([float(i)], [float(i)], i)
+        assert t.height > 1
+        for i in range(39):
+            assert t.delete([float(i)], [float(i)], i)
+        assert len(t) == 1
+        assert t.search([39.0], [39.0]) == [39]
+        check_invariants(t)

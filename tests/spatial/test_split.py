@@ -1,0 +1,63 @@
+"""Unit tests for the linear and quadratic split strategies."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.split import linear_split, quadratic_split, rstar_split
+
+SPLITS = [quadratic_split, linear_split, rstar_split]
+
+
+def random_entries(rng, n, dim=3):
+    mins = rng.uniform(0, 50, (n, dim))
+    maxs = mins + rng.uniform(0, 5, (n, dim))
+    return mins, maxs
+
+
+@pytest.mark.parametrize("split", SPLITS)
+class TestSplitContracts:
+    def test_partition_exhaustive_and_disjoint(self, split, rng):
+        mins, maxs = random_entries(rng, 17)
+        g1, g2 = split(mins, maxs, min_entries=4)
+        union = np.sort(np.concatenate([g1, g2]))
+        assert np.array_equal(union, np.arange(17))
+
+    def test_minimum_fill_respected(self, split, rng):
+        for _ in range(20):
+            n = int(rng.integers(8, 33))
+            mins, maxs = random_entries(rng, n)
+            g1, g2 = split(mins, maxs, min_entries=4)
+            assert len(g1) >= 4 and len(g2) >= 4
+
+    def test_too_few_entries_rejected(self, split, rng):
+        mins, maxs = random_entries(rng, 5)
+        with pytest.raises(ValueError):
+            split(mins, maxs, min_entries=3)
+
+    def test_identical_boxes_still_split(self, split):
+        mins = np.zeros((10, 2))
+        maxs = np.ones((10, 2))
+        g1, g2 = split(mins, maxs, min_entries=4)
+        assert len(g1) + len(g2) == 10
+        assert len(g1) >= 4 and len(g2) >= 4
+
+    def test_two_obvious_clusters_separated(self, split, rng):
+        # Two tight clusters far apart must not be mixed.
+        a = rng.uniform(0, 1, (6, 2))
+        b = rng.uniform(100, 101, (6, 2))
+        mins = np.vstack([a, b])
+        maxs = mins + 0.1
+        g1, g2 = split(mins, maxs, min_entries=4)
+        sets = [set(g1.tolist()), set(g2.tolist())]
+        assert set(range(6)) in sets
+        assert set(range(6, 12)) in sets
+
+
+class TestQuadraticSeeds:
+    def test_most_wasteful_pair_separated(self):
+        # Entries 0 and 3 are the extreme corners; QS must seed with them.
+        mins = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [50.0, 50.0]])
+        maxs = mins + 1.0
+        g1, g2 = quadratic_split(mins, maxs, min_entries=2)
+        in_g1 = 0 in g1
+        assert (3 in g2) == in_g1  # 0 and 3 land in different groups

@@ -1,0 +1,81 @@
+"""Unit tests for the street grid and routed trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.traces.citygrid import CityGrid, grid_route_trajectory
+
+
+class TestCityGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CityGrid(cols=1)
+        with pytest.raises(ValueError):
+            CityGrid(block_m=0.0)
+
+    def test_node_positions(self):
+        g = CityGrid(cols=3, rows=3, block_m=50.0)
+        assert np.allclose(g.node_xy((2, 1)), [100.0, 50.0])
+        assert g.extent_m == (100.0, 100.0)
+
+    def test_graph_shape(self):
+        g = CityGrid(cols=4, rows=5)
+        assert g.graph.number_of_nodes() == 20
+        # Grid edges: (cols-1)*rows + cols*(rows-1).
+        assert g.graph.number_of_edges() == 3 * 5 + 4 * 4
+
+    def test_random_route_min_hops(self, rng):
+        g = CityGrid(cols=6, rows=6)
+        for _ in range(10):
+            route = g.random_route(rng, min_hops=4)
+            assert len(route) >= 5
+            # Consecutive nodes are grid-adjacent.
+            for a, b in zip(route, route[1:]):
+                assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+class TestGridRouteTrajectory:
+    def test_follows_streets(self, rng):
+        g = CityGrid(cols=5, rows=5, block_m=100.0)
+        route = [(0, 0), (1, 0), (2, 0), (2, 1)]
+        tr = grid_route_trajectory(g, route, speed_mps=2.0, fps=1.0)
+        # Every position lies on a street (x or y a multiple of 100).
+        on_street = (np.isclose(tr.xy[:, 0] % 100.0, 0.0, atol=1e-6) |
+                     np.isclose(tr.xy[:, 1] % 100.0, 0.0, atol=1e-6))
+        assert on_street.all()
+
+    def test_start_and_end(self, rng):
+        g = CityGrid(block_m=100.0)
+        route = [(0, 0), (0, 1), (1, 1)]
+        tr = grid_route_trajectory(g, route, speed_mps=2.0, fps=2.0)
+        assert np.allclose(tr.xy[0], [0.0, 0.0])
+        assert np.allclose(tr.xy[-1], [100.0, 100.0], atol=2.0)
+
+    def test_camera_faces_forward(self):
+        g = CityGrid(block_m=100.0)
+        route = [(0, 0), (0, 1)]   # heading north
+        tr = grid_route_trajectory(g, route, speed_mps=1.0, fps=1.0)
+        assert np.allclose(tr.azimuth, 0.0)
+
+    def test_camera_offset(self):
+        g = CityGrid(block_m=100.0)
+        route = [(0, 0), (1, 0)]   # heading east
+        tr = grid_route_trajectory(g, route, speed_mps=1.0, fps=1.0,
+                                   camera_offset_deg=90.0)
+        assert np.allclose(tr.azimuth, 180.0)
+
+    def test_speed(self):
+        g = CityGrid(block_m=100.0)
+        route = [(0, 0), (1, 0), (2, 0)]
+        tr = grid_route_trajectory(g, route, speed_mps=4.0, fps=10.0)
+        assert tr.duration == pytest.approx(200.0 / 4.0, rel=0.05)
+
+    def test_short_route_rejected(self):
+        g = CityGrid()
+        with pytest.raises(ValueError):
+            grid_route_trajectory(g, [(0, 0)])
+
+    def test_bad_speed_rejected(self):
+        g = CityGrid()
+        with pytest.raises(ValueError):
+            grid_route_trajectory(g, [(0, 0), (0, 1)], speed_mps=0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for citywide dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import FOV_RECORD_SIZE
+from repro.traces.dataset import CityDataset, random_representative_fovs
+
+
+class TestRandomRepresentativeFovs:
+    def test_count_and_fields(self, rng):
+        reps = random_representative_fovs(100, rng)
+        assert len(reps) == 100
+        for r in reps:
+            assert r.t_end > r.t_start
+            assert 0.0 <= r.theta < 360.0
+
+    def test_zero(self, rng):
+        assert random_representative_fovs(0, rng) == []
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_representative_fovs(-1, rng)
+
+    def test_extent_respected(self, rng, origin):
+        from repro.geo.earth import LocalProjection
+        proj = LocalProjection(origin)
+        reps = random_representative_fovs(200, rng, origin=origin,
+                                          extent_m=1000.0)
+        xy = proj.to_local_arrays([r.lat for r in reps],
+                                  [r.lng for r in reps])
+        assert xy.min() > -5.0 and xy.max() < 1005.0
+
+    def test_reproducible(self, origin):
+        a = random_representative_fovs(10, np.random.default_rng(3))
+        b = random_representative_fovs(10, np.random.default_rng(3))
+        assert [(r.lat, r.theta) for r in a] == [(r.lat, r.theta) for r in b]
+
+
+class TestCityDataset:
+    def test_generation(self):
+        ds = CityDataset(n_providers=4, seed=0)
+        assert len(ds.recordings) == 4
+        assert len(ds.clients) == 4
+        reps = ds.all_representatives()
+        assert len(reps) >= 4
+        # Every representative's segment is fetchable from its client.
+        for rec in ds.recordings:
+            client = ds.clients[rec.device_id]
+            for rep in rec.bundle.representatives:
+                seg = client.fetch_segment(rep.video_id, rep.segment_id)
+                assert len(seg.records) >= 1
+
+    def test_reproducible(self):
+        a = CityDataset(n_providers=3, seed=11)
+        b = CityDataset(n_providers=3, seed=11)
+        ra = a.all_representatives()
+        rb = b.all_representatives()
+        assert [(r.lat, r.lng, r.theta) for r in ra] == \
+            [(r.lat, r.lng, r.theta) for r in rb]
+
+    def test_descriptor_bytes_accounting(self):
+        ds = CityDataset(n_providers=3, seed=2)
+        total = ds.total_descriptor_bytes()
+        n_reps = len(ds.all_representatives())
+        assert total >= n_reps * FOV_RECORD_SIZE
+        assert total < n_reps * FOV_RECORD_SIZE + 3 * 64  # small headers only
+
+    def test_time_span_covers_all(self):
+        ds = CityDataset(n_providers=3, seed=2)
+        t0, t1 = ds.time_span()
+        for rec in ds.recordings:
+            assert t0 <= rec.trace.t[0] and rec.trace.t[-1] <= t1
+
+    def test_random_query_point_near_paths(self):
+        ds = CityDataset(n_providers=3, seed=2)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            qp = ds.random_query_point(rng)
+            xy = ds.projection.to_local_arrays([qp.lat], [qp.lng])[0]
+            dmin = min(
+                float(np.linalg.norm(rec.trajectory.xy - xy, axis=-1).min())
+                for rec in ds.recordings)
+            assert dmin <= ds.camera.radius
+
+    def test_rejects_zero_providers(self):
+        with pytest.raises(ValueError):
+            CityDataset(n_providers=0)

@@ -1,0 +1,78 @@
+"""Unit tests for the sensor noise model."""
+
+import numpy as np
+import pytest
+
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.walkers import straight_line
+
+
+class TestSensorNoiseModel:
+    def test_ideal_is_exact(self, rng, origin):
+        traj = straight_line(duration_s=10.0, fps=5.0)
+        trace = SensorNoiseModel.ideal().apply(traj, origin, rng)
+        xy = trace.local_xy()
+        assert np.allclose(xy - xy[0], traj.xy - traj.xy[0], atol=1e-5)
+        assert np.allclose(trace.theta, traj.azimuth)
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ValueError):
+            SensorNoiseModel(gps_white_m=-1.0)
+
+    def test_noise_magnitude_sane(self, origin):
+        model = SensorNoiseModel(gps_white_m=2.0, gps_walk_m=3.0,
+                                 compass_white_deg=3.0, compass_bias_deg=0.0)
+        traj = straight_line(duration_s=200.0, fps=1.0)
+        errs = []
+        for seed in range(5):
+            trace = model.apply(traj, origin, np.random.default_rng(seed))
+            xy = trace.local_xy()
+            errs.append(np.linalg.norm((xy - xy[0]) - (traj.xy - traj.xy[0]),
+                                       axis=-1))
+        rms = float(np.sqrt(np.mean(np.concatenate(errs) ** 2)))
+        # Combined white (2 m) + walk (3 m) error: RMS in a plausible band.
+        # (Re-anchoring at the first fix adds the first sample's error too.)
+        assert 1.5 < rms < 12.0
+
+    def test_correlated_component_is_smooth(self, origin):
+        model = SensorNoiseModel(gps_white_m=0.0, gps_walk_m=5.0,
+                                 gps_walk_tau_s=60.0,
+                                 compass_white_deg=0.0, compass_bias_deg=0.0)
+        traj = straight_line(duration_s=100.0, fps=1.0, speed_mps=0.0)
+        trace = model.apply(traj, origin, np.random.default_rng(0))
+        xy = trace.local_xy()
+        err = xy - xy[0]
+        step = np.linalg.norm(np.diff(err, axis=0), axis=-1)
+        # Gauss-Markov with tau=60s moves slowly between 1 Hz fixes.
+        assert step.mean() < 2.0
+
+    def test_compass_bias_constant_within_recording(self, origin):
+        model = SensorNoiseModel(gps_white_m=0.0, gps_walk_m=0.0,
+                                 compass_white_deg=0.0, compass_bias_deg=5.0)
+        traj = straight_line(duration_s=10.0, fps=2.0)
+        trace = model.apply(traj, origin, np.random.default_rng(1))
+        offsets = (trace.theta - traj.azimuth + 180.0) % 360.0 - 180.0
+        assert np.allclose(offsets, offsets[0])
+        assert offsets[0] != 0.0
+
+    def test_reproducible_with_seed(self, origin):
+        model = SensorNoiseModel()
+        traj = straight_line(duration_s=10.0, fps=5.0)
+        a = model.apply(traj, origin, np.random.default_rng(42))
+        b = model.apply(traj, origin, np.random.default_rng(42))
+        assert np.allclose(a.lat, b.lat)
+        assert np.allclose(a.theta, b.theta)
+
+    def test_shared_projection(self, origin, projection, rng):
+        model = SensorNoiseModel.ideal()
+        t1 = straight_line(duration_s=5.0, fps=2.0, start_xy=(0.0, 0.0))
+        t2 = straight_line(duration_s=5.0, fps=2.0, start_xy=(100.0, 0.0))
+        a = model.apply(t1, origin, rng, projection=projection)
+        b = model.apply(t2, origin, rng, projection=projection)
+        # Different anchors would collapse both to the origin; a shared
+        # projection must preserve the 100 m offset.
+        dx = b.local_xy()[0, 0] + (b.projection.to_local(b[0].point)[0]
+                                   - b.local_xy()[0, 0])
+        assert abs(
+            projection.to_local(b[0].point)[0]
+            - projection.to_local(a[0].point)[0] - 100.0) < 0.01

@@ -1,0 +1,98 @@
+"""Unit tests for sensor-stream fusion."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import angular_difference
+from repro.traces.resample import (
+    fuse_sensor_streams,
+    interp_azimuths,
+    interp_positions,
+)
+
+
+class TestInterpPositions:
+    def test_midpoint(self):
+        lat, lng = interp_positions([0.5], [0.0, 1.0], [40.0, 40.001],
+                                    [116.0, 116.002])
+        assert lat[0] == pytest.approx(40.0005)
+        assert lng[0] == pytest.approx(116.001)
+
+    def test_clamps_outside_range(self):
+        lat, _ = interp_positions([-1.0, 5.0], [0.0, 1.0], [40.0, 41.0],
+                                  [116.0, 116.0])
+        assert lat[0] == 40.0 and lat[1] == 41.0
+
+    def test_exact_sample_points(self):
+        lat, _ = interp_positions([0.0, 1.0], [0.0, 1.0], [40.0, 41.0],
+                                  [116.0, 116.0])
+        assert list(lat) == [40.0, 41.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interp_positions([0.0], [], [], [])
+        with pytest.raises(ValueError):
+            interp_positions([0.0], [0.0, 0.0], [40.0, 40.0], [116.0, 116.0])
+        with pytest.raises(ValueError):
+            interp_positions([0.0], [0.0, 1.0], [40.0], [116.0, 116.0])
+
+
+class TestInterpAzimuths:
+    def test_simple_midpoint(self):
+        out = interp_azimuths([0.5], [0.0, 1.0], [10.0, 20.0])
+        assert out[0] == pytest.approx(15.0)
+
+    def test_shorter_arc_across_wrap(self):
+        # 350 -> 10 must pass through 0, not 180.
+        out = interp_azimuths([0.5], [0.0, 1.0], [350.0, 10.0])
+        assert angular_difference(out[0], 0.0) < 1e-9
+
+    def test_long_pan_tracks_continuously(self):
+        # A full slow turn sampled sparsely interpolates monotonically.
+        compass_t = np.arange(0.0, 10.1, 1.0)
+        theta = (36.0 * compass_t) % 360.0
+        frame_t = np.arange(0.0, 10.0, 0.1)
+        out = interp_azimuths(frame_t, compass_t, theta)
+        expected = (36.0 * frame_t) % 360.0
+        assert np.allclose(out, expected, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interp_azimuths([0.0], [0.0, 1.0], [10.0])
+
+
+class TestFuseSensorStreams:
+    def test_realistic_rates(self):
+        """30 fps frames from 1 Hz GPS and 10 Hz compass."""
+        frame_t = np.arange(0.0, 5.0, 1.0 / 30.0)
+        fix_t = np.arange(0.0, 6.0, 1.0)
+        lat = 40.0 + 1e-5 * fix_t
+        lng = np.full_like(fix_t, 116.3)
+        compass_t = np.arange(0.0, 5.5, 0.1)
+        theta = (5.0 * compass_t) % 360.0
+        trace = fuse_sensor_streams(frame_t, fix_t, lat, lng,
+                                    compass_t, theta)
+        assert len(trace) == frame_t.size
+        # Interpolated values stay within sensor envelopes.
+        assert trace.lat.min() >= 40.0 - 1e-12
+        assert trace.lat.max() <= lat.max() + 1e-12
+        assert np.allclose(trace.theta, (5.0 * frame_t) % 360.0, atol=1e-9)
+
+    def test_fused_trace_feeds_segmentation(self, camera):
+        """End to end: raw streams -> fused trace -> Algorithm 1."""
+        from repro import segment_trace
+        frame_t = np.arange(0.0, 30.0, 1.0 / 10.0)
+        fix_t = np.arange(0.0, 31.0, 1.0)
+        lat = np.full_like(fix_t, 40.0)
+        lng = np.full_like(fix_t, 116.3)
+        compass_t = np.arange(0.0, 30.5, 0.5)
+        theta = (12.0 * compass_t) % 360.0        # the rotation scenario
+        trace = fuse_sensor_streams(frame_t, fix_t, lat, lng,
+                                    compass_t, theta)
+        segs = segment_trace(trace, camera)
+        # 12 deg/s, threshold 0.5 -> cuts every ~2.5 s.
+        assert 10 <= len(segs) <= 14
+
+    def test_frame_validation(self):
+        with pytest.raises(ValueError):
+            fuse_sensor_streams([], [0.0], [40.0], [116.0], [0.0], [0.0])

@@ -1,0 +1,68 @@
+"""Unit tests for the paper's scenario presets."""
+
+import numpy as np
+import pytest
+
+from repro.traces.noise import SensorNoiseModel
+from repro.traces.scenarios import (
+    bike_turn_scenario,
+    drive_scenario,
+    rotation_scenario,
+    translation_scenario,
+    walk_scenario,
+)
+
+IDEAL = SensorNoiseModel.ideal()
+
+
+class TestScenarios:
+    def test_rotation_holds_position(self):
+        tr = rotation_scenario(duration_s=10, fps=5, noise=IDEAL)
+        xy = tr.local_xy()
+        assert np.allclose(xy, xy[0], atol=1e-6)
+        assert tr.theta[0] != tr.theta[-1]
+
+    def test_translation_parallel_constant_azimuth(self):
+        tr = translation_scenario(theta_p=0.0, duration_s=10, fps=5,
+                                  noise=IDEAL)
+        assert np.allclose(tr.theta, tr.theta[0])
+        xy = tr.local_xy()
+        moved = np.linalg.norm(xy[-1] - xy[0])
+        assert moved == pytest.approx(1.4 * 10.0, rel=0.05)
+
+    def test_translation_perpendicular_geometry(self):
+        tr = translation_scenario(theta_p=90.0, duration_s=10, fps=5,
+                                  noise=IDEAL)
+        xy = tr.local_xy()
+        # Motion is north (heading 0), camera faces east (90).
+        assert np.allclose(tr.theta, 90.0)
+        assert xy[-1, 1] > 10.0 and abs(xy[-1, 0]) < 1e-6
+
+    def test_bike_turn_sweeps_90(self):
+        tr = bike_turn_scenario(fps=5, noise=IDEAL)
+        assert tr.theta[0] == pytest.approx(0.0)
+        assert tr.theta[-1] == pytest.approx(90.0)
+
+    def test_walk_and_drive_run(self):
+        assert len(walk_scenario(duration_s=5, fps=5, noise=IDEAL)) == 26
+        assert len(drive_scenario(duration_s=5, fps=5, noise=IDEAL)) == 26
+
+    def test_noise_defaults_applied(self):
+        noisy = translation_scenario(duration_s=10, fps=5, seed=1)
+        clean = translation_scenario(duration_s=10, fps=5, noise=IDEAL, seed=1)
+        assert not np.allclose(noisy.theta, clean.theta)
+
+    def test_seed_reproducibility(self):
+        a = walk_scenario(duration_s=5, fps=5, seed=9)
+        b = walk_scenario(duration_s=5, fps=5, seed=9)
+        assert np.allclose(a.lat, b.lat) and np.allclose(a.theta, b.theta)
+
+    def test_shared_projection_placement(self, projection):
+        a = rotation_scenario(duration_s=2, fps=2, noise=IDEAL,
+                              projection=projection)
+        b = translation_scenario(duration_s=2, fps=2, noise=IDEAL,
+                                 projection=projection)
+        # Both scenarios anchor at the same city origin under a shared
+        # projection, so their first fixes coincide.
+        assert a[0].lat == pytest.approx(b[0].lat)
+        assert a[0].lng == pytest.approx(b[0].lng)

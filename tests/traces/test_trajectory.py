@@ -1,0 +1,77 @@
+"""Unit tests for the ideal trajectory type."""
+
+import numpy as np
+import pytest
+
+from repro.traces.trajectory import Trajectory
+
+
+def make(n=5, dt=1.0):
+    t = np.arange(n) * dt
+    xy = np.stack([np.arange(n, dtype=float), np.zeros(n)], axis=-1)
+    az = np.full(n, 90.0)
+    return Trajectory(t=t, xy=xy, azimuth=az)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Trajectory(t=np.array([]), xy=np.empty((0, 2)), azimuth=np.array([]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Trajectory(t=np.array([0.0, 1.0]), xy=np.zeros((2, 3)),
+                       azimuth=np.zeros(2))
+
+    def test_rejects_non_increasing_time(self):
+        with pytest.raises(ValueError):
+            Trajectory(t=np.array([0.0, 0.0]), xy=np.zeros((2, 2)),
+                       azimuth=np.zeros(2))
+
+    def test_azimuth_normalised(self):
+        tr = Trajectory(t=np.array([0.0]), xy=np.zeros((1, 2)),
+                        azimuth=np.array([-90.0]))
+        assert tr.azimuth[0] == pytest.approx(270.0)
+
+
+class TestDerived:
+    def test_duration_and_length(self):
+        tr = make(5)
+        assert tr.duration == 4.0
+        assert tr.path_length() == pytest.approx(4.0)
+
+    def test_travel_headings_east(self):
+        tr = make(4)
+        assert np.allclose(tr.travel_headings(), 90.0)
+
+    def test_travel_headings_single_sample(self):
+        tr = make(1)
+        assert tr.travel_headings().shape == (1,)
+
+    def test_concat(self):
+        a = make(3)
+        b = make(3).shifted(dt=10.0, dxy=(100.0, 0.0))
+        c = a.concat(b)
+        assert len(c) == 6
+        assert c.t[-1] == pytest.approx(12.0)
+
+    def test_concat_requires_later_clock(self):
+        a = make(3)
+        with pytest.raises(ValueError):
+            a.concat(make(3))
+
+    def test_shifted(self):
+        tr = make(3).shifted(dt=5.0, dxy=(1.0, 2.0))
+        assert tr.t[0] == 5.0
+        assert np.allclose(tr.xy[0], [1.0, 2.0])
+
+
+class TestToFoVTrace:
+    def test_roundtrip_geometry(self, origin):
+        tr = make(10)
+        fov_trace = tr.to_fov_trace(origin)
+        assert len(fov_trace) == 10
+        xy = fov_trace.local_xy()
+        # Same shape as the source, re-anchored at the first point.
+        assert np.allclose(xy - xy[0], tr.xy - tr.xy[0], atol=1e-5)
+        assert np.allclose(fov_trace.theta, tr.azimuth)

@@ -1,0 +1,109 @@
+"""Unit tests for the motion generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import angular_difference
+from repro.traces.walkers import (
+    bike_ride_with_turn,
+    random_waypoint,
+    rotate_in_place,
+    straight_line,
+)
+
+
+class TestStraightLine:
+    def test_speed_and_heading(self):
+        tr = straight_line(speed_mps=2.0, duration_s=10.0, fps=10.0,
+                           heading_deg=90.0)
+        assert tr.path_length() == pytest.approx(20.0, rel=1e-6)
+        assert np.allclose(tr.travel_headings(), 90.0)
+
+    def test_camera_offset(self):
+        tr = straight_line(heading_deg=0.0, camera_offset_deg=90.0,
+                           duration_s=2.0, fps=5.0)
+        assert np.allclose(tr.azimuth, 90.0)
+
+    def test_frame_count(self):
+        tr = straight_line(duration_s=3.0, fps=30.0)
+        assert len(tr) == 91  # 3 s at 30 fps, inclusive endpoints
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            straight_line(duration_s=0.0)
+        with pytest.raises(ValueError):
+            straight_line(fps=0.0)
+
+
+class TestRotateInPlace:
+    def test_position_fixed(self):
+        tr = rotate_in_place(duration_s=5.0, fps=10.0, position=(3.0, 4.0))
+        assert np.allclose(tr.xy, [3.0, 4.0])
+
+    def test_rotation_rate(self):
+        tr = rotate_in_place(rate_deg_s=10.0, duration_s=9.0, fps=1.0,
+                             start_azimuth_deg=0.0)
+        assert tr.azimuth[0] == 0.0
+        assert tr.azimuth[-1] == pytest.approx(90.0)
+
+    def test_wraps_past_360(self):
+        tr = rotate_in_place(rate_deg_s=90.0, duration_s=8.0, fps=1.0)
+        assert np.all(tr.azimuth < 360.0)
+
+
+class TestBikeRide:
+    def test_three_phases(self):
+        tr = bike_ride_with_turn(speed_mps=4.0, leg_s=10.0, turn_s=2.0,
+                                 turn_deg=90.0, fps=10.0, heading_deg=0.0)
+        # Before the turn: heading 0; after: heading 90.
+        assert np.allclose(tr.azimuth[: 10 * 10], 0.0)
+        assert np.allclose(tr.azimuth[-(10 * 10 - 5):], 90.0)
+
+    def test_turn_is_smooth(self):
+        tr = bike_ride_with_turn(leg_s=5.0, turn_s=2.0, fps=30.0)
+        steps = np.abs(np.diff(np.unwrap(np.radians(tr.azimuth))))
+        # No single inter-frame jump exceeds the turn rate (45 deg/s at 30 fps).
+        assert np.degrees(steps).max() < 2.0
+
+    def test_path_length_matches_speed(self):
+        tr = bike_ride_with_turn(speed_mps=4.0, leg_s=10.0, turn_s=2.0, fps=30.0)
+        assert tr.path_length() == pytest.approx(4.0 * tr.duration, rel=1e-3)
+
+    def test_displacement_turns_the_corner(self):
+        tr = bike_ride_with_turn(speed_mps=4.0, leg_s=10.0, turn_s=1.0,
+                                 fps=10.0, heading_deg=0.0, turn_deg=90.0)
+        end = tr.xy[-1]
+        assert end[1] > 30.0   # went north first
+        assert end[0] > 30.0   # then east
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            bike_ride_with_turn(leg_s=0.0)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_area(self, rng):
+        tr = random_waypoint(rng, area_m=200.0, duration_s=300.0, fps=1.0)
+        assert np.all(tr.xy >= -1e-9) and np.all(tr.xy <= 200.0 + 1e-9)
+
+    def test_speed_bounded(self, rng):
+        tr = random_waypoint(rng, area_m=500.0, speed_range=(1.0, 2.0),
+                             pause_range=(0.0, 0.0), duration_s=120.0, fps=1.0)
+        step = np.linalg.norm(np.diff(tr.xy, axis=0), axis=-1)
+        assert step.max() <= 2.0 + 1e-9
+
+    def test_reproducible(self):
+        a = random_waypoint(np.random.default_rng(7), duration_s=60.0)
+        b = random_waypoint(np.random.default_rng(7), duration_s=60.0)
+        assert np.allclose(a.xy, b.xy)
+        assert np.allclose(a.azimuth, b.azimuth)
+
+    def test_camera_tracks_travel(self, rng):
+        tr = random_waypoint(rng, pause_range=(0.0, 0.0), duration_s=120.0,
+                             fps=1.0, camera_offset_deg=0.0)
+        # While moving, the azimuth matches the direction of travel.
+        d = np.diff(tr.xy, axis=0)
+        moving = np.linalg.norm(d, axis=-1) > 1e-9
+        heading = np.degrees(np.arctan2(d[moving, 0], d[moving, 1]))
+        assert np.all(np.asarray(
+            angular_difference(heading, tr.azimuth[:-1][moving])) < 1.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the Section VII utility model."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, Query, RepresentativeFoV
+from repro.geo.coords import GeoPoint
+from repro.utility.coverage import (
+    fov_utility_rectangles,
+    global_utility,
+    marginal_utility,
+    set_utility,
+    single_utility,
+)
+
+P = GeoPoint(40.0, 116.3)
+
+
+def rep(theta=0.0, t0=0.0, t1=10.0, sid=0):
+    return RepresentativeFoV(lat=40.0, lng=116.3, theta=theta,
+                             t_start=t0, t_end=t1, video_id="v", segment_id=sid)
+
+
+def query(t0=0.0, t1=100.0):
+    return Query(t_start=t0, t_end=t1, center=P, radius=50.0)
+
+
+class TestRectangles:
+    def test_global_utility(self, camera):
+        assert global_utility(query(0, 100)) == 36000.0
+
+    def test_simple_rectangle(self, camera):
+        rects = fov_utility_rectangles(rep(theta=90.0), camera, query())
+        assert len(rects) == 1
+        a_lo, t_lo, a_hi, t_hi = rects[0]
+        assert (a_lo, a_hi) == (60.0, 120.0)
+        assert (t_lo, t_hi) == (0.0, 10.0)
+
+    def test_wrapping_splits_in_two(self, camera):
+        rects = fov_utility_rectangles(rep(theta=10.0), camera, query())
+        assert len(rects) == 2
+        total = sum((r[2] - r[0]) for r in rects)
+        assert total == pytest.approx(camera.viewing_angle)
+
+    def test_outside_window_empty(self, camera):
+        assert fov_utility_rectangles(rep(t0=200, t1=210), camera,
+                                      query(0, 100)) == []
+
+    def test_clipped_to_window(self, camera):
+        rects = fov_utility_rectangles(rep(theta=90.0, t0=-5.0, t1=5.0),
+                                       camera, query(0, 100))
+        assert rects[0][1] == 0.0 and rects[0][3] == 5.0
+
+
+class TestSetUtility:
+    def test_single(self, camera):
+        # 60 deg aperture x 10 s = 600 utility units.
+        assert single_utility(rep(theta=90.0), camera, query()) == 600.0
+
+    def test_never_exceeds_global(self, camera, rng):
+        reps = [rep(theta=float(rng.uniform(0, 360)),
+                    t0=float(rng.uniform(0, 90)),
+                    t1=float(rng.uniform(90, 100)), sid=i)
+                for i in range(12)]
+        assert set_utility(reps, camera, query()) <= global_utility(query())
+
+    def test_disjoint_adds(self, camera):
+        a = rep(theta=90.0, t0=0, t1=10)
+        b = rep(theta=90.0, t0=20, t1=30)
+        assert set_utility([a, b], camera, query()) == pytest.approx(1200.0)
+
+    def test_duplicates_count_once(self, camera):
+        a = rep(theta=90.0)
+        assert set_utility([a, a, a], camera, query()) == pytest.approx(600.0)
+
+    def test_monotone(self, camera, rng):
+        reps = [rep(theta=float(rng.uniform(0, 360)),
+                    t0=float(rng.uniform(0, 50)),
+                    t1=float(rng.uniform(50, 100)), sid=i)
+                for i in range(8)]
+        values = [set_utility(reps[:k], camera, query())
+                  for k in range(len(reps) + 1)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_submodular(self, camera, rng):
+        """Marginal gains shrink as the selected set grows."""
+        reps = [rep(theta=float(rng.uniform(0, 360)),
+                    t0=float(rng.uniform(0, 50)),
+                    t1=float(rng.uniform(50, 100)), sid=i)
+                for i in range(7)]
+        new = rep(theta=45.0, t0=10, t1=60, sid=99)
+        q = query()
+        small = reps[:2]
+        large = reps[:6]
+        gain_small = marginal_utility(new, small, camera, q)
+        gain_large = marginal_utility(new, large, camera, q)
+        assert gain_large <= gain_small + 1e-9
+
+    def test_empty_set_zero(self, camera):
+        assert set_utility([], camera, query()) == 0.0

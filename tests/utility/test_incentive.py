@@ -1,0 +1,118 @@
+"""Unit tests for the budgeted incentive mechanism."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, Query, RepresentativeFoV
+from repro.geo.coords import GeoPoint
+from repro.utility.incentive import (
+    PricedVideo,
+    brute_force_selection,
+    greedy_budgeted_selection,
+    random_selection,
+)
+
+P = GeoPoint(40.0, 116.3)
+QUERY = Query(t_start=0.0, t_end=60.0, center=P, radius=50.0)
+
+
+def pv(theta, t0, t1, cost, sid=0):
+    return PricedVideo(
+        fov=RepresentativeFoV(lat=40.0, lng=116.3, theta=theta,
+                              t_start=t0, t_end=t1, video_id="v",
+                              segment_id=sid),
+        cost=cost,
+    )
+
+
+def random_candidates(rng, n):
+    return [pv(float(rng.uniform(0, 360)), float(rng.uniform(0, 40)),
+               float(rng.uniform(40, 60)), float(rng.uniform(1, 5)), sid=i)
+            for i in range(n)]
+
+
+class TestPricedVideo:
+    def test_rejects_free_items(self):
+        with pytest.raises(ValueError):
+            pv(0.0, 0.0, 10.0, cost=0.0)
+
+
+class TestGreedy:
+    def test_respects_budget(self, camera, rng):
+        cands = random_candidates(rng, 12)
+        res = greedy_budgeted_selection(cands, budget=6.0, camera=camera,
+                                        query=QUERY)
+        assert res.spent <= 6.0
+        assert res.utility >= 0.0
+
+    def test_rejects_bad_budget(self, camera):
+        with pytest.raises(ValueError):
+            greedy_budgeted_selection([], budget=0.0, camera=camera,
+                                      query=QUERY)
+
+    def test_empty_candidates(self, camera):
+        res = greedy_budgeted_selection([], budget=5.0, camera=camera,
+                                        query=QUERY)
+        assert res.chosen == () and res.utility == 0.0
+
+    def test_prefers_cheap_coverage(self, camera):
+        # Same coverage, different price: greedy must take the cheap one.
+        cheap = pv(90.0, 0.0, 30.0, cost=1.0, sid=0)
+        pricey = pv(90.0, 0.0, 30.0, cost=4.0, sid=1)
+        res = greedy_budgeted_selection([pricey, cheap], budget=1.5,
+                                        camera=camera, query=QUERY)
+        assert res.chosen == (cheap,)
+
+    def test_single_item_safeguard(self, camera):
+        # Many tiny-utility cheap items vs one big exclusive item whose
+        # cost consumes the whole budget: the safeguard must compare.
+        big = pv(90.0, 0.0, 60.0, cost=10.0, sid=0)       # covers a lot
+        smalls = [pv(90.0, float(i), float(i) + 0.2, cost=1.0, sid=i + 1)
+                  for i in range(5)]
+        res = greedy_budgeted_selection([big, *smalls], budget=10.0,
+                                        camera=camera, query=QUERY)
+        assert res.utility >= 60.0 * 60.0 * 0.9  # close to the big item's area
+
+    def test_guarantee_vs_brute_force(self, camera, rng):
+        """Greedy achieves >= (1 - 1/e)/2 of optimal (usually much more)."""
+        bound = (1.0 - 1.0 / np.e) / 2.0
+        for trial in range(5):
+            cands = random_candidates(np.random.default_rng(trial), 8)
+            budget = 8.0
+            opt = brute_force_selection(cands, budget, camera, QUERY)
+            greedy = greedy_budgeted_selection(cands, budget, camera, QUERY)
+            if opt.utility > 0:
+                assert greedy.utility >= bound * opt.utility - 1e-9
+
+    def test_beats_random_on_average(self, camera):
+        rng = np.random.default_rng(9)
+        cands = random_candidates(rng, 14)
+        budget = 10.0
+        greedy = greedy_budgeted_selection(cands, budget, camera, QUERY)
+        rand_utils = [
+            random_selection(cands, budget, camera, QUERY,
+                             np.random.default_rng(s)).utility
+            for s in range(10)]
+        assert greedy.utility >= np.mean(rand_utils) - 1e-9
+
+
+class TestBruteForce:
+    def test_exact_on_tiny_instance(self, camera):
+        a = pv(90.0, 0.0, 30.0, cost=2.0, sid=0)     # 60 x 30
+        b = pv(90.0, 30.0, 60.0, cost=2.0, sid=1)    # 60 x 30 disjoint time
+        c = pv(90.0, 0.0, 60.0, cost=3.9, sid=2)     # 60 x 60 alone
+        res = brute_force_selection([a, b, c], budget=4.0, camera=camera,
+                                    query=QUERY)
+        assert res.utility == pytest.approx(3600.0)
+
+    def test_size_cap(self, camera, rng):
+        with pytest.raises(ValueError):
+            brute_force_selection(random_candidates(rng, 17), 5.0, camera,
+                                  QUERY)
+
+
+class TestRandomSelection:
+    def test_budget_respected(self, camera, rng):
+        cands = random_candidates(rng, 10)
+        res = random_selection(cands, 5.0, camera, QUERY, rng)
+        assert res.spent <= 5.0

@@ -1,0 +1,107 @@
+"""Tests for the online (zero arrival-departure) incentive mechanism."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel, Query
+from repro.core.fov import RepresentativeFoV
+from repro.geo.coords import GeoPoint
+from repro.utility.incentive import PricedVideo, greedy_budgeted_selection
+from repro.utility.online import OnlineSelection, online_threshold_selection
+
+CAMERA = CameraModel()
+QUERY = Query(t_start=0.0, t_end=120.0, center=GeoPoint(40.0, 116.3),
+              radius=50.0)
+
+
+def pv(theta, t0, t1, cost, sid=0):
+    return PricedVideo(
+        fov=RepresentativeFoV(lat=40.0, lng=116.3, theta=theta,
+                              t_start=t0, t_end=t1, video_id="v",
+                              segment_id=sid),
+        cost=cost,
+    )
+
+
+def random_arrivals(rng, n):
+    return [pv(float(rng.uniform(0, 360)), float(rng.uniform(0, 80)),
+               float(rng.uniform(80, 120)), float(rng.uniform(1, 5)), sid=i)
+            for i in range(n)]
+
+
+class TestOnlineSelection:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineSelection(budget=0.0, camera=CAMERA, query=QUERY,
+                            density_threshold=1.0)
+        with pytest.raises(ValueError):
+            OnlineSelection(budget=1.0, camera=CAMERA, query=QUERY,
+                            density_threshold=-1.0)
+
+    def test_budget_never_exceeded(self, rng):
+        state = OnlineSelection(budget=6.0, camera=CAMERA, query=QUERY,
+                                density_threshold=0.0)
+        for cand in random_arrivals(rng, 30):
+            state.offer(cand)
+        assert state.spent <= 6.0
+
+    def test_zero_threshold_accepts_affordable(self):
+        state = OnlineSelection(budget=10.0, camera=CAMERA, query=QUERY,
+                                density_threshold=0.0)
+        assert state.offer(pv(90.0, 0.0, 60.0, cost=4.0))
+        assert state.utility > 0
+
+    def test_high_threshold_rejects_everything(self, rng):
+        state = OnlineSelection(budget=100.0, camera=CAMERA, query=QUERY,
+                                density_threshold=1e9)
+        for cand in random_arrivals(rng, 10):
+            assert not state.offer(cand)
+        assert state.result().utility == 0.0
+
+    def test_duplicate_arrivals_rejected_by_marginal_gain(self):
+        # Same rectangle twice: the second has zero marginal utility.
+        state = OnlineSelection(budget=100.0, camera=CAMERA, query=QUERY,
+                                density_threshold=1.0)
+        first = pv(90.0, 0.0, 60.0, cost=2.0, sid=0)
+        dup = pv(90.0, 0.0, 60.0, cost=2.0, sid=1)
+        assert state.offer(first)
+        assert not state.offer(dup)
+
+
+class TestOnlineThresholdSelection:
+    def test_empty_arrivals(self):
+        out = online_threshold_selection([], 10.0, CAMERA, QUERY)
+        assert out.utility == 0.0 and out.chosen == ()
+
+    def test_adaptive_threshold_spends(self, rng):
+        arrivals = random_arrivals(rng, 40)
+        out = online_threshold_selection(arrivals, 15.0, CAMERA, QUERY)
+        assert out.spent <= 15.0
+        assert out.utility > 0.0, "the sampled threshold must admit buys"
+
+    def test_competitive_with_offline_greedy(self):
+        """Across random arrival orders, the online mechanism achieves a
+        reasonable fraction of the offline greedy's utility."""
+        base_rng = np.random.default_rng(5)
+        cands = random_arrivals(base_rng, 30)
+        budget = 12.0
+        offline = greedy_budgeted_selection(cands, budget, CAMERA, QUERY)
+        assert offline.utility > 0
+        ratios = []
+        for seed in range(8):
+            order = np.random.default_rng(seed).permutation(len(cands))
+            arrivals = [cands[i] for i in order]
+            online = online_threshold_selection(arrivals, budget, CAMERA,
+                                                QUERY)
+            ratios.append(online.utility / offline.utility)
+        assert float(np.mean(ratios)) > 0.35, (
+            f"online/offline mean ratio too low: {np.mean(ratios):.2f}")
+
+    def test_explicit_threshold_respected(self, rng):
+        arrivals = random_arrivals(rng, 20)
+        strict = online_threshold_selection(arrivals, 20.0, CAMERA, QUERY,
+                                            density_threshold=1e9)
+        assert strict.utility == 0.0
+        loose = online_threshold_selection(arrivals, 20.0, CAMERA, QUERY,
+                                           density_threshold=0.0)
+        assert loose.utility > 0.0

@@ -1,0 +1,74 @@
+"""Tests for the compass-vs-pixels calibration audit."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.vision.calibration import audit_compass
+from repro.vision.camera import ColumnRenderer
+from repro.vision.world import random_world
+
+CAMERA = CameraModel(half_angle=30.0, radius=100.0)
+
+
+@pytest.fixture(scope="module")
+def pan():
+    """A 60-degree pan: frames + the true azimuths."""
+    rng = np.random.default_rng(8)
+    renderer = ColumnRenderer(random_world(rng), CAMERA, width=240, height=60)
+    azimuths = np.arange(0.0, 62.0, 4.0)
+    frames = np.stack([renderer.render(0.0, 0.0, float(a)) for a in azimuths])
+    return frames, azimuths
+
+
+class TestAuditCompass:
+    def test_healthy_compass_consistent(self, pan):
+        frames, az = pan
+        report = audit_compass(frames, az, CAMERA)
+        assert report.consistent
+        assert report.mean_abs_residual_deg < 2.0
+        assert report.scale == pytest.approx(1.0, abs=0.1)
+        assert report.total_compass_deg == pytest.approx(
+            report.total_pixel_deg, abs=8.0)
+
+    def test_constant_bias_is_invisible_to_deltas(self, pan):
+        # A pure hard-iron offset shifts every reading equally; the
+        # *deltas* still match the pixels, so the audit stays green --
+        # documenting exactly what this check can and cannot catch.
+        frames, az = pan
+        report = audit_compass(frames, az + 37.0, CAMERA)
+        assert report.consistent
+
+    def test_scaled_sensor_detected(self, pan):
+        # A sensor reporting 1.5x the true rotation rate diverges.
+        frames, az = pan
+        report = audit_compass(frames, az * 1.5, CAMERA)
+        assert not report.consistent
+        assert report.scale > 1.2
+
+    def test_jammed_sensor_detected(self, pan):
+        frames, az = pan
+        report = audit_compass(frames, np.full_like(az, 10.0), CAMERA)
+        assert not report.consistent
+
+    def test_noisy_sensor_raises_residuals(self, pan):
+        frames, az = pan
+        rng = np.random.default_rng(1)
+        noisy = az + rng.normal(0.0, 6.0, az.shape)
+        report = audit_compass(frames, noisy, CAMERA)
+        assert report.mean_abs_residual_deg > \
+            audit_compass(frames, az, CAMERA).mean_abs_residual_deg
+
+    def test_validation(self, pan):
+        frames, az = pan
+        with pytest.raises(ValueError):
+            audit_compass(frames[:1], az[:1], CAMERA)
+        with pytest.raises(ValueError):
+            audit_compass(frames, az[:-1], CAMERA)
+
+    def test_all_steps_out_of_envelope(self, pan):
+        frames, _ = pan
+        # 90-degree jumps every frame: nothing to audit.
+        az = np.arange(frames.shape[0]) * 90.0
+        with pytest.raises(ValueError):
+            audit_compass(frames, az, CAMERA)

@@ -1,0 +1,133 @@
+"""Unit tests for content descriptors, CV segmentation and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.vision.blockdesc import block_bytes, block_descriptor, block_similarity
+from repro.vision.descriptors import measure_descriptor_costs
+from repro.vision.frames import render_trajectory, subsample_indices
+from repro.vision.histogram import color_histogram, histogram_bytes, histogram_similarity
+from repro.vision.segmentation_cv import cv_segment_frames
+from repro.vision.camera import ColumnRenderer
+from repro.vision.world import random_world
+from repro.traces.walkers import rotate_in_place
+
+
+def noise_frame(rng, shape=(12, 16, 3)):
+    return rng.integers(0, 256, shape).astype(np.uint8)
+
+
+class TestHistogram:
+    def test_normalised(self, rng):
+        h = color_histogram(noise_frame(rng))
+        assert h.sum() == pytest.approx(1.0)
+        assert h.shape == (512,)
+
+    def test_self_similarity_one(self, rng):
+        f = noise_frame(rng)
+        h = color_histogram(f)
+        assert histogram_similarity(h, h) == pytest.approx(1.0)
+
+    def test_disjoint_colors_zero(self):
+        dark = np.zeros((8, 8, 3), dtype=np.uint8)
+        bright = np.full((8, 8, 3), 255, dtype=np.uint8)
+        s = histogram_similarity(color_histogram(dark), color_histogram(bright))
+        assert s == 0.0
+
+    def test_bins_validation(self, rng):
+        with pytest.raises(ValueError):
+            color_histogram(noise_frame(rng), bins=1)
+
+    def test_bytes(self):
+        assert histogram_bytes(bins=8) == 8**3 * 4
+
+
+class TestBlockDescriptor:
+    def test_shape(self, rng):
+        d = block_descriptor(noise_frame(rng), grid=4)
+        assert d.shape == (4 * 4 * 3,)
+
+    def test_solid_frame_exact(self):
+        f = np.full((16, 16, 3), 77, dtype=np.uint8)
+        d = block_descriptor(f, grid=4)
+        assert np.allclose(d, 77.0)
+
+    def test_similarity_bounds(self, rng):
+        a = block_descriptor(noise_frame(rng))
+        b = block_descriptor(noise_frame(rng))
+        assert 0.0 <= block_similarity(a, b) <= 1.0
+        assert block_similarity(a, a) == 1.0
+
+    def test_grid_validation(self, rng):
+        with pytest.raises(ValueError):
+            block_descriptor(noise_frame(rng), grid=0)
+
+    def test_bytes(self):
+        assert block_bytes(grid=8) == 8 * 8 * 3 * 4
+
+
+class TestSubsample:
+    def test_short_sequence_untouched(self):
+        assert np.array_equal(subsample_indices(5, 10), np.arange(5))
+
+    def test_even_spacing(self):
+        idx = subsample_indices(100, 10)
+        assert idx[0] == 0 and idx[-1] == 99
+        assert len(idx) <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subsample_indices(0, 5)
+        with pytest.raises(ValueError):
+            subsample_indices(5, 0)
+
+
+class TestCvSegmentation:
+    def test_static_sequence_one_segment(self):
+        frames = np.broadcast_to(
+            np.full((6, 8, 3), 50, dtype=np.uint8), (10, 6, 8, 3)).copy()
+        assert cv_segment_frames(frames, threshold=0.9) == [(0, 10)]
+
+    def test_hard_cut_detected(self):
+        a = np.full((5, 6, 8, 3), 0, dtype=np.uint8)
+        b = np.full((5, 6, 8, 3), 255, dtype=np.uint8)
+        frames = np.concatenate([a, b])
+        segs = cv_segment_frames(frames, threshold=0.5)
+        assert segs == [(0, 5), (5, 10)]
+
+    def test_partition(self, camera, rng):
+        world = random_world(rng)
+        r = ColumnRenderer(world, camera, width=32, height=24)
+        traj = rotate_in_place(rate_deg_s=30, duration_s=12, fps=2)
+        frames, _ = render_trajectory(r, traj)
+        segs = cv_segment_frames(frames, threshold=0.97)
+        assert segs[0][0] == 0 and segs[-1][1] == frames.shape[0]
+        for (a, b), (c, d) in zip(segs, segs[1:]):
+            assert b == c
+
+    def test_threshold_validated(self):
+        frames = np.zeros((3, 4, 4, 3), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            cv_segment_frames(frames, threshold=0.0)
+
+
+class TestDescriptorCosts:
+    def test_orderings_match_paper_claims(self, camera, rng):
+        world = random_world(rng)
+        r = ColumnRenderer(world, camera, width=64, height=48)
+        traj = rotate_in_place(rate_deg_s=30, duration_s=2, fps=2)
+        frames, _ = render_trajectory(r, traj)
+        costs = {c.name: c for c in measure_descriptor_costs(frames, camera,
+                                                             reps=3)}
+        # FoV is the smallest descriptor by a wide margin...
+        assert costs["fov"].bytes_per_frame < costs["histogram"].bytes_per_frame
+        assert costs["fov"].bytes_per_frame < costs["block"].bytes_per_frame
+        assert costs["fov"].bytes_per_frame * 100 < costs["frame-diff"].bytes_per_frame
+        # ...and its extraction needs no pixels at all.
+        assert costs["fov"].extract_us < costs["histogram"].extract_us
+        assert costs["fov"].extract_us < costs["block"].extract_us
+
+    def test_requires_two_frames(self, camera):
+        with pytest.raises(ValueError):
+            measure_descriptor_costs(np.zeros((1, 4, 4, 3), dtype=np.uint8),
+                                     camera)

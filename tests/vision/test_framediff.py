@@ -1,0 +1,81 @@
+"""Unit tests for frame differencing and friends."""
+
+import numpy as np
+import pytest
+
+from repro.vision.framediff import (
+    frame_difference_similarity,
+    pairwise_frame_similarity,
+    sequential_frame_similarity,
+)
+
+
+def solid(value, shape=(8, 10, 3)):
+    return np.full(shape, value, dtype=np.uint8)
+
+
+class TestFrameDifference:
+    def test_identical_is_one(self):
+        f = solid(100)
+        assert frame_difference_similarity(f, f) == 1.0
+
+    def test_opposite_is_zero(self):
+        assert frame_difference_similarity(solid(0), solid(255)) == 0.0
+
+    def test_midway(self):
+        s = frame_difference_similarity(solid(0), solid(51))
+        assert s == pytest.approx(1.0 - 51.0 / 255.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, (8, 10, 3)).astype(np.uint8)
+        b = rng.integers(0, 256, (8, 10, 3)).astype(np.uint8)
+        assert frame_difference_similarity(a, b) == \
+            frame_difference_similarity(b, a)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            frame_difference_similarity(solid(0), solid(0, (8, 11, 3)))
+
+    def test_dtype_checked(self):
+        with pytest.raises(ValueError):
+            frame_difference_similarity(solid(0).astype(float), solid(0))
+
+    def test_no_uint8_wraparound(self):
+        # |0 - 255| must be 255, not 1 (int16 promotion inside).
+        assert frame_difference_similarity(solid(0), solid(255)) == 0.0
+
+
+class TestSequential:
+    def test_reference_frame_scores_one(self):
+        frames = np.stack([solid(0), solid(100), solid(200)])
+        out = sequential_frame_similarity(frames)
+        assert out[0] == 1.0
+        assert out[1] == pytest.approx(1.0 - 100 / 255)
+
+    def test_custom_anchor(self):
+        frames = np.stack([solid(0), solid(100)])
+        out = sequential_frame_similarity(frames, anchor=1)
+        assert out[1] == 1.0
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            sequential_frame_similarity(solid(0))
+
+
+class TestPairwise:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        frames = rng.integers(0, 256, (7, 6, 5, 3)).astype(np.uint8)
+        M = pairwise_frame_similarity(frames, block=3)
+        for i in range(7):
+            for j in range(7):
+                assert M[i, j] == pytest.approx(
+                    frame_difference_similarity(frames[i], frames[j]))
+
+    def test_symmetric_unit_diagonal(self):
+        rng = np.random.default_rng(2)
+        frames = rng.integers(0, 256, (9, 4, 4, 3)).astype(np.uint8)
+        M = pairwise_frame_similarity(frames, block=4)
+        assert np.allclose(M, M.T)
+        assert np.allclose(np.diag(M), 1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for pixel-based rotation estimation."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.vision.camera import ColumnRenderer
+from repro.vision.motion import (
+    column_profile,
+    estimate_rotation_deg,
+    estimate_shift_px,
+)
+from repro.vision.world import random_world
+
+CAMERA = CameraModel(half_angle=30.0, radius=100.0)
+
+
+class TestColumnProfile:
+    def test_shape(self):
+        frame = np.zeros((10, 32, 3), dtype=np.uint8)
+        assert column_profile(frame).shape == (32,)
+
+    def test_luminance_weighting(self):
+        green = np.zeros((4, 4, 3), dtype=np.uint8)
+        green[..., 1] = 255
+        red = np.zeros((4, 4, 3), dtype=np.uint8)
+        red[..., 0] = 255
+        assert column_profile(green).mean() > column_profile(red).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            column_profile(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestEstimateShift:
+    def test_zero_shift(self, rng):
+        p = rng.uniform(0, 255, 64)
+        assert estimate_shift_px(p, p) == 0
+
+    def test_known_shift(self, rng):
+        p = rng.uniform(0, 255, 128)
+        for s in (3, 10, -7):
+            shifted = np.roll(p, -s)
+            got = estimate_shift_px(p, shifted, max_shift=20)
+            assert got == s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_shift_px(np.zeros(8), np.zeros(9))
+
+
+class TestEstimateRotation:
+    @pytest.fixture
+    def renderer(self, rng):
+        return ColumnRenderer(random_world(rng), CAMERA, width=240,
+                              height=60)
+
+    def test_no_rotation(self, renderer):
+        a = renderer.render(0.0, 0.0, 45.0)
+        assert abs(estimate_rotation_deg(a, a, CAMERA)) < 0.5
+
+    @pytest.mark.parametrize("true_rot", [5.0, 12.0, -8.0, 15.0])
+    def test_recovers_rotation(self, renderer, true_rot):
+        a = renderer.render(0.0, 0.0, 90.0)
+        b = renderer.render(0.0, 0.0, 90.0 + true_rot)
+        est = estimate_rotation_deg(a, b, CAMERA)
+        assert est == pytest.approx(true_rot, abs=1.5)
+
+    def test_cross_validates_compass(self, renderer):
+        """Pixel-estimated rotation tracks the compass-reported azimuth
+        change over a panning sequence -- the FoV/CV consistency check."""
+        azimuths = [0.0, 7.0, 15.0, 24.0, 30.0]
+        frames = [renderer.render(0.0, 0.0, a) for a in azimuths]
+        for (a0, f0), (a1, f1) in zip(zip(azimuths, frames),
+                                      zip(azimuths[1:], frames[1:])):
+            est = estimate_rotation_deg(f0, f1, CAMERA)
+            assert est == pytest.approx(a1 - a0, abs=2.0)
+
+    def test_shape_mismatch_rejected(self, renderer):
+        a = renderer.render(0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            estimate_rotation_deg(a, a[:, :100], CAMERA)

@@ -1,0 +1,107 @@
+"""Unit tests for line-of-sight and occlusion-aware coverage."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.vision.occlusion import line_of_sight, visible_coverage
+from repro.vision.world import Landmark, World
+
+CAMERA = CameraModel(half_angle=30.0, radius=100.0)
+
+
+def wall_world():
+    """One fat pillar at (0, 50)."""
+    return World([Landmark(0.0, 50.0, 5.0, (100, 100, 100), height=20.0)])
+
+
+class TestLineOfSight:
+    def test_empty_world_clear(self):
+        assert line_of_sight(World([]), (0, 0), (0, 100))
+
+    def test_blocked_by_pillar(self):
+        assert not line_of_sight(wall_world(), (0.0, 0.0), (0.0, 100.0))
+
+    def test_clear_around_pillar(self):
+        assert line_of_sight(wall_world(), (0.0, 0.0), (30.0, 100.0))
+
+    def test_target_in_front_of_pillar_visible(self):
+        assert line_of_sight(wall_world(), (0.0, 0.0), (0.0, 40.0))
+
+    def test_target_behind_pillar_blocked(self):
+        assert not line_of_sight(wall_world(), (0.0, 0.0), (0.0, 60.0))
+
+    def test_target_on_landmark_surface_visible(self):
+        # Endpoint inside the landmark does not count as blocked.
+        assert line_of_sight(wall_world(), (0.0, 0.0), (0.0, 46.0))
+
+    def test_camera_next_to_wall_sees_along(self):
+        assert line_of_sight(wall_world(), (0.0, 47.0), (0.0, 10.0))
+
+    def test_zero_length_segment(self):
+        assert line_of_sight(wall_world(), (0.0, 50.0), (0.0, 50.0))
+
+    def test_clearance_widens_obstacles(self):
+        # Ray passing 6 m from the pillar centre: clear at radius 5,
+        # blocked with 2 m clearance.
+        assert line_of_sight(wall_world(), (6.0, 0.0), (6.0, 100.0))
+        assert not line_of_sight(wall_world(), (6.0, 0.0), (6.0, 100.0),
+                                 clearance=2.0)
+
+    def test_symmetry(self, rng):
+        world = World([
+            Landmark(float(x), float(y), 2.0, (50, 50, 50))
+            for x, y in rng.uniform(-50, 50, (20, 2))
+        ])
+        for _ in range(20):
+            a = rng.uniform(-60, 60, 2)
+            b = rng.uniform(-60, 60, 2)
+            assert line_of_sight(world, a, b) == line_of_sight(world, b, a)
+
+
+class TestVisibleCoverage:
+    def test_occlusion_subset_of_geometry(self, rng):
+        from repro.geometry.sector import sector_contains_points
+        from repro.vision.world import random_world
+        world = random_world(rng, n_landmarks=60, extent_m=200.0)
+        apexes = rng.uniform(-80, 80, (6, 2))
+        azimuths = rng.uniform(0, 360, 6)
+        points = rng.uniform(-80, 80, (15, 2))
+        vis = visible_coverage(world, apexes, azimuths, CAMERA, points)
+        geo = sector_contains_points(apexes, azimuths, CAMERA.half_angle,
+                                     CAMERA.radius, points)
+        assert np.all(~vis | geo), "visible implies geometrically covered"
+
+    def test_blocked_pair_excluded(self):
+        world = wall_world()
+        apex = np.array([[0.0, 0.0]])
+        az = np.array([0.0])
+        pts = np.array([[0.0, 80.0],    # behind the pillar: blocked
+                        [20.0, 60.0]])  # off to the side: visible
+        vis = visible_coverage(world, apex, az, CAMERA, pts)
+        assert not vis[0, 0]
+        assert vis[0, 1]
+
+    def test_groundtruth_world_parameter(self, camera):
+        """Occlusion-aware relevant set is a subset of the geometric one."""
+        from repro.eval.groundtruth import relevant_segments
+        from repro.traces.dataset import CityDataset
+        from repro.vision.world import random_world
+        city = CityDataset(n_providers=6, seed=14)
+        rng = np.random.default_rng(3)
+        ex, ey = city.grid.extent_m
+        world = random_world(rng, extent_m=max(ex, ey), n_landmarks=300,
+                             center=(ex / 2, ey / 2))
+        window = city.time_span()
+        subset_seen = False
+        for _ in range(6):
+            qp = city.random_query_point(rng)
+            xy = city.projection.to_local_arrays([qp.lat], [qp.lng])[0]
+            geo = relevant_segments(city, xy, window)
+            vis = relevant_segments(city, xy, window, world=world)
+            assert vis <= geo
+            if vis < geo:
+                subset_seen = True
+        # In a 300-pillar city at least one query should lose a segment
+        # to occlusion.
+        assert subset_seen

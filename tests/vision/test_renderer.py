@@ -1,0 +1,97 @@
+"""Unit tests for the ray-cast column renderer."""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.vision.camera import ColumnRenderer
+from repro.vision.world import Landmark, World
+
+
+def single_pillar_world(x=0.0, y=50.0, radius=3.0, color=(255, 0, 0)):
+    return World([Landmark(x, y, radius, color, height=20.0)])
+
+
+@pytest.fixture
+def renderer(camera):
+    return ColumnRenderer(single_pillar_world(), camera, width=80, height=60)
+
+
+class TestColumnHits:
+    def test_pillar_straight_ahead(self, renderer):
+        dist, idx = renderer.column_hits(0.0, 0.0, 0.0)
+        centre = renderer.width // 2
+        assert idx[centre] == 0
+        assert dist[centre] == pytest.approx(47.0, abs=0.5)  # 50 - radius
+
+    def test_pillar_behind_misses(self, renderer):
+        dist, idx = renderer.column_hits(0.0, 0.0, 180.0)
+        assert np.all(idx == -1)
+        assert np.all(np.isinf(dist))
+
+    def test_pillar_beyond_radius_of_view(self, camera):
+        w = single_pillar_world(y=150.0)   # beyond R = 100
+        r = ColumnRenderer(w, camera, width=40, height=30)
+        _, idx = r.column_hits(0.0, 0.0, 0.0)
+        assert np.all(idx == -1)
+
+    def test_nearest_of_two_wins(self, camera):
+        w = World([
+            Landmark(0.0, 80.0, 3.0, (0, 255, 0), height=20.0),
+            Landmark(0.0, 40.0, 3.0, (255, 0, 0), height=20.0),
+        ])
+        r = ColumnRenderer(w, camera, width=40, height=30)
+        dist, idx = r.column_hits(0.0, 0.0, 0.0)
+        centre = r.width // 2
+        assert idx[centre] == 1   # the nearer red pillar
+
+    def test_camera_inside_landmark_not_hit_backwards(self, camera):
+        # Entry distance must be positive: looking away from a pillar
+        # whose circle is behind the apex must not register.
+        w = single_pillar_world(y=-10.0)
+        r = ColumnRenderer(w, camera, width=20, height=16)
+        _, idx = r.column_hits(0.0, 0.0, 0.0)
+        assert np.all(idx == -1)
+
+
+class TestRender:
+    def test_shape_and_dtype(self, renderer):
+        frame = renderer.render(0.0, 0.0, 0.0)
+        assert frame.shape == (60, 80, 3)
+        assert frame.dtype == np.uint8
+
+    def test_pillar_paints_red(self, renderer):
+        frame = renderer.render(0.0, 0.0, 0.0)
+        centre_col = frame[:, 40, :]
+        reds = centre_col[:, 0].astype(int) - centre_col[:, 1].astype(int)
+        assert reds.max() > 50   # strongly red somewhere in the column
+
+    def test_rotation_shifts_content(self, renderer):
+        a = renderer.render(0.0, 0.0, 0.0)
+        b = renderer.render(0.0, 0.0, 15.0)
+        assert not np.array_equal(a, b)
+
+    def test_same_pose_deterministic(self, renderer):
+        assert np.array_equal(renderer.render(1.0, 2.0, 3.0),
+                              renderer.render(1.0, 2.0, 3.0))
+
+    def test_approaching_grows_pillar(self, camera):
+        w = single_pillar_world(y=80.0)
+        r = ColumnRenderer(w, camera, width=60, height=60)
+        far = r.render(0.0, 0.0, 0.0)
+        near = r.render(0.0, 50.0, 0.0)
+
+        def red_pixels(f):
+            return int(np.sum(f[..., 0].astype(int) - f[..., 1] > 40))
+
+        assert red_pixels(near) > red_pixels(far) > 0
+
+    def test_empty_world_is_background(self, camera):
+        r = ColumnRenderer(World([]), camera, width=20, height=16)
+        frame = r.render(0.0, 0.0, 0.0)
+        # Top rows are sky-ish blue: B > R.
+        assert (frame[0, :, 2] > frame[0, :, 0]).all()
+
+    def test_minimum_size_enforced(self, camera):
+        with pytest.raises(ValueError):
+            ColumnRenderer(World([]), camera, width=4, height=100)

@@ -1,0 +1,51 @@
+"""Unit tests for the synthetic world."""
+
+import numpy as np
+import pytest
+
+from repro.vision.world import Landmark, World, random_world
+
+
+class TestLandmark:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Landmark(0, 0, radius=0.0, color=(1, 2, 3))
+        with pytest.raises(ValueError):
+            Landmark(0, 0, radius=1.0, color=(1, 2, 3), height=0.0)
+        with pytest.raises(ValueError):
+            Landmark(0, 0, radius=1.0, color=(300, 0, 0))
+        with pytest.raises(ValueError):
+            Landmark(0, 0, radius=1.0, color=(1, 2))
+
+
+class TestWorld:
+    def test_columnar_arrays(self):
+        w = World([Landmark(1, 2, 3, (10, 20, 30), height=5.0)])
+        assert len(w) == 1
+        assert np.allclose(w.centers, [[1, 2]])
+        assert np.allclose(w.radii, [3])
+        assert np.allclose(w.colors, [[10, 20, 30]])
+        assert np.allclose(w.heights, [5.0])
+
+    def test_empty_world_supported(self):
+        w = World([])
+        assert len(w) == 0
+        assert w.centers.shape == (0, 2)
+
+
+class TestRandomWorld:
+    def test_count_and_bounds(self, rng):
+        w = random_world(rng, extent_m=100.0, n_landmarks=50,
+                         center=(10.0, -5.0))
+        assert len(w) == 50
+        assert np.all(np.abs(w.centers - [10.0, -5.0]) <= 50.0)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            random_world(rng, n_landmarks=0)
+
+    def test_reproducible(self):
+        a = random_world(np.random.default_rng(5), n_landmarks=10)
+        b = random_world(np.random.default_rng(5), n_landmarks=10)
+        assert np.allclose(a.centers, b.centers)
+        assert np.allclose(a.colors, b.colors)
