@@ -1,0 +1,31 @@
+"""Shared type aliases for the numeric core.
+
+The geometry and similarity layers are written in *dual form*: every
+kernel accepts Python floats or numpy arrays and returns the matching
+kind (see RF006 in ``docs/STATIC_ANALYSIS.md``).  These aliases give
+that contract one spelling so ``mypy --strict`` can check it uniformly:
+
+* :data:`FloatArray` -- a float64 ndarray, the working dtype everywhere;
+* :data:`ArrayLike` -- anything the kernels coerce via ``np.asarray``;
+* :data:`FloatOrArray` -- the dual-form input/return type.
+
+Private module: import the aliases, don't re-export them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["ArrayLike", "FloatArray", "FloatOrArray"]
+
+#: A float64 numpy array of any shape.
+FloatArray = npt.NDArray[np.float64]
+
+#: Inputs the numeric kernels accept and coerce with ``np.asarray``.
+ArrayLike = Union[float, Sequence[float], FloatArray]
+
+#: The dual-form contract: scalar in -> float out, array in -> array out.
+FloatOrArray = Union[float, FloatArray]

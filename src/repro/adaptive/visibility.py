@@ -42,8 +42,8 @@ class SiteSurvey:
 def _ray_hit_distances(world: World, x: float, y: float,
                        n_rays: int) -> np.ndarray:
     """First-hit distance per ray, ``inf`` where nothing is hit."""
-    angles = np.linspace(0.0, 2.0 * np.pi, n_rays, endpoint=False)
-    dirs = np.stack([np.sin(angles), np.cos(angles)], axis=-1)   # (r, 2)
+    angles_rad = np.linspace(0.0, 2.0 * np.pi, n_rays, endpoint=False)
+    dirs = np.stack([np.sin(angles_rad), np.cos(angles_rad)], axis=-1)  # (r, 2)
     if len(world) == 0:
         return np.full(n_rays, np.inf)
     rel = world.centers - np.array([x, y])                       # (L, 2)

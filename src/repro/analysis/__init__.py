@@ -1,0 +1,40 @@
+"""Domain-aware static analysis for the FoV codebase (``fovlint``).
+
+The retrieval pipeline's correctness hangs on conventions that no unit
+test localises when they break: azimuths are compass *degrees* in
+``[0, 360)``, trig runs on *radians*, positions carry an explicit
+lat/lng axis order, and the similarity kernels promise scalar/array
+dual forms.  This package mechanises those conventions as AST lint
+rules (RF001-RF006, see ``docs/STATIC_ANALYSIS.md``) so a violation
+fails CI instead of producing plausible-but-wrong retrieval results.
+
+Entry points:
+
+* ``repro-fov lint [paths]`` -- the CLI subcommand;
+* ``tools/analysis/fovlint.py`` -- standalone runner (no install needed);
+* :func:`repro.analysis.run_lint` -- programmatic / pytest-importable.
+"""
+
+from repro.analysis.engine import (
+    LintReport,
+    ModuleInfo,
+    ProjectInfo,
+    Rule,
+    Violation,
+    all_rules,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+
+__all__ = [
+    "LintReport",
+    "ModuleInfo",
+    "ProjectInfo",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,33 @@
+"""The six domain lint rules (RF001-RF006).
+
+Each rule lives in its own module and registers here; the engine
+instantiates :data:`RULES` fresh per run.  See
+``docs/STATIC_ANALYSIS.md`` for the rationale and a bad/good example
+of every rule.
+"""
+
+from repro.analysis.rules.rf001_radians import RF001DegreesIntoTrig
+from repro.analysis.rules.rf002_latlng import RF002LatLngOrder
+from repro.analysis.rules.rf003_all import RF003PublicInAll
+from repro.analysis.rules.rf004_mutable_defaults import RF004MutableDefault
+from repro.analysis.rules.rf005_determinism import RF005Nondeterminism
+from repro.analysis.rules.rf006_dualform import RF006DualFormNormalize
+
+RULES = (
+    RF001DegreesIntoTrig,
+    RF002LatLngOrder,
+    RF003PublicInAll,
+    RF004MutableDefault,
+    RF005Nondeterminism,
+    RF006DualFormNormalize,
+)
+
+__all__ = [
+    "RULES",
+    "RF001DegreesIntoTrig",
+    "RF002LatLngOrder",
+    "RF003PublicInAll",
+    "RF004MutableDefault",
+    "RF005Nondeterminism",
+    "RF006DualFormNormalize",
+]

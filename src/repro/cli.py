@@ -82,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--half-angle", type=float, default=30.0)
     cov.add_argument("--radius", type=float, default=100.0,
                      help="camera radius of view in metres")
+
+    lint = sub.add_parser("lint",
+                          help="run the domain-aware FoV lint rules "
+                               "(RF001-RF006) over source trees")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--select", action="append", metavar="RFxxx",
+                      help="run only these rule ids (repeatable)")
     return parser
 
 
@@ -182,12 +191,18 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import run_lint
+    return run_lint(args.paths, select=args.select)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "query": _cmd_query,
     "nearest": _cmd_nearest,
     "coverage": _cmd_coverage,
+    "lint": _cmd_lint,
 }
 
 

@@ -36,7 +36,7 @@ class CameraModel:
     half_angle: float = 30.0
     radius: float = 100.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 < self.half_angle < 90.0:
             raise ValueError(
                 f"half_angle must be in (0, 90) degrees, got {self.half_angle}"

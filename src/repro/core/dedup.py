@@ -30,7 +30,7 @@ __all__ = ["UnionFind", "SegmentClusters", "cluster_segments"]
 class UnionFind:
     """Disjoint sets with path compression and union by size."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 0:
             raise ValueError("n must be non-negative")
         self._parent = list(range(n))

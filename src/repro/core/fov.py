@@ -14,6 +14,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro._types import ArrayLike
 from repro.geo.coords import GeoPoint
 from repro.geo.earth import LocalProjection
 
@@ -56,7 +57,9 @@ class FoVTrace:
 
     __slots__ = ("t", "lat", "lng", "theta", "_projection", "_xy")
 
-    def __init__(self, t, lat, lng, theta, projection: LocalProjection | None = None):
+    def __init__(self, t: ArrayLike, lat: ArrayLike, lng: ArrayLike,
+                 theta: ArrayLike,
+                 projection: LocalProjection | None = None) -> None:
         self.t = np.ascontiguousarray(t, dtype=float)
         self.lat = np.ascontiguousarray(lat, dtype=float)
         self.lng = np.ascontiguousarray(lng, dtype=float)
@@ -155,7 +158,7 @@ class VideoSegment:
     start: int
     stop: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0 <= self.start < self.stop <= len(self.trace):
             raise ValueError(
                 f"segment [{self.start}, {self.stop}) out of bounds for "
@@ -196,7 +199,7 @@ class RepresentativeFoV:
     video_id: str = ""
     segment_id: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.t_end < self.t_start:
             raise ValueError(
                 f"segment ends ({self.t_end}) before it starts ({self.t_start})"

@@ -76,7 +76,8 @@ class Investigation:
         viewpoints (an investigator wants different angles).
     """
 
-    def __init__(self, server: CloudServer, diversity: float = 0.5):
+    def __init__(self, server: CloudServer,
+                 diversity: float = 0.5) -> None:
         if not 0.0 <= diversity <= 1.0:
             raise ValueError("diversity must be in [0, 1]")
         self.server = server

@@ -45,7 +45,7 @@ class Query:
     radius: float
     top_n: int = 10
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.t_end < self.t_start:
             raise ValueError(
                 f"query interval ends ({self.t_end}) before it starts ({self.t_start})"

@@ -18,8 +18,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.camera import CameraModel
 from repro.core.query import Query
+
+if TYPE_CHECKING:
+    from repro.core.fov import FoV
 
 __all__ = ["DistanceRanker", "CompositeRanker", "diversify_results"]
 
@@ -55,7 +60,7 @@ class CompositeRanker:
     w_temporal: float = 0.5
     w_centrality: float = 0.5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         ws = (self.w_distance, self.w_temporal, self.w_centrality)
         if any(w < 0 for w in ws):
             raise ValueError("weights must be non-negative")
@@ -118,7 +123,7 @@ def diversify_results(ranked, camera: CameraModel, top_n: int,
     n = len(pool)
     base = {id(row): 1.0 - i / n for i, row in enumerate(pool)}
 
-    def as_fov(row):
+    def as_fov(row: RankedFoV) -> "FoV":
         rep = row.fov
         from repro.core.fov import FoV
         return FoV(t=rep.t_start, lat=rep.lat, lng=rep.lng, theta=rep.theta)

@@ -24,7 +24,8 @@ from repro.core.fov import FoV, FoVTrace, VideoSegment
 from repro.core.similarity import scalar_similarity, similarity
 from repro.geo.earth import _M_PER_DEG
 
-__all__ = ["segment_trace", "StreamingSegmenter", "SegmentationConfig"]
+__all__ = ["segment_trace", "StreamingSegmenter", "StreamSegment",
+           "SegmentationConfig"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,7 +41,7 @@ class SegmentationConfig:
     threshold: float = 0.5
     reference: str = "bisector"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
 

@@ -29,6 +29,7 @@ import math
 
 import numpy as np
 
+from repro._types import ArrayLike, FloatArray, FloatOrArray
 from repro.core.camera import CameraModel
 from repro.core.fov import FoV
 from repro.geo.earth import _M_PER_DEG, displacement
@@ -44,19 +45,21 @@ __all__ = [
     "sim_components_local",
     "similarity_local",
     "similarity",
+    "scalar_similarity",
     "pairwise_similarity",
     "cross_similarity",
 ]
 
 
-def _as_float(x):
+def _as_float(x: ArrayLike) -> FloatOrArray:
     """Return a Python float for 0-d results, pass arrays through."""
     if np.ndim(x) == 0:
         return float(x)
     return x
 
 
-def sim_rotation(delta_theta, half_angle):
+def sim_rotation(delta_theta: ArrayLike,
+                 half_angle: float) -> FloatOrArray:
     """Rotation similarity ``Sim_R`` (Eq. 4).
 
     Parameters
@@ -76,7 +79,8 @@ def sim_rotation(delta_theta, half_angle):
     return _as_float(out)
 
 
-def phi_parallel(d, radius, half_angle):
+def phi_parallel(d: ArrayLike, radius: float,
+                 half_angle: float) -> FloatOrArray:
     """Narrowed half-aperture after a parallel translation (Eq. 5), degrees.
 
     ``phi_par = arctan(R sin(alpha) / (d + R cos(alpha)))``; equals
@@ -89,7 +93,8 @@ def phi_parallel(d, radius, half_angle):
     return _as_float(np.degrees(phi))
 
 
-def phi_perpendicular(d, radius, half_angle):
+def phi_perpendicular(d: ArrayLike, radius: float,
+                      half_angle: float) -> FloatOrArray:
     """Overlap aperture after a perpendicular translation, degrees.
 
     Corrected Eq. 6: viewing the shared far chord from the translated
@@ -106,19 +111,23 @@ def phi_perpendicular(d, radius, half_angle):
     return _as_float(out)
 
 
-def sim_parallel(d, radius, half_angle):
+def sim_parallel(d: ArrayLike, radius: float,
+                 half_angle: float) -> FloatOrArray:
     """``Sim_par`` -- parallel-translation similarity, normalised to 1 at d=0."""
     out = np.asarray(phi_parallel(d, radius, half_angle)) / half_angle
     return _as_float(np.clip(out, 0.0, 1.0))
 
 
-def sim_perpendicular(d, radius, half_angle):
+def sim_perpendicular(d: ArrayLike, radius: float,
+                      half_angle: float) -> FloatOrArray:
     """``Sim_perp`` -- perpendicular-translation similarity (Eq. 7 on phi_perp)."""
     out = np.asarray(phi_perpendicular(d, radius, half_angle)) / (2.0 * half_angle)
     return _as_float(np.clip(out, 0.0, 1.0))
 
 
-def sim_translation(d, translation_bearing, axis_azimuth, radius, half_angle):
+def sim_translation(d: ArrayLike, translation_bearing: ArrayLike,
+                    axis_azimuth: ArrayLike, radius: float,
+                    half_angle: float) -> FloatOrArray:
     """Translation similarity ``Sim_T`` (Eq. 9).
 
     Parameters
@@ -144,8 +153,10 @@ def sim_translation(d, translation_bearing, axis_azimuth, radius, half_angle):
     return _as_float(out)
 
 
-def sim_components_local(dx, dy, theta1, theta2, camera: CameraModel,
-                         reference: str = "bisector"):
+def sim_components_local(
+        dx: ArrayLike, dy: ArrayLike, theta1: ArrayLike,
+        theta2: ArrayLike, camera: CameraModel,
+        reference: str = "bisector") -> tuple[FloatOrArray, FloatOrArray]:
     """``(Sim_R, Sim_T)`` for displacements given in local metres.
 
     Parameters
@@ -187,8 +198,9 @@ def sim_components_local(dx, dy, theta1, theta2, camera: CameraModel,
     return _as_float(s_rot), _as_float(s_trans)
 
 
-def similarity_local(dx, dy, theta1, theta2, camera: CameraModel,
-                     reference: str = "bisector"):
+def similarity_local(dx: ArrayLike, dy: ArrayLike, theta1: ArrayLike,
+                     theta2: ArrayLike, camera: CameraModel,
+                     reference: str = "bisector") -> FloatOrArray:
     """Full similarity ``Sim = Sim_R * Sim_T`` (Eq. 10) on local displacements."""
     s_rot, s_trans = sim_components_local(dx, dy, theta1, theta2, camera,
                                           reference=reference)
@@ -263,9 +275,9 @@ def similarity(f1: FoV, f2: FoV, camera: CameraModel,
                              reference=reference)
 
 
-def pairwise_similarity(xy: np.ndarray, theta: np.ndarray,
+def pairwise_similarity(xy: ArrayLike, theta: ArrayLike,
                         camera: CameraModel,
-                        reference: str = "bisector") -> np.ndarray:
+                        reference: str = "bisector") -> FloatArray:
     """All-pairs similarity matrix of one trace (drives Fig. 5).
 
     Parameters
@@ -293,8 +305,10 @@ def pairwise_similarity(xy: np.ndarray, theta: np.ndarray,
     )
 
 
-def cross_similarity(xy_a, theta_a, xy_b, theta_b, camera: CameraModel,
-                     reference: str = "bisector") -> np.ndarray:
+def cross_similarity(xy_a: ArrayLike, theta_a: ArrayLike,
+                     xy_b: ArrayLike, theta_b: ArrayLike,
+                     camera: CameraModel,
+                     reference: str = "bisector") -> FloatArray:
     """Similarity of every FoV in set A against every FoV in set B.
 
     Used by the content-free retrieval accuracy experiment to score

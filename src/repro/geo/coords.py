@@ -19,7 +19,7 @@ class GeoPoint:
     lat: float
     lng: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not -90.0 <= self.lat <= 90.0:
             raise ValueError(f"latitude out of range: {self.lat}")
         if not -180.0 <= self.lng <= 180.0:

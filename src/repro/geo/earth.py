@@ -46,7 +46,8 @@ def metres_per_degree(lat_deg: float) -> tuple[float, float]:
     return (_M_PER_DEG * float(np.cos(np.radians(lat_deg))), _M_PER_DEG)
 
 
-def displacement(p1: GeoPoint, p2: GeoPoint, paper_formula: bool = False):
+def displacement(p1: GeoPoint, p2: GeoPoint,
+                 paper_formula: bool = False) -> tuple[float, float]:
     """Local East/North displacement from ``p1`` to ``p2`` in metres (Eq. 12).
 
     Parameters

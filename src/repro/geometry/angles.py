@@ -13,7 +13,12 @@ broadcast, returning the matching type.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
+import numpy.typing as npt
+
+from repro._types import ArrayLike, FloatArray, FloatOrArray
 
 __all__ = [
     "normalize_angle",
@@ -27,7 +32,7 @@ __all__ = [
 ]
 
 
-def normalize_angle(theta):
+def normalize_angle(theta: ArrayLike) -> FloatOrArray:
     """Wrap angle(s) into ``[0, 360)`` degrees.
 
     Parameters
@@ -53,7 +58,7 @@ def normalize_angle(theta):
     return out
 
 
-def normalize_angle_signed(theta):
+def normalize_angle_signed(theta: ArrayLike) -> FloatOrArray:
     """Wrap angle(s) into ``(-180, 180]`` degrees.
 
     Useful for signed relative headings (e.g. turn direction).
@@ -66,7 +71,8 @@ def normalize_angle_signed(theta):
     return wrapped
 
 
-def angular_difference(theta1, theta2):
+def angular_difference(theta1: ArrayLike,
+                       theta2: ArrayLike) -> FloatOrArray:
     """Smallest absolute difference between two azimuths (Eq. 2).
 
     Implements ``delta_theta = min(|t2 - t1|, 360 - |t2 - t1|)`` and is
@@ -79,7 +85,8 @@ def angular_difference(theta1, theta2):
     return out
 
 
-def angle_between(theta, lo, hi):
+def angle_between(theta: ArrayLike, lo: ArrayLike,
+                  hi: ArrayLike) -> Union[bool, npt.NDArray[np.bool_]]:
     """True where azimuth ``theta`` lies inside the cw arc from ``lo`` to ``hi``.
 
     The arc is traversed from ``lo`` increasing (clockwise on the compass)
@@ -97,7 +104,7 @@ def angle_between(theta, lo, hi):
     return out
 
 
-def fold_to_acute(theta_p, theta):
+def fold_to_acute(theta_p: ArrayLike, theta: ArrayLike) -> FloatOrArray:
     """Fold a translation direction onto ``[0, 90]`` relative to an axis.
 
     Equation 9 weights :math:`Sim_\\parallel` and :math:`Sim_\\perp` by the
@@ -117,7 +124,8 @@ def fold_to_acute(theta_p, theta):
     return out
 
 
-def circular_mean(angles, weights=None):
+def circular_mean(angles: ArrayLike,
+                  weights: ArrayLike | None = None) -> float:
     """Mean direction of a set of azimuths (degrees in ``[0, 360)``).
 
     The paper's Eq. 11 prescribes an arithmetic average of orientations,
@@ -162,7 +170,7 @@ def circular_mean(angles, weights=None):
     return float(normalize_angle(np.degrees(np.arctan2(s, c))))
 
 
-def circular_variance(angles):
+def circular_variance(angles: ArrayLike) -> float:
     """Circular variance ``1 - R`` of a set of azimuths, in ``[0, 1]``.
 
     0 means all angles identical; 1 means uniformly spread.  Used by the
@@ -176,7 +184,7 @@ def circular_variance(angles):
     return float(1.0 - r)
 
 
-def unwrap_degrees(angles):
+def unwrap_degrees(angles: ArrayLike) -> FloatArray:
     """Unwrap a sequence of azimuths to a continuous trace (degrees).
 
     Like :func:`numpy.unwrap` but in degrees.  Used when averaging or

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import ArrayLike
 from repro.geometry.polygon import polygon_area
 from repro.geometry.sector import Sector
 
@@ -70,7 +71,7 @@ def convex_clip(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
         b = clip[(i + 1) % clip.shape[0]]
         edge = b - a
 
-        def inside(p):
+        def inside(p: tuple[float, float]) -> bool:
             cross = edge[0] * (p[1] - a[1]) - edge[1] * (p[0] - a[0])
             return cross >= -1e-12 if ccw else cross <= 1e-12
 
@@ -90,7 +91,9 @@ def convex_clip(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
     return np.asarray(output, dtype=float).reshape(-1, 2)
 
 
-def _line_seg_intersect(a, b, p, q):
+def _line_seg_intersect(
+        a: ArrayLike, b: ArrayLike, p: ArrayLike,
+        q: ArrayLike) -> tuple[float, float]:
     """Intersection of infinite line ``ab`` with segment ``pq``."""
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)

@@ -99,7 +99,10 @@ def rectangle_union_area(rectangles) -> float:
     return float(area)
 
 
-def clip_rectangle(rect, window):
+def clip_rectangle(
+        rect: tuple[float, float, float, float],
+        window: tuple[float, float, float, float],
+) -> tuple[float, float, float, float] | None:
     """Clip rectangle ``(x_lo, y_lo, x_hi, y_hi)`` to a window; None if empty.
 
     Used by the utility model to restrict a video's coverage rectangle to

@@ -52,7 +52,7 @@ class Sector:
     half_angle: float
     radius: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 < self.half_angle <= 180.0:
             raise ValueError(f"half_angle must be in (0, 180], got {self.half_angle}")
         if self.radius <= 0.0:

@@ -41,7 +41,7 @@ class Box:
     mins: tuple[float, ...]
     maxs: tuple[float, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(self.mins) != len(self.maxs):
             raise ValueError("mins and maxs must have equal length")
         if len(self.mins) == 0:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._types import ArrayLike, FloatArray, FloatOrArray
 from repro.geometry.angles import normalize_angle
 
 __all__ = [
@@ -70,12 +71,12 @@ class Vec2:
         return np.array([self.x, self.y], dtype=float)
 
     @staticmethod
-    def from_array(a) -> "Vec2":
+    def from_array(a: ArrayLike) -> "Vec2":
         a = np.asarray(a, dtype=float)
         return Vec2(float(a[0]), float(a[1]))
 
 
-def heading_to_unit(theta):
+def heading_to_unit(theta: ArrayLike) -> FloatArray:
     """Compass azimuth (deg) -> unit vector(s) ``(sin, cos)``.
 
     Accepts scalars or arrays; array input returns shape ``(..., 2)``.
@@ -85,7 +86,7 @@ def heading_to_unit(theta):
     return out
 
 
-def unit_to_heading(v):
+def unit_to_heading(v: Vec2 | ArrayLike) -> FloatOrArray:
     """Vector(s) -> compass azimuth in ``[0, 360)`` degrees.
 
     ``v`` may be a :class:`Vec2`, a length-2 sequence, or an array of
@@ -101,7 +102,8 @@ def unit_to_heading(v):
     return out
 
 
-def bearing_of(p_from, p_to):
+def bearing_of(p_from: Vec2 | ArrayLike,
+               p_to: Vec2 | ArrayLike) -> FloatOrArray:
     """Compass bearing from one local point to another, degrees.
 
     Both arguments may be :class:`Vec2` or arrays of shape ``(..., 2)``;
@@ -114,7 +116,7 @@ def bearing_of(p_from, p_to):
     return unit_to_heading(b - a)
 
 
-def distance(p1, p2):
+def distance(p1: Vec2 | ArrayLike, p2: Vec2 | ArrayLike) -> FloatOrArray:
     """Euclidean distance between local points (Vec2 or ``(..., 2)`` arrays)."""
     if isinstance(p1, Vec2) and isinstance(p2, Vec2):
         return (p2 - p1).norm()
@@ -126,7 +128,8 @@ def distance(p1, p2):
     return d
 
 
-def rotate(v, degrees_cw):
+def rotate(v: Vec2 | ArrayLike,
+           degrees_cw: float) -> Vec2 | FloatArray:
     """Rotate vector(s) clockwise on the compass (i.e. screen-CCW negated).
 
     A camera pointing North rotated by +90 deg points East, matching how

@@ -55,7 +55,7 @@ class SpatialFirstIndex:
 class TemporalFirstIndex:
     """Interval tree on time; space filtered after the temporal search."""
 
-    def __init__(self, fovs: list[RepresentativeFoV]):
+    def __init__(self, fovs: list[RepresentativeFoV]) -> None:
         self._tree = IntervalTree(
             (fov.t_start, fov.t_end, fov) for fov in fovs)
 

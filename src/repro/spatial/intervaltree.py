@@ -12,7 +12,7 @@ index designs and the ablation bench can race them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class IntervalTree:
         retrieval server's snapshot-reload path is bulk anyway).
     """
 
-    def __init__(self, intervals):
+    def __init__(self, intervals: Iterable[tuple[float, float, Any]]) -> None:
         rows = [(float(lo), float(hi), item) for lo, hi, item in intervals]
         for lo, hi, _ in rows:
             if lo > hi:

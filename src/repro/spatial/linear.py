@@ -23,7 +23,7 @@ class LinearScanIndex:
     work until the hit list is materialised).
     """
 
-    def __init__(self, dim: int, initial_capacity: int = 64):
+    def __init__(self, dim: int, initial_capacity: int = 64) -> None:
         if dim < 1:
             raise ValueError("dim must be >= 1")
         self.dim = dim

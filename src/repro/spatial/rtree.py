@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.spatial.split import linear_split, quadratic_split, rstar_split
 
-__all__ = ["RTree", "RTreeConfig", "_Node"]
+__all__ = ["RTree", "RTreeConfig"]
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,7 @@ class RTreeConfig:
     min_entries: int | None = None
     split: str = "quadratic"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_entries < 4:
             raise ValueError("max_entries must be at least 4")
         if self.split not in ("quadratic", "linear", "rstar"):
@@ -70,7 +70,7 @@ class _Node:
 
     __slots__ = ("mins", "maxs", "children", "n", "leaf")
 
-    def __init__(self, dim: int, capacity: int, leaf: bool):
+    def __init__(self, dim: int, capacity: int, leaf: bool) -> None:
         self.mins = np.empty((capacity + 1, dim), dtype=float)
         self.maxs = np.empty((capacity + 1, dim), dtype=float)
         self.children: list[Any] = []
@@ -113,7 +113,7 @@ class RTree:
     query-rectangle construction in Section V-B.
     """
 
-    def __init__(self, dim: int, config: RTreeConfig | None = None):
+    def __init__(self, dim: int, config: RTreeConfig | None = None) -> None:
         if dim < 1:
             raise ValueError("dim must be >= 1")
         self.dim = dim

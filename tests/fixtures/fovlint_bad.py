@@ -1,0 +1,43 @@
+# fovlint: module=repro.core.bad_fixture
+"""Seeded-violation fixture for the fovlint acceptance test.
+
+Every RF rule must fire at least once on this file; the test pins the
+exact rule ids so a regression in any rule is caught.  The module
+pragma above places the file inside ``repro.core`` so the
+package-scoped rules (RF003, RF005) apply.
+
+This module is never imported -- it is linted as text only.
+"""
+
+import math
+import random
+import time
+
+import numpy as np
+
+__all__ = ["coverage_score", "vanished"]      # "vanished" is undefined: RF003
+
+
+def coverage_score(theta, lat, lng, hits=[]):     # mutable default: RF004
+    """Score one candidate FoV.
+
+    Returns
+    -------
+    float or ndarray
+        The score.                  # promises dual form, never normalises: RF006
+    """
+    stamp = time.time()                           # wall clock: RF005
+    jitter = random.random()                      # global RNG: RF005
+    noise = np.random.normal()                    # legacy numpy RNG: RF005
+    x = math.sin(theta)                           # degrees into trig: RF001
+    hits.append(x)
+    return x + jitter + noise + stamp
+
+
+def swapped_call(my_lat, my_lng):
+    """Call a (lng, lat) helper with the arguments reversed."""
+    return _axis_helper(my_lat, my_lng)           # swapped order: RF002
+
+
+def _axis_helper(lng, lat):
+    return lng, lat

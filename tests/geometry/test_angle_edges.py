@@ -1,0 +1,147 @@
+"""Edge cases of the angle kernels at the seams of their contracts.
+
+Complements ``test_angles.py`` with the boundary values the domain
+lint rules exist to protect: the 0/360 wrap itself, the exact 90-deg
+fold point, antipodal circular means, and scalar/array dual-form
+parity (every function must return a Python ``float``/``bool`` for
+scalar inputs and an ndarray for array inputs -- the RF006 contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.angles import (
+    angle_between,
+    angular_difference,
+    circular_mean,
+    circular_variance,
+    fold_to_acute,
+    normalize_angle,
+    normalize_angle_signed,
+    unwrap_degrees,
+)
+
+
+class TestWrapBoundary:
+    def test_exact_360_maps_to_zero(self):
+        assert normalize_angle(360.0) == 0.0
+
+    def test_exact_720_maps_to_zero(self):
+        assert normalize_angle(720.0) == 0.0
+
+    def test_tiny_negative_stays_in_half_open_range(self):
+        # np.mod(-1e-15, 360) rounds to exactly 360.0; the contract is
+        # [0, 360) for *every* float, so it must fold back to 0.
+        out = normalize_angle(-1e-15)
+        assert 0.0 <= out < 360.0
+
+    def test_tiny_negative_array(self):
+        out = normalize_angle(np.array([-1e-15, -1e-13, 359.9999]))
+        assert np.all(out >= 0.0) and np.all(out < 360.0)
+
+    def test_difference_across_wrap_is_tiny(self):
+        assert angular_difference(359.5, 0.5) == pytest.approx(1.0)
+
+    def test_difference_at_exact_180(self):
+        assert angular_difference(0.0, 180.0) == pytest.approx(180.0)
+
+    def test_signed_wrap_convention(self):
+        # (-180, 180]: exact -180 input belongs to the +180 side.
+        assert normalize_angle_signed(-180.0) == 180.0
+        assert normalize_angle_signed(180.0) == 180.0
+
+    def test_arc_membership_at_zero(self):
+        assert angle_between(0.0, 350.0, 10.0)
+        assert angle_between(350.0, 350.0, 10.0)
+        assert angle_between(10.0, 350.0, 10.0)
+        assert not angle_between(180.0, 350.0, 10.0)
+
+
+class TestFoldAtNinety:
+    def test_exact_90_stays_90(self):
+        assert fold_to_acute(90.0, 0.0) == pytest.approx(90.0)
+
+    def test_just_past_90_folds_back(self):
+        assert fold_to_acute(90.0 + 1e-9, 0.0) == pytest.approx(90.0)
+
+    def test_180_folds_to_zero(self):
+        assert fold_to_acute(180.0, 0.0) == pytest.approx(0.0)
+
+    def test_symmetric_about_90(self):
+        for eps in (0.5, 5.0, 30.0):
+            lo = fold_to_acute(90.0 - eps, 0.0)
+            hi = fold_to_acute(90.0 + eps, 0.0)
+            assert lo == pytest.approx(hi)
+
+    def test_range_never_exceeded_on_dense_sweep(self):
+        sweep = np.linspace(-720.0, 720.0, 14401)
+        out = np.asarray(fold_to_acute(sweep, 33.0))
+        assert np.all(out >= 0.0) and np.all(out <= 90.0)
+
+
+class TestAntipodalMean:
+    def test_two_opposed_angles_raise(self):
+        with pytest.raises(ValueError, match="undefined"):
+            circular_mean([0.0, 180.0])
+
+    def test_four_way_symmetric_raises(self):
+        with pytest.raises(ValueError, match="undefined"):
+            circular_mean([0.0, 90.0, 180.0, 270.0])
+
+    def test_weights_can_break_the_tie(self):
+        # Asymmetric weights make the antipodal pair well-defined again.
+        assert circular_mean([0.0, 180.0], weights=[3.0, 1.0]) \
+            == pytest.approx(0.0)
+
+    def test_nearly_antipodal_is_still_defined(self):
+        out = circular_mean([0.0, 179.0])
+        assert out == pytest.approx(89.5)
+
+    def test_antipodal_variance_is_one(self):
+        assert circular_variance([0.0, 180.0]) == pytest.approx(1.0)
+
+    def test_mean_of_359_and_1_is_zero(self):
+        assert circular_mean([359.0, 1.0]) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestScalarArrayParity:
+    """Dual-form contract: scalar in -> float out, array in -> array out."""
+
+    def test_normalize_angle_types(self):
+        assert isinstance(normalize_angle(370.0), float)
+        assert isinstance(normalize_angle(np.array([370.0])), np.ndarray)
+
+    def test_normalize_angle_signed_types(self):
+        assert isinstance(normalize_angle_signed(190.0), float)
+        assert isinstance(normalize_angle_signed(np.array([190.0])),
+                          np.ndarray)
+
+    def test_angular_difference_types(self):
+        assert isinstance(angular_difference(10.0, 20.0), float)
+        assert isinstance(angular_difference(np.array([10.0]), 20.0),
+                          np.ndarray)
+
+    def test_angle_between_types(self):
+        assert isinstance(angle_between(5.0, 0.0, 10.0), bool)
+        out = angle_between(np.array([5.0, 20.0]), 0.0, 10.0)
+        assert isinstance(out, np.ndarray) and out.dtype == bool
+
+    def test_fold_to_acute_types(self):
+        assert isinstance(fold_to_acute(120.0, 0.0), float)
+        assert isinstance(fold_to_acute(np.array([120.0]), 0.0), np.ndarray)
+
+    def test_values_agree_between_forms(self):
+        thetas = [-370.0, -1e-15, 0.0, 89.999, 90.0, 180.0, 359.5, 360.0]
+        vec = np.asarray(normalize_angle(np.array(thetas)))
+        for i, t in enumerate(thetas):
+            assert normalize_angle(t) == pytest.approx(vec[i])
+        vec = np.asarray(fold_to_acute(np.array(thetas), 45.0))
+        for i, t in enumerate(thetas):
+            assert fold_to_acute(t, 45.0) == pytest.approx(vec[i])
+
+    def test_unwrap_returns_array_even_for_short_input(self):
+        out = unwrap_degrees([350.0, 10.0])
+        assert isinstance(out, np.ndarray)
+        assert out[1] == pytest.approx(370.0)

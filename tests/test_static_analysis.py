@@ -1,0 +1,389 @@
+"""The static-analysis layer: fovlint engine, the six RF rules, CLI.
+
+Three tiers of coverage:
+
+* unit -- each rule on minimal in-memory snippets (bad fires, good
+  stays quiet), via :func:`repro.analysis.lint_source`;
+* acceptance -- the seeded fixture ``tests/fixtures/fovlint_bad.py``
+  triggers all six rules, and the shipped ``src/repro`` tree is clean;
+* regression -- the concrete violations fixed when the linter first ran
+  (``__all__`` drift in similarity/segmentation/rtree) stay fixed.
+
+mypy and ruff run in CI only; their config presence is asserted here,
+their execution is skip-gated on availability.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.engine import axis_role, is_degree_name, name_tokens
+
+REPO = Path(__file__).resolve().parents[1]
+SRC_TREE = REPO / "src" / "repro"
+BAD_FIXTURE = REPO / "tests" / "fixtures" / "fovlint_bad.py"
+
+
+def rule_ids(violations) -> set[str]:
+    return {v.rule_id for v in violations}
+
+
+# ---------------------------------------------------------------------------
+# name classification helpers
+
+
+def test_name_tokens_split_on_underscores_and_digits():
+    assert name_tokens("half_angle_rad") == ("half", "angle", "rad")
+    assert name_tokens("theta2") == ("theta",)
+    assert name_tokens("lat1_deg") == ("lat", "deg")
+
+
+def test_degree_names():
+    assert is_degree_name("theta")
+    assert is_degree_name("azimuth_deg")
+    assert is_degree_name("lat2")
+    assert not is_degree_name("half_angle_rad")   # radians token wins
+    assert not is_degree_name("distance")
+
+
+def test_axis_roles():
+    assert axis_role("lat") == "lat"
+    assert axis_role("lngs") == "lng"
+    assert axis_role("longitude") == "lng"
+    assert axis_role("t") is None
+    assert axis_role("lat_lng_pair") is None      # claims both -> unknown
+
+
+# ---------------------------------------------------------------------------
+# RF001: degrees into trig
+
+
+def test_rf001_flags_raw_trig_on_degrees():
+    vs = lint_source("import math\ny = math.sin(theta)\n", select=["RF001"])
+    assert rule_ids(vs) == {"RF001"}
+
+
+def test_rf001_accepts_explicit_radians():
+    vs = lint_source(
+        "import numpy as np\ny = np.sin(np.radians(theta))\n",
+        select=["RF001"],
+    )
+    assert vs == []
+
+
+def test_rf001_dataflow_clears_derived_radians():
+    src = (
+        "import numpy as np\n"
+        "lat1 = np.radians(a)\n"
+        "lat2 = np.radians(b)\n"
+        "dlat = lat2 - lat1\n"
+        "y = np.sin(dlat / 2.0)\n"
+    )
+    assert lint_source(src, select=["RF001"]) == []
+
+
+def test_rf001_degrees_call_unclears():
+    src = (
+        "import numpy as np\n"
+        "theta = np.radians(x)\n"
+        "theta = np.degrees(theta)\n"
+        "y = np.sin(theta)\n"
+    )
+    assert rule_ids(lint_source(src, select=["RF001"])) == {"RF001"}
+
+
+def test_rf001_radian_suffixed_names_are_exempt():
+    assert lint_source(
+        "import math\ny = math.cos(half_angle_rad)\n", select=["RF001"]
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# RF002: lat/lng argument order
+
+
+def test_rf002_flags_swapped_positional_args():
+    src = (
+        "def project(lng, lat):\n"
+        "    return lng, lat\n"
+        "def use(my_lat, my_lng):\n"
+        "    return project(my_lat, my_lng)\n"
+    )
+    vs = lint_source(src, select=["RF002"])
+    assert len(vs) == 2 and rule_ids(vs) == {"RF002"}
+
+
+def test_rf002_accepts_correct_order():
+    src = (
+        "def project(lng, lat):\n"
+        "    return lng, lat\n"
+        "def use(my_lat, my_lng):\n"
+        "    return project(my_lng, my_lat)\n"
+    )
+    assert lint_source(src, select=["RF002"]) == []
+
+
+def test_rf002_flags_keyword_mismatch():
+    src = "def f(lat=None):\n    pass\nf(lat=point_lng)\n"
+    assert rule_ids(lint_source(src, select=["RF002"])) == {"RF002"}
+
+
+def test_rf002_skips_ambiguous_signatures():
+    # Two same-named callees that disagree about slot roles: no guess.
+    src = (
+        "def g(lat, lng):\n    pass\n"
+        "def use(my_lng):\n    return g(my_lng, 0.0)\n"
+        "# fovlint: module=repro.other\n"
+    )
+    ambiguous = src + "def g(lng, lat):\n    pass\n"
+    assert lint_source(ambiguous, select=["RF002"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RF003: __all__ discipline (scoped to core/geometry/spatial)
+
+
+def test_rf003_flags_missing_public_def():
+    src = "__all__ = []\ndef shiny():\n    pass\n"
+    assert rule_ids(lint_source(src, select=["RF003"])) == {"RF003"}
+
+
+def test_rf003_flags_stale_entry():
+    src = "__all__ = ['gone']\n"
+    assert rule_ids(lint_source(src, select=["RF003"])) == {"RF003"}
+
+
+def test_rf003_flags_private_export():
+    src = "__all__ = ['_Node']\n_Node = 1\n"
+    assert rule_ids(lint_source(src, select=["RF003"])) == {"RF003"}
+
+
+def test_rf003_out_of_scope_module_is_exempt():
+    src = "def shiny():\n    pass\n"
+    assert lint_source(src, modname="repro.eval.figures",
+                       select=["RF003"]) == []
+
+
+def test_rf003_accepts_complete_all():
+    src = "__all__ = ['shiny']\ndef shiny():\n    pass\n"
+    assert lint_source(src, select=["RF003"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RF004: mutable defaults
+
+
+def test_rf004_flags_list_dict_set_defaults():
+    src = "def f(a=[], b={}, c=set(), *, d=dict()):\n    pass\n"
+    vs = lint_source(src, select=["RF004"])
+    assert len(vs) == 4 and rule_ids(vs) == {"RF004"}
+
+
+def test_rf004_accepts_none_sentinel():
+    src = "def f(a=None, b=(), c=0.0):\n    pass\n"
+    assert lint_source(src, select=["RF004"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RF005: determinism of core/spatial
+
+
+def test_rf005_flags_wall_clock_and_global_rng():
+    src = (
+        "import time, random\nimport numpy as np\n"
+        "a = time.time()\n"
+        "b = random.random()\n"
+        "c = np.random.normal()\n"
+    )
+    assert len(lint_source(src, select=["RF005"])) == 3
+
+
+def test_rf005_allows_monotonic_and_seeded():
+    src = (
+        "import time, random\nimport numpy as np\n"
+        "t0 = time.perf_counter()\n"
+        "t1 = time.monotonic()\n"
+        "rng = random.Random(7)\n"
+        "g = np.random.default_rng(7)\n"
+    )
+    assert lint_source(src, select=["RF005"]) == []
+
+
+def test_rf005_out_of_scope_module_is_exempt():
+    src = "import time\na = time.time()\n"
+    assert lint_source(src, modname="repro.eval.bench",
+                       select=["RF005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RF006: dual-form normalisation
+
+
+_DUAL_DOC = (
+    '    """Score.\n\n'
+    "    Returns\n"
+    "    -------\n"
+    "    float or ndarray\n"
+    '        The score.\n    """\n'
+)
+
+
+def test_rf006_flags_unnormalised_dual_form():
+    src = "def f(x):\n" + _DUAL_DOC + "    return x * 2\n"
+    assert rule_ids(lint_source(src, select=["RF006"])) == {"RF006"}
+
+
+def test_rf006_accepts_as_float_helper():
+    src = "def f(x):\n" + _DUAL_DOC + "    return _as_float(x * 2)\n"
+    assert lint_source(src, select=["RF006"]) == []
+
+
+def test_rf006_accepts_ndim_check():
+    src = (
+        "import numpy as np\n"
+        "def f(x):\n" + _DUAL_DOC +
+        "    out = x * 2\n"
+        "    if np.ndim(x) == 0:\n"
+        "        return float(out)\n"
+        "    return out\n"
+    )
+    assert lint_source(src, select=["RF006"]) == []
+
+
+def test_rf006_ignores_single_form_functions():
+    src = 'def f(x):\n    """Double x and return the array."""\n    return x\n'
+    assert lint_source(src, select=["RF006"]) == []
+
+
+# ---------------------------------------------------------------------------
+# suppression and module pragmas
+
+
+def test_disable_pragma_suppresses_on_its_line():
+    src = "import math\ny = math.sin(theta)  # fovlint: disable=RF001\n"
+    assert lint_source(src, select=["RF001"]) == []
+
+
+def test_disable_pragma_is_rule_specific():
+    src = "import math\ny = math.sin(theta)  # fovlint: disable=RF005\n"
+    assert rule_ids(lint_source(src, select=["RF001"])) == {"RF001"}
+
+
+def test_module_pragma_must_start_the_line():
+    # Mentioning the pragma inside prose/docstrings must not rebind the
+    # module name (the engine's own docstring does exactly that).
+    src = (
+        '"""Docs say ``# fovlint: module=repro.core.x`` here."""\n'
+        "import time\na = time.time()\n"
+    )
+    assert lint_source(src, modname="repro.eval.bench",
+                       select=["RF005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# acceptance: the seeded fixture and the shipped tree
+
+
+def test_bad_fixture_triggers_every_rule():
+    report = lint_paths([BAD_FIXTURE])
+    assert not report.ok
+    assert rule_ids(report.violations) == {
+        "RF001", "RF002", "RF003", "RF004", "RF005", "RF006",
+    }
+
+
+def test_shipped_tree_is_clean():
+    report = lint_paths([SRC_TREE])
+    assert report.ok, "\n" + report.format()
+    assert report.files_checked > 80
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_paths([SRC_TREE], select=["RF999"])
+
+
+# ---------------------------------------------------------------------------
+# CLI and standalone shim
+
+
+def test_cli_lint_exit_codes():
+    from repro.cli import main
+    assert main(["lint", str(SRC_TREE)]) == 0
+    assert main(["lint", str(BAD_FIXTURE)]) == 1
+    assert main(["lint", str(REPO / "no_such_dir")]) == 2
+
+
+def test_cli_lint_select(capsys):
+    from repro.cli import main
+    assert main(["lint", str(BAD_FIXTURE), "--select", "RF004"]) == 1
+    out = capsys.readouterr().out
+    assert "RF004" in out and "RF001" not in out
+
+
+def test_standalone_shim_runs_without_pythonpath():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "analysis" / "fovlint.py"),
+         str(BAD_FIXTURE)],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert proc.returncode == 1
+    assert "RF001" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# regression: the violations fixed when the linter first ran
+
+
+def test_scalar_similarity_is_exported():
+    # importlib: `import repro.core.similarity` resolves to the
+    # same-named *function* re-exported by the package __init__.
+    import importlib
+    m = importlib.import_module("repro.core.similarity")
+    assert "scalar_similarity" in m.__all__
+
+
+def test_stream_segment_is_exported():
+    import repro.core.segmentation as m
+    assert "StreamSegment" in m.__all__
+
+
+def test_rtree_all_has_no_private_names():
+    import repro.spatial.rtree as m
+    assert all(not name.startswith("_") for name in m.__all__)
+
+
+def test_every_all_entry_resolves():
+    # Cheap project-wide guard: run only RF003 over the shipped tree.
+    report = lint_paths([SRC_TREE], select=["RF003"])
+    assert report.ok, "\n" + report.format()
+
+
+# ---------------------------------------------------------------------------
+# external tools: config shipped always, execution gated on availability
+
+
+def test_mypy_and_ruff_configured():
+    text = (REPO / "pyproject.toml").read_text(encoding="utf-8")
+    assert "[tool.mypy]" in text and "strict = true" in text
+    assert "[tool.ruff" in text
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(["ruff", "check", "src", "tools"],
+                          capture_output=True, text=True, cwd=REPO)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_core():
+    proc = subprocess.run(["mypy"], capture_output=True, text=True, cwd=REPO)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Standalone launcher for the FoV domain lint rules (RF001-RF006).
+
+The real engine lives in :mod:`repro.analysis` (inside ``src/``), where
+it is importable, typed, and unit-tested; this shim only bootstraps
+``sys.path`` so the linter runs from a bare checkout without an
+editable install::
+
+    python tools/analysis/fovlint.py src/repro
+    python tools/analysis/fovlint.py --select RF001 --select RF005 src
+
+Exit codes: 0 clean, 1 violations found, 2 usage/parse error.
+Equivalent to ``repro-fov lint`` once the package is installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and delegate to :func:`repro.analysis.run_lint`."""
+    parser = argparse.ArgumentParser(
+        prog="fovlint",
+        description="Domain-aware static analysis for the FoV retrieval "
+                    "codebase (degree/radian misuse, lat/lng order, "
+                    "__all__ drift, mutable defaults, nondeterminism, "
+                    "scalar/array normalisation).",
+    )
+    parser.add_argument("paths", nargs="*", default=[str(_SRC / "repro")],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--select", action="append", metavar="RFxxx",
+                        help="run only these rule ids (repeatable)")
+    args = parser.parse_args(argv)
+
+    from repro.analysis import run_lint
+    return run_lint(args.paths, select=args.select)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
