@@ -5,15 +5,59 @@ the figure's rows through :class:`repro.eval.harness.Table` (directly to
 the terminal, bypassing pytest capture, so the tables land in
 ``bench_output.txt``) and times the figure's hot kernel with
 pytest-benchmark.
+
+Benchmarks that track the perf trajectory across PRs additionally call
+the :func:`bench_export` fixture, which writes/merges a
+``BENCH_<name>.json`` summary -- by default at the repo root; pass
+``--bench-json DIR`` to redirect (CI uploads these as artifacts).
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import CameraModel
 from repro.eval.harness import Table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-json", action="store", default=None, metavar="DIR",
+        help="directory for BENCH_<name>.json perf summaries "
+             "(default: the repo root)")
+
+
+@pytest.fixture
+def bench_export(request):
+    """Write (merge) a ``BENCH_<name>.json`` perf summary.
+
+    ``bench_export(name, payload)`` merges ``payload``'s top-level keys
+    into any existing summary of the same name, so several tests can
+    contribute sections to one trajectory file regardless of run order.
+    Returns the path written.
+    """
+    def _export(name: str, payload: dict) -> Path:
+        out_dir = request.config.getoption("--bench-json")
+        root = Path(out_dir) if out_dir else REPO_ROOT
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"BENCH_{name}.json"
+        merged: dict = {"bench": name}
+        if path.exists():
+            try:
+                merged.update(json.loads(path.read_text(encoding="utf-8")))
+            except json.JSONDecodeError:
+                pass    # a corrupt summary is overwritten, not fatal
+        merged.update(payload)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+    return _export
 
 
 @pytest.fixture

@@ -1,0 +1,177 @@
+"""Batched query engine -- packed SoA snapshot vs the seed dynamic path.
+
+The ROADMAP's serving story: a production deployment answers bursts of
+queries over a largely static index, so the hot path should be a few
+vectorised array passes, not per-query Python tree walks.  This
+benchmark pins the three claims of the packed engine on the paper's
+Fig. 6 workload (50k citywide records, 256 queries):
+
+* **parity** -- the packed engine returns exactly the seed engine's
+  rankings and funnel counters;
+* **throughput** -- the batched ``execute_many`` answers the 256-query
+  batch at >= 5x the seed sequential loop;
+* **caching** -- repeated queries served from the epoch-tagged LRU
+  cache cost (almost) nothing.
+
+Numbers are exported to ``BENCH_batched_query_engine.json`` at the repo
+root so later PRs can track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.index import FoVIndex
+from repro.core.query import Query
+from repro.core.retrieval import RetrievalEngine
+from repro.core.server import CloudServer
+from repro.eval.harness import Table
+from repro.traces.dataset import random_representative_fovs
+
+N_RECORDS = 50_000
+N_QUERIES = 256
+
+
+def _queries(rng, reps, n):
+    out = []
+    for _ in range(n):
+        anchor = reps[int(rng.integers(len(reps)))]
+        t0 = max(0.0, anchor.t_start - 300.0)
+        out.append(Query(t_start=t0, t_end=anchor.t_end + 300.0,
+                         center=anchor.point,
+                         radius=float(rng.uniform(100.0, 400.0))))
+    return out
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(2015)
+    reps = random_representative_fovs(N_RECORDS, rng)
+    index = FoVIndex.bulk(reps)
+    queries = _queries(np.random.default_rng(6565), reps, N_QUERIES)
+    return index, queries
+
+
+def _ranking(result):
+    return [(r.fov.key(), r.distance, r.covers) for r in result.ranked]
+
+
+def test_packed_parity_and_throughput(workload, camera, show, benchmark,
+                                      bench_export):
+    index, queries = workload
+    dynamic = RetrievalEngine(index, camera)                      # seed path
+    packed = RetrievalEngine(index, camera, engine="packed")
+
+    t0 = time.perf_counter()
+    index.packed_view()                                           # build once
+    pack_s = time.perf_counter() - t0
+
+    # Parity gate: timing means nothing unless results are identical.
+    seq = [dynamic.execute(q) for q in queries]
+    for q, want in zip(queries, seq):
+        got = packed.execute(q)
+        assert got.candidates == want.candidates
+        assert got.after_filter == want.after_filter
+        assert _ranking(got) == _ranking(want)
+
+    # Warm both paths so the gate compares steady state, not first-call
+    # allocator noise.
+    dynamic.execute_many(queries[:16])
+    packed.execute_many(queries[:16])
+
+    t0 = time.perf_counter()
+    dynamic.execute_many(queries)
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = packed.execute_many(queries)
+    t_batch = time.perf_counter() - t0
+    for got, want in zip(batched, seq):
+        assert _ranking(got) == _ranking(want)
+
+    # Single-query latency, both engines, warm caches.
+    t0 = time.perf_counter()
+    for q in queries:
+        dynamic.execute(q)
+    lat_dyn = (time.perf_counter() - t0) / len(queries)
+    t0 = time.perf_counter()
+    for q in queries:
+        packed.execute(q)
+    lat_pack = (time.perf_counter() - t0) / len(queries)
+
+    speedup = t_seq / t_batch
+    table = Table(
+        f"Batched query engine -- {N_RECORDS} records, {N_QUERIES} queries",
+        ["path", "batch (ms)", "per-query (us)"])
+    table.add("dynamic execute_many (seed)", round(t_seq * 1e3, 2),
+              round(t_seq / N_QUERIES * 1e6, 1))
+    table.add("packed execute_many (batched)", round(t_batch * 1e3, 2),
+              round(t_batch / N_QUERIES * 1e6, 1))
+    table.add("dynamic execute x1", "", round(lat_dyn * 1e6, 1))
+    table.add("packed execute x1", "", round(lat_pack * 1e6, 1))
+    show(table)
+    show(f"batched speedup: {speedup:.1f}x; snapshot pack: {pack_s * 1e3:.1f} ms")
+
+    bench_export("batched_query_engine", {
+        "records": N_RECORDS,
+        "queries": N_QUERIES,
+        "pack_snapshot_s": pack_s,
+        "seq_batch_s": t_seq,
+        "packed_batch_s": t_batch,
+        "batched_speedup_x": speedup,
+        "single_query_dynamic_s": lat_dyn,
+        "single_query_packed_s": lat_pack,
+    })
+
+    assert speedup >= 5.0, f"batched speedup {speedup:.1f}x below the 5x gate"
+
+    benchmark(lambda: packed.execute_many(queries))
+
+
+def test_cache_hit_speedup(workload, camera, show, bench_export):
+    index, queries = workload
+    server = CloudServer(camera, index=index, engine="packed",
+                         cache_size=4 * N_QUERIES)
+
+    t0 = time.perf_counter()
+    cold = server.query_many(queries)
+    t_cold = time.perf_counter() - t0
+    assert server.stats.cache_misses == N_QUERIES
+
+    t0 = time.perf_counter()
+    warm = server.query_many(queries)
+    t_warm = time.perf_counter() - t0
+    assert server.stats.cache_hits == N_QUERIES
+
+    for a, b in zip(cold, warm):
+        assert _ranking(a) == _ranking(b)
+
+    speedup = t_cold / t_warm
+    show(f"cache: cold {t_cold * 1e3:.2f} ms, warm {t_warm * 1e3:.2f} ms "
+         f"({speedup:.0f}x)")
+    bench_export("batched_query_engine", {
+        "cache_cold_s": t_cold,
+        "cache_warm_s": t_warm,
+        "cache_hit_speedup_x": speedup,
+    })
+    assert speedup > 2.0
+
+
+def test_sharded_fanout_matches_batched(workload, camera, show, bench_export):
+    index, queries = workload
+    packed = RetrievalEngine(index, camera, engine="packed")
+    baseline = packed.execute_many(queries)
+
+    t0 = time.perf_counter()
+    sharded = packed.execute_many(queries, shards=4)
+    t_shard = time.perf_counter() - t0
+
+    for got, want in zip(sharded, baseline):
+        assert _ranking(got) == _ranking(want)
+        assert got.candidates == want.candidates
+    show(f"sharded fan-out (4 procs): {t_shard * 1e3:.1f} ms "
+         f"for {N_QUERIES} queries (includes snapshot shipment)")
+    bench_export("batched_query_engine", {"sharded_batch_s": t_shard})

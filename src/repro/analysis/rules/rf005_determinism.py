@@ -7,15 +7,18 @@ rule bans, inside those packages only:
 
 * wall-clock reads -- ``time.time``/``time_ns``/``localtime``/
   ``gmtime``/``ctime``, ``datetime.now``/``utcnow``/``today``;
+* duration clocks -- ``time.perf_counter``/``monotonic`` (and their
+  ``_ns`` forms): latency numbers belong to the caller, so components
+  that report wall times take an injectable ``clock`` parameter whose
+  default lives outside the scope
+  (:func:`repro.net.clock.default_timer`), keeping replay bit-identical
+  under a fake clock;
+* ``from time import <banned>`` -- the import-form of the same reads;
 * module-level randomness -- any ``random.<fn>`` except constructing a
   seeded ``random.Random(seed)`` instance;
 * legacy numpy global randomness -- ``np.random.<fn>`` except the
   seedable ``default_rng`` / ``Generator`` / ``SeedSequence`` entry
   points.
-
-``time.perf_counter`` and ``time.monotonic`` stay allowed: they measure
-durations (the latency numbers the paper reports), never enter results,
-and have no deterministic substitute.
 """
 
 from __future__ import annotations
@@ -30,6 +33,10 @@ _SCOPED_PACKAGES = ("repro.core", "repro.spatial")
 
 _TIME_BANNED = frozenset({
     "time", "time_ns", "localtime", "gmtime", "ctime", "asctime",
+})
+_TIME_DURATION = frozenset({
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns", "thread_time", "thread_time_ns",
 })
 _DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
 _RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
@@ -63,6 +70,22 @@ class RF005Nondeterminism:
             return []
         out: list[Violation] = []
         for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module != "time" or node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name in _TIME_BANNED or alias.name in _TIME_DURATION:
+                        out.append(Violation(
+                            rule_id=self.rule_id,
+                            path=str(module.path),
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(f"from time import {alias.name}: clock "
+                                     f"read in deterministic core code; "
+                                     f"inject a clock parameter instead "
+                                     f"(repro.net.clock.default_timer)"),
+                        ))
+                continue
             if not isinstance(node, ast.Attribute):
                 continue
             chain = _attr_chain(node)
@@ -82,8 +105,11 @@ class RF005Nondeterminism:
             return None
         if chain[0] == "time" and chain[1] in _TIME_BANNED:
             return ("wall-clock read; results must not depend on the "
-                    "current time (perf_counter/monotonic are fine for "
-                    "durations)")
+                    "current time")
+        if chain[0] == "time" and chain[1] in _TIME_DURATION:
+            return ("duration clock read in deterministic core code; "
+                    "inject a clock parameter defaulting to "
+                    "repro.net.clock.default_timer")
         if chain[0] == "datetime" and chain[-1] in _DATETIME_BANNED:
             return "wall-clock read; pass timestamps in as data"
         if chain[0] == "random" and chain[1] not in _RANDOM_ALLOWED:

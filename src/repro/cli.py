@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--radius", type=float, default=100.0)
     qry.add_argument("--top", type=int, default=10)
     qry.add_argument("--half-angle", type=float, default=30.0)
+    qry.add_argument("--engine", choices=("dynamic", "packed"),
+                     default="dynamic",
+                     help="retrieval engine: 'dynamic' searches the "
+                          "mutable R-tree, 'packed' serves from the "
+                          "columnar snapshot (identical results; see "
+                          "docs/PERFORMANCE.md)")
     qry.add_argument("--json", action="store_true",
                      help="emit the result as JSON instead of text")
 
@@ -129,7 +135,7 @@ def _cmd_inspect(args) -> int:
 def _cmd_query(args) -> int:
     index, _ = load_snapshot(args.snapshot)
     camera = CameraModel(half_angle=args.half_angle)
-    engine = RetrievalEngine(index, camera)
+    engine = RetrievalEngine(index, camera, engine=args.engine)
     query = Query(t_start=args.t0, t_end=args.t1,
                   center=GeoPoint(args.lat, args.lng),
                   radius=args.radius, top_n=args.top)

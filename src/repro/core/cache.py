@@ -1,0 +1,82 @@
+"""Epoch-tagged LRU cache for query results.
+
+Crowd-sourced query traffic is heavily repetitive -- an incident draws
+many inquirers to the same spot and time window -- while the index
+mutates in bursts (upload bundles, retention eviction).  The cache
+therefore tags every entry with the index *epoch* at answer time: a
+monotonic counter the index bumps on every insert, delete or eviction.
+A lookup whose stored epoch no longer matches the index's current epoch
+is treated as a miss and dropped, so invalidation is O(1) bookkeeping
+on the write path instead of a scan of cached keys.
+
+Capacity is bounded with least-recently-used eviction (an
+``OrderedDict`` in move-to-end discipline), keeping the memory ceiling
+independent of traffic volume.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.core.query import Query
+
+__all__ = ["QueryResultCache", "query_cache_key"]
+
+
+def query_cache_key(query: Query) -> tuple[float, float, float, float, float, int]:
+    """Hashable identity of a query for result caching.
+
+    Two queries with equal fields are the same request; ``top_n`` is
+    part of the key because it truncates the stored ranking.
+    """
+    return (query.t_start, query.t_end, query.center.lat, query.center.lng,
+            query.radius, query.top_n)
+
+
+class QueryResultCache:
+    """Bounded LRU mapping ``key -> (epoch, value)``.
+
+    ``get`` returns the cached value only when the caller's current
+    epoch matches the epoch the value was computed under; a stale entry
+    is evicted on sight.  The cache never recomputes -- it only stores
+    what the owner puts in -- so a hit is exactly the object a cold
+    miss would have produced under the same epoch.
+    """
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, epoch: int) -> Any | None:
+        """The cached value, or None on a miss or an epoch mismatch."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry[0] != epoch:
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return entry[1]
+
+    def put(self, key: Hashable, epoch: int, value: Any) -> None:
+        """Store a value computed under ``epoch``; evicts LRU overflow."""
+        self._entries[key] = (epoch, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached entry (e.g. on index replacement)."""
+        self._entries.clear()

@@ -24,9 +24,10 @@ from repro.geo.earth import metres_per_degree, radius_to_degrees
 from repro.spatial.bulk import str_bulk_load
 from repro.spatial.knn import knn_search, mindist
 from repro.spatial.linear import LinearScanIndex
+from repro.spatial.packed import PackedRTree
 from repro.spatial.rtree import RTree, RTreeConfig
 
-__all__ = ["FoVIndex", "fov_box", "query_box"]
+__all__ = ["FoVIndex", "PackedFoVIndex", "fov_box", "query_box"]
 
 
 def fov_box(fov: RepresentativeFoV) -> tuple[np.ndarray, np.ndarray]:
@@ -48,6 +49,70 @@ def query_box(query: Query) -> tuple[np.ndarray, np.ndarray]:
     )
 
 
+class PackedFoVIndex:
+    """Frozen columnar (SoA) snapshot of a :class:`FoVIndex`.
+
+    The read-optimised serving form: the R-tree packed level-order into
+    contiguous arrays (:class:`~repro.spatial.packed.PackedRTree`) plus
+    a columnar leaf payload -- parallel ``lat``/``lng``/``theta``/
+    ``t_start``/``t_end`` arrays in leaf-entry order and a ``records``
+    side table mapping payload id back to the indexed object.  The
+    retrieval engine consumes candidates by fancy-indexing these
+    columns instead of touching Python attributes per candidate.
+
+    ``epoch`` records the backing index's mutation counter at snapshot
+    time; ``FoVIndex.packed_view`` rebuilds the snapshot when they
+    diverge.
+    """
+
+    __slots__ = ("tree", "records", "lat", "lng", "theta",
+                 "t_start", "t_end", "epoch")
+
+    def __init__(self, tree: PackedRTree, epoch: int = 0) -> None:
+        self.tree = tree
+        self.epoch = epoch
+        recs: list[RepresentativeFoV] = list(tree.items)
+        self.records = recs
+        n = len(recs)
+        self.lat = np.fromiter((r.lat for r in recs), dtype=float, count=n)
+        self.lng = np.fromiter((r.lng for r in recs), dtype=float, count=n)
+        self.theta = np.fromiter((r.theta for r in recs), dtype=float, count=n)
+        self.t_start = np.fromiter((r.t_start for r in recs), dtype=float,
+                                   count=n)
+        self.t_end = np.fromiter((r.t_end for r in recs), dtype=float, count=n)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @classmethod
+    def from_rtree(cls, tree: RTree, epoch: int = 0) -> "PackedFoVIndex":
+        """Snapshot a dynamic R-tree of representative FoVs."""
+        return cls(PackedRTree.from_rtree(tree), epoch=epoch)
+
+    def range_search_ids(self, query: Query) -> np.ndarray:
+        """Payload ids of records intersecting the query's 3-D box."""
+        bmin, bmax = query_box(query)
+        return self.tree.search_ids(bmin, bmax)
+
+    def range_search(self, query: Query) -> list[RepresentativeFoV]:
+        """Same candidate set as ``FoVIndex.range_search`` (as objects)."""
+        return [self.records[i] for i in self.range_search_ids(query)]
+
+    def search_many_ids(self, queries: list[Query]
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched range search: ``(query_ids, payload_ids)`` pairs.
+
+        ``query_ids`` comes back sorted, so each query's hits are a
+        contiguous run recoverable with ``np.searchsorted``.
+        """
+        if not queries:
+            return (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
+        boxes = [query_box(q) for q in queries]
+        bmins = np.array([b[0] for b in boxes], dtype=float)
+        bmaxs = np.array([b[1] for b in boxes], dtype=float)
+        return self.tree.search_many(bmins, bmaxs)
+
+
 class FoVIndex:
     """Dynamic index of representative FoVs with 3-D range lookup.
 
@@ -58,6 +123,10 @@ class FoVIndex:
         in the brute-force baseline with an identical interface.
     rtree_config : RTreeConfig, optional
         Structural parameters for the R-tree backend.
+
+    Every mutation bumps :attr:`epoch`, which invalidates derived
+    read-optimised state (the packed snapshot, server-side result
+    caches) without those consumers scanning the index.
     """
 
     def __init__(self, backend: Literal["rtree", "linear"] = "rtree",
@@ -72,14 +141,36 @@ class FoVIndex:
             self._index = LinearScanIndex(3)
         else:
             raise ValueError(f"unknown backend {backend!r}")
+        self._epoch = 0
+        self._packed: PackedFoVIndex | None = None
 
     def __len__(self) -> int:
         return len(self._index)
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; changes whenever indexed content changes."""
+        return self._epoch
+
+    def packed_view(self) -> PackedFoVIndex:
+        """The current columnar snapshot, rebuilt lazily per epoch.
+
+        Requires the R-tree backend (the linear baseline has no tree to
+        pack).  Successive calls between mutations return the same
+        object, so a query burst pays the packing cost once.
+        """
+        if not isinstance(self._index, RTree):
+            raise TypeError("packed_view() requires the rtree backend")
+        if self._packed is None or self._packed.epoch != self._epoch:
+            self._packed = PackedFoVIndex.from_rtree(self._index,
+                                                     epoch=self._epoch)
+        return self._packed
 
     def insert(self, fov: RepresentativeFoV) -> None:
         """Index one uploaded representative FoV."""
         bmin, bmax = fov_box(fov)
         self._index.insert(bmin, bmax, fov)
+        self._epoch += 1
 
     def insert_many(self, fovs: Iterable[RepresentativeFoV]) -> int:
         """Index an iterable of records; returns the count."""
@@ -92,7 +183,10 @@ class FoVIndex:
     def delete(self, fov: RepresentativeFoV) -> bool:
         """Remove one record (e.g. a provider revoking a contribution)."""
         bmin, bmax = fov_box(fov)
-        return self._index.delete(bmin, bmax, fov)
+        deleted = self._index.delete(bmin, bmax, fov)
+        if deleted:
+            self._epoch += 1
+        return deleted
 
     def evict_older_than(self, cutoff_t: float) -> int:
         """Drop every segment that *ended* before ``cutoff_t``.
@@ -105,6 +199,8 @@ class FoVIndex:
                    if fov.t_end < cutoff_t]
         for bmin, bmax, fov in victims:
             self._index.delete(bmin, bmax, fov)
+        if victims:
+            self._epoch += 1
         return len(victims)
 
     def range_search(self, query: Query) -> list[RepresentativeFoV]:

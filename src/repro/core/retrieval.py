@@ -13,22 +13,177 @@ The engine therefore:
 3. ranks survivors by distance to the query centre, nearer first
    (closer FoVs are less likely to be occluded);
 4. truncates to the inquirer's top-N (item 4).
+
+Two execution engines share that pipeline:
+
+* ``"dynamic"`` -- the seed path: search the mutable R-tree, then build
+  evidence arrays from the candidate objects.  Right for ingest-heavy
+  workloads where the index churns between queries.
+* ``"packed"`` -- the read-optimised path: search the frozen
+  structure-of-arrays snapshot (``FoVIndex.packed_view``) and gather
+  evidence by fancy-indexing its columns; ``execute_many`` additionally
+  answers the whole batch per tree level and runs one combined
+  orientation-filter pass across all (query, candidate) pairs.  Both
+  engines produce identical rankings and funnel counters (the parity
+  tests pin this), so the choice is purely a throughput trade.
+
+Latency accounting never reads a clock directly (fovlint RF005): the
+engine takes an injectable ``clock`` callable, defaulting to
+:func:`repro.net.clock.default_timer`.
 """
 
 from __future__ import annotations
 
-import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.core.camera import CameraModel
 from repro.core.fov import RepresentativeFoV
-from repro.core.index import FoVIndex
+from repro.core.index import FoVIndex, PackedFoVIndex
 from repro.core.query import Query, QueryResult, RankedFoV
-from repro.geo.earth import LocalProjection
+from repro.geo.earth import LocalProjection, pairwise_local_xy
 from repro.geometry.angles import angular_difference
+from repro.net.clock import default_timer
 
 __all__ = ["RetrievalEngine"]
+
+_ENGINES = ("dynamic", "packed")
+
+
+def _sector_evidence(camera: CameraModel, strict_cover: bool,
+                     xy: np.ndarray, thetas: np.ndarray, radii: Any
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Orientation-filter evidence for candidate cameras.
+
+    ``xy`` holds camera positions in each query's local plane (query
+    centre at the origin); ``radii`` is the query radius -- a scalar for
+    a single query or a per-row array for a cross-query batch.  Every
+    operation is elementwise, so batching queries together produces
+    bit-identical per-row results to running them one at a time.
+
+    Returns ``(dist, dtheta, covers_center, keep)``.
+    """
+    dist = np.linalg.norm(xy, axis=-1)             # (n,)
+
+    # Bearing from each camera to the query centre (the origin).
+    bearings = np.degrees(np.arctan2(-xy[:, 0], -xy[:, 1]))
+    dtheta = np.asarray(angular_difference(bearings, thetas))
+    in_wedge = (dtheta <= camera.half_angle) | (dist == 0.0)
+    covers_center = in_wedge & (dist <= camera.radius)
+
+    if strict_cover:
+        keep = covers_center
+    else:
+        # Sector-disc overlap, vectorised over the common cases:
+        # centre covered, or apex within the query disc, or the
+        # wedge pointing at the disc with the arc within reach.
+        apex_in_disc = dist <= radii
+        half_width = np.degrees(
+            np.arcsin(np.clip(radii / np.maximum(dist, 1e-9), 0.0, 1.0))
+        )
+        wedge_touches = dtheta <= camera.half_angle + half_width
+        near_enough = dist <= camera.radius + radii
+        keep = covers_center | apex_in_disc | (wedge_touches & near_enough)
+    return dist, dtheta, covers_center, keep
+
+
+def _ranked_rows(query: Query, camera: CameraModel, ranker: Any,
+                 fov_at: Callable[[int], RepresentativeFoV],
+                 dist: np.ndarray, dtheta: np.ndarray,
+                 covers_center: np.ndarray, keep: np.ndarray,
+                 t_start: np.ndarray, t_end: np.ndarray) -> list[RankedFoV]:
+    """Score, sort and materialise the surviving candidates.
+
+    The orientation-filter mask is applied *first*, so the ranker and
+    the argsort only ever see survivors; ``fov_at`` maps a candidate
+    row back to its record.
+    """
+    kept = np.flatnonzero(keep)
+    if kept.size == 0:
+        return []
+    scores = np.asarray(ranker.scores(
+        query, camera, dist[kept], dtheta[kept],
+        t_start[kept], t_end[kept]), dtype=float)
+    order = kept[np.argsort(-scores, kind="stable")]
+    return [
+        RankedFoV(fov=fov_at(i), distance=float(dist[i]),
+                  covers=bool(covers_center[i]))
+        for i in order
+    ]
+
+
+def _batch_execute(view: PackedFoVIndex, camera: CameraModel,
+                   strict_cover: bool, ranker: Any,
+                   queries: list[Query],
+                   clock: Callable[[], float]) -> list[QueryResult]:
+    """Answer a query batch against a packed snapshot in shared passes.
+
+    The R-tree descent, the local projection and the orientation filter
+    each run once over the combined ``(query, candidate)`` pair arrays;
+    only scoring (which may depend on per-query state in the ranker)
+    and row materialisation remain per query.  ``elapsed_s`` is the
+    batch wall time split evenly across the queries -- per-query timing
+    has no meaning once the funnel is shared.
+    """
+    t0 = clock()
+    n_q = len(queries)
+    qids, ids = view.search_many_ids(queries)
+
+    origin_lat = np.fromiter((q.center.lat for q in queries), dtype=float,
+                             count=n_q)
+    origin_lng = np.fromiter((q.center.lng for q in queries), dtype=float,
+                             count=n_q)
+    radii = np.fromiter((q.radius for q in queries), dtype=float, count=n_q)
+
+    xy = pairwise_local_xy(origin_lat[qids], origin_lng[qids],
+                           view.lat[ids], view.lng[ids])
+    dist, dtheta, covers_center, keep = _sector_evidence(
+        camera, strict_cover, xy, view.theta[ids], radii[qids])
+    t_start = view.t_start[ids]
+    t_end = view.t_end[ids]
+    bounds = np.searchsorted(qids, np.arange(n_q + 1))
+
+    rows: list[tuple[Query, list[RankedFoV], int]] = []
+    for qi, q in enumerate(queries):
+        lo, hi = int(bounds[qi]), int(bounds[qi + 1])
+        ranked = _ranked_rows(
+            q, camera, ranker,
+            lambda i, lo=lo: view.records[int(ids[lo + i])],
+            dist[lo:hi], dtheta[lo:hi], covers_center[lo:hi], keep[lo:hi],
+            t_start[lo:hi], t_end[lo:hi])
+        rows.append((q, ranked, hi - lo))
+
+    elapsed = clock() - t0
+    share = elapsed / n_q if n_q else 0.0
+    return [
+        QueryResult(query=q, ranked=ranked[: q.top_n], candidates=n_cand,
+                    after_filter=len(ranked), elapsed_s=share)
+        for q, ranked, n_cand in rows
+    ]
+
+
+# -- process-sharded fan-out -------------------------------------------------
+#
+# Opt-in for large offline batches: the packed snapshot (plain arrays +
+# records) is shipped to each worker once via the pool initializer, and
+# workers answer contiguous query chunks with the same batched path.
+
+_SHARD_STATE: tuple[PackedFoVIndex, CameraModel, bool, Any] | None = None
+
+
+def _init_shard_worker(view: PackedFoVIndex, camera: CameraModel,
+                       strict_cover: bool, ranker: Any) -> None:
+    global _SHARD_STATE
+    _SHARD_STATE = (view, camera, strict_cover, ranker)
+
+
+def _run_shard(queries: list[Query]) -> list[QueryResult]:
+    assert _SHARD_STATE is not None, "shard worker not initialised"
+    view, camera, strict_cover, ranker = _SHARD_STATE
+    return _batch_execute(view, camera, strict_cover, ranker, queries,
+                          default_timer)
 
 
 class RetrievalEngine:
@@ -49,40 +204,106 @@ class RetrievalEngine:
     ranker : optional
         Scoring strategy (see :mod:`repro.core.ranking`); default is the
         paper's nearest-camera-first :class:`DistanceRanker`.
+    engine : {"dynamic", "packed"}
+        ``"dynamic"`` (default) searches the mutable R-tree per query;
+        ``"packed"`` serves reads from the columnar snapshot
+        (``FoVIndex.packed_view``), which also unlocks the batched
+        ``execute_many`` funnel.  Results are identical either way.
+    clock : callable, optional
+        Zero-argument monotonic timer used for ``elapsed_s``; defaults
+        to :func:`repro.net.clock.default_timer`.  Injectable so the
+        deterministic core never reads a clock itself.
     """
 
     def __init__(self, index: FoVIndex, camera: CameraModel,
-                 strict_cover: bool = True, ranker=None):
+                 strict_cover: bool = True, ranker: Any = None,
+                 engine: str = "dynamic",
+                 clock: Callable[[], float] | None = None):
         from repro.core.ranking import DistanceRanker
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
         self.index = index
         self.camera = camera
         self.strict_cover = strict_cover
         self.ranker = ranker if ranker is not None else DistanceRanker()
+        self.engine = engine
+        self._clock = clock if clock is not None else default_timer
 
     def execute(self, query: Query) -> QueryResult:
         """Run the full filter/rank pipeline; returns a timed result."""
-        t0 = time.perf_counter()
-        candidates = self.index.range_search(query)
-        ranked = self._filter_and_rank(candidates, query)
-        elapsed = time.perf_counter() - t0
+        t0 = self._clock()
+        if self.engine == "packed":
+            view = self.index.packed_view()
+            ids = view.range_search_ids(query)
+            ranked = self._rank_packed(view, ids, query)
+            n_candidates = int(ids.size)
+        else:
+            candidates = self.index.range_search(query)
+            ranked = self._filter_and_rank(candidates, query)
+            n_candidates = len(candidates)
+        elapsed = self._clock() - t0
         return QueryResult(
             query=query,
             ranked=ranked[: query.top_n],
-            candidates=len(candidates),
+            candidates=n_candidates,
             after_filter=len(ranked),
             elapsed_s=elapsed,
         )
 
-    def execute_many(self, queries: list[Query]) -> list[QueryResult]:
+    def execute_many(self, queries: Sequence[Query],
+                     shards: int | None = None) -> list[QueryResult]:
         """Answer a batch of queries.
 
         Semantically identical to ``[execute(q) for q in queries]`` --
-        each query's funnel counters and timing are its own -- but kept
-        as one call so a server front-end can amortise request handling
-        and so batch workloads (coverage audits, evaluation sweeps)
-        have a single entry point.
+        same rankings, same funnel counters -- but the ``"packed"``
+        engine answers the whole batch per tree level and shares the
+        orientation-filter pass across queries, and ``shards > 1``
+        opts in to a :mod:`concurrent.futures` process fan-out for
+        large offline batches (coverage audits, evaluation sweeps).
+        Sharding serialises the packed snapshot to each worker, so it
+        only pays off when the batch is much more expensive than that
+        one-time shipment; it requires the R-tree backend.
+
+        Batched and sharded paths report ``elapsed_s`` as the batch
+        wall time split evenly across its queries.
         """
-        return [self.execute(q) for q in queries]
+        batch = list(queries)
+        if shards is not None and shards > 1 and len(batch) > 1:
+            return self._execute_sharded(batch, shards)
+        if self.engine == "packed":
+            return _batch_execute(self.index.packed_view(), self.camera,
+                                  self.strict_cover, self.ranker, batch,
+                                  self._clock)
+        return [self.execute(q) for q in batch]
+
+    def _execute_sharded(self, queries: list[Query],
+                         shards: int) -> list[QueryResult]:
+        view = self.index.packed_view()
+        shards = min(shards, len(queries))
+        edges = np.linspace(0, len(queries), shards + 1).astype(int)
+        chunks = [queries[edges[i]: edges[i + 1]] for i in range(shards)]
+        with ProcessPoolExecutor(
+                max_workers=shards,
+                initializer=_init_shard_worker,
+                initargs=(view, self.camera, self.strict_cover, self.ranker),
+        ) as pool:
+            parts = list(pool.map(_run_shard, chunks))
+        return [result for part in parts for result in part]
+
+    def _rank_packed(self, view: PackedFoVIndex, ids: np.ndarray,
+                     query: Query) -> list[RankedFoV]:
+        """Filter/rank candidates given as packed-snapshot payload ids."""
+        if ids.size == 0:
+            return []
+        proj = LocalProjection(query.center)
+        xy = proj.to_local_arrays(view.lat[ids], view.lng[ids])
+        dist, dtheta, covers_center, keep = _sector_evidence(
+            self.camera, self.strict_cover, xy, view.theta[ids], query.radius)
+        return _ranked_rows(
+            query, self.camera, self.ranker,
+            lambda i: view.records[int(ids[i])],
+            dist, dtheta, covers_center, keep,
+            view.t_start[ids], view.t_end[ids])
 
     def _filter_and_rank(self, candidates: list[RepresentativeFoV],
                          query: Query) -> list[RankedFoV]:
@@ -93,35 +314,11 @@ class RetrievalEngine:
         lngs = np.array([f.lng for f in candidates])
         thetas = np.array([f.theta for f in candidates])
         xy = proj.to_local_arrays(lats, lngs)          # camera positions, query at origin
-        dist = np.linalg.norm(xy, axis=-1)             # (n,)
-
-        # Bearing from each camera to the query centre (the origin).
-        bearings = np.degrees(np.arctan2(-xy[:, 0], -xy[:, 1]))
-        dtheta = np.asarray(angular_difference(bearings, thetas))
-        in_wedge = (dtheta <= self.camera.half_angle) | (dist == 0.0)
-        covers_center = in_wedge & (dist <= self.camera.radius)
-
-        if self.strict_cover:
-            keep = covers_center
-        else:
-            # Sector-disc overlap, vectorised over the common cases:
-            # centre covered, or apex within the query disc, or the
-            # wedge pointing at the disc with the arc within reach.
-            apex_in_disc = dist <= query.radius
-            half_width = np.degrees(
-                np.arcsin(np.clip(query.radius / np.maximum(dist, 1e-9), 0.0, 1.0))
-            )
-            wedge_touches = dtheta <= self.camera.half_angle + half_width
-            near_enough = dist <= self.camera.radius + query.radius
-            keep = covers_center | apex_in_disc | (wedge_touches & near_enough)
-
+        dist, dtheta, covers_center, keep = _sector_evidence(
+            self.camera, self.strict_cover, xy, thetas, query.radius)
         t_start = np.array([f.t_start for f in candidates])
         t_end = np.array([f.t_end for f in candidates])
-        scores = np.asarray(self.ranker.scores(
-            query, self.camera, dist, dtheta, t_start, t_end), dtype=float)
-        order = np.argsort(-scores, kind="stable")
-        return [
-            RankedFoV(fov=candidates[i], distance=float(dist[i]),
-                      covers=bool(covers_center[i]))
-            for i in order if keep[i]
-        ]
+        return _ranked_rows(
+            query, self.camera, self.ranker,
+            lambda i: candidates[i],
+            dist, dtheta, covers_center, keep, t_start, t_end)

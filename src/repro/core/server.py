@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.cache import QueryResultCache, query_cache_key
 from repro.core.camera import CameraModel
 from repro.core.fov import RepresentativeFoV
 from repro.core.index import FoVIndex
@@ -33,6 +34,8 @@ class ServerStats:
     queries_served: int = 0
     segments_fetched: int = 0
     segment_bytes_moved: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class CloudServer:
@@ -50,17 +53,39 @@ class CloudServer:
         Orientation-filter mode (see :class:`RetrievalEngine`).
     video_profile : VideoProfile, optional
         Encoding profile used to account segment-fetch bytes.
+    engine : {"dynamic", "packed"}
+        Retrieval engine mode (see :class:`RetrievalEngine`); results
+        are identical, ``"packed"`` trades snapshot rebuilds for much
+        higher read throughput.
+    cache_size : int
+        Capacity of the epoch-tagged LRU query-result cache; ``0``
+        disables caching.  Entries are invalidated automatically
+        whenever the index mutates (insert, delete, eviction) via the
+        index epoch, so a hit always equals the cold recomputation.
+    index : FoVIndex, optional
+        Use an existing index (e.g. an STR bulk-loaded snapshot)
+        instead of building an empty one; ``backend``/``rtree_config``
+        are ignored when given.
     """
 
     def __init__(self, camera: CameraModel, backend: str = "rtree",
                  rtree_config: RTreeConfig | None = None,
                  strict_cover: bool = True,
-                 video_profile: VideoProfile | None = None):
+                 video_profile: VideoProfile | None = None,
+                 engine: str = "dynamic",
+                 cache_size: int = 1024,
+                 index: FoVIndex | None = None):
         self.camera = camera
-        self.index = FoVIndex(backend=backend, rtree_config=rtree_config)
-        self.engine = RetrievalEngine(self.index, camera, strict_cover=strict_cover)
+        if index is not None:
+            self.index = index
+        else:
+            self.index = FoVIndex(backend=backend, rtree_config=rtree_config)
+        self.engine = RetrievalEngine(self.index, camera,
+                                      strict_cover=strict_cover,
+                                      engine=engine)
         self.traffic = TrafficModel(video_profile)
         self.stats = ServerStats()
+        self._cache = QueryResultCache(cache_size) if cache_size > 0 else None
         self._clients: dict[str, ClientPipeline] = {}
         self._owners: dict[str, str] = {}  # video_id -> device_id
 
@@ -91,16 +116,52 @@ class CloudServer:
     # -- inquirer side ------------------------------------------------------
 
     def query(self, query: Query) -> QueryResult:
-        """Answer one ranked spatio-temporal query."""
-        result = self.engine.execute(query)
+        """Answer one ranked spatio-temporal query (cache-aware)."""
         self.stats.queries_served += 1
+        if self._cache is None:
+            return self.engine.execute(query)
+        key = query_cache_key(query)
+        epoch = self.index.epoch
+        cached = self._cache.get(key, epoch)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        result = self.engine.execute(query)
+        self._cache.put(key, epoch, result)
         return result
 
-    def query_many(self, queries: list[Query]) -> list[QueryResult]:
-        """Answer a batch of queries (see RetrievalEngine.execute_many)."""
-        results = self.engine.execute_many(queries)
-        self.stats.queries_served += len(results)
-        return results
+    def query_many(self, queries: list[Query],
+                   shards: int | None = None) -> list[QueryResult]:
+        """Answer a batch of queries (see RetrievalEngine.execute_many).
+
+        Cached hits are merged in place; only the misses reach the
+        engine's (batched, optionally process-sharded) funnel.
+        """
+        batch = list(queries)
+        self.stats.queries_served += len(batch)
+        if self._cache is None:
+            return self.engine.execute_many(batch, shards=shards)
+        epoch = self.index.epoch
+        results: list[QueryResult | None] = []
+        misses: list[Query] = []
+        miss_pos: list[int] = []
+        for i, q in enumerate(batch):
+            cached = self._cache.get(query_cache_key(q), epoch)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results.append(cached)
+            else:
+                self.stats.cache_misses += 1
+                results.append(None)
+                misses.append(q)
+                miss_pos.append(i)
+        if misses:
+            answered = self.engine.execute_many(misses, shards=shards)
+            for i, result in zip(miss_pos, answered):
+                results[i] = result
+                self._cache.put(query_cache_key(batch[i]), epoch, result)
+        return [r for r in results if r is not None]
 
     def fetch_segment(self, fov: RepresentativeFoV) -> StoredSegment:
         """Pull one matched segment from its owning client.

@@ -27,6 +27,7 @@ __all__ = [
     "displacement",
     "haversine_distance",
     "radius_to_degrees",
+    "pairwise_local_xy",
     "LocalProjection",
 ]
 
@@ -101,6 +102,28 @@ def radius_to_degrees(radius_m: float, lat_deg: float) -> tuple[float, float]:
     if m_per_deg_lng < 1e-6 * m_per_deg_lat:
         raise ValueError("query latitude too close to a pole for a lng scale")
     return (radius_m / m_per_deg_lng, radius_m / m_per_deg_lat)
+
+
+def pairwise_local_xy(origin_lats: np.ndarray, origin_lngs: np.ndarray,
+                      lats: np.ndarray, lngs: np.ndarray) -> np.ndarray:
+    """Project point ``i`` into the local plane anchored at origin ``i``.
+
+    The batched-query counterpart of
+    :meth:`LocalProjection.to_local_arrays`: row ``i`` equals
+    ``LocalProjection(origin_i).to_local_arrays(lats[i], lngs[i])``
+    bit-for-bit (same expression, same operation order), but one call
+    projects a whole batch of (query origin, candidate) pairs at once.
+
+    Returns ``(n, 2)`` local ``(x=East, y=North)`` metres.
+    """
+    origin_lats = np.asarray(origin_lats, dtype=float)
+    origin_lngs = np.asarray(origin_lngs, dtype=float)
+    lats = np.asarray(lats, dtype=float)
+    lngs = np.asarray(lngs, dtype=float)
+    scale = np.cos(np.radians((origin_lats + lats) / 2.0))
+    x = _M_PER_DEG * scale * (lngs - origin_lngs)
+    y = _M_PER_DEG * (lats - origin_lats)
+    return np.stack([x, y], axis=-1)
 
 
 @dataclass(frozen=True)

@@ -12,11 +12,25 @@ records through skewed clocks to measure the retrieval impact.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DeviceClock", "SntpSynchronizer", "SyncResult"]
+__all__ = ["DeviceClock", "SntpSynchronizer", "SyncResult", "default_timer"]
+
+
+def default_timer() -> float:
+    """Monotonic duration clock for latency measurement.
+
+    Wraps :func:`time.perf_counter`.  The deterministic core packages
+    (``repro.core`` / ``repro.spatial``) may not read any clock directly
+    (fovlint rule RF005) -- components that report wall times, such as
+    ``RetrievalEngine``, take an injectable ``clock`` parameter whose
+    default is this function, so tests can substitute a fake clock and
+    replay bit-identically.
+    """
+    return time.perf_counter()
 
 
 @dataclass

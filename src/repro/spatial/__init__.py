@@ -8,12 +8,16 @@ NumPy-stacked bounding boxes so that every per-node scan is one
 vectorised pass.  :mod:`repro.spatial.bulk` adds Sort-Tile-Recursive
 bulk loading, and :mod:`repro.spatial.linear` provides the brute-force
 baseline the paper compares against in Fig. 6(c).
+:mod:`repro.spatial.packed` freezes a built tree into a level-order
+structure-of-arrays snapshot whose (batched) range search is a few
+vectorised passes per tree level -- the read-optimised serving path.
 """
 
 from repro.spatial.rtree import RTree, RTreeConfig
 from repro.spatial.linear import LinearScanIndex
 from repro.spatial.bulk import str_bulk_load
 from repro.spatial.metrics import TreeStats, tree_stats
+from repro.spatial.packed import PackedLevel, PackedRTree
 
 __all__ = [
     "RTree",
@@ -22,4 +26,6 @@ __all__ = [
     "str_bulk_load",
     "TreeStats",
     "tree_stats",
+    "PackedLevel",
+    "PackedRTree",
 ]

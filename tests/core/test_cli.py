@@ -60,6 +60,21 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "candidates" in out
 
+    def test_packed_engine_matches_dynamic(self, snapshot, capsys):
+        args = ["query", "--snapshot", str(snapshot),
+                "--lat", "40.0046", "--lng", "116.3284",
+                "--t0", "0", "--t1", "5000", "--radius", "300",
+                "--top", "5"]
+        assert main(args) == 0
+        dynamic = capsys.readouterr().out
+        assert main(args + ["--engine", "packed"]) == 0
+        packed = capsys.readouterr().out
+        # Identical rankings; only the reported latency may differ.
+        strip = lambda out: [ln for ln in out.splitlines()
+                             if ln.startswith("#")]
+        assert strip(packed) == strip(dynamic)
+        assert strip(dynamic)
+
     def test_invalid_radius_reports_error(self, snapshot, capsys):
         rc = main(["query", "--snapshot", str(snapshot),
                    "--lat", "40.0", "--lng", "116.3",

@@ -204,19 +204,40 @@ def test_rf005_flags_wall_clock_and_global_rng():
     assert len(lint_source(src, select=["RF005"])) == 3
 
 
-def test_rf005_allows_monotonic_and_seeded():
+def test_rf005_allows_seeded_rng():
     src = (
-        "import time, random\nimport numpy as np\n"
-        "t0 = time.perf_counter()\n"
-        "t1 = time.monotonic()\n"
+        "import random\nimport numpy as np\n"
         "rng = random.Random(7)\n"
         "g = np.random.default_rng(7)\n"
     )
     assert lint_source(src, select=["RF005"]) == []
 
 
+def test_rf005_flags_duration_clocks():
+    # perf_counter/monotonic are banned in core/spatial too: latency is
+    # measured through an injected clock (repro.net.clock.default_timer).
+    src = (
+        "import time\n"
+        "t0 = time.perf_counter()\n"
+        "t1 = time.monotonic()\n"
+    )
+    vs = lint_source(src, select=["RF005"])
+    assert len(vs) == 2 and rule_ids(vs) == {"RF005"}
+
+
+def test_rf005_flags_from_time_imports():
+    src = "from time import perf_counter, time\n"
+    vs = lint_source(src, select=["RF005"])
+    assert len(vs) == 2 and rule_ids(vs) == {"RF005"}
+
+
+def test_rf005_allows_harmless_time_imports():
+    src = "from time import sleep\n"
+    assert lint_source(src, select=["RF005"]) == []
+
+
 def test_rf005_out_of_scope_module_is_exempt():
-    src = "import time\na = time.time()\n"
+    src = "import time\na = time.time()\nb = time.perf_counter()\n"
     assert lint_source(src, modname="repro.eval.bench",
                        select=["RF005"]) == []
 
