@@ -1,0 +1,124 @@
+"""Ingest-path resilience -- what the v2 wire hardening costs and buys.
+
+The hardened ingest path (``docs/PROTOCOL.md``) adds per-record and
+per-bundle CRC32s, semantic validation, content-digest dedup, and a
+retrying uploader over a fault-injected channel.  This benchmark pins
+the cost side of that trade on a city-scale corpus (400 bundles of 50
+records):
+
+* **codec cost** -- v2 encode/decode throughput vs the trusting v1
+  format (the checksum tax, in MB/s);
+* **server ingest** -- bundles/s through ``ingest_bundle`` on a clean
+  transport, duplicate redelivery served from the digest set;
+* **faulty convergence** -- the full retry loop over a 10% drop / 10%
+  duplicate / 5% corrupt channel: attempts per bundle and the parity
+  guarantee that makes the overhead worth paying.
+
+Numbers land in ``BENCH_ingest_path.json`` for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.core.server import CloudServer
+from repro.eval.harness import Table
+from repro.net.channel import FaultProfile, FaultyChannel, RetryPolicy
+from repro.net.protocol import decode_bundle, encode_bundle
+from repro.traces.dataset import random_representative_fovs
+
+N_BUNDLES = 400
+RECORDS_PER_BUNDLE = 50
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(2015)
+    reps = random_representative_fovs(N_BUNDLES * RECORDS_PER_BUNDLE, rng)
+    groups = defaultdict(list)
+    for i, rep in enumerate(reps):
+        vid = f"video-{i % N_BUNDLES:04d}"
+        groups[vid].append(rep)
+    return dict(groups)
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    out = fn(*args)
+    return out, time.perf_counter() - t0
+
+
+def test_ingest_resilience(corpus, camera, show, bench_export):
+    # -- codec: the checksum tax -------------------------------------
+    def encode_all(version):
+        return [encode_bundle(vid, fovs, version=version)
+                for vid, fovs in corpus.items()]
+
+    v1, t_enc1 = _timed(encode_all, 1)
+    v2, t_enc2 = _timed(encode_all, 2)
+    _, t_dec1 = _timed(lambda: [decode_bundle(p) for p in v1])
+    _, t_dec2 = _timed(lambda: [decode_bundle(p) for p in v2])
+    mb1 = sum(map(len, v1)) / 1e6
+    mb2 = sum(map(len, v2)) / 1e6
+
+    # -- clean-transport server ingest -------------------------------
+    server = CloudServer(camera)
+    _, t_ingest = _timed(lambda: [server.ingest_bundle(p) for p in v2])
+    assert server.indexed_count == N_BUNDLES * RECORDS_PER_BUNDLE
+    _, t_dedup = _timed(lambda: [server.ingest_bundle(p) for p in v2])
+    assert server.stats.bundles_duplicated == N_BUNDLES
+
+    # -- faulty channel with retries ---------------------------------
+    faulty = CloudServer(camera)
+    channel = FaultyChannel(FaultProfile(drop_rate=0.10, duplicate_rate=0.10,
+                                         corrupt_rate=0.05), seed=0)
+    uploader = faulty.make_uploader(channel,
+                                    policy=RetryPolicy(max_attempts=40))
+    t0 = time.perf_counter()
+    receipts = [uploader.upload(p) for p in v2]
+    t_faulty = time.perf_counter() - t0
+    assert all(r.accepted for r in receipts)
+    assert faulty.indexed_count == server.indexed_count
+    assert faulty.stats.bundles_rejected == channel.stats.corrupted
+
+    table = Table(
+        f"Ingest resilience -- {N_BUNDLES} bundles x {RECORDS_PER_BUNDLE} "
+        f"records",
+        ["path", "time (ms)", "throughput"])
+    table.add("encode v1 (trusting)", round(t_enc1 * 1e3, 1),
+              f"{mb1 / t_enc1:.0f} MB/s")
+    table.add("encode v2 (checksummed)", round(t_enc2 * 1e3, 1),
+              f"{mb2 / t_enc2:.0f} MB/s")
+    table.add("decode v1", round(t_dec1 * 1e3, 1),
+              f"{mb1 / t_dec1:.0f} MB/s")
+    table.add("decode v2", round(t_dec2 * 1e3, 1),
+              f"{mb2 / t_dec2:.0f} MB/s")
+    table.add("server ingest (clean)", round(t_ingest * 1e3, 1),
+              f"{N_BUNDLES / t_ingest:.0f} bundles/s")
+    table.add("duplicate redelivery", round(t_dedup * 1e3, 1),
+              f"{N_BUNDLES / t_dedup:.0f} bundles/s")
+    table.add("faulty upload w/ retries", round(t_faulty * 1e3, 1),
+              f"{N_BUNDLES / t_faulty:.0f} bundles/s")
+    show(table)
+    show(f"faulty run: {uploader.stats.attempts} attempts for {N_BUNDLES} "
+         f"bundles ({uploader.stats.retries} retries), "
+         f"{channel.stats.corrupted} corrupt copies all quarantined")
+
+    bench_export("ingest_path", {
+        "bundles": N_BUNDLES,
+        "records_per_bundle": RECORDS_PER_BUNDLE,
+        "encode_v1_mb_s": round(mb1 / t_enc1, 1),
+        "encode_v2_mb_s": round(mb2 / t_enc2, 1),
+        "decode_v1_mb_s": round(mb1 / t_dec1, 1),
+        "decode_v2_mb_s": round(mb2 / t_dec2, 1),
+        "ingest_clean_bundles_s": round(N_BUNDLES / t_ingest, 1),
+        "dedup_bundles_s": round(N_BUNDLES / t_dedup, 1),
+        "faulty_bundles_s": round(N_BUNDLES / t_faulty, 1),
+        "faulty_attempts": uploader.stats.attempts,
+        "faulty_retries": uploader.stats.retries,
+        "corrupt_copies_quarantined": channel.stats.corrupted,
+    })

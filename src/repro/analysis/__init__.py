@@ -4,8 +4,9 @@ The retrieval pipeline's correctness hangs on conventions that no unit
 test localises when they break: azimuths are compass *degrees* in
 ``[0, 360)``, trig runs on *radians*, positions carry an explicit
 lat/lng axis order, and the similarity kernels promise scalar/array
-dual forms.  This package mechanises those conventions as AST lint
-rules (RF001-RF006, see ``docs/STATIC_ANALYSIS.md``) so a violation
+dual forms, and wire payloads decode only through the validated
+protocol layer.  This package mechanises those conventions as AST lint
+rules (RF001-RF007, see ``docs/STATIC_ANALYSIS.md``) so a violation
 fails CI instead of producing plausible-but-wrong retrieval results.
 
 Entry points:

@@ -154,7 +154,7 @@ class Rule(Protocol):
 
 
 def all_rules() -> list[Rule]:
-    """Fresh instances of the six RF rules, in id order."""
+    """Fresh instances of the RF rules (RF001-RF007), in id order."""
     from repro.analysis.rules import RULES
     return [cls() for cls in RULES]
 

@@ -1,4 +1,4 @@
-"""The six domain lint rules (RF001-RF006).
+"""The seven domain lint rules (RF001-RF007).
 
 Each rule lives in its own module and registers here; the engine
 instantiates :data:`RULES` fresh per run.  See
@@ -12,6 +12,7 @@ from repro.analysis.rules.rf003_all import RF003PublicInAll
 from repro.analysis.rules.rf004_mutable_defaults import RF004MutableDefault
 from repro.analysis.rules.rf005_determinism import RF005Nondeterminism
 from repro.analysis.rules.rf006_dualform import RF006DualFormNormalize
+from repro.analysis.rules.rf007_rawunpack import RF007RawWireUnpack
 
 RULES = (
     RF001DegreesIntoTrig,
@@ -20,6 +21,7 @@ RULES = (
     RF004MutableDefault,
     RF005Nondeterminism,
     RF006DualFormNormalize,
+    RF007RawWireUnpack,
 )
 
 __all__ = [
@@ -30,4 +32,5 @@ __all__ = [
     "RF004MutableDefault",
     "RF005Nondeterminism",
     "RF006DualFormNormalize",
+    "RF007RawWireUnpack",
 ]

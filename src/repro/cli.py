@@ -5,6 +5,8 @@ Python::
 
     python -m repro.cli generate --providers 20 --seed 7 --out city.fov
     python -m repro.cli inspect --snapshot city.fov
+    python -m repro.cli ingest --providers 10 --seed 7 \
+        --drop 0.1 --duplicate 0.1 --corrupt 0.05
     python -m repro.cli query --snapshot city.fov \
         --lat 40.0046 --lng 116.3284 --t0 0 --t1 4000 --radius 100 --top 5
     python -m repro.cli nearest --snapshot city.fov \
@@ -89,9 +91,29 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--radius", type=float, default=100.0,
                      help="camera radius of view in metres")
 
+    ing = sub.add_parser("ingest",
+                         help="simulate crowd uploads over a fault-injected "
+                              "channel and verify the ingest path converges")
+    ing.add_argument("--providers", type=int, default=10)
+    ing.add_argument("--seed", type=int, default=0)
+    ing.add_argument("--drop", type=float, default=0.0,
+                     help="probability a transmitted copy is lost")
+    ing.add_argument("--duplicate", type=float, default=0.0,
+                     help="probability a transmission arrives twice")
+    ing.add_argument("--corrupt", type=float, default=0.0,
+                     help="probability a delivered copy is mutated")
+    ing.add_argument("--reorder", type=float, default=0.0,
+                     help="probability a copy is held back and arrives late")
+    ing.add_argument("--max-attempts", type=int, default=10,
+                     help="uploader retry budget per bundle")
+    ing.add_argument("--out", default=None,
+                     help="optionally save the converged index as a snapshot")
+    ing.add_argument("--json", action="store_true",
+                     help="emit the convergence report as JSON")
+
     lint = sub.add_parser("lint",
                           help="run the domain-aware FoV lint rules "
-                               "(RF001-RF006) over source trees")
+                               "(RF001-RF007) over source trees")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint "
                            "(default: src/repro)")
@@ -197,6 +219,78 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    """Fault-injected end-to-end ingest: upload every provider's bundle
+    through a lossy channel with retries, then prove the converged
+    index matches a lossless control run bit for bit."""
+    from repro.core.server import CloudServer
+    from repro.net.channel import FaultProfile, FaultyChannel, RetryPolicy
+
+    dataset = CityDataset(n_providers=args.providers, seed=args.seed)
+    control = CloudServer(dataset.camera)
+    faulty = CloudServer(dataset.camera)
+    profile = FaultProfile(drop_rate=args.drop, duplicate_rate=args.duplicate,
+                           corrupt_rate=args.corrupt,
+                           reorder_rate=args.reorder)
+    channel = FaultyChannel(profile, seed=args.seed)
+    uploader = faulty.make_uploader(
+        channel, policy=RetryPolicy(max_attempts=args.max_attempts))
+
+    receipts = []
+    for rec in dataset.recordings:
+        control.receive_bundle(rec.bundle.payload, device_id=rec.device_id)
+        receipts.append(uploader.upload(rec.bundle.payload))
+    for delivery in channel.flush():    # stragglers held back by reordering
+        faulty.ingest_bundle(delivery.payload)
+
+    delivered = all(r.accepted for r in receipts)
+    parity = sorted(f.key() for f in faulty.index.records()) == \
+        sorted(f.key() for f in control.index.records())
+    report = {
+        "bundles": len(dataset.recordings),
+        "records": control.indexed_count,
+        "attempts": uploader.stats.attempts,
+        "retries": uploader.stats.retries,
+        "channel": {"sent": channel.stats.sent,
+                    "delivered": channel.stats.delivered,
+                    "dropped": channel.stats.dropped,
+                    "duplicated": channel.stats.duplicated,
+                    "corrupted": channel.stats.corrupted,
+                    "reordered": channel.stats.reordered},
+        "server": {"accepted": faulty.stats.bundles_received,
+                   "rejected": faulty.stats.bundles_rejected,
+                   "deduplicated": faulty.stats.bundles_duplicated,
+                   "retried": faulty.stats.bundles_retried,
+                   "quarantined": faulty.quarantine.total_quarantined,
+                   "records_live": faulty.stats.records_live},
+        "all_bundles_delivered": delivered,
+        "parity_with_lossless": parity,
+    }
+    if args.out:
+        save_snapshot(args.out, faulty.index.records())
+        report["snapshot"] = args.out
+    if args.json:
+        import json
+        print(json.dumps(report, indent=2))
+    else:
+        ch, sv = report["channel"], report["server"]
+        print(f"uploaded {report['bundles']} bundles "
+              f"({report['records']} records) in {report['attempts']} "
+              f"attempts ({report['retries']} retries)")
+        print(f"channel: {ch['sent']} sent, {ch['delivered']} delivered, "
+              f"{ch['dropped']} dropped, {ch['duplicated']} duplicated, "
+              f"{ch['corrupted']} corrupted, {ch['reordered']} reordered")
+        print(f"server: {sv['accepted']} accepted, {sv['deduplicated']} "
+              f"deduplicated, {sv['rejected']} rejected "
+              f"({sv['quarantined']} quarantined), {sv['records_live']} "
+              f"records live")
+        print(f"converged: {'yes' if delivered else 'NO'}; "
+              f"parity with lossless run: {'OK' if parity else 'MISMATCH'}")
+        if args.out:
+            print(f"snapshot written to {args.out}")
+    return 0 if (delivered and parity) else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import run_lint
     return run_lint(args.paths, select=args.select)
@@ -208,6 +302,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "nearest": _cmd_nearest,
     "coverage": _cmd_coverage,
+    "ingest": _cmd_ingest,
     "lint": _cmd_lint,
 }
 

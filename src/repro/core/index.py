@@ -173,12 +173,33 @@ class FoVIndex:
         self._epoch += 1
 
     def insert_many(self, fovs: Iterable[RepresentativeFoV]) -> int:
-        """Index an iterable of records; returns the count."""
-        n = 0
-        for fov in fovs:
-            self.insert(fov)
-            n += 1
-        return n
+        """Index a batch of records atomically; returns the count.
+
+        All boxes are computed and checked finite *before* the first
+        insert, so a bad record rejects the whole batch with the index
+        untouched (no partial bundles), and the epoch bumps once for
+        the batch instead of once per record -- one cache/packed-view
+        invalidation per bundle.
+        """
+        items = list(fovs)
+        boxes = []
+        for fov in items:
+            bmin, bmax = fov_box(fov)
+            if not (np.all(np.isfinite(bmin)) and np.all(np.isfinite(bmax))):
+                raise ValueError(
+                    f"non-finite geometry in record {fov.key()!r}; "
+                    f"nothing from this batch was indexed"
+                )
+            boxes.append((bmin, bmax))
+        for (bmin, bmax), fov in zip(boxes, items):
+            self._index.insert(bmin, bmax, fov)
+        if items:
+            self._epoch += 1
+        return len(items)
+
+    def records(self) -> list[RepresentativeFoV]:
+        """Every indexed record (index order; audits and parity checks)."""
+        return [fov for _, _, fov in self._index.items()]
 
     def delete(self, fov: RepresentativeFoV) -> bool:
         """Remove one record (e.g. a provider revoking a contribution)."""

@@ -1,0 +1,74 @@
+"""Dead-letter store for bundles the ingest path refuses to index.
+
+A production ingest tier never silently discards a rejected payload:
+operators need the evidence to tell a buggy client from a hostile one
+from a lossy link.  :class:`QuarantineStore` keeps the most recent
+rejected payloads with their rejection reason, bounded in capacity so
+a corruption storm cannot exhaust memory -- older entries age out and
+are only *counted* from then on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["QuarantinedBundle", "QuarantineStore"]
+
+
+@dataclass(frozen=True)
+class QuarantinedBundle:
+    """One rejected payload with the evidence an operator needs."""
+
+    seq: int
+    digest: str
+    reason: str
+    payload: bytes
+
+
+class QuarantineStore:
+    """Bounded FIFO of rejected bundles plus aggregate failure counts.
+
+    ``reasons`` survives eviction: it tallies every rejection ever
+    seen, keyed by the reason string, even after the payload itself
+    aged out of the bounded window.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("quarantine capacity must be positive")
+        self.capacity = capacity
+        self.reasons: Counter[str] = Counter()
+        self._entries: deque[QuarantinedBundle] = deque(maxlen=capacity)
+        self._total = 0
+
+    def add(self, payload: bytes, reason: str) -> QuarantinedBundle:
+        """Quarantine one rejected payload; returns the stored entry."""
+        entry = QuarantinedBundle(
+            seq=self._total,
+            digest=hashlib.sha256(payload).hexdigest(),
+            reason=reason,
+            payload=payload,
+        )
+        self._total += 1
+        self.reasons[reason] += 1
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QuarantinedBundle]:
+        return iter(self._entries)
+
+    @property
+    def total_quarantined(self) -> int:
+        """Every rejection ever recorded, including aged-out entries."""
+        return self._total
+
+    @property
+    def aged_out(self) -> int:
+        """Entries dropped from the bounded window to make room."""
+        return self._total - len(self._entries)

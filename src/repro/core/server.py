@@ -4,32 +4,73 @@ The server half of Figure 1.  It decodes upload bundles (validating the
 wire format), maintains the dynamic spatio-temporal index, runs the
 filter/rank retrieval, and -- when an inquirer picks a result -- asks
 the owning client for exactly that segment, accounting the bytes moved.
+
+The ingest path assumes a hostile, at-least-once network
+(``docs/PROTOCOL.md``): every bundle is validated end to end before a
+single record is indexed (all-or-nothing), byte-identical redeliveries
+are deduplicated by content digest into exactly-once indexing, and
+rejected payloads land in a bounded
+:class:`~repro.core.quarantine.QuarantineStore` with their rejection
+reason instead of vanishing.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from enum import Enum
 
 from repro.core.cache import QueryResultCache, query_cache_key
 from repro.core.camera import CameraModel
 from repro.core.fov import RepresentativeFoV
 from repro.core.index import FoVIndex
 from repro.core.pipeline import ClientPipeline, StoredSegment
+from repro.core.quarantine import QuarantineStore
 from repro.core.query import Query, QueryResult
 from repro.core.retrieval import RetrievalEngine
+from repro.net.channel import FaultyChannel, RetryPolicy, RetryingUploader
 from repro.net.protocol import decode_bundle
 from repro.net.traffic import TrafficModel, VideoProfile
 from repro.spatial.rtree import RTreeConfig
 
-__all__ = ["CloudServer", "ServerStats"]
+__all__ = ["CloudServer", "IngestOutcome", "IngestStatus", "ServerStats"]
+
+
+class IngestStatus(Enum):
+    """What happened to one delivered bundle."""
+
+    ACCEPTED = "accepted"
+    DUPLICATE = "duplicate"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class IngestOutcome:
+    """The ingest path's acknowledgement for one delivered payload."""
+
+    status: IngestStatus
+    records_indexed: int
+    digest: str
+    video_id: str | None = None
+    reason: str | None = None
 
 
 @dataclass
 class ServerStats:
-    """Running counters for the evaluation harness."""
+    """Running counters for the evaluation harness.
+
+    ``records_indexed`` is cumulative over the server's lifetime;
+    ``records_live`` is the current index population (eviction lowers
+    it, but never rewrites history).
+    """
 
     bundles_received: int = 0
+    bundles_rejected: int = 0
+    bundles_duplicated: int = 0
+    bundles_retried: int = 0
     records_indexed: int = 0
+    records_live: int = 0
+    records_evicted: int = 0
     descriptor_bytes_in: int = 0
     queries_served: int = 0
     segments_fetched: int = 0
@@ -66,6 +107,9 @@ class CloudServer:
         Use an existing index (e.g. an STR bulk-loaded snapshot)
         instead of building an empty one; ``backend``/``rtree_config``
         are ignored when given.
+    quarantine_capacity : int
+        How many rejected payloads the dead-letter store retains
+        (older entries age out but stay counted).
     """
 
     def __init__(self, camera: CameraModel, backend: str = "rtree",
@@ -74,7 +118,8 @@ class CloudServer:
                  video_profile: VideoProfile | None = None,
                  engine: str = "dynamic",
                  cache_size: int = 1024,
-                 index: FoVIndex | None = None):
+                 index: FoVIndex | None = None,
+                 quarantine_capacity: int = 256):
         self.camera = camera
         if index is not None:
             self.index = index
@@ -85,9 +130,12 @@ class CloudServer:
                                       engine=engine)
         self.traffic = TrafficModel(video_profile)
         self.stats = ServerStats()
+        self.stats.records_live = len(self.index)
+        self.quarantine = QuarantineStore(capacity=quarantine_capacity)
         self._cache = QueryResultCache(cache_size) if cache_size > 0 else None
         self._clients: dict[str, ClientPipeline] = {}
         self._owners: dict[str, str] = {}  # video_id -> device_id
+        self._seen_digests: set[str] = set()
 
     # -- provider side ----------------------------------------------------
 
@@ -95,22 +143,73 @@ class CloudServer:
         """Make a provider reachable for segment fetches."""
         self._clients[client.device_id] = client
 
-    def receive_bundle(self, payload: bytes, device_id: str | None = None) -> int:
-        """Ingest one upload bundle; returns the number of records indexed."""
-        video_id, fovs = decode_bundle(payload)
-        for fov in fovs:
-            self.index.insert(fov)
+    def ingest_bundle(self, payload: bytes,
+                      device_id: str | None = None) -> IngestOutcome:
+        """Ingest one delivered bundle; never raises on bad payloads.
+
+        The at-least-once ack path: a malformed or corrupt payload is
+        quarantined and ``REJECTED``; a byte-identical redelivery of an
+        already-indexed bundle is acknowledged ``DUPLICATE`` without
+        touching the index (exactly-once indexing); otherwise every
+        record is validated before any is indexed, the whole bundle
+        lands atomically via ``insert_many`` (one epoch bump), and the
+        outcome is ``ACCEPTED``.
+        """
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest in self._seen_digests:
+            self.stats.bundles_duplicated += 1
+            return IngestOutcome(status=IngestStatus.DUPLICATE,
+                                 records_indexed=0, digest=digest)
+        try:
+            video_id, fovs = decode_bundle(payload)
+        except ValueError as exc:
+            self.stats.bundles_rejected += 1
+            self.quarantine.add(payload, str(exc))
+            return IngestOutcome(status=IngestStatus.REJECTED,
+                                 records_indexed=0, digest=digest,
+                                 reason=str(exc))
+        n = self.index.insert_many(fovs)
+        self._seen_digests.add(digest)
         if device_id is not None:
             self._owners[video_id] = device_id
         self.stats.bundles_received += 1
-        self.stats.records_indexed += len(fovs)
+        self.stats.records_indexed += n
+        self.stats.records_live = len(self.index)
         self.stats.descriptor_bytes_in += len(payload)
-        return len(fovs)
+        return IngestOutcome(status=IngestStatus.ACCEPTED, records_indexed=n,
+                             digest=digest, video_id=video_id)
+
+    def receive_bundle(self, payload: bytes, device_id: str | None = None) -> int:
+        """Ingest one upload bundle; returns the number of records indexed.
+
+        The raising facade over :meth:`ingest_bundle` for callers on a
+        trusted transport: a rejected payload raises ``ValueError``
+        (after being quarantined and counted); a duplicate redelivery
+        is a no-op returning 0.
+        """
+        outcome = self.ingest_bundle(payload, device_id=device_id)
+        if outcome.status is IngestStatus.REJECTED:
+            raise ValueError(outcome.reason)
+        return outcome.records_indexed
+
+    def make_uploader(self, channel: FaultyChannel,
+                      policy: RetryPolicy | None = None) -> RetryingUploader:
+        """A retrying uploader wired to this server's ingest path.
+
+        Retransmissions are counted into ``stats.bundles_retried`` so
+        the operator sees the at-least-once traffic the channel cost.
+        """
+        def _on_retry() -> None:
+            self.stats.bundles_retried += 1
+
+        return RetryingUploader(channel, self.ingest_bundle, policy=policy,
+                                on_retry=_on_retry)
 
     def ingest(self, fovs: list[RepresentativeFoV]) -> int:
         """Directly index already-decoded records (dataset loading)."""
         n = self.index.insert_many(fovs)
         self.stats.records_indexed += n
+        self.stats.records_live = len(self.index)
         return n
 
     # -- inquirer side ------------------------------------------------------
@@ -180,9 +279,16 @@ class CloudServer:
         return segment
 
     def evict_older_than(self, cutoff_t: float) -> int:
-        """Enforce a retention window; returns the eviction count."""
+        """Enforce a retention window; returns the eviction count.
+
+        Eviction updates the *live* population and the eviction
+        counter; ``records_indexed`` stays the cumulative all-time
+        total (it used to be clobbered to the live count here, which
+        silently rewrote ingest history).
+        """
         evicted = self.index.evict_older_than(cutoff_t)
-        self.stats.records_indexed = len(self.index)
+        self.stats.records_evicted += evicted
+        self.stats.records_live = len(self.index)
         return evicted
 
     @property

@@ -17,7 +17,8 @@ from pathlib import Path
 
 from repro.core.fov import RepresentativeFoV
 from repro.core.index import FoVIndex
-from repro.net.protocol import decode_bundle, encode_bundle
+from repro.net.protocol import (decode_bundle, deframe_bundles, encode_bundle,
+                                frame_bundles)
 from repro.spatial.rtree import RTreeConfig
 
 __all__ = ["save_snapshot", "load_snapshot", "SNAPSHOT_MAGIC"]
@@ -36,9 +37,7 @@ def save_snapshot(path, fovs: list[RepresentativeFoV]) -> int:
     for fov in fovs:
         groups[fov.video_id].append(fov)
     bundles = [encode_bundle(vid, records) for vid, records in groups.items()]
-    payload = b"".join(
-        struct.pack("<I", len(b)) + b for b in bundles
-    )
+    payload = frame_bundles(bundles)
     blob = _HEADER.pack(SNAPSHOT_MAGIC, len(bundles),
                         zlib.crc32(payload)) + payload
     Path(path).write_bytes(blob)
@@ -62,18 +61,13 @@ def load_snapshot(path, rtree_config: RTreeConfig | None = None
     if zlib.crc32(payload) != crc:
         raise ValueError("snapshot payload failed its CRC check")
 
+    frames = deframe_bundles(payload)
+    if len(frames) != n_bundles:
+        raise ValueError(
+            f"snapshot holds {len(frames)} bundles, header says {n_bundles}"
+        )
     records: list[RepresentativeFoV] = []
-    offset = 0
-    for _ in range(n_bundles):
-        if offset + 4 > len(payload):
-            raise ValueError("snapshot truncated inside a bundle header")
-        (size,) = struct.unpack_from("<I", payload, offset)
-        offset += 4
-        if offset + size > len(payload):
-            raise ValueError("snapshot truncated inside a bundle")
-        _, fovs = decode_bundle(payload[offset: offset + size])
+    for frame in frames:
+        _, fovs = decode_bundle(frame)
         records.extend(fovs)
-        offset += size
-    if offset != len(payload):
-        raise ValueError("snapshot has trailing garbage")
     return FoVIndex.bulk(records, rtree_config=rtree_config), records

@@ -1,31 +1,54 @@
-"""Networking substrate: serialisation, traffic accounting, clocks.
+"""Networking substrate: serialisation, faults, traffic accounting, clocks.
 
 The paper's networking claims -- negligible client-to-server traffic,
 no explicit clock-sync protocol needed -- are modelled here without
 sockets: :mod:`repro.net.protocol` defines the compact binary wire
-format for representative-FoV uploads (byte-exact sizes),
-:mod:`repro.net.traffic` accounts descriptor bytes against what raw
-video upload would have cost, and :mod:`repro.net.clock` simulates
-per-device clock offset/drift plus SNTP-style correction to show
-retrieval is insensitive to sub-second skew.
+format for representative-FoV uploads (byte-exact sizes, CRC-validated
+v2 framing), :mod:`repro.net.channel` injects seeded transport faults
+(drop/duplicate/corrupt/reorder) and retries through them with capped
+exponential backoff, :mod:`repro.net.traffic` accounts descriptor
+bytes against what raw video upload would have cost, and
+:mod:`repro.net.clock` simulates per-device clock offset/drift plus
+SNTP-style correction to show retrieval is insensitive to sub-second
+skew.
 """
 
 from repro.net.protocol import (
     FOV_RECORD_SIZE,
+    FOV_RECORD_SIZE_V2,
     decode_bundle,
     decode_fov,
     encode_bundle,
     encode_fov,
+)
+from repro.net.channel import (
+    ChannelStats,
+    Delivery,
+    FaultProfile,
+    FaultyChannel,
+    RetryPolicy,
+    RetryingUploader,
+    UploadReceipt,
+    UploaderStats,
 )
 from repro.net.traffic import TrafficModel, TrafficReport, VideoProfile
 from repro.net.clock import DeviceClock, SntpSynchronizer
 
 __all__ = [
     "FOV_RECORD_SIZE",
+    "FOV_RECORD_SIZE_V2",
     "encode_fov",
     "decode_fov",
     "encode_bundle",
     "decode_bundle",
+    "FaultProfile",
+    "ChannelStats",
+    "Delivery",
+    "FaultyChannel",
+    "RetryPolicy",
+    "UploaderStats",
+    "UploadReceipt",
+    "RetryingUploader",
     "TrafficModel",
     "TrafficReport",
     "VideoProfile",

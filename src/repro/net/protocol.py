@@ -14,34 +14,72 @@ record packs::
     total             40 B
 
 A bundle is a small header (magic, version, video-id, record count)
-followed by the records of one recording.  Encoding/decoding round-trip
-exactly (modulo the float32 orientation quantisation), and the byte
-sizes feed the traffic model.
+followed by the records of one recording.  Two bundle versions exist on
+the wire:
+
+* **v1** (magic ``FOV1``) -- the original trusting format: header,
+  video id, raw records.  Truncation is caught by the length formula,
+  but bit corruption inside a well-framed payload goes undetected.
+* **v2** (magic ``FOV2``, the default) -- the hardened format for
+  lossy crowd-sourced uplinks: the header gains an explicit total
+  length (so truncation is reported as truncation, not a formula
+  mismatch) and a bundle-level CRC32; every record carries its own
+  CRC32 (44 B per record on the wire), which localises corruption to a
+  record index.  Any single-bit flip, truncation, or extension of a v2
+  bundle raises ``ValueError``.
+
+Both versions decode through :func:`decode_bundle`, and *all* decoded
+records pass semantic validation (finite values, latitude/longitude
+range, ``t_end >= t_start``): a corrupted-but-parseable record must
+raise, never reach the index.  Every failure mode raises ``ValueError``
+(see ``docs/PROTOCOL.md`` for the full failure taxonomy).
+
+Encoding/decoding round-trip exactly (modulo the float32 orientation
+quantisation), and the byte sizes feed the traffic model.
 """
 
 from __future__ import annotations
 
+import math
 import struct
+import zlib
+from typing import Iterable
 
 from repro.core.fov import RepresentativeFoV
 
 __all__ = [
     "FOV_RECORD_SIZE",
+    "FOV_RECORD_SIZE_V2",
     "BUNDLE_MAGIC",
+    "BUNDLE_MAGIC_V2",
+    "DEFAULT_BUNDLE_VERSION",
     "encode_fov",
     "decode_fov",
     "encode_bundle",
     "decode_bundle",
     "bundle_size",
+    "frame_bundles",
+    "deframe_bundles",
 ]
 
 _RECORD = struct.Struct("<ddfddI")
-#: Bytes per representative-FoV record on the wire.
+#: Bytes per representative-FoV record payload (without its v2 checksum).
 FOV_RECORD_SIZE = _RECORD.size  # 40
+#: Bytes per record on the v2 wire: payload plus its CRC32.
+FOV_RECORD_SIZE_V2 = FOV_RECORD_SIZE + 4  # 44
 
 BUNDLE_MAGIC = b"FOV1"
+BUNDLE_MAGIC_V2 = b"FOV2"
 _HEADER = struct.Struct("<4sBHI")  # magic, version, video-id length, record count
-_VERSION = 1
+_V2_EXT = struct.Struct("<II")     # total bundle length, bundle crc32
+_V2_HEADER_SIZE = _HEADER.size + _V2_EXT.size  # 19
+#: Byte span of the v2 header that the bundle CRC covers (everything up
+#: to, but excluding, the CRC field itself).
+_V2_CRC_SKIP = _V2_HEADER_SIZE - 4
+_CRC = struct.Struct("<I")
+_FRAME_PREFIX = struct.Struct("<I")
+
+DEFAULT_BUNDLE_VERSION = 2
 
 
 def encode_fov(fov: RepresentativeFoV) -> bytes:
@@ -51,50 +89,200 @@ def encode_fov(fov: RepresentativeFoV) -> bytes:
                         fov.t_start, fov.t_end, fov.segment_id)
 
 
+def _validate_record(lat: float, lng: float, theta: float,
+                     t_start: float, t_end: float) -> None:
+    """Semantic checks on a well-framed record; raises ``ValueError``.
+
+    A flipped bit can turn a float into NaN/inf or an absurd
+    coordinate while the framing stays intact -- such records must be
+    rejected at the wire, not indexed.
+    """
+    for name, value in (("lat", lat), ("lng", lng), ("theta", theta),
+                        ("t_start", t_start), ("t_end", t_end)):
+        if not math.isfinite(value):
+            raise ValueError(f"corrupt record: non-finite {name} ({value!r})")
+    if not -90.0 <= lat <= 90.0:
+        raise ValueError(f"corrupt record: lat {lat!r} outside [-90, 90]")
+    if not -180.0 <= lng <= 180.0:
+        raise ValueError(f"corrupt record: lng {lng!r} outside [-180, 180]")
+    # float32 quantisation may round an azimuth just under 360 up to
+    # exactly 360.0, so the closed upper bound is deliberate.
+    if not 0.0 <= theta <= 360.0:
+        raise ValueError(f"corrupt record: theta {theta!r} outside [0, 360]")
+    if t_end < t_start:
+        raise ValueError(
+            f"corrupt record: t_end ({t_end!r}) before t_start ({t_start!r})"
+        )
+
+
 def decode_fov(payload: bytes, video_id: str = "") -> RepresentativeFoV:
-    """Inverse of :func:`encode_fov`."""
+    """Inverse of :func:`encode_fov`; validates ranges and finiteness."""
     if len(payload) != FOV_RECORD_SIZE:
         raise ValueError(
             f"record must be exactly {FOV_RECORD_SIZE} bytes, got {len(payload)}"
         )
     lat, lng, theta, t_start, t_end, seg_id = _RECORD.unpack(payload)
+    _validate_record(lat, lng, float(theta), t_start, t_end)
     return RepresentativeFoV(lat=lat, lng=lng, theta=float(theta),
                              t_start=t_start, t_end=t_end,
                              video_id=video_id, segment_id=seg_id)
 
 
-def encode_bundle(video_id: str, fovs: list[RepresentativeFoV]) -> bytes:
-    """Serialise one recording's representative FoVs."""
+def encode_bundle(video_id: str, fovs: list[RepresentativeFoV],
+                  version: int = DEFAULT_BUNDLE_VERSION) -> bytes:
+    """Serialise one recording's representative FoVs.
+
+    ``version=2`` (default) writes the checksummed, length-prefixed
+    format; ``version=1`` writes the legacy trusting format for
+    compatibility tests and old readers.
+    """
     vid = video_id.encode("utf-8")
     if len(vid) > 0xFFFF:
         raise ValueError("video id too long")
-    parts = [_HEADER.pack(BUNDLE_MAGIC, _VERSION, len(vid), len(fovs)), vid]
-    parts.extend(encode_fov(f) for f in fovs)
-    return b"".join(parts)
+    if version == 1:
+        parts = [_HEADER.pack(BUNDLE_MAGIC, 1, len(vid), len(fovs)), vid]
+        parts.extend(encode_fov(f) for f in fovs)
+        return b"".join(parts)
+    if version != 2:
+        raise ValueError(f"cannot encode bundle version {version}")
+    records = bytearray()
+    for f in fovs:
+        rec = encode_fov(f)
+        records += rec
+        records += _CRC.pack(zlib.crc32(rec))
+    total = _V2_HEADER_SIZE + len(vid) + len(records)
+    prefix = _HEADER.pack(BUNDLE_MAGIC_V2, 2, len(vid), len(fovs)) + \
+        _FRAME_PREFIX.pack(total)
+    body = vid + bytes(records)
+    crc = zlib.crc32(body, zlib.crc32(prefix))
+    return prefix + _CRC.pack(crc) + body
+
+
+def _decode_video_id(raw: bytes) -> str:
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ValueError(f"video id is not valid UTF-8: {exc}") from None
+
+
+def _decode_records_v1(payload: bytes, offset: int, count: int,
+                       video_id: str) -> list[RepresentativeFoV]:
+    fovs = []
+    for i in range(count):
+        rec = payload[offset + i * FOV_RECORD_SIZE:
+                      offset + (i + 1) * FOV_RECORD_SIZE]
+        try:
+            fovs.append(decode_fov(rec, video_id=video_id))
+        except ValueError as exc:
+            raise ValueError(f"record {i}: {exc}") from None
+    return fovs
+
+
+def _decode_bundle_v2(payload: bytes, vid_len: int, count: int
+                      ) -> tuple[str, list[RepresentativeFoV]]:
+    if len(payload) < _V2_HEADER_SIZE:
+        raise ValueError("bundle truncated inside its header")
+    total, crc = _V2_EXT.unpack_from(payload, _HEADER.size)
+    if len(payload) < total:
+        raise ValueError(
+            f"bundle truncated: got {len(payload)} of {total} bytes"
+        )
+    if len(payload) > total:
+        raise ValueError(
+            f"bundle has {len(payload) - total} bytes of trailing garbage"
+        )
+    expected = _V2_HEADER_SIZE + vid_len + count * FOV_RECORD_SIZE_V2
+    if total != expected:
+        raise ValueError(
+            f"bundle length {total} inconsistent with header "
+            f"(expected {expected})"
+        )
+    actual_crc = zlib.crc32(payload[_V2_HEADER_SIZE:],
+                            zlib.crc32(payload[:_V2_CRC_SKIP]))
+    if actual_crc != crc:
+        raise ValueError("bundle failed its CRC32 check")
+    offset = _V2_HEADER_SIZE
+    video_id = _decode_video_id(payload[offset: offset + vid_len])
+    offset += vid_len
+    fovs = []
+    for i in range(count):
+        rec = payload[offset: offset + FOV_RECORD_SIZE]
+        (rec_crc,) = _CRC.unpack_from(payload, offset + FOV_RECORD_SIZE)
+        if zlib.crc32(rec) != rec_crc:
+            raise ValueError(f"record {i} failed its checksum")
+        try:
+            fovs.append(decode_fov(rec, video_id=video_id))
+        except ValueError as exc:
+            raise ValueError(f"record {i}: {exc}") from None
+        offset += FOV_RECORD_SIZE_V2
+    return video_id, fovs
 
 
 def decode_bundle(payload: bytes) -> tuple[str, list[RepresentativeFoV]]:
-    """Inverse of :func:`encode_bundle`; validates magic/version/length."""
+    """Inverse of :func:`encode_bundle`; accepts both wire versions.
+
+    Raises ``ValueError`` -- and only ``ValueError`` -- on any
+    malformed input: bad magic, unsupported version, truncation,
+    trailing bytes, checksum mismatch, undecodable video id, or a
+    record failing semantic validation.
+    """
     if len(payload) < _HEADER.size:
         raise ValueError("bundle shorter than its header")
     magic, version, vid_len, count = _HEADER.unpack_from(payload, 0)
+    if magic == BUNDLE_MAGIC_V2:
+        if version != 2:
+            raise ValueError(f"unsupported bundle version {version}")
+        return _decode_bundle_v2(payload, vid_len, count)
     if magic != BUNDLE_MAGIC:
         raise ValueError(f"bad magic {magic!r}")
-    if version != _VERSION:
+    if version != 1:
         raise ValueError(f"unsupported bundle version {version}")
     offset = _HEADER.size
-    video_id = payload[offset: offset + vid_len].decode("utf-8")
+    video_id = _decode_video_id(payload[offset: offset + vid_len])
     offset += vid_len
     expected = offset + count * FOV_RECORD_SIZE
     if len(payload) != expected:
         raise ValueError(f"bundle length {len(payload)} != expected {expected}")
-    fovs = []
-    for i in range(count):
-        rec = payload[offset + i * FOV_RECORD_SIZE: offset + (i + 1) * FOV_RECORD_SIZE]
-        fovs.append(decode_fov(rec, video_id=video_id))
-    return video_id, fovs
+    return video_id, _decode_records_v1(payload, offset, count, video_id)
 
 
-def bundle_size(video_id: str, n_records: int) -> int:
+def bundle_size(video_id: str, n_records: int,
+                version: int = DEFAULT_BUNDLE_VERSION) -> int:
     """Wire size in bytes of a bundle without materialising it."""
-    return _HEADER.size + len(video_id.encode("utf-8")) + n_records * FOV_RECORD_SIZE
+    vid_len = len(video_id.encode("utf-8"))
+    if version == 1:
+        return _HEADER.size + vid_len + n_records * FOV_RECORD_SIZE
+    if version != 2:
+        raise ValueError(f"cannot size bundle version {version}")
+    return _V2_HEADER_SIZE + vid_len + n_records * FOV_RECORD_SIZE_V2
+
+
+def frame_bundles(bundles: Iterable[bytes]) -> bytes:
+    """Concatenate bundles with a 4-byte length prefix each.
+
+    The framing used wherever several bundles share one byte stream
+    (snapshot files, batched uplinks); :func:`deframe_bundles` is the
+    validated inverse.
+    """
+    return b"".join(_FRAME_PREFIX.pack(len(b)) + b for b in bundles)
+
+
+def deframe_bundles(payload: bytes) -> list[bytes]:
+    """Split a length-prefixed bundle stream; raises on truncation.
+
+    The whole payload must be consumed exactly: a frame running past
+    the end or a partial trailing prefix raises ``ValueError``.
+    """
+    frames: list[bytes] = []
+    offset = 0
+    n = len(payload)
+    while offset < n:
+        if offset + _FRAME_PREFIX.size > n:
+            raise ValueError("frame stream truncated inside a length prefix")
+        (size,) = _FRAME_PREFIX.unpack_from(payload, offset)
+        offset += _FRAME_PREFIX.size
+        if offset + size > n:
+            raise ValueError("frame stream truncated inside a bundle frame")
+        frames.append(payload[offset: offset + size])
+        offset += size
+    return frames

@@ -5,7 +5,8 @@ server is negligible".  The model compares three upload strategies for
 the same recording:
 
 * **content-free** (this system): one bundle of 40-byte representative
-  FoVs per recording, plus on-demand transfer of only the matched
+  FoVs per recording (44 B each on the checksummed v2 wire, see
+  ``docs/PROTOCOL.md``), plus on-demand transfer of only the matched
   segments;
 * **data-centric** baseline: the whole encoded video goes up front;
 * **query-centric** baseline: the video stays local, but each query
@@ -91,9 +92,16 @@ class TrafficModel:
     def __init__(self, profile: VideoProfile | None = None):
         self.profile = profile or VideoProfile()
 
-    def descriptor_upload_bytes(self, video_id: str, n_segments: int) -> int:
-        """Wire bytes of the representative-FoV bundle for one recording."""
-        return bundle_size(video_id, n_segments)
+    def descriptor_upload_bytes(self, video_id: str, n_segments: int,
+                                version: int | None = None) -> int:
+        """Wire bytes of the representative-FoV bundle for one recording.
+
+        ``version`` selects the wire format (default: the protocol's
+        current default, the checksummed v2).
+        """
+        if version is None:
+            return bundle_size(video_id, n_segments)
+        return bundle_size(video_id, n_segments, version=version)
 
     def report(self, video_id: str, n_segments: int, duration_s: float,
                matched_durations_s: list[float] | None = None) -> TrafficReport:

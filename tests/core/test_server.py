@@ -1,10 +1,15 @@
 """Unit tests for the cloud-server facade."""
 
+import struct
+
 import numpy as np
 import pytest
 
 from repro import CameraModel, ClientPipeline, CloudServer, Query
+from repro.core.fov import RepresentativeFoV
 from repro.core.segmentation import SegmentationConfig
+from repro.core.server import IngestStatus
+from repro.net.channel import FaultProfile, FaultyChannel, RetryPolicy
 from repro.net.protocol import encode_bundle
 from repro.traces.dataset import random_representative_fovs
 from repro.traces.noise import SensorNoiseModel
@@ -89,3 +94,102 @@ class TestBackends:
         q = Query(t_start=0.0, t_end=86400.0, center=CITY_ORIGIN,
                   radius=2500.0, top_n=50)
         assert rt.query(q).keys() == ln.query(q).keys()
+
+
+def small_bundle(vid="vid-x", n=5):
+    return encode_bundle(vid, [
+        RepresentativeFoV(lat=40.0, lng=116.3, theta=(30.0 * i) % 360.0,
+                          t_start=float(i), t_end=float(i) + 2.0,
+                          video_id=vid, segment_id=i)
+        for i in range(n)
+    ])
+
+
+class TestIngestHardening:
+    def test_duplicate_bundle_is_exactly_once(self, server):
+        payload = small_bundle()
+        assert server.receive_bundle(payload) == 5
+        assert server.receive_bundle(payload) == 0   # redelivery: no-op
+        assert server.indexed_count == 5
+        assert server.stats.bundles_received == 1
+        assert server.stats.bundles_duplicated == 1
+        assert server.stats.descriptor_bytes_in == len(payload)
+
+    def test_ingest_bundle_never_raises(self, server):
+        outcome = server.ingest_bundle(b"garbage-not-a-bundle")
+        assert outcome.status is IngestStatus.REJECTED
+        assert outcome.records_indexed == 0 and outcome.reason
+
+    def test_rejected_payload_is_quarantined_with_its_reason(self, server):
+        payload = bytearray(small_bundle())
+        payload[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            server.receive_bundle(bytes(payload))
+        assert server.stats.bundles_rejected == 1
+        assert server.indexed_count == 0
+        assert len(server.quarantine) == 1
+        (entry,) = list(server.quarantine)
+        assert entry.payload == bytes(payload)
+        assert server.quarantine.reasons[entry.reason] == 1
+
+    def test_mid_bundle_corruption_leaves_no_partial_state(self, server):
+        # A v1 bundle (no checksums) whose *second* record is semantic
+        # junk: validation must reject the whole bundle before record 0
+        # touches the index.
+        good = struct.pack("<ddfddI", 40.0, 116.3, 90.0, 0.0, 2.0, 0)
+        bad = struct.pack("<ddfddI", float("nan"), 116.3, 90.0, 0.0, 2.0, 1)
+        vid = b"v"
+        payload = struct.pack("<4sBHI", b"FOV1", 1, len(vid), 2) + vid \
+            + good + bad
+        epoch = server.index.epoch
+        with pytest.raises(ValueError, match="record 1"):
+            server.receive_bundle(payload)
+        assert server.indexed_count == 0
+        assert server.index.epoch == epoch
+        assert server.stats.records_indexed == 0
+        assert list(server.index.records()) == []
+
+    def test_one_epoch_bump_per_bundle(self, server):
+        epoch = server.index.epoch
+        server.receive_bundle(small_bundle(n=20))
+        assert server.index.epoch == epoch + 1   # not one bump per record
+
+    def test_make_uploader_converges_and_counts_retries(self, server):
+        channel = FaultyChannel(FaultProfile(drop_rate=0.5), seed=11)
+        uploader = server.make_uploader(channel,
+                                        RetryPolicy(max_attempts=40))
+        receipts = [uploader.upload(small_bundle(vid=f"v{i}"))
+                    for i in range(10)]
+        assert all(r.accepted for r in receipts)
+        assert server.stats.bundles_retried == uploader.stats.retries > 0
+        assert server.indexed_count == 50
+
+
+class TestEvictionStats:
+    def _ingest_spread(self, server, vid="v"):
+        server.ingest([
+            RepresentativeFoV(lat=40.0, lng=116.3, theta=10.0,
+                              t_start=float(i * 10), t_end=float(i * 10) + 5,
+                              video_id=vid, segment_id=i)
+            for i in range(10)
+        ])
+
+    def test_evict_preserves_cumulative_records_indexed(self, server):
+        # Regression: evict_older_than used to clobber records_indexed
+        # down to the live count, rewriting ingest history.
+        self._ingest_spread(server)
+        assert server.stats.records_indexed == 10
+        evicted = server.evict_older_than(51.0)
+        assert evicted == 5
+        assert server.stats.records_indexed == 10     # cumulative, untouched
+        assert server.stats.records_live == 5 == server.indexed_count
+        assert server.stats.records_evicted == 5
+
+    def test_eviction_counter_accumulates(self, server):
+        self._ingest_spread(server, vid="a")
+        self._ingest_spread(server, vid="b")
+        server.evict_older_than(21.0)
+        server.evict_older_than(51.0)
+        assert server.stats.records_evicted == 10
+        assert server.stats.records_live == 10
+        assert server.stats.records_indexed == 20

@@ -11,6 +11,7 @@ This module is never imported -- it is linted as text only.
 
 import math
 import random
+import struct
 import time
 
 import numpy as np
@@ -32,6 +33,11 @@ def coverage_score(theta, lat, lng, hits=[]):     # mutable default: RF004
     x = math.sin(theta)                           # degrees into trig: RF001
     hits.append(x)
     return x + jitter + noise + stamp
+
+
+def parse_upload(payload):
+    """Peek at a wire bundle without the protocol layer."""
+    return struct.unpack("<4sB", payload[:5])  # bare wire unpack: RF007
 
 
 def swapped_call(my_lat, my_lng):

@@ -1,0 +1,119 @@
+"""End-to-end ingest over a hostile uplink (the ISSUE acceptance run).
+
+A seeded channel drops 10%, duplicates 10%, and corrupts 5% of
+transmitted copies; the retrying uploader must still converge, and the
+faulty server's indexed state and query answers must come out
+bit-identical to a lossless control run.  Along the way: no bundle is
+ever partially indexed, every corrupt delivery is quarantined and
+counted, and redeliveries dedup to exactly-once.
+
+``FUZZ_SEED`` (set by the CI fuzz-smoke matrix) picks the channel seed
+so each CI job exercises a different fault schedule.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import CloudServer, Query
+from repro.net.channel import FaultProfile, FaultyChannel, RetryPolicy
+from repro.traces.dataset import CityDataset
+
+CHANNEL_SEED = int(os.environ.get("FUZZ_SEED", "0"))
+
+PROFILE = FaultProfile(drop_rate=0.10, duplicate_rate=0.10,
+                       corrupt_rate=0.05, reorder_rate=0.05)
+
+
+@pytest.fixture(scope="module")
+def city():
+    # 24 providers keeps every CI seed's run fault-ridden: the odds of
+    # a copy passing the 10/10/5/5% gauntlet untouched are ~73%, so a
+    # fully clean 24-bundle run is a ~5e-4 fluke.
+    return CityDataset(n_providers=24, seed=42)
+
+
+@pytest.fixture(scope="module")
+def converged(city):
+    """Run the lossless control and the faulty upload once, together."""
+    control = CloudServer(city.camera)
+    faulty = CloudServer(city.camera)
+    channel = FaultyChannel(PROFILE, seed=CHANNEL_SEED)
+    uploader = faulty.make_uploader(channel,
+                                    policy=RetryPolicy(max_attempts=40))
+    receipts = []
+    for rec in city.recordings:
+        control.receive_bundle(rec.bundle.payload, device_id=rec.device_id)
+        receipts.append(uploader.upload(rec.bundle.payload))
+    for delivery in channel.flush():   # stragglers held back by reordering
+        faulty.ingest_bundle(delivery.payload)
+    return control, faulty, channel, uploader, receipts
+
+
+class TestConvergence:
+    def test_every_upload_is_acknowledged(self, converged):
+        *_, receipts = converged
+        assert all(r.accepted for r in receipts)
+
+    def test_the_channel_actually_misbehaved(self, converged):
+        _, _, channel, uploader, _ = converged
+        # The run is only meaningful if faults fired and forced retries.
+        assert channel.stats.dropped + channel.stats.corrupted > 0
+        assert uploader.stats.attempts >= uploader.stats.uploads
+
+    def test_indexed_state_matches_the_lossless_run(self, converged):
+        control, faulty, *_ = converged
+        assert faulty.indexed_count == control.indexed_count
+        assert sorted(f.key() for f in faulty.index.records()) == \
+            sorted(f.key() for f in control.index.records())
+
+    def test_query_results_are_bit_identical(self, city, converged):
+        control, faulty, *_ = converged
+        rng = np.random.default_rng(7)
+        t0, t1 = city.time_span()
+        for _ in range(12):
+            q = Query(t_start=t0, t_end=t1,
+                      center=city.random_query_point(rng),
+                      radius=float(rng.uniform(50.0, 400.0)), top_n=20)
+            a, b = control.query(q), faulty.query(q)
+            assert [(r.fov, r.distance, r.covers) for r in a.ranked] == \
+                [(r.fov, r.distance, r.covers) for r in b.ranked]
+
+
+class TestFaultAccounting:
+    def test_no_partial_bundles(self, city, converged):
+        # Every indexed video holds either all of its records or none:
+        # per-video record counts must equal the client-side bundles.
+        _, faulty, *_ = converged
+        per_video = {}
+        for fov in faulty.index.records():
+            per_video[fov.video_id] = per_video.get(fov.video_id, 0) + 1
+        expected = {rec.video_id: len(rec.bundle.representatives)
+                    for rec in city.recordings}
+        assert per_video == expected
+
+    def test_every_corrupt_delivery_is_quarantined(self, converged):
+        _, faulty, channel, *_ = converged
+        # Corruption is guaranteed to change bytes, and v2 checksums
+        # catch every change, so the counts must agree exactly (flush
+        # delivered all held copies before this assertion runs).
+        assert channel.stats.corrupted == faulty.stats.bundles_rejected
+        assert faulty.quarantine.total_quarantined == \
+            faulty.stats.bundles_rejected
+        for entry in faulty.quarantine:
+            assert entry.reason
+
+    def test_redelivery_dedups_to_exactly_once(self, city, converged):
+        _, faulty, channel, uploader, _ = converged
+        assert faulty.stats.bundles_received == len(city.recordings)
+        # Everything beyond one accepted copy per bundle was deduped or
+        # rejected -- nothing was indexed twice.
+        extra = (channel.stats.delivered - channel.stats.corrupted
+                 - len(city.recordings))
+        assert faulty.stats.bundles_duplicated == extra
+        assert faulty.stats.bundles_retried == uploader.stats.retries
+
+    def test_epoch_bumps_once_per_accepted_bundle(self, city, converged):
+        _, faulty, *_ = converged
+        assert faulty.index.epoch == len(city.recordings)

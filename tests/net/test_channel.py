@@ -1,0 +1,160 @@
+"""Unit tests for the fault-injected channel and the retrying uploader."""
+
+import numpy as np
+import pytest
+
+from repro.net.channel import (
+    FaultProfile,
+    FaultyChannel,
+    RetryPolicy,
+    RetryingUploader,
+)
+from repro.net.protocol import decode_bundle, encode_bundle
+
+
+PAYLOAD = b"the quick brown payload jumps over the lossy uplink"
+
+
+class TestFaultProfile:
+    @pytest.mark.parametrize("field", ["drop_rate", "duplicate_rate",
+                                       "corrupt_rate", "reorder_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultProfile(**{field: bad})
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            FaultProfile(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultProfile(jitter_s=-0.5)
+
+    def test_lossless_profile_is_clean(self):
+        p = FaultProfile.lossless()
+        assert (p.drop_rate, p.duplicate_rate, p.corrupt_rate,
+                p.reorder_rate) == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestFaultyChannel:
+    def test_lossless_delivers_one_intact_copy(self):
+        ch = FaultyChannel()
+        out = ch.transmit(PAYLOAD)
+        assert [d.payload for d in out] == [PAYLOAD]
+        assert not out[0].corrupted and not out[0].delayed
+        assert ch.stats.sent == ch.stats.delivered == 1
+
+    def test_full_drop_delivers_nothing(self):
+        ch = FaultyChannel(FaultProfile(drop_rate=1.0), seed=3)
+        for _ in range(10):
+            assert ch.transmit(PAYLOAD) == []
+        assert ch.stats.dropped == 10 and ch.stats.delivered == 0
+
+    def test_full_duplication_delivers_two_copies(self):
+        ch = FaultyChannel(FaultProfile(duplicate_rate=1.0), seed=3)
+        out = ch.transmit(PAYLOAD)
+        assert [d.payload for d in out] == [PAYLOAD, PAYLOAD]
+        assert ch.stats.duplicated == 1 and ch.stats.delivered == 2
+
+    def test_corruption_always_changes_bytes(self):
+        ch = FaultyChannel(FaultProfile(corrupt_rate=1.0), seed=3)
+        for _ in range(50):
+            (d,) = ch.transmit(PAYLOAD)
+            assert d.corrupted and d.payload != PAYLOAD
+
+    def test_corrupted_bundle_never_decodes(self):
+        bundle = encode_bundle("v", [])
+        ch = FaultyChannel(FaultProfile(corrupt_rate=1.0), seed=3)
+        for _ in range(50):
+            (d,) = ch.transmit(bundle)
+            with pytest.raises(ValueError):
+                decode_bundle(d.payload)
+
+    def test_reordered_copy_arrives_on_a_later_transmit(self):
+        ch = FaultyChannel(FaultProfile(reorder_rate=1.0), seed=3)
+        assert ch.transmit(b"first") == []
+        assert ch.pending == 1
+        out = ch.transmit(b"second")       # "second" itself gets held
+        assert [d.payload for d in out] == [b"first"]
+        assert out[0].delayed
+        assert [d.payload for d in ch.flush()] == [b"second"]
+        assert ch.pending == 0 and ch.flush() == []
+
+    def test_same_seed_replays_bit_identically(self):
+        profile = FaultProfile(drop_rate=0.3, duplicate_rate=0.3,
+                               corrupt_rate=0.3, reorder_rate=0.3,
+                               jitter_s=0.01)
+        a = FaultyChannel(profile, seed=42)
+        b = FaultyChannel(profile, seed=42)
+        for i in range(40):
+            payload = bytes([i]) * 20
+            assert ([d.payload for d in a.transmit(payload)]
+                    == [d.payload for d in b.transmit(payload)])
+        assert a.stats == b.stats
+
+    def test_explicit_rng_overrides_seed(self):
+        rng = np.random.default_rng(7)
+        ch = FaultyChannel(FaultProfile(drop_rate=0.5), seed=0, rng=rng)
+        assert ch.rng is rng
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        p = RetryPolicy(base_backoff_s=1.0, backoff_factor=2.0,
+                        backoff_cap_s=5.0)
+        assert [p.backoff_s(a) for a in range(5)] == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestRetryingUploader:
+    def test_first_try_on_a_clean_channel(self):
+        up = RetryingUploader(FaultyChannel(), deliver=lambda p: "accepted")
+        receipt = up.upload(PAYLOAD)
+        assert receipt.accepted and receipt.attempts == 1
+        assert up.stats.retries == 0
+
+    def test_duplicate_ack_counts_as_delivered(self):
+        up = RetryingUploader(FaultyChannel(), deliver=lambda p: "duplicate")
+        assert up.upload(PAYLOAD).accepted
+
+    def test_gives_up_after_the_attempt_budget(self):
+        retries = []
+        up = RetryingUploader(
+            FaultyChannel(FaultProfile(drop_rate=1.0), seed=1),
+            deliver=lambda p: "accepted",
+            policy=RetryPolicy(max_attempts=4),
+            on_retry=lambda: retries.append(1))
+        receipt = up.upload(PAYLOAD)
+        assert not receipt.accepted and receipt.attempts == 4
+        assert up.stats.gave_up == 1 and len(retries) == 3
+        assert receipt.waited_s > 0   # timeouts + backoff were charged
+
+    def test_retries_through_a_lossy_channel(self):
+        ch = FaultyChannel(FaultProfile(drop_rate=0.6), seed=5)
+        up = RetryingUploader(ch, deliver=lambda p: "accepted",
+                              policy=RetryPolicy(max_attempts=50))
+        receipts = [up.upload(bytes([i]) * 10) for i in range(20)]
+        assert all(r.accepted for r in receipts)
+        assert up.stats.retries > 0      # the channel did drop some
+
+    def test_rejected_acks_keep_retrying(self):
+        acks = iter(["rejected", "rejected", "accepted"])
+        up = RetryingUploader(FaultyChannel(),
+                              deliver=lambda p: next(acks),
+                              policy=RetryPolicy(max_attempts=5))
+        receipt = up.upload(PAYLOAD)
+        assert receipt.accepted and receipt.attempts == 3
+        assert up.stats.acks_rejected == 2
+
+    def test_enum_style_outcomes_are_understood(self):
+        from repro.core.server import IngestOutcome, IngestStatus
+        outcome = IngestOutcome(status=IngestStatus.ACCEPTED,
+                                records_indexed=1, digest="d")
+        up = RetryingUploader(FaultyChannel(), deliver=lambda p: outcome)
+        assert up.upload(PAYLOAD).accepted

@@ -1,15 +1,24 @@
-"""Unit tests for the binary wire format."""
+"""Unit tests for the binary wire format (v1 and the checksummed v2)."""
+
+import struct
+import zlib
 
 import pytest
 
 from repro.core.fov import RepresentativeFoV
 from repro.net.protocol import (
+    BUNDLE_MAGIC,
+    BUNDLE_MAGIC_V2,
+    DEFAULT_BUNDLE_VERSION,
     FOV_RECORD_SIZE,
+    FOV_RECORD_SIZE_V2,
     bundle_size,
     decode_bundle,
     decode_fov,
+    deframe_bundles,
     encode_bundle,
     encode_fov,
+    frame_bundles,
 )
 
 
@@ -86,3 +95,153 @@ class TestBundle:
         # A minute of capture at a typical segmentation density (one
         # segment every ~3 s) -> ~20 records -> < 1 kB on the wire.
         assert bundle_size("video-1", 20) < 1024
+
+
+def raw_record(lat=40.0, lng=116.3, theta=90.0, t_start=0.0, t_end=1.0,
+               seg_id=0):
+    """Hand-pack a 40-byte record, bypassing RepresentativeFoV checks."""
+    return struct.pack("<ddfddI", lat, lng, theta, t_start, t_end, seg_id)
+
+
+def rewrite_v2_crc(payload: bytes) -> bytes:
+    """Recompute a tampered v2 bundle's CRC so only deeper checks fire."""
+    prefix, body = payload[:15], payload[19:]
+    crc = zlib.crc32(body, zlib.crc32(prefix))
+    return prefix + struct.pack("<I", crc) + body
+
+
+class TestBundleV2:
+    def test_default_version_is_v2(self):
+        payload = encode_bundle("v", [rep()])
+        assert payload[:4] == BUNDLE_MAGIC_V2
+        assert DEFAULT_BUNDLE_VERSION == 2
+
+    def test_v2_size_formula(self):
+        vid = "caméra-07"
+        payload = encode_bundle(vid, [rep(i) for i in range(3)])
+        assert len(payload) == bundle_size(vid, 3)
+        assert len(payload) == 19 + len(vid.encode()) + 3 * FOV_RECORD_SIZE_V2
+
+    def test_empty_v2_bundle_roundtrip(self):
+        vid, back = decode_bundle(encode_bundle("v", []))
+        assert vid == "v" and back == []
+
+    def test_every_single_byte_flip_rejected(self):
+        payload = encode_bundle("vid", [rep(0), rep(1)])
+        for i in range(len(payload)):
+            for xor in (0x01, 0xFF):
+                mutated = bytearray(payload)
+                mutated[i] ^= xor
+                with pytest.raises(ValueError):
+                    decode_bundle(bytes(mutated))
+
+    def test_every_truncation_rejected(self):
+        payload = encode_bundle("vid", [rep(0)])
+        for cut in range(len(payload)):
+            with pytest.raises(ValueError):
+                decode_bundle(payload[:cut])
+
+    def test_extension_rejected(self):
+        payload = encode_bundle("vid", [rep(0)])
+        with pytest.raises(ValueError, match="trailing"):
+            decode_bundle(payload + b"\x00")
+
+    def test_record_checksum_localises_corruption(self):
+        # Flip a byte inside record 1 and *repair* the bundle CRC: only
+        # the per-record checksum is left to catch it.
+        payload = bytearray(encode_bundle("v", [rep(0), rep(1)]))
+        rec1_start = 19 + 1 + FOV_RECORD_SIZE_V2
+        payload[rec1_start] ^= 0xFF
+        repaired = rewrite_v2_crc(bytes(payload))
+        with pytest.raises(ValueError, match="record 1"):
+            decode_bundle(repaired)
+
+    def test_version_byte_flip_alone_rejected(self):
+        v2 = bytearray(encode_bundle("v", [rep()]))
+        v2[4] = 1
+        with pytest.raises(ValueError):
+            decode_bundle(bytes(v2))
+        v1 = bytearray(encode_bundle("v", [rep()], version=1))
+        v1[4] = 2
+        with pytest.raises(ValueError):
+            decode_bundle(bytes(v1))
+
+    def test_unknown_encode_version_rejected(self):
+        with pytest.raises(ValueError):
+            encode_bundle("v", [], version=3)
+        with pytest.raises(ValueError):
+            bundle_size("v", 0, version=3)
+
+
+class TestBundleV1Compat:
+    def test_v1_roundtrip_still_decodes(self):
+        fovs = [rep(i, vid="legacy-vid") for i in range(4)]
+        payload = encode_bundle("legacy-vid", fovs, version=1)
+        assert payload[:4] == BUNDLE_MAGIC
+        vid, back = decode_bundle(payload)
+        assert vid == "legacy-vid"
+        assert [f.key() for f in back] == [f.key() for f in fovs]
+
+    def test_v1_size_formula(self):
+        assert bundle_size("abc", 5, version=1) == 11 + 3 + 5 * FOV_RECORD_SIZE
+
+    def test_v1_invalid_utf8_video_id_rejected(self):
+        header = struct.pack("<4sBHI", b"FOV1", 1, 2, 0)
+        with pytest.raises(ValueError, match="UTF-8"):
+            decode_bundle(header + b"\xff\xfe")
+
+
+class TestWireValidation:
+    @pytest.mark.parametrize("kwargs,needle", [
+        ({"lat": float("nan")}, "non-finite lat"),
+        ({"lng": float("inf")}, "non-finite lng"),
+        ({"theta": float("-inf")}, "non-finite theta"),
+        ({"t_start": float("nan")}, "non-finite t_start"),
+        ({"t_end": float("nan")}, "non-finite t_end"),
+        ({"lat": 90.5}, "lat"),
+        ({"lat": -91.0}, "lat"),
+        ({"lng": 180.5}, "lng"),
+        ({"lng": -200.0}, "lng"),
+        ({"theta": 360.5}, "theta"),
+        ({"theta": -1.0}, "theta"),
+        ({"t_start": 5.0, "t_end": 4.0}, "before t_start"),
+    ])
+    def test_semantic_corruption_rejected(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            decode_fov(raw_record(**kwargs))
+
+    def test_boundary_values_accepted(self):
+        # Closed bounds everywhere; theta == 360.0 is legal because the
+        # float32 quantisation can round an azimuth up to exactly 360.
+        fov = decode_fov(raw_record(lat=-90.0, lng=180.0, theta=360.0,
+                                    t_start=3.0, t_end=3.0))
+        assert fov.lat == -90.0 and fov.theta == 360.0
+
+    def test_corrupt_record_inside_v1_bundle_names_its_index(self):
+        vid = b"v"
+        body = raw_record(seg_id=0) + raw_record(lat=float("nan"), seg_id=1)
+        header = struct.pack("<4sBHI", b"FOV1", 1, len(vid), 2)
+        with pytest.raises(ValueError, match="record 1"):
+            decode_bundle(header + vid + body)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        bundles = [encode_bundle(f"v{i}", [rep(j, vid=f"v{i}")
+                                           for j in range(i)])
+                   for i in range(4)]
+        assert deframe_bundles(frame_bundles(bundles)) == bundles
+
+    def test_empty_stream(self):
+        assert frame_bundles([]) == b""
+        assert deframe_bundles(b"") == []
+
+    def test_truncated_prefix_rejected(self):
+        stream = frame_bundles([b"abcd"])
+        with pytest.raises(ValueError, match="length prefix"):
+            deframe_bundles(stream + b"\x01")
+
+    def test_truncated_frame_rejected(self):
+        stream = frame_bundles([b"abcd", b"efgh"])
+        with pytest.raises(ValueError, match="bundle frame"):
+            deframe_bundles(stream[:-1])

@@ -1,0 +1,165 @@
+"""Fuzzing the wire protocol: mutate, truncate, replay -- never index junk.
+
+Two layers:
+
+* Hypothesis property tests -- random video ids (full multi-byte
+  UTF-8), random byte-level mutations and truncations of valid v2
+  bundles, and completely arbitrary byte strings.  The contract under
+  test: a damaged v2 bundle always raises ``ValueError`` (never decodes,
+  never escapes with a different exception type), and arbitrary bytes
+  never crash the decoder with anything but ``ValueError``.
+* A deterministic seed-matrix sweep -- the CI fuzz-smoke job sets
+  ``FUZZ_SEED`` (one job per seed) and each seed drives a different
+  ``numpy`` mutation schedule over a corpus of v1 and v2 bundles, so a
+  red run reproduces locally with ``FUZZ_SEED=<n> pytest <this file>``.
+
+Plus the server-level redelivery property: delivering the same bundle
+twice must index it exactly once.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fov import RepresentativeFoV
+from repro.core.server import CloudServer, IngestStatus
+from repro.net.protocol import decode_bundle, encode_bundle
+
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "0"))
+
+
+def rep(i, vid):
+    return RepresentativeFoV(lat=40.0 + i * 1e-3, lng=116.3 - i * 1e-3,
+                             theta=(i * 37.0) % 360.0,
+                             t_start=float(i), t_end=float(i) + 3.0,
+                             video_id=vid, segment_id=i)
+
+
+def bundle_for(vid, n):
+    return encode_bundle(vid, [rep(i, vid) for i in range(n)])
+
+
+video_ids = st.text(max_size=60)  # full unicode, incl. multi-byte/astral
+
+fov_lists = st.lists(
+    st.tuples(st.floats(-89.0, 89.0), st.floats(-179.0, 179.0),
+              st.floats(0.0, 359.9), st.floats(0.0, 1e5),
+              st.floats(0.0, 1e4)),
+    max_size=12)
+
+
+def build(video_id, rows):
+    return [RepresentativeFoV(lat=lat, lng=lng, theta=theta, t_start=t0,
+                              t_end=t0 + dur, video_id=video_id,
+                              segment_id=i)
+            for i, (lat, lng, theta, t0, dur) in enumerate(rows)]
+
+
+@settings(max_examples=80)
+@given(video_ids, fov_lists)
+def test_roundtrip_any_unicode_video_id(video_id, rows):
+    fovs = build(video_id, rows)
+    vid, back = decode_bundle(encode_bundle(video_id, fovs))
+    assert vid == video_id
+    assert [f.key() for f in back] == [f.key() for f in fovs]
+
+
+@settings(max_examples=120)
+@given(video_ids, fov_lists, st.data())
+def test_any_mutation_of_a_v2_bundle_raises_valueerror(video_id, rows, data):
+    payload = encode_bundle(video_id, build(video_id, rows))
+    i = data.draw(st.integers(0, len(payload) - 1))
+    xor = data.draw(st.integers(1, 255))
+    mutated = bytearray(payload)
+    mutated[i] ^= xor
+    try:
+        decode_bundle(bytes(mutated))
+    except ValueError:
+        return
+    raise AssertionError("mutated bundle decoded instead of raising")
+
+
+@settings(max_examples=80)
+@given(video_ids, fov_lists, st.data())
+def test_any_truncation_of_a_v2_bundle_raises_valueerror(video_id, rows,
+                                                         data):
+    payload = encode_bundle(video_id, build(video_id, rows))
+    cut = data.draw(st.integers(0, len(payload) - 1))
+    with pytest.raises(ValueError):
+        decode_bundle(payload[:cut])
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=400))
+def test_arbitrary_bytes_never_crash_with_anything_but_valueerror(blob):
+    try:
+        decode_bundle(blob)
+    except ValueError:
+        pass  # the only legal failure mode
+
+
+class TestSeedMatrixSweep:
+    """The CI fuzz-smoke job's deterministic mutation schedule."""
+
+    CORPUS = [("v", 0, 2), ("camera-01", 5, 2), ("caméra-07", 1, 2),
+              ("視频-9", 8, 2), ("legacy", 4, 1), ("legacy-big", 9, 1)]
+
+    def test_mutation_sweep_is_contained(self):
+        rng = np.random.default_rng(FUZZ_SEED)
+        checked = 0
+        for vid, n, version in self.CORPUS:
+            payload = encode_bundle(vid, [rep(i, vid) for i in range(n)],
+                                    version=version)
+            for _ in range(120):
+                mode = int(rng.integers(0, 3))
+                if mode == 0:                       # flip one byte
+                    buf = bytearray(payload)
+                    buf[int(rng.integers(0, len(buf)))] ^= \
+                        int(rng.integers(1, 256))
+                    mutated = bytes(buf)
+                elif mode == 1:                     # truncate the tail
+                    mutated = payload[:int(rng.integers(0, len(payload)))]
+                else:                               # append garbage
+                    mutated = payload + rng.bytes(int(rng.integers(1, 9)))
+                try:
+                    decode_bundle(mutated)
+                    survived = True
+                except ValueError:
+                    survived = False
+                # v2's checksums catch *every* mutation; v1 predates the
+                # checksums, so a flipped float may decode -- the sweep
+                # only demands v1 never escapes with another exception.
+                if version == 2:
+                    assert not survived, (
+                        f"seed {FUZZ_SEED}: v2 mutation decoded "
+                        f"(vid={vid!r}, n={n})")
+                checked += 1
+        assert checked == 120 * len(self.CORPUS)
+
+
+class TestServerRedelivery:
+    def test_duplicate_redelivery_is_a_noop(self, camera):
+        server = CloudServer(camera)
+        payload = bundle_for("vid-a", 6)
+        first = server.ingest_bundle(payload)
+        epoch = server.index.epoch
+        second = server.ingest_bundle(payload)
+        assert first.status is IngestStatus.ACCEPTED
+        assert second.status is IngestStatus.DUPLICATE
+        assert second.records_indexed == 0
+        assert second.digest == first.digest
+        assert server.indexed_count == 6
+        assert server.index.epoch == epoch       # no cache invalidation
+        assert server.stats.bundles_duplicated == 1
+
+    def test_corrupt_delivery_never_reaches_the_index(self, camera):
+        server = CloudServer(camera)
+        payload = bytearray(bundle_for("vid-a", 6))
+        payload[25] ^= 0xFF
+        outcome = server.ingest_bundle(bytes(payload))
+        assert outcome.status is IngestStatus.REJECTED
+        assert outcome.reason
+        assert server.indexed_count == 0
+        assert len(server.quarantine) == 1

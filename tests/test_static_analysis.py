@@ -1,11 +1,11 @@
-"""The static-analysis layer: fovlint engine, the six RF rules, CLI.
+"""The static-analysis layer: fovlint engine, the seven RF rules, CLI.
 
 Three tiers of coverage:
 
 * unit -- each rule on minimal in-memory snippets (bad fires, good
   stays quiet), via :func:`repro.analysis.lint_source`;
 * acceptance -- the seeded fixture ``tests/fixtures/fovlint_bad.py``
-  triggers all six rules, and the shipped ``src/repro`` tree is clean;
+  triggers all seven rules, and the shipped ``src/repro`` tree is clean;
 * regression -- the concrete violations fixed when the linter first ran
   (``__all__`` drift in similarity/segmentation/rtree) stay fixed.
 
@@ -283,6 +283,58 @@ def test_rf006_ignores_single_form_functions():
 
 
 # ---------------------------------------------------------------------------
+# RF007: bare struct.unpack on wire payloads
+
+
+def test_rf007_flags_module_level_unpack_on_payload():
+    src = (
+        "import struct\n"
+        "def parse(payload):\n"
+        "    return struct.unpack('<I', payload[:4])\n"
+    )
+    assert rule_ids(lint_source(src, select=["RF007"])) == {"RF007"}
+
+
+def test_rf007_flags_struct_instance_unpack_from():
+    src = (
+        "import struct\n"
+        "_H = struct.Struct('<I')\n"
+        "def parse(packet, off):\n"
+        "    return _H.unpack_from(packet, off)\n"
+    )
+    assert rule_ids(lint_source(src, select=["RF007"])) == {"RF007"}
+
+
+def test_rf007_ignores_non_payload_buffers():
+    src = (
+        "import struct\n"
+        "def parse(blob):\n"
+        "    return struct.unpack('<I', blob[:4])\n"
+    )
+    assert lint_source(src, select=["RF007"]) == []
+
+
+def test_rf007_exempts_the_protocol_module():
+    src = (
+        "import struct\n"
+        "def decode(payload):\n"
+        "    return struct.unpack('<I', payload[:4])\n"
+    )
+    assert lint_source(src, modname="repro.net.protocol",
+                       select=["RF007"]) == []
+
+
+def test_rf007_scoped_to_repro_packages():
+    src = (
+        "import struct\n"
+        "def parse(payload):\n"
+        "    return struct.unpack('<I', payload[:4])\n"
+    )
+    assert lint_source(src, modname="thirdparty.io",
+                       select=["RF007"]) == []
+
+
+# ---------------------------------------------------------------------------
 # suppression and module pragmas
 
 
@@ -315,7 +367,7 @@ def test_bad_fixture_triggers_every_rule():
     report = lint_paths([BAD_FIXTURE])
     assert not report.ok
     assert rule_ids(report.violations) == {
-        "RF001", "RF002", "RF003", "RF004", "RF005", "RF006",
+        "RF001", "RF002", "RF003", "RF004", "RF005", "RF006", "RF007",
     }
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.net.protocol import FOV_RECORD_SIZE
+from repro.net.protocol import FOV_RECORD_SIZE_V2
 from repro.traces.dataset import CityDataset, random_representative_fovs
 
 
@@ -63,8 +63,8 @@ class TestCityDataset:
         ds = CityDataset(n_providers=3, seed=2)
         total = ds.total_descriptor_bytes()
         n_reps = len(ds.all_representatives())
-        assert total >= n_reps * FOV_RECORD_SIZE
-        assert total < n_reps * FOV_RECORD_SIZE + 3 * 64  # small headers only
+        assert total >= n_reps * FOV_RECORD_SIZE_V2
+        assert total < n_reps * FOV_RECORD_SIZE_V2 + 3 * 64  # small headers only
 
     def test_time_span_covers_all(self):
         ds = CityDataset(n_providers=3, seed=2)
