@@ -1,4 +1,4 @@
-"""The seven domain lint rules (RF001-RF007).
+"""The eight domain lint rules (RF001-RF008).
 
 Each rule lives in its own module and registers here; the engine
 instantiates :data:`RULES` fresh per run.  See
@@ -13,6 +13,7 @@ from repro.analysis.rules.rf004_mutable_defaults import RF004MutableDefault
 from repro.analysis.rules.rf005_determinism import RF005Nondeterminism
 from repro.analysis.rules.rf006_dualform import RF006DualFormNormalize
 from repro.analysis.rules.rf007_rawunpack import RF007RawWireUnpack
+from repro.analysis.rules.rf008_metric_names import RF008MetricNameLiteral
 
 RULES = (
     RF001DegreesIntoTrig,
@@ -22,6 +23,7 @@ RULES = (
     RF005Nondeterminism,
     RF006DualFormNormalize,
     RF007RawWireUnpack,
+    RF008MetricNameLiteral,
 )
 
 __all__ = [
@@ -33,4 +35,5 @@ __all__ = [
     "RF005Nondeterminism",
     "RF006DualFormNormalize",
     "RF007RawWireUnpack",
+    "RF008MetricNameLiteral",
 ]

@@ -71,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "docs/PERFORMANCE.md)")
     qry.add_argument("--json", action="store_true",
                      help="emit the result as JSON instead of text")
+    qry.add_argument("--trace", action="store_true",
+                     help="collect a span trace of the request and print "
+                          "the tree with per-stage durations")
 
     near = sub.add_parser("nearest", help="k nearest segments to a point")
     near.add_argument("--snapshot", required=True)
@@ -110,10 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="optionally save the converged index as a snapshot")
     ing.add_argument("--json", action="store_true",
                      help="emit the convergence report as JSON")
+    ing.add_argument("--trace", action="store_true",
+                     help="trace the server's ingest path and print the "
+                          "span tree of the last bundle")
+
+    met = sub.add_parser("metrics",
+                         help="run an instrumented query workload against "
+                              "a snapshot and print the metrics registry")
+    met.add_argument("--snapshot", required=True)
+    met.add_argument("--queries", type=int, default=64,
+                     help="how many seeded queries to answer (each runs "
+                          "twice so cache families populate)")
+    met.add_argument("--seed", type=int, default=0)
+    met.add_argument("--radius", type=float, default=100.0)
+    met.add_argument("--half-angle", type=float, default=30.0)
+    met.add_argument("--engine", choices=("dynamic", "packed"),
+                     default="packed")
+    met.add_argument("--format", choices=("prometheus", "json"),
+                     default="prometheus",
+                     help="exposition format for the snapshot "
+                          "(classic Prometheus text, or JSON)")
 
     lint = sub.add_parser("lint",
                           help="run the domain-aware FoV lint rules "
-                               "(RF001-RF007) over source trees")
+                               "(RF001-RF008) over source trees")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint "
                            "(default: src/repro)")
@@ -155,9 +178,12 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    from repro.obs import Observability, format_span_tree
+
     index, _ = load_snapshot(args.snapshot)
     camera = CameraModel(half_angle=args.half_angle)
-    engine = RetrievalEngine(index, camera, engine=args.engine)
+    obs = Observability.tracing() if args.trace else None
+    engine = RetrievalEngine(index, camera, engine=args.engine, obs=obs)
     query = Query(t_start=args.t0, t_end=args.t1,
                   center=GeoPoint(args.lat, args.lng),
                   radius=args.radius, top_n=args.top)
@@ -175,6 +201,11 @@ def _cmd_query(args) -> int:
               f"{row.distance:.1f} m az {rep.theta:.0f}")
     if not result.ranked:
         print("no segment covers this spot in that window")
+    if obs is not None and obs.span_tracer is not None:
+        trace = obs.span_tracer.last_trace()
+        if trace is not None:
+            print("trace:")
+            print(format_span_tree(trace))
     return 0
 
 
@@ -225,10 +256,12 @@ def _cmd_ingest(args) -> int:
     index matches a lossless control run bit for bit."""
     from repro.core.server import CloudServer
     from repro.net.channel import FaultProfile, FaultyChannel, RetryPolicy
+    from repro.obs import Observability, format_span_tree
 
     dataset = CityDataset(n_providers=args.providers, seed=args.seed)
     control = CloudServer(dataset.camera)
-    faulty = CloudServer(dataset.camera)
+    obs = Observability.tracing() if args.trace else None
+    faulty = CloudServer(dataset.camera, obs=obs)
     profile = FaultProfile(drop_rate=args.drop, duplicate_rate=args.duplicate,
                            corrupt_rate=args.corrupt,
                            reorder_rate=args.reorder)
@@ -288,7 +321,50 @@ def _cmd_ingest(args) -> int:
               f"parity with lossless run: {'OK' if parity else 'MISMATCH'}")
         if args.out:
             print(f"snapshot written to {args.out}")
+    if obs is not None and obs.span_tracer is not None:
+        trace = obs.span_tracer.last_trace()
+        if trace is not None:
+            print("trace (last bundle):")
+            print(format_span_tree(trace))
     return 0 if (delivered and parity) else 1
+
+
+def _cmd_metrics(args) -> int:
+    """Answer a seeded query workload with full instrumentation on and
+    print the resulting metrics snapshot.
+
+    Each sampled query runs twice, so the cache families (hits, misses,
+    evictions) and the packed-descent counters all populate; with
+    ``--format prometheus`` the output is classic Prometheus text
+    (round-trippable through ``repro.obs.parse_prometheus``), with
+    ``--format json`` a JSON document keyed by dotted metric names.
+    """
+    import json as jsonlib
+
+    from repro.core.server import CloudServer
+    from repro.obs import Observability
+
+    index, records = load_snapshot(args.snapshot)
+    obs = Observability.tracing()
+    camera = CameraModel(half_angle=args.half_angle)
+    server = CloudServer(camera, engine=args.engine, index=index, obs=obs)
+    if records:
+        rng = np.random.default_rng(args.seed)
+        picks = rng.integers(0, len(records), size=max(0, args.queries))
+        queries = [
+            Query(t_start=records[i].t_start - 1.0,
+                  t_end=records[i].t_end + 1.0,
+                  center=GeoPoint(records[i].lat, records[i].lng),
+                  radius=args.radius, top_n=10)
+            for i in picks
+        ]
+        server.query_many(queries)      # cold pass: misses fill the cache
+        server.query_many(queries)      # warm pass: hits populate too
+    if args.format == "json":
+        print(jsonlib.dumps(obs.registry.render_json(), indent=2))
+    else:
+        print(obs.registry.render_prometheus(), end="")
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -303,6 +379,7 @@ _COMMANDS = {
     "nearest": _cmd_nearest,
     "coverage": _cmd_coverage,
     "ingest": _cmd_ingest,
+    "metrics": _cmd_metrics,
     "lint": _cmd_lint,
 }
 

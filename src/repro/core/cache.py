@@ -20,6 +20,8 @@ from collections import OrderedDict
 from typing import Any, Hashable
 
 from repro.core.query import Query
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["QueryResultCache", "query_cache_key"]
 
@@ -42,15 +44,38 @@ class QueryResultCache:
     is evicted on sight.  The cache never recomputes -- it only stores
     what the owner puts in -- so a hit is exactly the object a cold
     miss would have produced under the same epoch.
+
+    The cache owns its traffic accounting: ``cache.hits`` /
+    ``cache.misses`` / ``cache.stale_drops`` / ``cache.evictions``
+    counters on the given registry (a private one when none is given).
+    A stale drop *is* a miss -- ``misses`` includes it -- so the owner's
+    hit/miss tallies reconcile exactly with the cache's own.  LRU
+    evictions are also journaled (``cache.evicted``) when a journal is
+    attached.
     """
 
-    __slots__ = ("_capacity", "_entries")
+    __slots__ = ("_capacity", "_entries", "_journal",
+                 "_hits", "_misses", "_stale", "_evictions")
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024,
+                 registry: MetricsRegistry | None = None,
+                 journal: EventJournal | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._entries: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
+        self._journal = journal
+        reg = registry if registry is not None else MetricsRegistry()
+        self._hits = reg.counter(
+            "cache.hits", "Query-cache lookups answered from cache")
+        self._misses = reg.counter(
+            "cache.misses",
+            "Query-cache lookups that fell through (incl. stale drops)")
+        self._stale = reg.counter(
+            "cache.stale_drops",
+            "Cache entries dropped on sight for an epoch mismatch")
+        self._evictions = reg.counter(
+            "cache.evictions", "Cache entries evicted by LRU overflow")
 
     @property
     def capacity(self) -> int:
@@ -59,15 +84,39 @@ class QueryResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def hits(self) -> int:
+        """Lookups served from cache (lifetime)."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through, including stale drops (lifetime)."""
+        return int(self._misses.value)
+
+    @property
+    def stale_drops(self) -> int:
+        """Entries dropped on sight for an epoch mismatch (lifetime)."""
+        return int(self._stale.value)
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted by LRU capacity pressure (lifetime)."""
+        return int(self._evictions.value)
+
     def get(self, key: Hashable, epoch: int) -> Any | None:
         """The cached value, or None on a miss or an epoch mismatch."""
         entry = self._entries.get(key)
         if entry is None:
+            self._misses.inc()
             return None
         if entry[0] != epoch:
             del self._entries[key]
+            self._stale.inc()
+            self._misses.inc()
             return None
         self._entries.move_to_end(key)
+        self._hits.inc()
         return entry[1]
 
     def put(self, key: Hashable, epoch: int, value: Any) -> None:
@@ -76,6 +125,9 @@ class QueryResultCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
+            self._evictions.inc()
+            if self._journal is not None:
+                self._journal.emit("cache.evicted", capacity=self._capacity)
 
     def clear(self) -> None:
         """Drop every cached entry (e.g. on index replacement)."""

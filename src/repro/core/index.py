@@ -24,7 +24,7 @@ from repro.geo.earth import metres_per_degree, radius_to_degrees
 from repro.spatial.bulk import str_bulk_load
 from repro.spatial.knn import knn_search, mindist
 from repro.spatial.linear import LinearScanIndex
-from repro.spatial.packed import PackedRTree
+from repro.spatial.packed import PackedRTree, SearchObserver
 from repro.spatial.rtree import RTree, RTreeConfig
 
 __all__ = ["FoVIndex", "PackedFoVIndex", "fov_box", "query_box"]
@@ -89,28 +89,32 @@ class PackedFoVIndex:
         """Snapshot a dynamic R-tree of representative FoVs."""
         return cls(PackedRTree.from_rtree(tree), epoch=epoch)
 
-    def range_search_ids(self, query: Query) -> np.ndarray:
+    def range_search_ids(self, query: Query,
+                         observer: SearchObserver | None = None
+                         ) -> np.ndarray:
         """Payload ids of records intersecting the query's 3-D box."""
         bmin, bmax = query_box(query)
-        return self.tree.search_ids(bmin, bmax)
+        return self.tree.search_ids(bmin, bmax, observer=observer)
 
     def range_search(self, query: Query) -> list[RepresentativeFoV]:
         """Same candidate set as ``FoVIndex.range_search`` (as objects)."""
         return [self.records[i] for i in self.range_search_ids(query)]
 
-    def search_many_ids(self, queries: list[Query]
+    def search_many_ids(self, queries: list[Query],
+                        observer: SearchObserver | None = None
                         ) -> tuple[np.ndarray, np.ndarray]:
         """Batched range search: ``(query_ids, payload_ids)`` pairs.
 
         ``query_ids`` comes back sorted, so each query's hits are a
         contiguous run recoverable with ``np.searchsorted``.
+        ``observer`` receives per-level descent statistics.
         """
         if not queries:
             return (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
         boxes = [query_box(q) for q in queries]
         bmins = np.array([b[0] for b in boxes], dtype=float)
         bmaxs = np.array([b[1] for b in boxes], dtype=float)
-        return self.tree.search_many(bmins, bmaxs)
+        return self.tree.search_many(bmins, bmaxs, observer=observer)
 
 
 class FoVIndex:

@@ -15,6 +15,8 @@ from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.obs.journal import EventJournal
+
 __all__ = ["QuarantinedBundle", "QuarantineStore"]
 
 
@@ -34,15 +36,22 @@ class QuarantineStore:
     ``reasons`` survives eviction: it tallies every rejection ever
     seen, keyed by the reason string, even after the payload itself
     aged out of the bounded window.
+
+    When a :class:`~repro.obs.journal.EventJournal` is attached, every
+    quarantined payload also emits a ``quarantine.added`` event carrying
+    the reason and payload digest, so the operator timeline interleaves
+    rejections with the cache/epoch events around them.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256,
+                 journal: EventJournal | None = None) -> None:
         if capacity < 1:
             raise ValueError("quarantine capacity must be positive")
         self.capacity = capacity
         self.reasons: Counter[str] = Counter()
         self._entries: deque[QuarantinedBundle] = deque(maxlen=capacity)
         self._total = 0
+        self._journal = journal
 
     def add(self, payload: bytes, reason: str) -> QuarantinedBundle:
         """Quarantine one rejected payload; returns the stored entry."""
@@ -55,6 +64,9 @@ class QuarantineStore:
         self._total += 1
         self.reasons[reason] += 1
         self._entries.append(entry)
+        if self._journal is not None:
+            self._journal.emit("quarantine.added", reason=reason,
+                               digest=entry.digest, seq=entry.seq)
         return entry
 
     def __len__(self) -> int:

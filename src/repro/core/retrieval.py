@@ -29,7 +29,13 @@ Two execution engines share that pipeline:
 
 Latency accounting never reads a clock directly (fovlint RF005): the
 engine takes an injectable ``clock`` callable, defaulting to
-:func:`repro.net.clock.default_timer`.
+:func:`repro.net.clock.default_timer`.  Observability follows the same
+discipline: the engine accepts an :class:`~repro.obs.runtime.Observability`
+bundle and emits per-stage spans (tree descent, projection, orientation
+filter, rank) through its tracer -- a no-op
+:data:`~repro.obs.trace.NULL_TRACER` unless the owner opted into
+tracing -- plus packed-descent counters through a
+:class:`~repro.obs.runtime.PackedSearchRecorder`.
 """
 
 from __future__ import annotations
@@ -46,6 +52,9 @@ from repro.core.query import Query, QueryResult, RankedFoV
 from repro.geo.earth import LocalProjection, pairwise_local_xy
 from repro.geometry.angles import angular_difference
 from repro.net.clock import default_timer
+from repro.obs.runtime import Observability, PackedSearchRecorder
+from repro.obs.trace import NULL_TRACER, TracerLike
+from repro.spatial.packed import SearchObserver
 
 __all__ = ["RetrievalEngine"]
 
@@ -117,7 +126,10 @@ def _ranked_rows(query: Query, camera: CameraModel, ranker: Any,
 def _batch_execute(view: PackedFoVIndex, camera: CameraModel,
                    strict_cover: bool, ranker: Any,
                    queries: list[Query],
-                   clock: Callable[[], float]) -> list[QueryResult]:
+                   clock: Callable[[], float],
+                   tracer: TracerLike = NULL_TRACER,
+                   observer: SearchObserver | None = None
+                   ) -> list[QueryResult]:
     """Answer a query batch against a packed snapshot in shared passes.
 
     The R-tree descent, the local projection and the orientation filter
@@ -125,35 +137,42 @@ def _batch_execute(view: PackedFoVIndex, camera: CameraModel,
     only scoring (which may depend on per-query state in the ranker)
     and row materialisation remain per query.  ``elapsed_s`` is the
     batch wall time split evenly across the queries -- per-query timing
-    has no meaning once the funnel is shared.
+    has no meaning once the funnel is shared.  Each shared pass gets
+    one span on ``tracer`` (the no-op tracer by default), and the tree
+    descent reports frontier statistics to ``observer``.
     """
     t0 = clock()
     n_q = len(queries)
-    qids, ids = view.search_many_ids(queries)
+    with tracer.span("query.tree_descent", queries=n_q):
+        qids, ids = view.search_many_ids(queries, observer=observer)
 
-    origin_lat = np.fromiter((q.center.lat for q in queries), dtype=float,
-                             count=n_q)
-    origin_lng = np.fromiter((q.center.lng for q in queries), dtype=float,
-                             count=n_q)
-    radii = np.fromiter((q.radius for q in queries), dtype=float, count=n_q)
+    with tracer.span("query.projection", pairs=int(ids.size)):
+        origin_lat = np.fromiter((q.center.lat for q in queries), dtype=float,
+                                 count=n_q)
+        origin_lng = np.fromiter((q.center.lng for q in queries), dtype=float,
+                                 count=n_q)
+        radii = np.fromiter((q.radius for q in queries), dtype=float,
+                            count=n_q)
+        xy = pairwise_local_xy(origin_lat[qids], origin_lng[qids],
+                               view.lat[ids], view.lng[ids])
 
-    xy = pairwise_local_xy(origin_lat[qids], origin_lng[qids],
-                           view.lat[ids], view.lng[ids])
-    dist, dtheta, covers_center, keep = _sector_evidence(
-        camera, strict_cover, xy, view.theta[ids], radii[qids])
-    t_start = view.t_start[ids]
-    t_end = view.t_end[ids]
-    bounds = np.searchsorted(qids, np.arange(n_q + 1))
+    with tracer.span("query.orientation_filter"):
+        dist, dtheta, covers_center, keep = _sector_evidence(
+            camera, strict_cover, xy, view.theta[ids], radii[qids])
+        t_start = view.t_start[ids]
+        t_end = view.t_end[ids]
+        bounds = np.searchsorted(qids, np.arange(n_q + 1))
 
-    rows: list[tuple[Query, list[RankedFoV], int]] = []
-    for qi, q in enumerate(queries):
-        lo, hi = int(bounds[qi]), int(bounds[qi + 1])
-        ranked = _ranked_rows(
-            q, camera, ranker,
-            lambda i, lo=lo: view.records[int(ids[lo + i])],
-            dist[lo:hi], dtheta[lo:hi], covers_center[lo:hi], keep[lo:hi],
-            t_start[lo:hi], t_end[lo:hi])
-        rows.append((q, ranked, hi - lo))
+    with tracer.span("query.rank"):
+        rows: list[tuple[Query, list[RankedFoV], int]] = []
+        for qi, q in enumerate(queries):
+            lo, hi = int(bounds[qi]), int(bounds[qi + 1])
+            ranked = _ranked_rows(
+                q, camera, ranker,
+                lambda i, lo=lo: view.records[int(ids[lo + i])],
+                dist[lo:hi], dtheta[lo:hi], covers_center[lo:hi],
+                keep[lo:hi], t_start[lo:hi], t_end[lo:hi])
+            rows.append((q, ranked, hi - lo))
 
     elapsed = clock() - t0
     share = elapsed / n_q if n_q else 0.0
@@ -213,12 +232,21 @@ class RetrievalEngine:
         Zero-argument monotonic timer used for ``elapsed_s``; defaults
         to :func:`repro.net.clock.default_timer`.  Injectable so the
         deterministic core never reads a clock itself.
+    obs : Observability, optional
+        Instrument bundle.  When given, every pipeline stage emits a
+        span through ``obs.tracer`` (tree descent, projection,
+        orientation filter, rank) and packed descents feed the
+        ``packed.*`` counter families via a
+        :class:`~repro.obs.runtime.PackedSearchRecorder`.  When omitted
+        the engine runs bare: the no-op tracer, no recorder, zero
+        bookkeeping on the hot path.
     """
 
     def __init__(self, index: FoVIndex, camera: CameraModel,
                  strict_cover: bool = True, ranker: Any = None,
                  engine: str = "dynamic",
-                 clock: Callable[[], float] | None = None):
+                 clock: Callable[[], float] | None = None,
+                 obs: Observability | None = None):
         from repro.core.ranking import DistanceRanker
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
@@ -228,27 +256,34 @@ class RetrievalEngine:
         self.ranker = ranker if ranker is not None else DistanceRanker()
         self.engine = engine
         self._clock = clock if clock is not None else default_timer
+        self._tracer: TracerLike = obs.tracer if obs is not None else NULL_TRACER
+        self._recorder: PackedSearchRecorder | None = (
+            PackedSearchRecorder(obs.registry) if obs is not None else None)
 
     def execute(self, query: Query) -> QueryResult:
         """Run the full filter/rank pipeline; returns a timed result."""
-        t0 = self._clock()
-        if self.engine == "packed":
-            view = self.index.packed_view()
-            ids = view.range_search_ids(query)
-            ranked = self._rank_packed(view, ids, query)
-            n_candidates = int(ids.size)
-        else:
-            candidates = self.index.range_search(query)
-            ranked = self._filter_and_rank(candidates, query)
-            n_candidates = len(candidates)
-        elapsed = self._clock() - t0
-        return QueryResult(
-            query=query,
-            ranked=ranked[: query.top_n],
-            candidates=n_candidates,
-            after_filter=len(ranked),
-            elapsed_s=elapsed,
-        )
+        with self._tracer.span("query.execute", engine=self.engine):
+            t0 = self._clock()
+            if self.engine == "packed":
+                view = self.index.packed_view()
+                with self._tracer.span("query.tree_descent"):
+                    ids = view.range_search_ids(query,
+                                                observer=self._recorder)
+                ranked = self._rank_packed(view, ids, query)
+                n_candidates = int(ids.size)
+            else:
+                with self._tracer.span("query.tree_descent"):
+                    candidates = self.index.range_search(query)
+                ranked = self._filter_and_rank(candidates, query)
+                n_candidates = len(candidates)
+            elapsed = self._clock() - t0
+            return QueryResult(
+                query=query,
+                ranked=ranked[: query.top_n],
+                candidates=n_candidates,
+                after_filter=len(ranked),
+                elapsed_s=elapsed,
+            )
 
     def execute_many(self, queries: Sequence[Query],
                      shards: int | None = None) -> list[QueryResult]:
@@ -271,9 +306,11 @@ class RetrievalEngine:
         if shards is not None and shards > 1 and len(batch) > 1:
             return self._execute_sharded(batch, shards)
         if self.engine == "packed":
-            return _batch_execute(self.index.packed_view(), self.camera,
-                                  self.strict_cover, self.ranker, batch,
-                                  self._clock)
+            with self._tracer.span("query.execute_many", batch=len(batch)):
+                return _batch_execute(self.index.packed_view(), self.camera,
+                                      self.strict_cover, self.ranker, batch,
+                                      self._clock, tracer=self._tracer,
+                                      observer=self._recorder)
         return [self.execute(q) for q in batch]
 
     def _execute_sharded(self, queries: list[Query],
@@ -295,30 +332,38 @@ class RetrievalEngine:
         """Filter/rank candidates given as packed-snapshot payload ids."""
         if ids.size == 0:
             return []
-        proj = LocalProjection(query.center)
-        xy = proj.to_local_arrays(view.lat[ids], view.lng[ids])
-        dist, dtheta, covers_center, keep = _sector_evidence(
-            self.camera, self.strict_cover, xy, view.theta[ids], query.radius)
-        return _ranked_rows(
-            query, self.camera, self.ranker,
-            lambda i: view.records[int(ids[i])],
-            dist, dtheta, covers_center, keep,
-            view.t_start[ids], view.t_end[ids])
+        with self._tracer.span("query.projection", candidates=int(ids.size)):
+            proj = LocalProjection(query.center)
+            xy = proj.to_local_arrays(view.lat[ids], view.lng[ids])
+        with self._tracer.span("query.orientation_filter"):
+            dist, dtheta, covers_center, keep = _sector_evidence(
+                self.camera, self.strict_cover, xy, view.theta[ids],
+                query.radius)
+        with self._tracer.span("query.rank"):
+            return _ranked_rows(
+                query, self.camera, self.ranker,
+                lambda i: view.records[int(ids[i])],
+                dist, dtheta, covers_center, keep,
+                view.t_start[ids], view.t_end[ids])
 
     def _filter_and_rank(self, candidates: list[RepresentativeFoV],
                          query: Query) -> list[RankedFoV]:
         if not candidates:
             return []
-        proj = LocalProjection(query.center)
-        lats = np.array([f.lat for f in candidates])
-        lngs = np.array([f.lng for f in candidates])
-        thetas = np.array([f.theta for f in candidates])
-        xy = proj.to_local_arrays(lats, lngs)          # camera positions, query at origin
-        dist, dtheta, covers_center, keep = _sector_evidence(
-            self.camera, self.strict_cover, xy, thetas, query.radius)
-        t_start = np.array([f.t_start for f in candidates])
-        t_end = np.array([f.t_end for f in candidates])
-        return _ranked_rows(
-            query, self.camera, self.ranker,
-            lambda i: candidates[i],
-            dist, dtheta, covers_center, keep, t_start, t_end)
+        with self._tracer.span("query.projection",
+                               candidates=len(candidates)):
+            proj = LocalProjection(query.center)
+            lats = np.array([f.lat for f in candidates])
+            lngs = np.array([f.lng for f in candidates])
+            thetas = np.array([f.theta for f in candidates])
+            xy = proj.to_local_arrays(lats, lngs)   # camera positions, query at origin
+        with self._tracer.span("query.orientation_filter"):
+            dist, dtheta, covers_center, keep = _sector_evidence(
+                self.camera, self.strict_cover, xy, thetas, query.radius)
+        with self._tracer.span("query.rank"):
+            t_start = np.array([f.t_start for f in candidates])
+            t_end = np.array([f.t_end for f in candidates])
+            return _ranked_rows(
+                query, self.camera, self.ranker,
+                lambda i: candidates[i],
+                dist, dtheta, covers_center, keep, t_start, t_end)

@@ -17,7 +17,7 @@ reason instead of vanishing.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.cache import QueryResultCache, query_cache_key
@@ -31,6 +31,8 @@ from repro.core.retrieval import RetrievalEngine
 from repro.net.channel import FaultyChannel, RetryPolicy, RetryingUploader
 from repro.net.protocol import decode_bundle
 from repro.net.traffic import TrafficModel, VideoProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import Observability
 from repro.spatial.rtree import RTreeConfig
 
 __all__ = ["CloudServer", "IngestOutcome", "IngestStatus", "ServerStats"]
@@ -55,28 +57,120 @@ class IngestOutcome:
     reason: str | None = None
 
 
-@dataclass
 class ServerStats:
-    """Running counters for the evaluation harness.
+    """Read-through facade over the server's metric families.
+
+    Historically a bag of mutable ints; the counters now live in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (so they show up in the
+    ``repro-fov metrics`` exposition alongside everything else) and
+    this class keeps the old read surface -- every former field is a
+    property over the corresponding instrument, so the evaluation
+    harness and the tests read ``server.stats.bundles_received`` etc.
+    exactly as before.
 
     ``records_indexed`` is cumulative over the server's lifetime;
     ``records_live`` is the current index population (eviction lowers
     it, but never rewrites history).
     """
 
-    bundles_received: int = 0
-    bundles_rejected: int = 0
-    bundles_duplicated: int = 0
-    bundles_retried: int = 0
-    records_indexed: int = 0
-    records_live: int = 0
-    records_evicted: int = 0
-    descriptor_bytes_in: int = 0
-    queries_served: int = 0
-    segments_fetched: int = 0
-    segment_bytes_moved: float = 0.0
-    cache_hits: int = 0
-    cache_misses: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        bundles = reg.counter(
+            "ingest.bundles", "Delivered upload bundles by outcome",
+            labelnames=("status",))
+        self._accepted = bundles.labels(status="accepted")
+        self._rejected = bundles.labels(status="rejected")
+        self._duplicated = bundles.labels(status="duplicate")
+        self._retried = reg.counter(
+            "ingest.bundles_retried",
+            "Bundle retransmissions the at-least-once transport cost")
+        self._records_indexed = reg.counter(
+            "ingest.records_indexed",
+            "Representative FoVs indexed over the server's lifetime")
+        self._bytes_in = reg.counter(
+            "ingest.bytes", "Descriptor payload bytes accepted on ingest")
+        self._live = reg.gauge(
+            "index.records_live", "Current index population")
+        self._epoch = reg.gauge(
+            "index.epoch", "Index mutation epoch (bumps invalidate caches)")
+        self._evicted = reg.counter(
+            "index.records_evicted", "Records dropped by retention eviction")
+        self._queries = reg.counter(
+            "query.requests", "Ranked spatio-temporal queries answered")
+        self._cache_hits = reg.counter(
+            "query.cache_hits", "Queries answered from the result cache")
+        self._cache_misses = reg.counter(
+            "query.cache_misses", "Queries that had to run the engine")
+        self._segments = reg.counter(
+            "fetch.segments", "Video segments pulled from owning clients")
+        self._segment_bytes = reg.counter(
+            "fetch.segment_bytes", "Video-scale bytes moved by segment fetches")
+
+    @property
+    def bundles_received(self) -> int:
+        """Bundles accepted and indexed."""
+        return int(self._accepted.value)
+
+    @property
+    def bundles_rejected(self) -> int:
+        """Bundles refused (malformed or corrupt) and quarantined."""
+        return int(self._rejected.value)
+
+    @property
+    def bundles_duplicated(self) -> int:
+        """Byte-identical redeliveries deduplicated on arrival."""
+        return int(self._duplicated.value)
+
+    @property
+    def bundles_retried(self) -> int:
+        """Retransmissions observed via the retrying uploader."""
+        return int(self._retried.value)
+
+    @property
+    def records_indexed(self) -> int:
+        """Cumulative records indexed (never lowered by eviction)."""
+        return int(self._records_indexed.value)
+
+    @property
+    def records_live(self) -> int:
+        """Current index population."""
+        return int(self._live.value)
+
+    @property
+    def records_evicted(self) -> int:
+        """Records dropped by retention eviction."""
+        return int(self._evicted.value)
+
+    @property
+    def descriptor_bytes_in(self) -> int:
+        """Descriptor payload bytes accepted on ingest."""
+        return int(self._bytes_in.value)
+
+    @property
+    def queries_served(self) -> int:
+        """Ranked queries answered (cache hits included)."""
+        return int(self._queries.value)
+
+    @property
+    def segments_fetched(self) -> int:
+        """Video segments pulled from owning clients."""
+        return int(self._segments.value)
+
+    @property
+    def segment_bytes_moved(self) -> float:
+        """Video-scale bytes moved by segment fetches."""
+        return self._segment_bytes.value
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered from the result cache."""
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        """Queries that had to run the engine."""
+        return int(self._cache_misses.value)
 
 
 class CloudServer:
@@ -110,6 +204,12 @@ class CloudServer:
     quarantine_capacity : int
         How many rejected payloads the dead-letter store retains
         (older entries age out but stay counted).
+    obs : Observability, optional
+        Instrument bundle shared by every component of this server
+        (stats registry, engine spans, cache counters, journal).  The
+        default -- :meth:`Observability.default` -- keeps metrics and
+        the event journal on (both clock-free) with tracing off; pass
+        :meth:`Observability.tracing` to also collect span trees.
     """
 
     def __init__(self, camera: CameraModel, backend: str = "rtree",
@@ -119,23 +219,41 @@ class CloudServer:
                  engine: str = "dynamic",
                  cache_size: int = 1024,
                  index: FoVIndex | None = None,
-                 quarantine_capacity: int = 256):
+                 quarantine_capacity: int = 256,
+                 obs: Observability | None = None):
         self.camera = camera
+        self.obs = obs if obs is not None else Observability.default()
         if index is not None:
             self.index = index
         else:
             self.index = FoVIndex(backend=backend, rtree_config=rtree_config)
         self.engine = RetrievalEngine(self.index, camera,
                                       strict_cover=strict_cover,
-                                      engine=engine)
+                                      engine=engine, obs=self.obs)
         self.traffic = TrafficModel(video_profile)
-        self.stats = ServerStats()
-        self.stats.records_live = len(self.index)
-        self.quarantine = QuarantineStore(capacity=quarantine_capacity)
-        self._cache = QueryResultCache(cache_size) if cache_size > 0 else None
+        self.stats = ServerStats(registry=self.obs.registry)
+        self.stats._live.set(len(self.index))
+        self.stats._epoch.set(self.index.epoch)
+        self.quarantine = QuarantineStore(capacity=quarantine_capacity,
+                                          journal=self.obs.journal)
+        self._cache = (
+            QueryResultCache(cache_size, registry=self.obs.registry,
+                             journal=self.obs.journal)
+            if cache_size > 0 else None
+        )
         self._clients: dict[str, ClientPipeline] = {}
         self._owners: dict[str, str] = {}  # video_id -> device_id
         self._seen_digests: set[str] = set()
+
+    def _sync_index_gauges(self, cause: str) -> None:
+        """Refresh the live-population and epoch gauges after a mutation,
+        journaling the epoch bump (``cause`` is ``ingest`` or ``evict``)."""
+        self.stats._live.set(len(self.index))
+        old = int(self.stats._epoch.value)
+        if self.index.epoch != old:
+            self.stats._epoch.set(self.index.epoch)
+            self.obs.journal.emit("index.epoch_bump", cause=cause,
+                                  epoch=self.index.epoch)
 
     # -- provider side ----------------------------------------------------
 
@@ -155,29 +273,36 @@ class CloudServer:
         lands atomically via ``insert_many`` (one epoch bump), and the
         outcome is ``ACCEPTED``.
         """
-        digest = hashlib.sha256(payload).hexdigest()
-        if digest in self._seen_digests:
-            self.stats.bundles_duplicated += 1
-            return IngestOutcome(status=IngestStatus.DUPLICATE,
-                                 records_indexed=0, digest=digest)
-        try:
-            video_id, fovs = decode_bundle(payload)
-        except ValueError as exc:
-            self.stats.bundles_rejected += 1
-            self.quarantine.add(payload, str(exc))
-            return IngestOutcome(status=IngestStatus.REJECTED,
-                                 records_indexed=0, digest=digest,
-                                 reason=str(exc))
-        n = self.index.insert_many(fovs)
-        self._seen_digests.add(digest)
-        if device_id is not None:
-            self._owners[video_id] = device_id
-        self.stats.bundles_received += 1
-        self.stats.records_indexed += n
-        self.stats.records_live = len(self.index)
-        self.stats.descriptor_bytes_in += len(payload)
-        return IngestOutcome(status=IngestStatus.ACCEPTED, records_indexed=n,
-                             digest=digest, video_id=video_id)
+        with self.obs.tracer.span("server.ingest_bundle", bytes=len(payload)):
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest in self._seen_digests:
+                self.stats._duplicated.inc()
+                self.obs.journal.emit("ingest.duplicate", digest=digest)
+                return IngestOutcome(status=IngestStatus.DUPLICATE,
+                                     records_indexed=0, digest=digest)
+            try:
+                video_id, fovs = decode_bundle(payload)
+            except ValueError as exc:
+                self.stats._rejected.inc()
+                self.quarantine.add(payload, str(exc))
+                self.obs.journal.emit("ingest.rejected", digest=digest,
+                                      reason=str(exc))
+                return IngestOutcome(status=IngestStatus.REJECTED,
+                                     records_indexed=0, digest=digest,
+                                     reason=str(exc))
+            n = self.index.insert_many(fovs)
+            self._seen_digests.add(digest)
+            if device_id is not None:
+                self._owners[video_id] = device_id
+            self.stats._accepted.inc()
+            self.stats._records_indexed.inc(n)
+            self.stats._bytes_in.inc(len(payload))
+            self._sync_index_gauges("ingest")
+            self.obs.journal.emit("ingest.accepted", digest=digest,
+                                  video_id=video_id, records=n)
+            return IngestOutcome(status=IngestStatus.ACCEPTED,
+                                 records_indexed=n, digest=digest,
+                                 video_id=video_id)
 
     def receive_bundle(self, payload: bytes, device_id: str | None = None) -> int:
         """Ingest one upload bundle; returns the number of records indexed.
@@ -200,35 +325,38 @@ class CloudServer:
         the operator sees the at-least-once traffic the channel cost.
         """
         def _on_retry() -> None:
-            self.stats.bundles_retried += 1
+            self.stats._retried.inc()
 
         return RetryingUploader(channel, self.ingest_bundle, policy=policy,
-                                on_retry=_on_retry)
+                                on_retry=_on_retry,
+                                registry=self.obs.registry,
+                                journal=self.obs.journal)
 
     def ingest(self, fovs: list[RepresentativeFoV]) -> int:
         """Directly index already-decoded records (dataset loading)."""
         n = self.index.insert_many(fovs)
-        self.stats.records_indexed += n
-        self.stats.records_live = len(self.index)
+        self.stats._records_indexed.inc(n)
+        self._sync_index_gauges("ingest")
         return n
 
     # -- inquirer side ------------------------------------------------------
 
     def query(self, query: Query) -> QueryResult:
         """Answer one ranked spatio-temporal query (cache-aware)."""
-        self.stats.queries_served += 1
-        if self._cache is None:
-            return self.engine.execute(query)
-        key = query_cache_key(query)
-        epoch = self.index.epoch
-        cached = self._cache.get(key, epoch)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached
-        self.stats.cache_misses += 1
-        result = self.engine.execute(query)
-        self._cache.put(key, epoch, result)
-        return result
+        with self.obs.tracer.span("server.query"):
+            self.stats._queries.inc()
+            if self._cache is None:
+                return self.engine.execute(query)
+            key = query_cache_key(query)
+            epoch = self.index.epoch
+            cached = self._cache.get(key, epoch)
+            if cached is not None:
+                self.stats._cache_hits.inc()
+                return cached
+            self.stats._cache_misses.inc()
+            result = self.engine.execute(query)
+            self._cache.put(key, epoch, result)
+            return result
 
     def query_many(self, queries: list[Query],
                    shards: int | None = None) -> list[QueryResult]:
@@ -238,29 +366,30 @@ class CloudServer:
         engine's (batched, optionally process-sharded) funnel.
         """
         batch = list(queries)
-        self.stats.queries_served += len(batch)
-        if self._cache is None:
-            return self.engine.execute_many(batch, shards=shards)
-        epoch = self.index.epoch
-        results: list[QueryResult | None] = []
-        misses: list[Query] = []
-        miss_pos: list[int] = []
-        for i, q in enumerate(batch):
-            cached = self._cache.get(query_cache_key(q), epoch)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                results.append(cached)
-            else:
-                self.stats.cache_misses += 1
-                results.append(None)
-                misses.append(q)
-                miss_pos.append(i)
-        if misses:
-            answered = self.engine.execute_many(misses, shards=shards)
-            for i, result in zip(miss_pos, answered):
-                results[i] = result
-                self._cache.put(query_cache_key(batch[i]), epoch, result)
-        return [r for r in results if r is not None]
+        with self.obs.tracer.span("server.query_many", batch=len(batch)):
+            self.stats._queries.inc(len(batch))
+            if self._cache is None:
+                return self.engine.execute_many(batch, shards=shards)
+            epoch = self.index.epoch
+            results: list[QueryResult | None] = []
+            misses: list[Query] = []
+            miss_pos: list[int] = []
+            for i, q in enumerate(batch):
+                cached = self._cache.get(query_cache_key(q), epoch)
+                if cached is not None:
+                    self.stats._cache_hits.inc()
+                    results.append(cached)
+                else:
+                    self.stats._cache_misses.inc()
+                    results.append(None)
+                    misses.append(q)
+                    miss_pos.append(i)
+            if misses:
+                answered = self.engine.execute_many(misses, shards=shards)
+                for i, result in zip(miss_pos, answered):
+                    results[i] = result
+                    self._cache.put(query_cache_key(batch[i]), epoch, result)
+            return [r for r in results if r is not None]
 
     def fetch_segment(self, fov: RepresentativeFoV) -> StoredSegment:
         """Pull one matched segment from its owning client.
@@ -272,10 +401,9 @@ class CloudServer:
         if device_id is None or device_id not in self._clients:
             raise KeyError(f"no registered owner for video {fov.video_id!r}")
         segment = self._clients[device_id].fetch_segment(fov.video_id, fov.segment_id)
-        self.stats.segments_fetched += 1
-        self.stats.segment_bytes_moved += self.traffic.profile.bytes_for(
-            segment.duration
-        )
+        self.stats._segments.inc()
+        self.stats._segment_bytes.inc(
+            self.traffic.profile.bytes_for(segment.duration))
         return segment
 
     def evict_older_than(self, cutoff_t: float) -> int:
@@ -287,8 +415,8 @@ class CloudServer:
         silently rewrote ingest history).
         """
         evicted = self.index.evict_older_than(cutoff_t)
-        self.stats.records_evicted += evicted
-        self.stats.records_live = len(self.index)
+        self.stats._evicted.inc(evicted)
+        self._sync_index_gauges("evict")
         return evicted
 
     @property

@@ -22,10 +22,13 @@ clock -- no sockets, no sleeps, bit-identical replays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
+
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import Counter, MetricsRegistry
 
 __all__ = [
     "FaultProfile",
@@ -107,11 +110,25 @@ class FaultyChannel:
 
     def __init__(self, profile: FaultProfile | None = None,
                  seed: int = 0,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
         self.profile = profile or FaultProfile.lossless()
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.stats = ChannelStats()
         self._held: list[Delivery] = []
+        self._transmissions: Counter | None = None
+        self._copies: Counter | None = None
+        if registry is not None:
+            self._transmissions = registry.counter(
+                "channel.transmissions", "Payloads handed to the channel")
+            self._copies = registry.counter(
+                "channel.copies", "Per-copy channel fates",
+                labelnames=("fate",))
+
+    def _count_copy(self, fate: str) -> None:
+        """Mirror one per-copy fate into the registry (when attached)."""
+        if self._copies is not None:
+            self._copies.labels(fate=fate).inc()
 
     @property
     def pending(self) -> int:
@@ -146,33 +163,41 @@ class FaultyChannel:
     def transmit(self, payload: bytes) -> list[Delivery]:
         """Send one payload; returns the copies that arrive *now*."""
         self.stats.sent += 1
+        if self._transmissions is not None:
+            self._transmissions.inc()
         late, self._held = self._held, []
         copies = []
         if self.rng.random() < self.profile.drop_rate:
             self.stats.dropped += 1
+            self._count_copy("dropped")
         else:
             copies.append(payload)
             if self.rng.random() < self.profile.duplicate_rate:
                 self.stats.duplicated += 1
+                self._count_copy("duplicated")
                 copies.append(payload)
         out: list[Delivery] = []
         for copy in copies:
             corrupted = self.rng.random() < self.profile.corrupt_rate
             if corrupted:
                 self.stats.corrupted += 1
+                self._count_copy("corrupted")
                 copy = self._corrupt(copy)
             delivery = Delivery(payload=copy, latency_s=self._latency(),
                                 corrupted=corrupted)
             if self.rng.random() < self.profile.reorder_rate:
                 self.stats.reordered += 1
+                self._count_copy("reordered")
                 self._held.append(delivery)
             else:
                 self.stats.delivered += 1
+                self._count_copy("delivered")
                 out.append(delivery)
         # Copies held back by *earlier* transmissions arrive now, after
         # this transmission's own copies: a later send overtook them.
         for d in late:
             self.stats.delivered += 1
+            self._count_copy("delivered")
             out.append(Delivery(payload=d.payload,
                                 latency_s=self._latency(d.latency_s),
                                 corrupted=d.corrupted, delayed=True))
@@ -184,6 +209,7 @@ class FaultyChannel:
         out = []
         for d in late:
             self.stats.delivered += 1
+            self._count_copy("delivered")
             out.append(Delivery(payload=d.payload,
                                 latency_s=self._latency(d.latency_s),
                                 corrupted=d.corrupted, delayed=True))
@@ -254,12 +280,26 @@ class RetryingUploader:
     def __init__(self, channel: FaultyChannel,
                  deliver: Callable[[bytes], Any],
                  policy: RetryPolicy | None = None,
-                 on_retry: Callable[[], None] | None = None) -> None:
+                 on_retry: Callable[[], None] | None = None,
+                 registry: MetricsRegistry | None = None,
+                 journal: EventJournal | None = None) -> None:
         self.channel = channel
         self.deliver = deliver
         self.policy = policy or RetryPolicy()
         self.on_retry = on_retry
         self.stats = UploaderStats()
+        self._journal = journal
+        self._attempts: Counter | None = None
+        self._retries: Counter | None = None
+        self._outcomes: Counter | None = None
+        if registry is not None:
+            self._attempts = registry.counter(
+                "upload.attempts", "Transmissions attempted by the uploader")
+            self._retries = registry.counter(
+                "upload.retries", "Retransmissions after unacknowledged sends")
+            self._outcomes = registry.counter(
+                "upload.outcomes", "Finished uploads by outcome",
+                labelnames=("outcome",))
 
     @staticmethod
     def _status_name(outcome: Any) -> str | None:
@@ -276,9 +316,15 @@ class RetryingUploader:
         for attempt in range(policy.max_attempts):
             if attempt:
                 self.stats.retries += 1
+                if self._retries is not None:
+                    self._retries.inc()
+                if self._journal is not None:
+                    self._journal.emit("upload.retry", attempt=attempt)
                 if self.on_retry is not None:
                     self.on_retry()
             self.stats.attempts += 1
+            if self._attempts is not None:
+                self._attempts.inc()
             acked = False
             for delivery in self.channel.transmit(payload):
                 status = self._status_name(self.deliver(delivery.payload))
@@ -291,10 +337,17 @@ class RetryingUploader:
             if acked:
                 self.stats.accepted += 1
                 self.stats.waited_s += waited
+                if self._outcomes is not None:
+                    self._outcomes.labels(outcome="accepted").inc()
                 return UploadReceipt(accepted=True, attempts=attempt + 1,
                                      waited_s=waited, last_status=last_status)
             waited += policy.timeout_s + policy.backoff_s(attempt)
         self.stats.gave_up += 1
         self.stats.waited_s += waited
+        if self._outcomes is not None:
+            self._outcomes.labels(outcome="gave_up").inc()
+        if self._journal is not None:
+            self._journal.emit("upload.gave_up",
+                               attempts=policy.max_attempts)
         return UploadReceipt(accepted=False, attempts=policy.max_attempts,
                              waited_s=waited, last_status=last_status)

@@ -1,0 +1,111 @@
+"""Bounded structured event journal with monotonic sequence numbers.
+
+Counters say *how many*; the journal says *what happened*: which
+bundle was quarantined and why, which upload retried, when the cache
+evicted, when the index epoch bumped.  Each event is a ``(seq, kind,
+fields)`` triple where ``seq`` is a process-wide monotonic sequence
+number assigned under a lock -- interleaved writers (ingest thread,
+query threads) always observe strictly increasing, gap-free sequence
+numbers, which the hypothesis property tests pin.
+
+The journal is deliberately clock-free: ordering comes from ``seq``,
+not timestamps, so journaling inside the deterministic core
+(``repro.core``) adds no clock reads and replays bit-identically
+(RF005).  Capacity is bounded -- old events age out but stay counted
+(``total`` / ``dropped``), the same discipline as the quarantine
+store.
+
+Event *kinds* follow the metric naming convention (literal snake_case,
+dot-namespaced: ``ingest.rejected``, ``cache.evicted``) so journals
+and metrics read as one namespace; see ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping
+
+__all__ = ["Event", "EventJournal"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One journal entry: monotone sequence number, kind, payload."""
+
+    seq: int
+    kind: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        pairs = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"#{self.seq} {self.kind}" + (f" {pairs}" if pairs else "")
+
+
+class EventJournal:
+    """Bounded, thread-safe, append-only event log.
+
+    ``emit`` is the single write path; it assigns the next sequence
+    number and appends atomically, so the sequence numbers of any two
+    events order them globally even when writers interleave.  The
+    per-kind tally survives eviction from the bounded window.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("journal capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._total = 0
+        self._kinds: TallyCounter[str] = TallyCounter()
+
+    def emit(self, kind: str, **fields: object) -> Event:
+        """Append one event; returns it with its sequence number."""
+        with self._lock:
+            event = Event(seq=self._total, kind=kind,
+                          fields=MappingProxyType(dict(fields)))
+            self._total += 1
+            self._kinds[kind] += 1
+            self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        with self._lock:
+            snapshot = list(self._events)
+        return iter(snapshot)
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        """Retained events oldest-first, optionally filtered by kind."""
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is None:
+            return snapshot
+        return [e for e in snapshot if e.kind == kind]
+
+    def tail(self, n: int) -> list[Event]:
+        """The most recent ``n`` retained events, oldest-first."""
+        with self._lock:
+            snapshot = list(self._events)
+        return snapshot[-n:] if n > 0 else []
+
+    @property
+    def total(self) -> int:
+        """Every event ever emitted, including aged-out ones."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events no longer retained (aged out of the bounded window)."""
+        return self._total - len(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """Per-kind tallies over the journal's whole lifetime."""
+        with self._lock:
+            return dict(self._kinds)

@@ -1,0 +1,511 @@
+"""Process-local metrics registry with typed, labeled instruments.
+
+The serving story of the ROADMAP needs runtime visibility that survives
+past a benchmark run: how many bundles arrived (and why some were
+rejected), how query latency distributes, how wide the packed search
+frontier gets.  This module provides the substrate:
+
+* :class:`MetricsRegistry` -- one process-local namespace of metric
+  *families*, each a :class:`Counter`, :class:`Gauge` or
+  :class:`Histogram` optionally split by labels;
+* deterministic :class:`Histogram` bucketing -- fixed boundaries chosen
+  at registration, upper-bound *inclusive* (Prometheus ``le``
+  semantics), so the same observations always land in the same buckets;
+* exposition -- :meth:`MetricsRegistry.render_prometheus` (classic
+  Prometheus text format) and :meth:`MetricsRegistry.render_json`, plus
+  :func:`parse_prometheus` so tests can round-trip a snapshot.
+
+Increments are thread-safe (one lock per family).  Nothing in here
+reads a clock: durations enter only through
+:meth:`Histogram.observe`, fed by the span tracer or other callers who
+own a clock -- which is how the deterministic-core rule (RF005) stays
+intact while ``repro.core`` components count events.
+
+Naming convention (enforced tree-wide by fovlint rule RF008): metric
+names are literal, ``snake_case``, dot-namespaced strings --
+``ingest.bundles``, ``query.latency_s`` -- registered with a literal
+name at the call site, never assembled at runtime.  Unbounded label
+*values* are fine (they are data); unbounded metric *names* are a
+cardinality leak.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ParsedFamily",
+    "ParsedSample",
+    "metric_name_ok",
+    "parse_prometheus",
+]
+
+#: Latency histogram boundaries in seconds: 100 us .. 10 s, roughly
+#: 1-2.5-5 per decade.  Fixed and shared so snapshots from different
+#: runs are comparable bucket by bucket.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def metric_name_ok(name: str) -> bool:
+    """True when ``name`` is snake_case and dot-namespaced (RF008)."""
+    return bool(_NAME_RE.match(name))
+
+
+def _label_key(labelnames: tuple[str, ...],
+               labels: Mapping[str, str]) -> tuple[str, ...]:
+    """Validate and order one child's label values against the family."""
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match family labelnames "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Family:
+    """Shared machinery of one metric family (name, labels, children).
+
+    A family with no labelnames is its own single child; a labeled
+    family vends children via :meth:`labels`, creating each label
+    combination on first use.  All mutation happens under the family
+    lock, so concurrent increments from ingest and query threads are
+    safe.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        if not metric_name_ok(name):
+            raise ValueError(
+                f"metric name {name!r} must be snake_case and "
+                f"dot-namespaced, e.g. 'ingest.bundles' (RF008)"
+            )
+        self.name = name
+        self.help = help
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Family] = {}
+        self._bound: tuple[str, ...] | None = None if self.labelnames else ()
+
+    def _new_child(self) -> "_Family":
+        child = type(self)(self.name, self.help)
+        child._lock = self._lock          # one lock per family
+        return child
+
+    def labels(self, **labels: str) -> "_Family":
+        """The child instrument for one combination of label values."""
+        if not self.labelnames:
+            raise ValueError(f"family {self.name!r} has no labels")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child()
+                child._bound = key
+                self._children[key] = child
+            return child
+
+    def _require_bound(self) -> None:
+        if self._bound is None:
+            raise ValueError(
+                f"family {self.name!r} is labeled by {self.labelnames}; "
+                f"call .labels(...) first"
+            )
+
+    def children(self) -> Iterator[tuple[tuple[str, ...], "_Family"]]:
+        """``(label_values, child)`` pairs, sorted for stable exposition."""
+        if not self.labelnames:
+            yield (), self
+            return
+        with self._lock:
+            items = sorted(self._children.items())
+        yield from items
+
+    def label_values(self) -> tuple[str, ...]:
+        """This child's bound label values (empty for unlabeled)."""
+        return self._bound or ()
+
+
+class Counter(_Family):
+    """Monotone event count, optionally split by labels.
+
+    ``inc`` never accepts a negative amount; a counter only goes up
+    (use a :class:`Gauge` for levels that can fall).
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to this counter."""
+        self._require_bound()
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        self._require_bound()
+        return self._value
+
+
+class Gauge(_Family):
+    """Point-in-time level: set, raised, or lowered at will."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self._require_bound()
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Raise the gauge by ``amount``."""
+        self._require_bound()
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Lower the gauge by ``amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        self._require_bound()
+        return self._value
+
+
+class Histogram(_Family):
+    """Distribution with fixed, deterministic bucket boundaries.
+
+    ``buckets`` are strictly increasing finite upper bounds; an
+    implicit ``+Inf`` bucket always exists.  An observation lands in
+    the first bucket whose bound is ``>= value`` (inclusive upper
+    bound, Prometheus ``le`` semantics) -- in particular a value equal
+    to a boundary lands *in* that boundary's bucket, deterministically.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if any(b != b or b in (float("inf"), float("-inf")) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.buckets: tuple[float, ...] = bounds
+        self._counts = [0] * (len(bounds) + 1)      # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def _new_child(self) -> "Histogram":
+        child = Histogram(self.name, self.help, buckets=self.buckets)
+        child._lock = self._lock
+        return child
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its (deterministic) bucket."""
+        self._require_bound()
+        v = float(value)
+        idx = bisect_left(self.buckets, v)          # first bound >= v
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += v
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        self._require_bound()
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        self._require_bound()
+        return self._sum
+
+    def cumulative_counts(self) -> tuple[int, ...]:
+        """Cumulative counts per bucket, ``+Inf`` last (== ``count``)."""
+        self._require_bound()
+        with self._lock:
+            out: list[int] = []
+            running = 0
+            for c in self._counts:
+                running += c
+                out.append(running)
+        return tuple(out)
+
+
+class MetricsRegistry:
+    """One process-local namespace of metric families.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family when the kind and labelnames match, and raises when
+    they do not -- so components owned by the same process (server,
+    cache, channel) can bind their instruments independently against a
+    shared registry without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is None:
+                self._families[family.name] = family
+                return family
+            if (existing.kind != family.kind
+                    or existing.labelnames != family.labelnames):
+                raise ValueError(
+                    f"metric {family.name!r} already registered as "
+                    f"{existing.kind} with labels {existing.labelnames}"
+                )
+            if (isinstance(existing, Histogram) and isinstance(family, Histogram)
+                    and existing.buckets != family.buckets):
+                raise ValueError(
+                    f"histogram {family.name!r} already registered with "
+                    f"different buckets"
+                )
+            return existing
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        """Register (or fetch) a counter family."""
+        family = self._register(Counter(name, help, labelnames))
+        assert isinstance(family, Counter)
+        return family
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        """Register (or fetch) a gauge family."""
+        family = self._register(Gauge(name, help, labelnames))
+        assert isinstance(family, Gauge)
+        return family
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        """Register (or fetch) a histogram family with fixed buckets."""
+        family = self._register(Histogram(name, help, labelnames, buckets))
+        assert isinstance(family, Histogram)
+        return family
+
+    def families(self) -> list[_Family]:
+        """Every registered family, sorted by name."""
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def get(self, name: str) -> _Family | None:
+        """The family registered under ``name``, or None."""
+        with self._lock:
+            return self._families.get(name)
+
+    # -- exposition --------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Classic Prometheus text exposition of the whole registry.
+
+        Dots in metric names become underscores (Prometheus names admit
+        no dots); label values are escaped per the format spec.
+        Histograms render ``_bucket`` (cumulative, ``le``-labeled,
+        ``+Inf`` included), ``_sum`` and ``_count`` series.
+        """
+        lines: list[str] = []
+        for family in self.families():
+            flat = family.name.replace(".", "_")
+            lines.append(f"# HELP {flat} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {flat} {family.kind}")
+            for values, child in family.children():
+                base = list(zip(family.labelnames, values))
+                if isinstance(child, Histogram):
+                    cum = child.cumulative_counts()
+                    bounds = [_format_value(b) for b in child.buckets] + ["+Inf"]
+                    for bound, c in zip(bounds, cum):
+                        labels = _render_labels(base + [("le", bound)])
+                        lines.append(f"{flat}_bucket{labels} {c}")
+                    labels = _render_labels(base)
+                    lines.append(f"{flat}_sum{labels} "
+                                 f"{_format_value(child.sum)}")
+                    lines.append(f"{flat}_count{labels} {child.count}")
+                else:
+                    labels = _render_labels(base)
+                    assert isinstance(child, (Counter, Gauge))
+                    lines.append(f"{flat}{labels} "
+                                 f"{_format_value(child.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self) -> dict[str, dict[str, object]]:
+        """JSON-shaped snapshot: ``{name: {type, help, samples}}``.
+
+        Keys keep the dotted names.  Counter/gauge samples are
+        ``{labels, value}`` rows; histogram samples additionally carry
+        ``buckets`` (upper bound -> cumulative count), ``sum`` and
+        ``count``.
+        """
+        out: dict[str, dict[str, object]] = {}
+        for family in self.families():
+            samples: list[dict[str, object]] = []
+            for values, child in family.children():
+                labels = dict(zip(family.labelnames, values))
+                if isinstance(child, Histogram):
+                    cum = child.cumulative_counts()
+                    buckets = {_format_value(b): c
+                               for b, c in zip(child.buckets, cum)}
+                    buckets["+Inf"] = cum[-1]
+                    samples.append({"labels": labels, "buckets": buckets,
+                                    "sum": child.sum, "count": child.count})
+                else:
+                    assert isinstance(child, (Counter, Gauge))
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {"type": family.kind, "help": family.help,
+                                "samples": samples}
+        return out
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r"\""))
+
+
+def _render_labels(pairs: Sequence[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k.replace(".", "_")}="{_escape_label(str(v))}"'
+                     for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(v: float) -> str:
+    """Render a float compactly; integral values lose the ``.0``."""
+    f = float(v)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+# -- round-trip parsing ------------------------------------------------------
+
+
+class ParsedSample:
+    """One sample line of a Prometheus text exposition."""
+
+    def __init__(self, name: str, labels: Mapping[str, str],
+                 value: float) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"ParsedSample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+class ParsedFamily:
+    """One ``# TYPE`` block: kind, help, and its sample lines."""
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: list[ParsedSample] = []
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (value.replace(r"\"", '"').replace(r"\n", "\n")
+            .replace("\\\\", "\\"))
+
+
+def parse_prometheus(text: str) -> dict[str, ParsedFamily]:
+    """Parse classic Prometheus text back into families and samples.
+
+    The inverse of :meth:`MetricsRegistry.render_prometheus`, used by
+    the round-trip tests (and handy for scraping the CLI snapshot from
+    scripts).  Unknown lines raise ``ValueError`` -- a snapshot either
+    parses exactly or the exposition is broken.
+    """
+    families: dict[str, ParsedFamily] = {}
+    helps: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families[name] = ParsedFamily(name, kind.strip(),
+                                          helps.get(name, ""))
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        name = m.group("name")
+        labels: dict[str, str] = {}
+        if m.group("labels"):
+            labels = {k: _unescape_label(v)
+                      for k, v in _LABEL_RE.findall(m.group("labels"))}
+        value = float(m.group("value"))
+        owner = None
+        # Exact family name first, so a counter named ``x_count`` is
+        # never misread as the ``_count`` series of a histogram ``x``.
+        for suffix in ("", "_bucket", "_sum", "_count"):
+            base = name[: len(name) - len(suffix)] if suffix else name
+            if suffix and not name.endswith(suffix):
+                continue
+            if base in families:
+                owner = families[base]
+                break
+        if owner is None:
+            raise ValueError(f"sample {name!r} has no preceding # TYPE")
+        owner.samples.append(ParsedSample(name, labels, value))
+    return families

@@ -1,0 +1,273 @@
+"""Span tracing: nested, per-request timing with an injectable clock.
+
+A *span* is one timed stage -- ``server.query``, ``query.tree_descent``
+-- opened as a context manager; spans opened while another is active
+nest under it, so one request produces a tree whose per-stage durations
+explain where the time went (the quantities the paper's Section VI
+reports, extracted from a live process instead of a rerun benchmark).
+
+Determinism contract: the tracer is the only component that reads a
+clock, and even it reads only the injectable callable it was built
+with, defaulting to :func:`repro.net.clock.default_timer` (resolved at
+construction, so tests that monkeypatch the default see it).  Core
+code (``repro.core``/``repro.spatial``) receives a tracer object and
+never touches a clock itself; with the default :data:`NULL_TRACER`
+nothing is timed, nothing allocates, and replay stays bit-identical --
+the fovlint RF005 rule keeps this honest statically.
+
+Span *names* follow the metric naming convention (literal snake_case,
+dot-namespaced -- fovlint RF008): the set of span names is fixed at
+authoring time, which is what lets the tracer mirror span durations
+into a bounded ``span.duration_s`` histogram family.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import TracebackType
+from typing import Callable, Iterator, Mapping, Protocol
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "SpanTracer",
+    "TracerLike",
+    "format_span_tree",
+]
+
+
+class Span:
+    """One timed stage of a request, with nested child stages."""
+
+    __slots__ = ("name", "start_s", "end_s", "children", "attrs")
+
+    def __init__(self, name: str, start_s: float,
+                 attrs: Mapping[str, object] | None = None) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.children: list[Span] = []
+        self.attrs: dict[str, object] = dict(attrs) if attrs else {}
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    def walk(self) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first ``(depth, span)`` pairs, self first."""
+        stack: list[tuple[int, Span]] = [(0, self)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+                f"{len(self.children)} children)")
+
+
+class SpanContext(Protocol):
+    """What ``tracer.span(...)`` returns: a reusable context manager."""
+
+    def __enter__(self) -> Span | None:
+        """Open the span (None for the no-op tracer)."""
+        ...
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        """Close the span; never swallows exceptions."""
+        ...
+
+
+class TracerLike(Protocol):
+    """The tracer interface core components are written against."""
+
+    def span(self, name: str, **attrs: object) -> SpanContext:
+        """A context manager timing one named stage."""
+        ...
+
+
+class _NullSpan:
+    """Reusable no-op span context (a single shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        """No-op."""
+        return None
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        """No-op."""
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The do-nothing tracer: no clock reads, no allocation per span.
+
+    This is what instrumented core components hold by default, so the
+    deterministic replay guarantee (RF005) and the hot-path cost are
+    both unchanged unless a caller explicitly injects a real
+    :class:`SpanTracer`.
+    """
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN
+
+
+#: The shared default tracer instance components fall back to.
+NULL_TRACER = NullTracer()
+
+
+class _ActiveSpan:
+    """Context manager binding one span to its tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        """Push the span onto the tracer's per-thread stack."""
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        """Stamp the end time and pop; exceptions propagate."""
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return None
+
+
+class _TraceState(threading.local):
+    """Per-thread span stack (traces never interleave across threads)."""
+
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+
+
+class SpanTracer:
+    """Records nested spans into per-request trace trees.
+
+    Parameters
+    ----------
+    clock : callable, optional
+        Zero-argument monotonic timer.  Defaults to whatever
+        ``repro.net.clock.default_timer`` is *at construction time*,
+        so tests can monkeypatch the default and replay traces under a
+        fake clock.
+    capacity : int
+        How many finished root spans (traces) are retained, oldest
+        evicted first.
+    registry : MetricsRegistry, optional
+        When given, every finished span's duration is also observed
+        into the ``span.duration_s`` histogram family, labeled by span
+        name -- the bridge from traces to latency distributions.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 capacity: int = 64,
+                 registry: MetricsRegistry | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        if clock is None:
+            from repro.net import clock as clock_mod
+            clock = clock_mod.default_timer
+        self._clock = clock
+        self._capacity = capacity
+        self._state = _TraceState()
+        self._lock = threading.Lock()
+        self._traces: list[Span] = []
+        self._durations: Histogram | None = None
+        if registry is not None:
+            self._durations = registry.histogram(
+                "span.duration_s",
+                "Distribution of span durations by span name",
+                labelnames=("span",),
+            )
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open one named span (context manager); nests automatically."""
+        return _ActiveSpan(self, Span(name, 0.0, attrs))
+
+    def _push(self, span: Span) -> None:
+        span.start_s = self._clock()
+        stack = self._state.stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end_s = self._clock()
+        stack = self._state.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:                                       # pragma: no cover
+            # Mispaired exit (a caller kept the context object around):
+            # drop everything above the span to stay consistent.
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        if self._durations is not None:
+            self._durations.labels(span=span.name).observe(span.duration_s)
+        if not stack:
+            with self._lock:
+                self._traces.append(span)
+                while len(self._traces) > self._capacity:
+                    self._traces.pop(0)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._state.stack
+        return stack[-1] if stack else None
+
+    def traces(self) -> list[Span]:
+        """Finished root spans, oldest first (bounded by capacity)."""
+        with self._lock:
+            return list(self._traces)
+
+    def last_trace(self) -> Span | None:
+        """The most recently finished trace, or None."""
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        """Drop all retained traces."""
+        with self._lock:
+            self._traces.clear()
+
+
+def format_span_tree(root: Span, unit_scale: float = 1e3,
+                     unit: str = "ms") -> str:
+    """Render one trace as an indented tree with per-stage durations.
+
+    ``unit_scale`` converts seconds into the display unit (default
+    milliseconds).  Attributes are appended as ``key=value`` pairs.
+    """
+    lines: list[str] = []
+    for depth, span in root.walk():
+        indent = "  " * depth
+        attrs = "".join(f" {k}={v}" for k, v in sorted(span.attrs.items()))
+        lines.append(f"{indent}{span.name}  "
+                     f"{span.duration_s * unit_scale:.3f} {unit}{attrs}")
+    return "\n".join(lines)

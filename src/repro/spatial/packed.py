@@ -34,13 +34,35 @@ one comparison per level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Protocol, Sequence
 
 import numpy as np
 
 from repro.spatial.rtree import RTree
 
-__all__ = ["PackedLevel", "PackedRTree"]
+__all__ = ["PackedLevel", "PackedRTree", "SearchObserver"]
+
+
+class SearchObserver(Protocol):
+    """Descent statistics sink for packed searches.
+
+    The spatial layer stays dependency-free: it only *calls* this
+    protocol when a caller passes an observer into a search, and the
+    observability subsystem provides the registry-backed implementation
+    (``repro.obs.runtime.PackedSearchRecorder``).  Recording must not
+    mutate search state; observers see, per level, how many entry
+    boxes entered the overlap test (the frontier width) and how many
+    survived.  No clock is involved, so observed searches replay
+    bit-identically (RF005).
+    """
+
+    def on_descent(self, queries: int) -> None:
+        """One search started, covering ``queries`` query boxes."""
+        ...
+
+    def on_level(self, level: int, tested: int, matched: int) -> None:
+        """One level pass tested ``tested`` entries; ``matched`` survived."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -173,23 +195,29 @@ class PackedRTree:
             raise ValueError("box min exceeds max")
         return bmin, bmax
 
-    def search_ids(self, box_min: Any, box_max: Any) -> np.ndarray:
+    def search_ids(self, box_min: Any, box_max: Any,
+                   observer: SearchObserver | None = None) -> np.ndarray:
         """Payload row ids intersecting the (closed) query box.
 
         One vectorised overlap test per level; returns leaf entry rows
-        (``items`` indices) in level-order position.
+        (``items`` indices) in level-order position.  ``observer``
+        (optional) receives per-level frontier statistics.
         """
         bmin, bmax = self._check_box(box_min, box_max)
         lvl0 = self.levels[0]
         rows = np.flatnonzero(
             np.all((lvl0.mins <= bmax) & (lvl0.maxs >= bmin), axis=-1)
         )
+        if observer is not None:
+            observer.on_descent(1)
+            observer.on_level(0, lvl0.n_entries, int(rows.size))
         for li, lvl in enumerate(self.levels[1:], start=1):
             if rows.size == 0:
                 return rows.astype(np.intp)
             starts = lvl.offsets[rows]
             counts = lvl.offsets[rows + 1] - starts
             cand = _expand_ranges(starts, counts)
+            frontier = int(cand.size)
             mins_t, maxs_t = self._mins_t[li], self._maxs_t[li]
             # One dimension at a time, compressing survivors between
             # dimensions: later dims gather only rows that still overlap.
@@ -198,13 +226,16 @@ class PackedRTree:
                        & (maxs_t[k][cand] >= bmin[k]))
                 cand = cand[hit]
             rows = cand
+            if observer is not None:
+                observer.on_level(li, frontier, int(rows.size))
         return rows.astype(np.intp)
 
     def search(self, box_min: Any, box_max: Any) -> list[Any]:
         """All stored items intersecting the query box (cf. RTree.search)."""
         return [self.items[i] for i in self.search_ids(box_min, box_max)]
 
-    def search_many(self, boxes_min: Any, boxes_max: Any
+    def search_many(self, boxes_min: Any, boxes_max: Any,
+                    observer: SearchObserver | None = None
                     ) -> tuple[np.ndarray, np.ndarray]:
         """Answer a whole batch of range queries per tree level.
 
@@ -212,6 +243,9 @@ class PackedRTree:
         ----------
         boxes_min, boxes_max : array-like, shape (Q, d)
             The batch's query boxes.
+        observer : SearchObserver, optional
+            Receives per-level frontier statistics over the combined
+            ``(query, entry)`` frontier.
 
         Returns
         -------
@@ -236,6 +270,9 @@ class PackedRTree:
         hit0 = np.all((lvl0.mins[None, :, :] <= bmaxs[:, None, :])
                       & (lvl0.maxs[None, :, :] >= bmins[:, None, :]), axis=-1)
         qids, rows = np.nonzero(hit0)
+        if observer is not None:
+            observer.on_descent(int(bmins.shape[0]))
+            observer.on_level(0, int(hit0.size), int(rows.size))
         qmins_t = np.ascontiguousarray(bmins.T)
         qmaxs_t = np.ascontiguousarray(bmaxs.T)
         for li, lvl in enumerate(self.levels[1:], start=1):
@@ -245,6 +282,7 @@ class PackedRTree:
             counts = lvl.offsets[rows + 1] - starts
             cand = _expand_ranges(starts, counts)
             cqid = np.repeat(qids, counts)
+            frontier = int(cand.size)
             mins_t, maxs_t = self._mins_t[li], self._maxs_t[li]
             # Per-dimension refinement with compression in between (see
             # search_ids); `nonzero` of the row-major root mask keeps
@@ -254,6 +292,8 @@ class PackedRTree:
                         & (maxs_t[k][cand] >= qmins_t[k][cqid]))
                 cand, cqid = cand[keep], cqid[keep]
             qids, rows = cqid, cand
+            if observer is not None:
+                observer.on_level(li, frontier, int(rows.size))
         return qids.astype(np.intp), rows.astype(np.intp)
 
     def count_intersecting(self, box_min: Any, box_max: Any) -> int:

@@ -40,6 +40,11 @@ def parse_upload(payload):
     return struct.unpack("<4sB", payload[:5])  # bare wire unpack: RF007
 
 
+def per_user_counter(registry, uid):
+    """Mint one metric family per user id."""
+    return registry.counter(f"per_user.{uid}")    # runtime name: RF008
+
+
 def swapped_call(my_lat, my_lng):
     """Call a (lng, lat) helper with the arguments reversed."""
     return _axis_helper(my_lat, my_lng)           # swapped order: RF002

@@ -1,0 +1,127 @@
+"""Registry/journal instrumentation of the fault-injected transport.
+
+The channel and uploader keep their original dataclass stats (the
+simulation API); when handed a registry they mirror every increment
+into metric families.  These tests pin the mirror: after any seeded
+run, dataclass and registry must agree exactly.
+"""
+
+import pytest
+
+from repro import CameraModel, CloudServer
+from repro.core.fov import RepresentativeFoV
+from repro.net.channel import (
+    FaultProfile,
+    FaultyChannel,
+    RetryingUploader,
+    RetryPolicy,
+)
+from repro.net.protocol import encode_bundle
+from repro.obs import EventJournal, MetricsRegistry
+
+
+def _bundle(video_id="vid-net", n=6):
+    reps = [
+        RepresentativeFoV(lat=40.0, lng=116.3, theta=(40.0 * i) % 360.0,
+                          t_start=float(i), t_end=float(i) + 2.0,
+                          video_id=video_id, segment_id=i)
+        for i in range(n)
+    ]
+    return encode_bundle(video_id, reps)
+
+
+LOSSY = FaultProfile(drop_rate=0.25, duplicate_rate=0.15,
+                     corrupt_rate=0.15, reorder_rate=0.1)
+
+
+class TestChannelMetrics:
+    def test_registry_mirrors_the_dataclass_stats(self):
+        reg = MetricsRegistry()
+        channel = FaultyChannel(LOSSY, seed=42, registry=reg)
+        payload = _bundle()
+        for _ in range(200):
+            channel.transmit(payload)
+        channel.flush()
+
+        copies = reg.get("channel.copies")
+        by_fate = {vals[0]: c.value for vals, c in copies.children()}
+        s = channel.stats
+        assert reg.get("channel.transmissions").value == s.sent == 200
+        assert by_fate.get("delivered", 0) == s.delivered
+        assert by_fate.get("dropped", 0) == s.dropped
+        assert by_fate.get("duplicated", 0) == s.duplicated
+        assert by_fate.get("corrupted", 0) == s.corrupted
+        assert by_fate.get("reordered", 0) == s.reordered
+        # the lossy profile actually exercised every fate
+        assert s.dropped > 0 and s.corrupted > 0 and s.reordered > 0
+
+    def test_channel_without_registry_is_unchanged(self):
+        channel = FaultyChannel(LOSSY, seed=7)
+        channel.transmit(_bundle())
+        assert channel._copies is None   # no registry, no mirroring
+
+
+class TestUploaderMetrics:
+    def _server_and_uploader(self, profile, seed, max_attempts=8):
+        server = CloudServer(CameraModel(half_angle=30.0, radius=100.0))
+        channel = FaultyChannel(profile, seed=seed,
+                                registry=server.obs.registry)
+        uploader = server.make_uploader(
+            channel, policy=RetryPolicy(max_attempts=max_attempts,
+                                        timeout_s=0.05))
+        return server, uploader
+
+    def test_retries_mirror_into_registry_journal_and_server_stats(self):
+        server, uploader = self._server_and_uploader(
+            FaultProfile(drop_rate=0.7), seed=3)
+        receipt = uploader.upload(_bundle())
+        assert receipt.accepted
+        assert uploader.stats.retries > 0
+
+        reg = server.obs.registry
+        assert reg.get("upload.retries").value == uploader.stats.retries
+        assert reg.get("upload.attempts").value == uploader.stats.attempts
+        outcomes = reg.get("upload.outcomes")
+        assert outcomes.labels(outcome="accepted").value == 1
+        # one journal entry per retransmission, numbered by attempt
+        retry_events = server.obs.journal.events("upload.retry")
+        assert len(retry_events) == uploader.stats.retries
+        assert [e.fields["attempt"] for e in retry_events] == \
+            list(range(1, uploader.stats.retries + 1))
+        # the server facade counts the same retransmissions
+        assert server.stats.bundles_retried == uploader.stats.retries
+
+    def test_giving_up_is_counted_and_journaled(self):
+        server, uploader = self._server_and_uploader(
+            FaultProfile(drop_rate=1.0), seed=0, max_attempts=3)
+        receipt = uploader.upload(_bundle())
+        assert not receipt.accepted
+        reg = server.obs.registry
+        assert reg.get("upload.outcomes").labels(outcome="gave_up").value == 1
+        (gave_up,) = server.obs.journal.events("upload.gave_up")
+        assert gave_up.fields["attempts"] == 3
+
+    def test_standalone_uploader_accepts_registry_and_journal(self):
+        reg = MetricsRegistry()
+        journal = EventJournal()
+        channel = FaultyChannel(seed=1)
+        uploader = RetryingUploader(channel, lambda payload: "accepted",
+                                    registry=reg, journal=journal)
+        receipt = uploader.upload(b"\x00\x01")
+        assert receipt.accepted
+        assert reg.get("upload.attempts").value == 1
+        assert reg.get("upload.retries").value == 0
+        assert journal.events("upload.retry") == []
+
+    def test_duplicate_deliveries_do_not_double_count_outcomes(self):
+        server, uploader = self._server_and_uploader(
+            FaultProfile(duplicate_rate=1.0), seed=5)
+        uploader.upload(_bundle())
+        uploader.upload(_bundle(video_id="vid-other"))
+        outcomes = server.obs.registry.get("upload.outcomes")
+        assert outcomes.labels(outcome="accepted").value == 2
+
+
+def test_profiles_validate_rates():
+    with pytest.raises(ValueError):
+        FaultProfile(drop_rate=1.5)

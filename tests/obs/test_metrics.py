@@ -1,0 +1,276 @@
+"""Unit and property tests for the metrics registry and exposition."""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    metric_name_ok,
+    parse_prometheus,
+)
+
+
+class TestNaming:
+    def test_accepts_dot_namespaced_snake_case(self):
+        for name in ("ingest.bundles", "query.latency_s",
+                     "packed.entries_tested", "a.b.c_d2"):
+            assert metric_name_ok(name)
+
+    def test_rejects_everything_else(self):
+        for name in ("Requests", "ingest", "ingest.", ".bundles",
+                     "ingest.Bundles", "ingest-bundles", "2x.y",
+                     "ingest..bundles", "ingest.bundles "):
+            assert not metric_name_ok(name)
+
+    def test_registry_enforces_the_convention(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="RF008"):
+            reg.counter("Requests")
+
+
+class TestCounter:
+    def test_counts_up(self):
+        c = MetricsRegistry().counter("t.events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        c = MetricsRegistry().counter("t.events")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        fam = MetricsRegistry().counter("t.events", labelnames=("status",))
+        fam.labels(status="ok").inc(3)
+        fam.labels(status="err").inc()
+        assert fam.labels(status="ok").value == 3
+        assert fam.labels(status="err").value == 1
+
+    def test_labeled_family_requires_labels_call(self):
+        fam = MetricsRegistry().counter("t.events", labelnames=("status",))
+        with pytest.raises(ValueError, match="labels"):
+            fam.inc()
+
+    def test_wrong_label_set_rejected(self):
+        fam = MetricsRegistry().counter("t.events", labelnames=("status",))
+        with pytest.raises(ValueError):
+            fam.labels(other="x")
+
+    def test_thread_safe_increments(self):
+        c = MetricsRegistry().counter("t.events")
+
+        def spin():
+            for _ in range(5000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 20000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("t.level")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = MetricsRegistry().histogram("t.lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)                       # == boundary: inclusive
+        assert h.cumulative_counts() == (0, 1, 1, 1)
+
+    def test_above_all_bounds_goes_to_inf(self):
+        h = MetricsRegistry().histogram("t.lat", buckets=(1.0, 2.0))
+        h.observe(99.0)
+        assert h.cumulative_counts() == (0, 0, 1)
+
+    def test_rejects_bad_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("t.a", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("t.b", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("t.c", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_are_shared_constants(self):
+        h = MetricsRegistry().histogram("t.lat")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("t.events", labelnames=("status",))
+        b = reg.counter("t.events", labelnames=("status",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("t.events")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("t.events")
+
+    def test_labelname_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("t.events", labelnames=("status",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("t.events")
+
+    def test_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("t.lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("t.lat", buckets=(1.0, 3.0))
+
+    def test_families_sorted_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("b.x")
+        reg.gauge("a.y")
+        assert [f.name for f in reg.families()] == ["a.y", "b.x"]
+        assert reg.get("b.x").kind == "counter"
+        assert reg.get("nope.nothing") is None
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("ingest.bundles", "Bundles by outcome",
+                labelnames=("status",)).labels(status="accepted").inc(7)
+    reg.get("ingest.bundles").labels(status="rejected").inc(2)
+    reg.gauge("index.records_live", "Records live").set(41)
+    h = reg.histogram("query.latency_s", "Latency", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.002, 0.05, 3.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusExposition:
+    def test_renders_help_type_and_flattened_names(self):
+        text = _populated_registry().render_prometheus()
+        assert "# HELP ingest_bundles Bundles by outcome" in text
+        assert "# TYPE ingest_bundles counter" in text
+        assert 'ingest_bundles{status="accepted"} 7' in text
+        assert "# TYPE query_latency_s histogram" in text
+        assert 'query_latency_s_bucket{le="+Inf"} 4' in text
+        assert "query_latency_s_count 4" in text
+
+    def test_round_trip_preserves_every_sample(self):
+        reg = _populated_registry()
+        families = parse_prometheus(reg.render_prometheus())
+        assert set(families) == {"ingest_bundles", "index_records_live",
+                                 "query_latency_s"}
+        bundles = families["ingest_bundles"]
+        assert bundles.kind == "counter"
+        by_status = {s.labels["status"]: s.value for s in bundles.samples}
+        assert by_status == {"accepted": 7.0, "rejected": 2.0}
+
+        hist = families["query_latency_s"]
+        buckets = {s.labels["le"]: s.value for s in hist.samples
+                   if s.name.endswith("_bucket")}
+        # cumulative and +Inf == count
+        assert buckets["0.001"] == 1.0
+        assert buckets["0.01"] == 2.0
+        assert buckets["0.1"] == 3.0
+        assert buckets["+Inf"] == 4.0
+        count = [s for s in hist.samples if s.name == "query_latency_s_count"]
+        assert count[0].value == 4.0
+
+    def test_label_values_escape_and_unescape(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("t.odd", labelnames=("what",))
+        fam.labels(what='quo"te\\back\nline').inc()
+        parsed = parse_prometheus(reg.render_prometheus())
+        (sample,) = parsed["t_odd"].samples
+        assert sample.labels["what"] == 'quo"te\\back\nline'
+
+    def test_counter_named_like_histogram_series_not_misattributed(self):
+        reg = MetricsRegistry()
+        reg.histogram("t.x", buckets=(1.0,)).observe(0.5)
+        reg.counter("t.x_count").inc(9)
+        parsed = parse_prometheus(reg.render_prometheus())
+        assert [s.value for s in parsed["t_x_count"].samples] == [9.0]
+        hist_counts = [s for s in parsed["t_x"].samples
+                       if s.name == "t_x_count"]
+        assert [s.value for s in hist_counts] == [1.0]
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not an exposition line at all {")
+
+    def test_sample_without_type_raises(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_prometheus("orphan_metric 3")
+
+
+class TestJsonExposition:
+    def test_snapshot_is_json_serialisable_and_complete(self):
+        snap = _populated_registry().render_json()
+        blob = json.loads(json.dumps(snap))
+        assert blob["ingest.bundles"]["type"] == "counter"
+        rows = {tuple(s["labels"].items()): s["value"]
+                for s in blob["ingest.bundles"]["samples"]}
+        assert rows[(("status", "accepted"),)] == 7
+        hist = blob["query.latency_s"]["samples"][0]
+        assert hist["count"] == 4
+        assert hist["buckets"]["+Inf"] == 4
+
+
+# -- hypothesis properties ---------------------------------------------------
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(finite, max_size=60))
+def test_histogram_cumulative_counts_are_monotone(values):
+    """Cumulative bucket counts never decrease and end at ``count``."""
+    h = MetricsRegistry().histogram("p.lat", buckets=(-10.0, 0.0, 1.0, 100.0))
+    for v in values:
+        h.observe(v)
+    cum = h.cumulative_counts()
+    assert all(a <= b for a, b in zip(cum, cum[1:]))
+    assert cum[-1] == h.count == len(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(finite, max_size=60))
+def test_histogram_sum_matches_observations(values):
+    """``sum`` is exactly the float sum of everything observed."""
+    h = MetricsRegistry().histogram("p.lat", buckets=(0.5,))
+    total = 0.0
+    for v in values:
+        h.observe(v)
+        total += float(v)
+    assert h.sum == pytest.approx(total)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(finite, min_size=1, max_size=40),
+       bounds=st.lists(finite, min_size=1, max_size=8, unique=True))
+def test_histogram_bucketing_is_deterministic(values, bounds):
+    """Same observations + same bounds => identical bucket vectors."""
+    buckets = tuple(sorted(bounds))
+    snapshots = []
+    for _ in range(2):
+        h = MetricsRegistry().histogram("p.lat", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        snapshots.append(h.cumulative_counts())
+    assert snapshots[0] == snapshots[1]
+    # boundary semantics: a value equal to a bound is <= that bound
+    h = MetricsRegistry().histogram("p.lat", buckets=buckets)
+    h.observe(buckets[0])
+    assert h.cumulative_counts()[0] == 1

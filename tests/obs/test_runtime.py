@@ -1,0 +1,97 @@
+"""Observability bundle and packed-search recorder tests."""
+
+import numpy as np
+
+from repro.core.index import FoVIndex
+from repro.core.query import Query
+from repro.geo.coords import GeoPoint
+from repro.obs import (
+    EventJournal,
+    MetricsRegistry,
+    NULL_TRACER,
+    Observability,
+    PackedSearchRecorder,
+    SpanTracer,
+)
+from repro.traces.dataset import random_representative_fovs
+
+
+class TestObservability:
+    def test_default_has_no_tracer(self):
+        obs = Observability.default()
+        assert obs.tracer is NULL_TRACER
+        assert obs.span_tracer is None
+        assert isinstance(obs.registry, MetricsRegistry)
+        assert isinstance(obs.journal, EventJournal)
+
+    def test_tracing_wires_spans_into_the_registry(self):
+        ticks = iter(float(i) for i in range(100))
+        obs = Observability.tracing(clock=lambda: next(ticks))
+        assert isinstance(obs.tracer, SpanTracer)
+        assert obs.span_tracer is obs.tracer
+        with obs.tracer.span("t.stage"):
+            pass
+        fam = obs.registry.get("span.duration_s")
+        assert fam.labels(span="t.stage").count == 1
+
+    def test_capacities_are_forwarded(self):
+        obs = Observability.default(journal_capacity=2)
+        for _ in range(3):
+            obs.journal.emit("t.tick")
+        assert len(obs.journal) == 2 and obs.journal.total == 3
+
+
+class TestPackedSearchRecorder:
+    def test_direct_protocol_calls(self):
+        reg = MetricsRegistry()
+        rec = PackedSearchRecorder(reg)
+        rec.on_descent(4)
+        rec.on_level(0, tested=32, matched=8)
+        rec.on_level(1, tested=64, matched=3)
+        rec.on_level(1, tested=16, matched=1)
+        assert reg.get("packed.descents").value == 1
+        tested = reg.get("packed.entries_tested")
+        assert tested.labels(level="0").value == 32
+        assert tested.labels(level="1").value == 80
+        matched = reg.get("packed.entries_matched")
+        assert matched.labels(level="1").value == 4
+        assert reg.get("packed.frontier_width_peak").value == 64
+
+    def test_peak_gauge_never_falls(self):
+        rec = PackedSearchRecorder(MetricsRegistry())
+        rec.on_level(0, tested=100, matched=1)
+        rec.on_level(0, tested=5, matched=1)
+        assert rec._peak.value == 100
+
+    def test_real_packed_search_reports_through_the_recorder(self, rng):
+        reps = random_representative_fovs(500, rng)
+        index = FoVIndex.bulk(reps).packed_view()
+        reg = MetricsRegistry()
+        rec = PackedSearchRecorder(reg)
+        rec0 = reps[0]
+        q = Query(t_start=rec0.t_start - 1.0, t_end=rec0.t_end + 1.0,
+                  center=GeoPoint(rec0.lat, rec0.lng), radius=150.0)
+        ids = index.range_search_ids(q, observer=rec)
+        assert ids.size >= 1
+        assert reg.get("packed.descents").value == 1
+        # every level of the descent reported a pass
+        tested = reg.get("packed.entries_tested")
+        total_tested = sum(c.value for _, c in tested.children())
+        assert total_tested > 0
+        assert reg.get("packed.frontier_width_peak").value > 0
+
+    def test_batched_search_counts_the_whole_batch(self, rng):
+        reps = random_representative_fovs(300, rng)
+        index = FoVIndex.bulk(reps).packed_view()
+        reg = MetricsRegistry()
+        rec = PackedSearchRecorder(reg)
+        queries = []
+        for rec_fov in reps[:8]:
+            queries.append(Query(t_start=rec_fov.t_start - 1.0,
+                                 t_end=rec_fov.t_end + 1.0,
+                                 center=GeoPoint(rec_fov.lat, rec_fov.lng),
+                                 radius=100.0))
+        qids, rows = index.search_many_ids(queries, observer=rec)
+        assert rows.size >= 1
+        assert reg.get("packed.descents").value == 1
+        assert np.unique(qids).size >= 1

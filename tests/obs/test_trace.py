@@ -1,0 +1,151 @@
+"""Span tracer tests, all under an injected deterministic fake clock."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanTracer,
+    format_span_tree,
+)
+
+
+class FakeClock:
+    """Monotonic fake timer: every read advances by ``step`` seconds."""
+
+    def __init__(self, step=0.001):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self):
+        t = self.now
+        self.now += self.step
+        return t
+
+
+class TestNullTracer:
+    def test_span_is_a_shared_noop(self):
+        a = NULL_TRACER.span("query.execute")
+        b = NULL_TRACER.span("query.rank", batch=3)
+        assert a is b
+        with a as span:
+            assert span is None
+
+    def test_null_tracer_never_swallows_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NullTracer().span("query.execute"):
+                raise RuntimeError("boom")
+
+
+class TestSpanTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("server.query"):
+            with tracer.span("query.tree_descent"):
+                pass
+            with tracer.span("query.rank"):
+                pass
+        root = tracer.last_trace()
+        assert root.name == "server.query"
+        assert [c.name for c in root.children] == ["query.tree_descent",
+                                                   "query.rank"]
+        assert root.children[0].children == []
+
+    def test_durations_come_from_the_injected_clock(self):
+        # Each clock read advances exactly 1 ms; a span reads the clock
+        # twice (start, end), a child span's reads land between them.
+        tracer = SpanTracer(clock=FakeClock(step=0.001))
+        with tracer.span("server.query"):
+            with tracer.span("query.rank"):
+                pass
+        root = tracer.last_trace()
+        child = root.children[0]
+        assert child.duration_s == pytest.approx(0.001)
+        assert root.duration_s == pytest.approx(0.003)
+        assert root.start_s == 0.0
+
+    def test_attrs_and_error_annotation(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("server.ingest_bundle", bytes=128):
+                raise ValueError("bad bundle")
+        root = tracer.last_trace()
+        assert root.attrs["bytes"] == 128
+        assert root.attrs["error"] == "ValueError"
+
+    def test_capacity_evicts_oldest(self):
+        tracer = SpanTracer(clock=FakeClock(), capacity=2)
+        for name in ("t.a", "t.b", "t.c"):
+            with tracer.span(name):
+                pass
+        assert [t.name for t in tracer.traces()] == ["t.b", "t.c"]
+        tracer.clear()
+        assert tracer.traces() == []
+        assert tracer.last_trace() is None
+
+    def test_current_tracks_the_open_span(self):
+        tracer = SpanTracer(clock=FakeClock())
+        assert tracer.current is None
+        with tracer.span("t.outer"):
+            assert tracer.current.name == "t.outer"
+            with tracer.span("t.inner"):
+                assert tracer.current.name == "t.inner"
+            assert tracer.current.name == "t.outer"
+        assert tracer.current is None
+
+    def test_spans_feed_the_duration_histogram(self):
+        reg = MetricsRegistry()
+        tracer = SpanTracer(clock=FakeClock(step=0.001), registry=reg)
+        with tracer.span("server.query"):
+            with tracer.span("query.rank"):
+                pass
+        fam = reg.get("span.duration_s")
+        assert fam.labels(span="query.rank").count == 1
+        assert fam.labels(span="server.query").count == 1
+        assert fam.labels(span="server.query").sum == pytest.approx(0.003)
+
+    def test_threads_get_independent_traces(self):
+        tracer = SpanTracer(clock=FakeClock())
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("t.worker"):
+                done.wait(1.0)
+
+        t = threading.Thread(target=worker)
+        with tracer.span("t.main"):
+            t.start()
+            # the worker's open span must not nest under t.main
+            assert tracer.current.name == "t.main"
+        done.set()
+        t.join()
+        names = sorted(trace.name for trace in tracer.traces())
+        assert names == ["t.main", "t.worker"]
+        for trace in tracer.traces():
+            assert trace.children == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SpanTracer(clock=FakeClock(), capacity=0)
+
+
+class TestFormatSpanTree:
+    def test_renders_nested_durations_and_attrs(self):
+        tracer = SpanTracer(clock=FakeClock(step=0.001))
+        with tracer.span("server.query"):
+            with tracer.span("query.rank", candidates=12):
+                pass
+        text = format_span_tree(tracer.last_trace())
+        lines = text.splitlines()
+        assert lines[0] == "server.query  3.000 ms"
+        assert lines[1] == "  query.rank  1.000 ms candidates=12"
+
+    def test_unit_scaling(self):
+        tracer = SpanTracer(clock=FakeClock(step=0.5))
+        with tracer.span("t.slow"):
+            pass
+        text = format_span_tree(tracer.last_trace(), unit_scale=1.0, unit="s")
+        assert text == "t.slow  0.500 s"

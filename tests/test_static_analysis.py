@@ -1,11 +1,11 @@
-"""The static-analysis layer: fovlint engine, the seven RF rules, CLI.
+"""The static-analysis layer: fovlint engine, the eight RF rules, CLI.
 
 Three tiers of coverage:
 
 * unit -- each rule on minimal in-memory snippets (bad fires, good
   stays quiet), via :func:`repro.analysis.lint_source`;
 * acceptance -- the seeded fixture ``tests/fixtures/fovlint_bad.py``
-  triggers all seven rules, and the shipped ``src/repro`` tree is clean;
+  triggers all eight rules, and the shipped ``src/repro`` tree is clean;
 * regression -- the concrete violations fixed when the linter first ran
   (``__all__`` drift in similarity/segmentation/rtree) stay fixed.
 
@@ -335,6 +335,61 @@ def test_rf007_scoped_to_repro_packages():
 
 
 # ---------------------------------------------------------------------------
+# RF008: literal metric/span names
+
+
+def test_rf008_flags_fstring_name():
+    src = "def f(reg, uid):\n    return reg.counter(f'per_user.{uid}')\n"
+    assert rule_ids(lint_source(src, select=["RF008"])) == {"RF008"}
+
+
+def test_rf008_flags_concatenated_name():
+    src = "def f(reg, kind):\n    return reg.gauge('queue.' + kind)\n"
+    assert rule_ids(lint_source(src, select=["RF008"])) == {"RF008"}
+
+
+def test_rf008_flags_malformed_literal():
+    # No dot namespace / not snake_case: flagged even though literal.
+    src = "def f(reg):\n    return reg.counter('Requests')\n"
+    assert rule_ids(lint_source(src, select=["RF008"])) == {"RF008"}
+
+
+def test_rf008_flags_span_names_too():
+    src = "def f(tr, q):\n    return tr.span(f'query.{q}')\n"
+    assert rule_ids(lint_source(src, select=["RF008"])) == {"RF008"}
+
+
+def test_rf008_accepts_literal_dotted_names():
+    src = (
+        "def f(reg, tr):\n"
+        "    c = reg.counter('ingest.bundles', 'help', labelnames=('s',))\n"
+        "    h = reg.histogram('span.duration_s')\n"
+        "    with tr.span('server.query'):\n"
+        "        pass\n"
+    )
+    assert lint_source(src, select=["RF008"]) == []
+
+
+def test_rf008_ignores_forwarded_name_variables():
+    # Helpers forwarding a `name` parameter (and np.histogram's array
+    # first argument) are plain Names -- out of scope by design.
+    src = (
+        "import numpy as np\n"
+        "def make(reg, name):\n"
+        "    return reg.counter(name)\n"
+        "def bins(data):\n"
+        "    return np.histogram(data)\n"
+    )
+    assert lint_source(src, select=["RF008"]) == []
+
+
+def test_rf008_scoped_to_repro_packages():
+    src = "def f(reg, uid):\n    return reg.counter(f'u.{uid}')\n"
+    assert lint_source(src, modname="thirdparty.metrics",
+                       select=["RF008"]) == []
+
+
+# ---------------------------------------------------------------------------
 # suppression and module pragmas
 
 
@@ -368,6 +423,7 @@ def test_bad_fixture_triggers_every_rule():
     assert not report.ok
     assert rule_ids(report.violations) == {
         "RF001", "RF002", "RF003", "RF004", "RF005", "RF006", "RF007",
+        "RF008",
     }
 
 
