@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "mutable R-tree, 'packed' serves from the "
                           "columnar snapshot (identical results; see "
                           "docs/PERFORMANCE.md)")
+    qry.add_argument("--shards", type=int, default=1,
+                     help="serve from a geo-sharded fleet of N shards "
+                          "(scatter-gather; identical results, see "
+                          "docs/SHARDING.md)")
     qry.add_argument("--json", action="store_true",
                      help="emit the result as JSON instead of text")
     qry.add_argument("--trace", action="store_true",
@@ -109,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="probability a copy is held back and arrives late")
     ing.add_argument("--max-attempts", type=int, default=10,
                      help="uploader retry budget per bundle")
+    ing.add_argument("--shards", type=int, default=1,
+                     help="ingest into a geo-sharded fleet of N shards "
+                          "instead of a single server")
     ing.add_argument("--out", default=None,
                      help="optionally save the converged index as a snapshot")
     ing.add_argument("--json", action="store_true",
@@ -180,14 +187,23 @@ def _cmd_inspect(args) -> int:
 def _cmd_query(args) -> int:
     from repro.obs import Observability, format_span_tree
 
-    index, _ = load_snapshot(args.snapshot)
+    index, records = load_snapshot(args.snapshot)
     camera = CameraModel(half_angle=args.half_angle)
     obs = Observability.tracing() if args.trace else None
-    engine = RetrievalEngine(index, camera, engine=args.engine, obs=obs)
     query = Query(t_start=args.t0, t_end=args.t1,
                   center=GeoPoint(args.lat, args.lng),
                   radius=args.radius, top_n=args.top)
-    result = engine.execute(query)
+    if args.shards > 1:
+        from repro.shard import ShardedCloudServer
+        anchor = records[0].point if records else query.center
+        fleet = ShardedCloudServer(camera, n_shards=args.shards,
+                                   origin=anchor, engine=args.engine,
+                                   cache_size=0, obs=obs)
+        fleet.ingest(records)
+        result = fleet.query(query)
+    else:
+        engine = RetrievalEngine(index, camera, engine=args.engine, obs=obs)
+        result = engine.execute(query)
     if args.json:
         from repro.net.jsonio import result_to_json
         print(result_to_json(result, indent=2))
@@ -261,7 +277,12 @@ def _cmd_ingest(args) -> int:
     dataset = CityDataset(n_providers=args.providers, seed=args.seed)
     control = CloudServer(dataset.camera)
     obs = Observability.tracing() if args.trace else None
-    faulty = CloudServer(dataset.camera, obs=obs)
+    if args.shards > 1:
+        from repro.shard import ShardedCloudServer
+        faulty = ShardedCloudServer(dataset.camera, n_shards=args.shards,
+                                    origin=dataset.origin, obs=obs)
+    else:
+        faulty = CloudServer(dataset.camera, obs=obs)
     profile = FaultProfile(drop_rate=args.drop, duplicate_rate=args.duplicate,
                            corrupt_rate=args.corrupt,
                            reorder_rate=args.reorder)
@@ -277,11 +298,12 @@ def _cmd_ingest(args) -> int:
         faulty.ingest_bundle(delivery.payload)
 
     delivered = all(r.accepted for r in receipts)
-    parity = sorted(f.key() for f in faulty.index.records()) == \
-        sorted(f.key() for f in control.index.records())
+    parity = sorted(f.key() for f in faulty.records()) == \
+        sorted(f.key() for f in control.records())
     report = {
         "bundles": len(dataset.recordings),
         "records": control.indexed_count,
+        "shards": args.shards,
         "attempts": uploader.stats.attempts,
         "retries": uploader.stats.retries,
         "channel": {"sent": channel.stats.sent,
@@ -300,7 +322,7 @@ def _cmd_ingest(args) -> int:
         "parity_with_lossless": parity,
     }
     if args.out:
-        save_snapshot(args.out, faulty.index.records())
+        save_snapshot(args.out, faulty.records())
         report["snapshot"] = args.out
     if args.json:
         import json

@@ -45,6 +45,12 @@ class QueryResultCache:
     what the owner puts in -- so a hit is exactly the object a cold
     miss would have produced under the same epoch.
 
+    The epoch tag is any hashable token compared by equality: a single
+    server passes its index's integer epoch, the geo-sharded tier
+    passes the *tuple* of per-shard epochs (the epoch vector), so one
+    shard mutating invalidates exactly the entries computed over it
+    (docs/SHARDING.md).
+
     The cache owns its traffic accounting: ``cache.hits`` /
     ``cache.misses`` / ``cache.stale_drops`` / ``cache.evictions``
     counters on the given registry (a private one when none is given).
@@ -63,7 +69,7 @@ class QueryResultCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        self._entries: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
+        self._entries: OrderedDict[Hashable, tuple[Hashable, Any]] = OrderedDict()
         self._journal = journal
         reg = registry if registry is not None else MetricsRegistry()
         self._hits = reg.counter(
@@ -104,7 +110,7 @@ class QueryResultCache:
         """Entries evicted by LRU capacity pressure (lifetime)."""
         return int(self._evictions.value)
 
-    def get(self, key: Hashable, epoch: int) -> Any | None:
+    def get(self, key: Hashable, epoch: Hashable) -> Any | None:
         """The cached value, or None on a miss or an epoch mismatch."""
         entry = self._entries.get(key)
         if entry is None:
@@ -119,7 +125,7 @@ class QueryResultCache:
         self._hits.inc()
         return entry[1]
 
-    def put(self, key: Hashable, epoch: int, value: Any) -> None:
+    def put(self, key: Hashable, epoch: Hashable, value: Any) -> None:
         """Store a value computed under ``epoch``; evicts LRU overflow."""
         self._entries[key] = (epoch, value)
         self._entries.move_to_end(key)

@@ -29,6 +29,12 @@ from repro.spatial.rtree import RTree, RTreeConfig
 
 __all__ = ["FoVIndex", "PackedFoVIndex", "fov_box", "query_box"]
 
+#: How many epochs of mutation history an index retains for
+#: incremental consumers (the persistent shard pool's delta protocol,
+#: docs/SHARDING.md).  Falling off the log forces a full re-ship, so
+#: the cap only bounds memory, never correctness.
+MUTATION_LOG_CAP = 128
+
 
 def fov_box(fov: RepresentativeFoV) -> tuple[np.ndarray, np.ndarray]:
     """Degenerate 3-D rectangle of one representative FoV (Section V-A)."""
@@ -147,9 +153,44 @@ class FoVIndex:
             raise ValueError(f"unknown backend {backend!r}")
         self._epoch = 0
         self._packed: PackedFoVIndex | None = None
+        # (epoch, records added) per mutation batch; ``None`` marks a
+        # non-incremental mutation (delete/eviction).  Bounded by
+        # MUTATION_LOG_CAP; see mutations_since().
+        self._mutlog: list[tuple[int,
+                                 tuple[RepresentativeFoV, ...] | None]] = []
 
     def __len__(self) -> int:
         return len(self._index)
+
+    def _log_mutation(
+            self, added: tuple[RepresentativeFoV, ...] | None) -> None:
+        self._mutlog.append((self._epoch, added))
+        if len(self._mutlog) > MUTATION_LOG_CAP:
+            del self._mutlog[: len(self._mutlog) - MUTATION_LOG_CAP]
+
+    def mutations_since(
+            self, epoch: int
+    ) -> list[tuple[int, tuple[RepresentativeFoV, ...]]] | None:
+        """Insert-only deltas from ``epoch`` (exclusive) to now.
+
+        Returns ``(epoch, records_added)`` pairs, oldest first, such
+        that replaying the additions on top of the content at ``epoch``
+        reproduces the current record set -- the shard pool's delta
+        protocol (docs/SHARDING.md).  Returns ``None`` when the span is
+        not reconstructible incrementally: a delete or eviction
+        happened in it, or it has aged out of the bounded log -- the
+        caller must then fall back to a full snapshot re-ship.
+        """
+        if epoch == self._epoch:
+            return []
+        if epoch > self._epoch:
+            return None
+        tail = [(e, added) for e, added in self._mutlog if e > epoch]
+        if len(tail) != self._epoch - epoch:
+            return None      # span trimmed off the bounded log
+        if any(added is None for _, added in tail):
+            return None      # a delete/eviction breaks incrementality
+        return [(e, added) for e, added in tail if added is not None]
 
     @property
     def epoch(self) -> int:
@@ -175,6 +216,7 @@ class FoVIndex:
         bmin, bmax = fov_box(fov)
         self._index.insert(bmin, bmax, fov)
         self._epoch += 1
+        self._log_mutation((fov,))
 
     def insert_many(self, fovs: Iterable[RepresentativeFoV]) -> int:
         """Index a batch of records atomically; returns the count.
@@ -199,6 +241,7 @@ class FoVIndex:
             self._index.insert(bmin, bmax, fov)
         if items:
             self._epoch += 1
+            self._log_mutation(tuple(items))
         return len(items)
 
     def records(self) -> list[RepresentativeFoV]:
@@ -211,6 +254,7 @@ class FoVIndex:
         deleted = self._index.delete(bmin, bmax, fov)
         if deleted:
             self._epoch += 1
+            self._log_mutation(None)
         return deleted
 
     def evict_older_than(self, cutoff_t: float) -> int:
@@ -226,6 +270,7 @@ class FoVIndex:
             self._index.delete(bmin, bmax, fov)
         if victims:
             self._epoch += 1
+            self._log_mutation(None)
         return len(victims)
 
     def range_search(self, query: Query) -> list[RepresentativeFoV]:

@@ -76,12 +76,17 @@ class RankedFoV:
     ``distance`` is the metre distance from the FoV position to the
     query centre (the ranking key, Section V-B items 2-3); ``covers``
     records whether the FoV's viewing sector actually covers the query
-    centre (the orientation filter's predicate).
+    centre (the orientation filter's predicate).  ``score`` is the
+    ranker's higher-is-better value for this row -- result lists are
+    totally ordered by ``(-score, fov.key())``, which is what lets a
+    sharded scatter-gather merge per-shard answers back into exactly
+    the single-server ranking (docs/SHARDING.md).
     """
 
     fov: RepresentativeFoV
     distance: float
     covers: bool
+    score: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,6 @@ tracing -- plus packed-descent counters through a
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -108,6 +107,17 @@ def _ranked_rows(query: Query, camera: CameraModel, ranker: Any,
     The orientation-filter mask is applied *first*, so the ranker and
     the argsort only ever see survivors; ``fov_at`` maps a candidate
     row back to its record.
+
+    The output order is the *canonical* ranking: descending score, with
+    exact score ties broken by the record key ``(video_id,
+    segment_id)``.  A plain stable argsort would leave tie order at the
+    mercy of candidate order -- i.e. of index layout -- which would make
+    two indexes holding the same records rank differently.  The
+    canonical order depends only on record content, so the dynamic,
+    packed and geo-sharded engines agree bit for bit and a sharded
+    top-N merge reproduces the single-server ranking exactly
+    (docs/SHARDING.md).  Tie runs are re-sorted at Python level, so the
+    common all-distinct case stays one vectorised argsort.
     """
     kept = np.flatnonzero(keep)
     if kept.size == 0:
@@ -115,11 +125,29 @@ def _ranked_rows(query: Query, camera: CameraModel, ranker: Any,
     scores = np.asarray(ranker.scores(
         query, camera, dist[kept], dtheta[kept],
         t_start[kept], t_end[kept]), dtype=float)
-    order = kept[np.argsort(-scores, kind="stable")]
+    perm = np.argsort(-scores, kind="stable")
+    ss = scores[perm]
+    if ss.size > 1 and bool(np.any(ss[:-1] == ss[1:])):
+        ordered: list[int] = []
+        flat = [int(p) for p in perm]
+        i = 0
+        while i < len(flat):
+            j = i + 1
+            while j < len(flat) and ss[j] == ss[i]:
+                j += 1
+            if j - i > 1:
+                ordered.extend(sorted(
+                    flat[i:j], key=lambda p: fov_at(int(kept[p])).key()))
+            else:
+                ordered.append(flat[i])
+            i = j
+        perm = np.asarray(ordered, dtype=np.intp)
     return [
-        RankedFoV(fov=fov_at(i), distance=float(dist[i]),
-                  covers=bool(covers_center[i]))
-        for i in order
+        RankedFoV(fov=fov_at(int(kept[p])),
+                  distance=float(dist[kept[p]]),
+                  covers=bool(covers_center[kept[p]]),
+                  score=float(scores[p]))
+        for p in perm
     ]
 
 
@@ -183,28 +211,6 @@ def _batch_execute(view: PackedFoVIndex, camera: CameraModel,
     ]
 
 
-# -- process-sharded fan-out -------------------------------------------------
-#
-# Opt-in for large offline batches: the packed snapshot (plain arrays +
-# records) is shipped to each worker once via the pool initializer, and
-# workers answer contiguous query chunks with the same batched path.
-
-_SHARD_STATE: tuple[PackedFoVIndex, CameraModel, bool, Any] | None = None
-
-
-def _init_shard_worker(view: PackedFoVIndex, camera: CameraModel,
-                       strict_cover: bool, ranker: Any) -> None:
-    global _SHARD_STATE
-    _SHARD_STATE = (view, camera, strict_cover, ranker)
-
-
-def _run_shard(queries: list[Query]) -> list[QueryResult]:
-    assert _SHARD_STATE is not None, "shard worker not initialised"
-    view, camera, strict_cover, ranker = _SHARD_STATE
-    return _batch_execute(view, camera, strict_cover, ranker, queries,
-                          default_timer)
-
-
 class RetrievalEngine:
     """Executes queries against an :class:`FoVIndex`.
 
@@ -259,6 +265,9 @@ class RetrievalEngine:
         self._tracer: TracerLike = obs.tracer if obs is not None else NULL_TRACER
         self._recorder: PackedSearchRecorder | None = (
             PackedSearchRecorder(obs.registry) if obs is not None else None)
+        # Persistent process fan-out, created lazily on the first
+        # execute_many(shards=N) call (see repro.shard.pool).
+        self._pool: Any = None
 
     def execute(self, query: Query) -> QueryResult:
         """Run the full filter/rank pipeline; returns a timed result."""
@@ -293,11 +302,14 @@ class RetrievalEngine:
         same rankings, same funnel counters -- but the ``"packed"``
         engine answers the whole batch per tree level and shares the
         orientation-filter pass across queries, and ``shards > 1``
-        opts in to a :mod:`concurrent.futures` process fan-out for
-        large offline batches (coverage audits, evaluation sweeps).
-        Sharding serialises the packed snapshot to each worker, so it
-        only pays off when the batch is much more expensive than that
-        one-time shipment; it requires the R-tree backend.
+        opts in to a *persistent* process fan-out
+        (:class:`repro.shard.pool.PersistentQueryPool`): workers are
+        initialised once with the packed snapshot and later batches
+        ship only the insert deltas since that epoch, so the
+        serialisation cost is amortised across the engine's lifetime
+        instead of being paid per call.  Requires the R-tree backend;
+        call :meth:`close` (or ``CloudServer.close``) to release the
+        worker processes.
 
         Batched and sharded paths report ``elapsed_s`` as the batch
         wall time split evenly across its queries.
@@ -315,17 +327,22 @@ class RetrievalEngine:
 
     def _execute_sharded(self, queries: list[Query],
                          shards: int) -> list[QueryResult]:
-        view = self.index.packed_view()
-        shards = min(shards, len(queries))
-        edges = np.linspace(0, len(queries), shards + 1).astype(int)
-        chunks = [queries[edges[i]: edges[i + 1]] for i in range(shards)]
-        with ProcessPoolExecutor(
-                max_workers=shards,
-                initializer=_init_shard_worker,
-                initargs=(view, self.camera, self.strict_cover, self.ranker),
-        ) as pool:
-            parts = list(pool.map(_run_shard, chunks))
+        from repro.shard.pool import PersistentQueryPool
+        if self._pool is None:
+            self._pool = PersistentQueryPool(
+                self.index, self.camera, self.strict_cover, self.ranker)
+        parts = self._pool.run(queries, shards)
         return [result for part in parts for result in part]
+
+    def close(self) -> None:
+        """Release the persistent worker pool, if one was started.
+
+        Idempotent; the engine stays usable (a later sharded call
+        starts a fresh pool).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def _rank_packed(self, view: PackedFoVIndex, ids: np.ndarray,
                      query: Query) -> list[RankedFoV]:

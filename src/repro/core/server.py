@@ -419,6 +419,14 @@ class CloudServer:
         self._sync_index_gauges("evict")
         return evicted
 
+    def records(self) -> list[RepresentativeFoV]:
+        """Every indexed record (audits, parity checks, snapshots)."""
+        return self.index.records()
+
+    def close(self) -> None:
+        """Release engine-held resources (the persistent shard pool)."""
+        self.engine.close()
+
     @property
     def indexed_count(self) -> int:
         return len(self.index)

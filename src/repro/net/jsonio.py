@@ -91,6 +91,7 @@ def result_to_dict(result: QueryResult) -> dict[str, Any]:
                 "rank": i + 1,
                 "distance_m": row.distance,
                 "covers": row.covers,
+                "score": row.score,
                 **fov_to_dict(row.fov),
             }
             for i, row in enumerate(result.ranked)

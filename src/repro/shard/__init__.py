@@ -1,0 +1,38 @@
+"""Geo-sharded serving tier (scaling the Section V index out).
+
+The paper's R-tree over representative FoVs is a single-machine
+structure; the ROADMAP's north star is serving millions of users.  This
+package partitions the index by *where the cameras stood*:
+
+* :mod:`repro.shard.partition` -- a deterministic geo-grid partitioner
+  over the local-Euclidean plane (the paper's Eq. 12 coordinates);
+* :mod:`repro.shard.server` -- :class:`ShardedCloudServer`, which owns
+  one ``CloudServer`` (and thus one ``PackedFoVIndex``) per shard,
+  routes ingest by representative-FoV cell, and answers queries by
+  pruned scatter-gather with a merge that is bit-identical to the
+  single-server ranking;
+* :mod:`repro.shard.pool` -- :class:`PersistentQueryPool`, the
+  process fan-out for large offline batches: workers are initialised
+  once with a packed snapshot and receive incremental epoch deltas,
+  amortising serialisation across the engine's lifetime;
+* :mod:`repro.shard.persist` -- per-shard snapshot save/load built on
+  :mod:`repro.core.snapshot`.
+
+Design notes, routing invariants and the merge-stability argument live
+in ``docs/SHARDING.md``.
+"""
+
+from __future__ import annotations
+
+from repro.shard.partition import GridPartitioner
+from repro.shard.persist import load_sharded_snapshot, save_sharded_snapshot
+from repro.shard.pool import PersistentQueryPool
+from repro.shard.server import ShardedCloudServer
+
+__all__ = [
+    "GridPartitioner",
+    "PersistentQueryPool",
+    "ShardedCloudServer",
+    "load_sharded_snapshot",
+    "save_sharded_snapshot",
+]

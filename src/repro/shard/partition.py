@@ -1,0 +1,168 @@
+"""Deterministic geo-grid partitioning over the local plane.
+
+Records are assigned to shards by *where the camera stood*: the
+representative-FoV position is projected into the deployment's local
+Euclidean plane (the paper's Eq. 12 / :func:`repro.geo.earth.displacement`),
+snapped to a square grid cell, and the cell coordinate is hashed to a
+shard with a splitmix64-style integer mix.  Two properties matter:
+
+* **Determinism.**  The shard of a record is a pure function of
+  ``(origin, cell_m, seed, n_shards)`` and the record's position --
+  no RNG state, no insertion order.  Ingest routing, query routing and
+  snapshot reload therefore always agree (docs/SHARDING.md).
+* **Locality with dispersion.**  A grid cell is wholly owned by one
+  shard, so a query touching a small area fans out to few shards; the
+  hash decorrelates adjacent cells so a crowded city centre still
+  spreads across the fleet instead of hot-spotting one shard.
+
+Query routing is *conservative*: :meth:`GridPartitioner.shards_for_query`
+may return a shard that holds no matching record (a false positive costs
+one empty range search) but never omits a shard that could hold one --
+the pruning invariant the parity suite pins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import Query
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import displacement, radius_to_degrees
+
+__all__ = ["GridPartitioner", "DEFAULT_CELL_M"]
+
+#: Default grid pitch, metres.  Cities in the paper's evaluation span a
+#: few kilometres; 500 m cells keep a typical query (radius <= ~250 m,
+#: Section V-B presets) inside at most a 2x2 cell neighbourhood.
+DEFAULT_CELL_M = 500.0
+
+_MASK = (1 << 64) - 1
+
+#: Above this many candidate cells, enumerating the query's cell
+#: neighbourhood costs more than just asking every shard -- fall back
+#: to the full fan-out (still correct, merely unpruned).
+_MAX_CELLS = 4096
+
+
+def _mix_cell(cx: int, cy: int, seed: int) -> int:
+    """splitmix64-style finalizer over a 2-D cell coordinate.
+
+    Python's unbounded ints emulate uint64 wrap-around with ``& _MASK``;
+    negative cell coordinates contribute their two's-complement image,
+    exactly as an int64 -> uint64 cast would.
+    """
+    z = (seed ^ (cx * 0x9E3779B97F4A7C15) ^ (cy * 0xC2B2AE3D27D4EB4F)) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+@dataclass(frozen=True)
+class GridPartitioner:
+    """Maps positions to shards via a seeded hash of local grid cells.
+
+    Parameters
+    ----------
+    n_shards : int
+        Size of the shard fleet (>= 1).
+    origin : GeoPoint
+        Anchor of the deployment's local plane.  Every party that
+        routes -- ingest, query scatter, snapshot reload -- must use
+        the same origin, or cells (and therefore shards) disagree.
+    cell_m : float
+        Grid pitch in metres (> 0).
+    seed : int
+        Decorrelates cell->shard assignment between deployments.
+    """
+
+    n_shards: int
+    origin: GeoPoint
+    cell_m: float = DEFAULT_CELL_M
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if not (self.cell_m > 0.0 and math.isfinite(self.cell_m)):
+            raise ValueError(f"cell_m must be positive, got {self.cell_m}")
+
+    def cell_of(self, lat: float, lng: float) -> tuple[int, int]:
+        """Grid cell of a GPS fix: floor of its local (x, y) over the pitch."""
+        x, y = displacement(self.origin, GeoPoint(lat=lat, lng=lng))
+        return (math.floor(x / self.cell_m), math.floor(y / self.cell_m))
+
+    def shard_of_cell(self, cx: int, cy: int) -> int:
+        """Owning shard of one grid cell."""
+        return _mix_cell(cx, cy, self.seed) % self.n_shards
+
+    def shard_of(self, fov: RepresentativeFoV) -> int:
+        """Owning shard of one representative FoV (by camera position)."""
+        cx, cy = self.cell_of(fov.lat, fov.lng)
+        return self.shard_of_cell(cx, cy)
+
+    def split(self, fovs: list[RepresentativeFoV]
+              ) -> list[list[RepresentativeFoV]]:
+        """Partition records into ``n_shards`` lists (input order kept)."""
+        parts: list[list[RepresentativeFoV]] = [[] for _ in range(self.n_shards)]
+        for fov in fovs:
+            parts[self.shard_of(fov)].append(fov)
+        return parts
+
+    def _all_shards(self) -> tuple[int, ...]:
+        return tuple(range(self.n_shards))
+
+    def shards_for_box(self, lat_lo: float, lat_hi: float,
+                       lng_lo: float, lng_hi: float) -> tuple[int, ...]:
+        """Shards whose cells could intersect a lat/lng box (sorted).
+
+        Conservative cover of the box's image in the local plane.  The
+        northing ``y`` is linear in latitude, but the easting ``x``
+        scales longitude by ``cos((origin.lat + lat) / 2)``, which is
+        *not* monotonic in latitude -- it peaks where ``lat ==
+        -origin.lat``.  The extrema of ``x`` over the box are therefore
+        attained at a sampled latitude: the box's edges, plus that peak
+        latitude when the box straddles it.  The cell range is padded by
+        one cell on every side to absorb floor/rounding at boundaries,
+        so routing errs toward extra shards, never missed ones.
+        """
+        if self.n_shards == 1:
+            return (0,)
+        lats = [lat_lo, lat_hi]
+        if lat_lo < -self.origin.lat < lat_hi:
+            lats.append(-self.origin.lat)
+        xs: list[float] = []
+        ys: list[float] = []
+        for lat in lats:
+            for lng in (lng_lo, lng_hi):
+                x, y = displacement(self.origin, GeoPoint(lat=lat, lng=lng))
+                xs.append(x)
+                ys.append(y)
+        cx_lo = math.floor(min(xs) / self.cell_m) - 1
+        cx_hi = math.floor(max(xs) / self.cell_m) + 1
+        cy_lo = math.floor(min(ys) / self.cell_m) - 1
+        cy_hi = math.floor(max(ys) / self.cell_m) + 1
+        n_cells = (cx_hi - cx_lo + 1) * (cy_hi - cy_lo + 1)
+        if n_cells > _MAX_CELLS:
+            return self._all_shards()
+        hit: set[int] = set()
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                hit.add(self.shard_of_cell(cx, cy))
+                if len(hit) == self.n_shards:
+                    return self._all_shards()
+        return tuple(sorted(hit))
+
+    def shards_for_query(self, query: Query) -> tuple[int, ...]:
+        """Shards that could hold a record matching the query (sorted).
+
+        The query's metric radius is converted to degree half-extents
+        around its centre (Section V-B, the same conversion the index's
+        query box uses), then covered cell-wise by
+        :meth:`shards_for_box`.
+        """
+        r_lng, r_lat = radius_to_degrees(query.radius, query.center.lat)
+        return self.shards_for_box(
+            query.center.lat - r_lat, query.center.lat + r_lat,
+            query.center.lng - r_lng, query.center.lng + r_lng)

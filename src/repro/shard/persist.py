@@ -1,0 +1,128 @@
+"""Sharded snapshots: persist a fleet's records as per-shard files.
+
+Layout: one directory holding ``shard-NNN.fovsnap`` files -- each an
+ordinary single-index snapshot (:mod:`repro.core.snapshot`, so each
+shard's file is independently loadable and CRC-checked) -- plus a
+``manifest.json`` recording the routing parameters ``(n_shards,
+origin, cell_m, seed)`` and per-shard record counts.
+
+Because routing is a pure function of those parameters
+(:mod:`repro.shard.partition`), reload does not trust the file
+boundaries: records are re-routed through the partitioner, which by
+determinism lands every record back on the shard whose file held it.
+A manifest whose parameters were tampered with therefore cannot
+scatter records onto the wrong shards -- the counts check fails
+instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.geo.coords import GeoPoint
+from repro.obs.runtime import Observability
+from repro.shard.server import ShardedCloudServer
+from repro.spatial.rtree import RTreeConfig
+
+__all__ = ["save_sharded_snapshot", "load_sharded_snapshot",
+           "MANIFEST_NAME", "MANIFEST_FORMAT"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "fov-sharded-snapshot-v1"
+
+
+def _shard_filename(sid: int) -> str:
+    return f"shard-{sid:03d}.fovsnap"
+
+
+def save_sharded_snapshot(dirpath: str | Path,
+                          server: ShardedCloudServer) -> int:
+    """Write every shard's records plus the manifest; returns total bytes.
+
+    The directory is created if missing.  Empty shards still get a
+    (valid, empty) snapshot file, so the manifest fully enumerates the
+    fleet.
+    """
+    root = Path(dirpath)
+    root.mkdir(parents=True, exist_ok=True)
+    part = server.partitioner
+    total = 0
+    shard_rows: list[dict[str, object]] = []
+    for sid, shard in enumerate(server.shards):
+        records = shard.records()
+        name = _shard_filename(sid)
+        total += save_snapshot(root / name, records)
+        shard_rows.append({"file": name, "records": len(records)})
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "n_shards": part.n_shards,
+        "origin": {"lat": part.origin.lat, "lng": part.origin.lng},
+        "cell_m": part.cell_m,
+        "seed": part.seed,
+        "shards": shard_rows,
+        "records_total": sum(int(r["records"]) for r in shard_rows),
+    }
+    blob = json.dumps(manifest, indent=2).encode()
+    (root / MANIFEST_NAME).write_bytes(blob)
+    return total + len(blob)
+
+
+def load_sharded_snapshot(dirpath: str | Path, camera: CameraModel,
+                          strict_cover: bool = True, engine: str = "packed",
+                          rtree_config: RTreeConfig | None = None,
+                          cache_size: int = 1024,
+                          obs: Observability | None = None
+                          ) -> ShardedCloudServer:
+    """Rebuild a :class:`ShardedCloudServer` from a snapshot directory.
+
+    Routing parameters come from the manifest (so the reloaded fleet
+    routes exactly like the one that saved it); serving parameters
+    (camera, engine, cache) come from the caller.  Raises
+    ``ValueError`` on a missing/incoherent manifest, a corrupt shard
+    file (per-file CRC), or a per-shard record count that disagrees
+    with the manifest after re-routing.
+    """
+    root = Path(dirpath)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"no {MANIFEST_NAME} in {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"unknown snapshot format {manifest.get('format')!r}")
+    n_shards = int(manifest["n_shards"])
+    shard_rows = manifest["shards"]
+    if len(shard_rows) != n_shards:
+        raise ValueError(
+            f"manifest lists {len(shard_rows)} shard files for "
+            f"{n_shards} shards"
+        )
+    origin = GeoPoint(lat=float(manifest["origin"]["lat"]),
+                      lng=float(manifest["origin"]["lng"]))
+    server = ShardedCloudServer(
+        camera, n_shards=n_shards, origin=origin,
+        cell_m=float(manifest["cell_m"]), seed=int(manifest["seed"]),
+        strict_cover=strict_cover, engine=engine,
+        rtree_config=rtree_config, cache_size=cache_size, obs=obs)
+    records: list[RepresentativeFoV] = []
+    for row in shard_rows:
+        _, fovs = load_snapshot(root / str(row["file"]))
+        if len(fovs) != int(row["records"]):
+            raise ValueError(
+                f"shard file {row['file']!r} holds {len(fovs)} records, "
+                f"manifest says {row['records']}"
+            )
+        records.extend(fovs)
+    server.ingest(records)
+    for sid, row in enumerate(shard_rows):
+        live = len(server.shards[sid].index)
+        if live != int(row["records"]):
+            raise ValueError(
+                f"re-routing landed {live} records on shard {sid}, "
+                f"manifest says {row['records']} -- routing parameters "
+                f"disagree with the files"
+            )
+    return server

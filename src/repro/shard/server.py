@@ -1,0 +1,392 @@
+"""Geo-sharded serving tier: one ``CloudServer`` per spatial shard.
+
+:class:`ShardedCloudServer` presents the single-server surface --
+``ingest_bundle`` / ``ingest`` / ``query`` / ``query_many`` /
+``evict_older_than`` -- over a fleet of per-shard
+:class:`~repro.core.server.CloudServer` instances, each owning its own
+``FoVIndex`` (and packed view).  The router:
+
+* **routes ingest** by representative-FoV grid cell
+  (:class:`~repro.shard.partition.GridPartitioner`), deduplicating
+  bundle redeliveries fleet-wide by content digest before any shard is
+  touched;
+* **answers queries by pruned scatter-gather**: the partitioner names
+  the shards whose cells could intersect the query's ``(p, r, [ts,
+  te])`` box, a per-shard content bounding box prunes further, and the
+  surviving shards' canonical rankings are k-way merged into a result
+  **bit-identical** to a single server holding every record
+  (docs/SHARDING.md has the argument);
+* **caches under the epoch vector**: the router-level result cache tags
+  entries with the tuple of per-shard index epochs, re-read after the
+  scatter -- a result computed while any shard mutated is served but
+  never cached, so a hit always equals the cold recomputation.
+
+Thread safety: each shard has its own lock serialising index access
+(a bundle's records land in a shard atomically -- ``insert_many`` is
+one epoch bump), the digest/owner maps sit behind an ingest lock, and
+the (not internally thread-safe) result cache behind a cache lock.
+Metric increments are already thread-safe per family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import threading
+from itertools import islice
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.cache import QueryResultCache, query_cache_key
+from repro.core.fov import RepresentativeFoV
+from repro.core.index import fov_box, query_box
+from repro.core.query import Query, QueryResult, RankedFoV
+from repro.core.quarantine import QuarantineStore
+from repro.core.server import CloudServer, IngestOutcome, IngestStatus, ServerStats
+from repro.geo.coords import GeoPoint
+from repro.net.channel import FaultyChannel, RetryPolicy, RetryingUploader
+from repro.net.clock import default_timer
+from repro.net.protocol import decode_bundle
+from repro.obs.runtime import Observability
+from repro.shard.partition import DEFAULT_CELL_M, GridPartitioner
+from repro.spatial.rtree import RTreeConfig
+
+__all__ = ["ShardedCloudServer"]
+
+#: (lng_lo, lng_hi, lat_lo, lat_hi, t_lo, t_hi) -- axis order matches
+#: the index's 3-D boxes.
+_Bounds = tuple[float, float, float, float, float, float]
+
+
+def _rank_key(row: RankedFoV) -> tuple[float, tuple[str, int]]:
+    """The canonical total ranking order (repro.core.retrieval)."""
+    return (-row.score, row.fov.key())
+
+
+class ShardedCloudServer:
+    """Scatter-gather retrieval service over geo-partitioned shards.
+
+    Parameters
+    ----------
+    camera : CameraModel
+        Camera constants shared with the provider fleet.
+    n_shards : int
+        Fleet size (>= 1).
+    origin : GeoPoint
+        Anchor of the deployment's local plane; every router for this
+        deployment must use the same origin (and ``cell_m``/``seed``)
+        or routing disagrees.
+    cell_m, seed :
+        Grid pitch and hash seed (see
+        :class:`~repro.shard.partition.GridPartitioner`).
+    strict_cover, engine, rtree_config :
+        Forwarded to each per-shard server/engine.
+    cache_size : int
+        Router-level result cache capacity (``0`` disables).  Shard
+        servers run cache-less -- one cache layer, tagged by the epoch
+        vector.
+    quarantine_capacity : int
+        Dead-letter capacity for payloads rejected at the router.
+    obs : Observability, optional
+        The *router's* instrument bundle.  Each shard server gets a
+        private bundle so its unlabelled ``index.*`` gauges cannot
+        clobber a sibling's; the router re-exports per-shard state as
+        ``shard.epoch`` / ``shard.records_live`` gauges labelled by
+        shard id.
+    clock : callable, optional
+        Monotonic timer for merged ``elapsed_s`` accounting
+        (injectable; defaults to :func:`repro.net.clock.default_timer`).
+    """
+
+    def __init__(self, camera: CameraModel, n_shards: int, origin: GeoPoint,
+                 cell_m: float = DEFAULT_CELL_M, seed: int = 0,
+                 strict_cover: bool = True, engine: str = "packed",
+                 rtree_config: RTreeConfig | None = None,
+                 cache_size: int = 1024,
+                 quarantine_capacity: int = 256,
+                 obs: Observability | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
+        self.camera = camera
+        self.partitioner = GridPartitioner(n_shards=n_shards, origin=origin,
+                                           cell_m=cell_m, seed=seed)
+        self.obs = obs if obs is not None else Observability.default()
+        self._clock = clock if clock is not None else default_timer
+        self.shards: list[CloudServer] = [
+            CloudServer(camera, rtree_config=rtree_config,
+                        strict_cover=strict_cover, engine=engine,
+                        cache_size=0, obs=Observability.default())
+            for _ in range(n_shards)
+        ]
+        self._locks = [threading.RLock() for _ in range(n_shards)]
+        self._bounds: list[_Bounds | None] = [None] * n_shards
+        self._ingest_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        self._seen_digests: set[str] = set()
+        self._owners: dict[str, str] = {}
+        self.stats = ServerStats(registry=self.obs.registry)
+        self.quarantine = QuarantineStore(capacity=quarantine_capacity,
+                                          journal=self.obs.journal)
+        self._cache = (
+            QueryResultCache(cache_size, registry=self.obs.registry,
+                             journal=self.obs.journal)
+            if cache_size > 0 else None
+        )
+        reg = self.obs.registry
+        self._route = reg.counter(
+            "shard.route", "Records routed to each shard on ingest",
+            labelnames=("shard",))
+        self._pruned = reg.counter(
+            "shard.pruned",
+            "Per-query shard visits skipped by routing or content bounds")
+        self._fanout = reg.histogram(
+            "shard.fanout_width", "Shards actually searched per query",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0))
+        self._epoch_gauge = reg.gauge(
+            "shard.epoch", "Per-shard index mutation epoch",
+            labelnames=("shard",))
+        self._live_gauge = reg.gauge(
+            "shard.records_live", "Per-shard index population",
+            labelnames=("shard",))
+        for sid in range(n_shards):
+            self._epoch_gauge.labels(shard=str(sid)).set(0)
+            self._live_gauge.labels(shard=str(sid)).set(0)
+
+    @property
+    def n_shards(self) -> int:
+        return self.partitioner.n_shards
+
+    @property
+    def indexed_count(self) -> int:
+        """Total live records across the fleet."""
+        return sum(len(s.index) for s in self.shards)
+
+    def epoch_vector(self) -> tuple[int, ...]:
+        """Per-shard index epochs -- the fleet's cache-invalidation tag."""
+        return tuple(s.index.epoch for s in self.shards)
+
+    def records(self) -> list[RepresentativeFoV]:
+        """Every indexed record, shard by shard (audits, snapshots)."""
+        out: list[RepresentativeFoV] = []
+        for sid, shard in enumerate(self.shards):
+            with self._locks[sid]:
+                out.extend(shard.records())
+        return out
+
+    # -- ingest -----------------------------------------------------------
+
+    def _widen_bounds(self, sid: int,
+                      fovs: Sequence[RepresentativeFoV]) -> None:
+        """Grow shard ``sid``'s content bounding box (caller holds lock)."""
+        lng_lo = min(f.lng for f in fovs)
+        lng_hi = max(f.lng for f in fovs)
+        lat_lo = min(f.lat for f in fovs)
+        lat_hi = max(f.lat for f in fovs)
+        t_lo = min(f.t_start for f in fovs)
+        t_hi = max(f.t_end for f in fovs)
+        old = self._bounds[sid]
+        if old is not None:
+            lng_lo, lng_hi = min(lng_lo, old[0]), max(lng_hi, old[1])
+            lat_lo, lat_hi = min(lat_lo, old[2]), max(lat_hi, old[3])
+            t_lo, t_hi = min(t_lo, old[4]), max(t_hi, old[5])
+        self._bounds[sid] = (lng_lo, lng_hi, lat_lo, lat_hi, t_lo, t_hi)
+
+    def _sync_shard_gauges(self, sid: int) -> None:
+        shard = self.shards[sid]
+        self._epoch_gauge.labels(shard=str(sid)).set(shard.index.epoch)
+        self._live_gauge.labels(shard=str(sid)).set(len(shard.index))
+        self.stats._live.set(self.indexed_count)
+
+    def _ingest_parts(self, parts: list[list[RepresentativeFoV]]) -> int:
+        """Land a pre-split record set, shard by shard; returns the count.
+
+        Each shard's slice lands atomically under that shard's lock
+        (``insert_many`` -- one epoch bump, all-or-nothing within the
+        shard); geometry was validated before this is called, so no
+        shard can reject its slice after a sibling already indexed.
+        """
+        n = 0
+        for sid, part in enumerate(parts):
+            if not part:
+                continue
+            with self._locks[sid]:
+                n += self.shards[sid].ingest(part)
+                self._widen_bounds(sid, part)
+                self._sync_shard_gauges(sid)
+            self._route.labels(shard=str(sid)).inc(len(part))
+        return n
+
+    @staticmethod
+    def _validate_geometry(fovs: Sequence[RepresentativeFoV]) -> None:
+        """Reject the whole batch before any shard indexes a record."""
+        for fov in fovs:
+            bmin, bmax = fov_box(fov)
+            if not (np.all(np.isfinite(bmin)) and np.all(np.isfinite(bmax))):
+                raise ValueError(
+                    f"non-finite geometry in record {fov.key()!r}; "
+                    f"nothing from this batch was indexed"
+                )
+
+    def ingest(self, fovs: list[RepresentativeFoV]) -> int:
+        """Directly index already-decoded records (dataset loading)."""
+        self._validate_geometry(fovs)
+        n = self._ingest_parts(self.partitioner.split(fovs))
+        self.stats._records_indexed.inc(n)
+        return n
+
+    def ingest_bundle(self, payload: bytes,
+                      device_id: str | None = None) -> IngestOutcome:
+        """Ingest one delivered bundle; never raises on bad payloads.
+
+        Same acknowledgement contract as the single server
+        (:meth:`repro.core.server.CloudServer.ingest_bundle`), with
+        fleet-wide exactly-once semantics: the content digest is
+        *reserved* before decoding, so a concurrent byte-identical
+        redelivery acks ``DUPLICATE`` instead of double-indexing; a
+        rejected payload releases its reservation (redelivering a bad
+        payload deterministically rejects again).
+        """
+        with self.obs.tracer.span("shard.ingest_bundle", bytes=len(payload)):
+            digest = hashlib.sha256(payload).hexdigest()
+            with self._ingest_lock:
+                if digest in self._seen_digests:
+                    self.stats._duplicated.inc()
+                    self.obs.journal.emit("ingest.duplicate", digest=digest)
+                    return IngestOutcome(status=IngestStatus.DUPLICATE,
+                                         records_indexed=0, digest=digest)
+                self._seen_digests.add(digest)
+            try:
+                video_id, fovs = decode_bundle(payload)
+                self._validate_geometry(fovs)
+            except ValueError as exc:
+                with self._ingest_lock:
+                    self._seen_digests.discard(digest)
+                self.stats._rejected.inc()
+                self.quarantine.add(payload, str(exc))
+                self.obs.journal.emit("ingest.rejected", digest=digest,
+                                      reason=str(exc))
+                return IngestOutcome(status=IngestStatus.REJECTED,
+                                     records_indexed=0, digest=digest,
+                                     reason=str(exc))
+            n = self._ingest_parts(self.partitioner.split(fovs))
+            if device_id is not None:
+                with self._ingest_lock:
+                    self._owners[video_id] = device_id
+            self.stats._accepted.inc()
+            self.stats._records_indexed.inc(n)
+            self.stats._bytes_in.inc(len(payload))
+            self.obs.journal.emit("ingest.accepted", digest=digest,
+                                  video_id=video_id, records=n)
+            return IngestOutcome(status=IngestStatus.ACCEPTED,
+                                 records_indexed=n, digest=digest,
+                                 video_id=video_id)
+
+    def make_uploader(self, channel: FaultyChannel,
+                      policy: RetryPolicy | None = None) -> RetryingUploader:
+        """A retrying uploader wired to this router's ingest path.
+
+        Same contract as the single server's
+        (:meth:`repro.core.server.CloudServer.make_uploader`):
+        retransmissions count into ``stats.bundles_retried``.
+        """
+        def _on_retry() -> None:
+            self.stats._retried.inc()
+
+        return RetryingUploader(channel, self.ingest_bundle, policy=policy,
+                                on_retry=_on_retry,
+                                registry=self.obs.registry,
+                                journal=self.obs.journal)
+
+    def evict_older_than(self, cutoff_t: float) -> int:
+        """Enforce a retention window fleet-wide; returns the count.
+
+        Content bounds are left as-is: eviction only removes records,
+        so the stale (wider) box stays a conservative prune.
+        """
+        evicted = 0
+        for sid, shard in enumerate(self.shards):
+            with self._locks[sid]:
+                evicted += shard.evict_older_than(cutoff_t)
+                self._sync_shard_gauges(sid)
+        self.stats._evicted.inc(evicted)
+        return evicted
+
+    # -- query ------------------------------------------------------------
+
+    def _could_match(self, sid: int, bmin: np.ndarray,
+                     bmax: np.ndarray) -> bool:
+        """Can shard ``sid``'s content box intersect the query box?"""
+        b = self._bounds[sid]
+        if b is None:
+            return False
+        return bool(b[0] <= bmax[0] and b[1] >= bmin[0]
+                    and b[2] <= bmax[1] and b[3] >= bmin[1]
+                    and b[4] <= bmax[2] and b[5] >= bmin[2])
+
+    def _scatter_gather(self, query: Query) -> QueryResult:
+        """Fan one query out to the surviving shards, merge canonically."""
+        t0 = self._clock()
+        targets = self.partitioner.shards_for_query(query)
+        bmin, bmax = query_box(query)
+        parts: list[QueryResult] = []
+        for sid in targets:
+            with self._locks[sid]:
+                if not self._could_match(sid, bmin, bmax):
+                    self._pruned.inc()
+                    continue
+                parts.append(self.shards[sid].engine.execute(query))
+        self._pruned.inc(self.n_shards - len(targets))
+        self._fanout.observe(len(parts))
+        merged: list[RankedFoV] = list(islice(
+            heapq.merge(*(p.ranked for p in parts), key=_rank_key),
+            query.top_n))
+        return QueryResult(
+            query=query,
+            ranked=merged,
+            candidates=sum(p.candidates for p in parts),
+            after_filter=sum(p.after_filter for p in parts),
+            elapsed_s=self._clock() - t0,
+        )
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer one ranked query by pruned scatter-gather (cache-aware)."""
+        return self.query_many([query])[0]
+
+    def query_many(self, queries: list[Query]) -> list[QueryResult]:
+        """Answer a batch; hits merge from the epoch-vector-tagged cache.
+
+        The epoch vector is read before the scatter and again after:
+        results are always *served*, but only cached when the two reads
+        agree -- a batch that raced an ingest cannot poison the cache
+        with a torn snapshot of the fleet.
+        """
+        batch = list(queries)
+        with self.obs.tracer.span("shard.query_many", batch=len(batch)):
+            self.stats._queries.inc(len(batch))
+            if self._cache is None:
+                return [self._scatter_gather(q) for q in batch]
+            pre = self.epoch_vector()
+            results: list[QueryResult | None] = [None] * len(batch)
+            misses: list[tuple[int, Query]] = []
+            with self._cache_lock:
+                for i, q in enumerate(batch):
+                    cached = self._cache.get(query_cache_key(q), pre)
+                    if cached is not None:
+                        self.stats._cache_hits.inc()
+                        results[i] = cached
+                    else:
+                        self.stats._cache_misses.inc()
+                        misses.append((i, q))
+            for i, q in misses:
+                results[i] = self._scatter_gather(q)
+            if misses and self.epoch_vector() == pre:
+                with self._cache_lock:
+                    for i, q in misses:
+                        self._cache.put(query_cache_key(q), pre, results[i])
+            return [r for r in results if r is not None]
+
+    def close(self) -> None:
+        """Release per-shard engine resources (idempotent)."""
+        for shard in self.shards:
+            shard.close()

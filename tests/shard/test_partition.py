@@ -1,0 +1,136 @@
+"""Unit tests for the deterministic geo-grid partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import Query
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.shard.partition import DEFAULT_CELL_M, GridPartitioner
+
+ORIGIN = GeoPoint(lat=40.0, lng=116.3)
+PROJ = LocalProjection(ORIGIN)
+
+
+def fov_at(x_m: float, y_m: float, i: int = 0) -> RepresentativeFoV:
+    p = PROJ.to_geo(x_m, y_m)
+    return RepresentativeFoV(lat=p.lat, lng=p.lng, theta=0.0,
+                             t_start=0.0, t_end=60.0,
+                             video_id="v", segment_id=i)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(n_shards=0, origin=ORIGIN)
+        with pytest.raises(ValueError):
+            GridPartitioner(n_shards=4, origin=ORIGIN, cell_m=0.0)
+        with pytest.raises(ValueError):
+            GridPartitioner(n_shards=4, origin=ORIGIN, cell_m=float("nan"))
+
+    def test_defaults(self):
+        part = GridPartitioner(n_shards=4, origin=ORIGIN)
+        assert part.cell_m == DEFAULT_CELL_M
+        assert part.seed == 0
+
+
+class TestAssignment:
+    def test_single_shard_takes_everything(self):
+        part = GridPartitioner(n_shards=1, origin=ORIGIN)
+        for x, y in [(0, 0), (-9000, 4000), (123456, -98765)]:
+            assert part.shard_of(fov_at(x, y)) == 0
+
+    def test_deterministic_and_in_range(self):
+        part = GridPartitioner(n_shards=5, origin=ORIGIN, seed=11)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            x, y = rng.uniform(-5000, 5000, 2)
+            f = fov_at(float(x), float(y))
+            sid = part.shard_of(f)
+            assert 0 <= sid < 5
+            assert sid == part.shard_of(f)
+
+    def test_cell_is_wholly_owned(self):
+        """Points inside one cell always share a shard."""
+        part = GridPartitioner(n_shards=7, origin=ORIGIN, cell_m=500.0)
+        # sample well inside the cell: exact boundaries belong to a
+        # single cell only up to fp round-trip noise
+        base = part.shard_of(fov_at(1010.0, 1010.0))
+        for dx in (10.0, 250.0, 490.0):
+            for dy in (10.0, 250.0, 490.0):
+                assert part.shard_of(fov_at(1000.0 + dx, 1000.0 + dy)) == base
+
+    def test_seed_changes_assignment(self):
+        a = GridPartitioner(n_shards=8, origin=ORIGIN, seed=0)
+        b = GridPartitioner(n_shards=8, origin=ORIGIN, seed=1)
+        fovs = [fov_at(700.0 * i, -450.0 * i, i) for i in range(40)]
+        assert ([a.shard_of(f) for f in fovs]
+                != [b.shard_of(f) for f in fovs])
+
+    def test_spreads_across_shards(self):
+        """A city-scale cloud of cells should touch every shard."""
+        part = GridPartitioner(n_shards=8, origin=ORIGIN, cell_m=250.0)
+        rng = np.random.default_rng(9)
+        seen = {part.shard_of(fov_at(*map(float, rng.uniform(-4000, 4000, 2))))
+                for _ in range(400)}
+        assert seen == set(range(8))
+
+    def test_split_partitions_input(self):
+        part = GridPartitioner(n_shards=6, origin=ORIGIN)
+        fovs = [fov_at(300.0 * i, -170.0 * i, i) for i in range(60)]
+        parts = part.split(fovs)
+        assert len(parts) == 6
+        assert sum(len(p) for p in parts) == len(fovs)
+        for sid, chunk in enumerate(parts):
+            for f in chunk:
+                assert part.shard_of(f) == sid
+
+
+class TestRouting:
+    def test_single_shard_short_circuits(self):
+        part = GridPartitioner(n_shards=1, origin=ORIGIN)
+        q = Query(t_start=0, t_end=10, center=ORIGIN, radius=100.0)
+        assert part.shards_for_query(q) == (0,)
+
+    def test_covers_every_contained_point(self):
+        """Any record inside the query's lat/lng box routes to a
+        targeted shard (the conservative-cover invariant)."""
+        part = GridPartitioner(n_shards=8, origin=ORIGIN, cell_m=400.0)
+        rng = np.random.default_rng(17)
+        for _ in range(50):
+            cx, cy = map(float, rng.uniform(-3000, 3000, 2))
+            radius = float(rng.uniform(30, 800))
+            q = Query(t_start=0, t_end=10, center=PROJ.to_geo(cx, cy),
+                      radius=radius)
+            targets = set(part.shards_for_query(q))
+            for _ in range(20):
+                # sample points within the inscribed disc of the box
+                ang = float(rng.uniform(0, 2 * np.pi))
+                rr = float(rng.uniform(0, radius))
+                f = fov_at(cx + rr * np.cos(ang), cy + rr * np.sin(ang))
+                assert part.shard_of(f) in targets
+
+    def test_small_query_prunes(self):
+        """A tight query must not fan out to the whole fleet."""
+        part = GridPartitioner(n_shards=8, origin=ORIGIN, cell_m=1000.0)
+        q = Query(t_start=0, t_end=10, center=PROJ.to_geo(150.0, 150.0),
+                  radius=30.0)
+        assert len(part.shards_for_query(q)) < 8
+
+    def test_huge_box_falls_back_to_all_shards(self):
+        part = GridPartitioner(n_shards=4, origin=ORIGIN, cell_m=10.0)
+        q = Query(t_start=0, t_end=10, center=ORIGIN, radius=50_000.0)
+        assert part.shards_for_query(q) == (0, 1, 2, 3)
+
+    def test_box_straddling_mirror_latitude(self):
+        """The x-extent peak at lat == -origin.lat is sampled, keeping
+        the cover conservative even for boxes that straddle it."""
+        part = GridPartitioner(n_shards=6, origin=GeoPoint(lat=0.002, lng=10.0),
+                               cell_m=300.0)
+        shards = part.shards_for_box(-0.01, 0.01, 9.99, 10.01)
+        assert shards  # well-defined, non-empty
+        for lat in (-0.002, 0.0, 0.005):
+            f = RepresentativeFoV(lat=lat, lng=10.0, theta=0.0, t_start=0.0,
+                                  t_end=1.0, video_id="v", segment_id=0)
+            assert part.shard_of(f) in shards

@@ -1,0 +1,122 @@
+"""Sharded snapshot persistence: save, reload, and tamper detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import Query
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.shard import (ShardedCloudServer, load_sharded_snapshot,
+                         save_sharded_snapshot)
+from repro.shard.persist import MANIFEST_NAME
+
+from tests.shard.test_sharded_server import (ORIGIN, make_queries,
+                                             make_records)
+
+
+@pytest.fixture
+def camera():
+    return CameraModel()
+
+
+def build_fleet(camera, n_shards=5, n_records=800, seed=11):
+    rng = np.random.default_rng(seed)
+    server = ShardedCloudServer(camera, n_shards=n_shards, origin=ORIGIN)
+    server.ingest(make_records(n_records, rng))
+    return server, rng
+
+
+class TestRoundTrip:
+    def test_reload_is_bit_identical(self, camera, tmp_path):
+        server, rng = build_fleet(camera)
+        save_sharded_snapshot(tmp_path, server)
+        reloaded = load_sharded_snapshot(tmp_path, camera)
+
+        assert reloaded.n_shards == server.n_shards
+        assert reloaded.indexed_count == server.indexed_count
+        assert reloaded.stats.records_live == server.stats.records_live
+        for sid in range(server.n_shards):
+            assert (len(reloaded.shards[sid].index)
+                    == len(server.shards[sid].index))
+
+        queries = make_queries(48, rng)
+        for a, b in zip(server.query_many(queries),
+                        reloaded.query_many(queries)):
+            assert a.candidates == b.candidates
+            assert a.after_filter == b.after_filter
+            assert ([(r.fov.key(), r.distance, r.covers, r.score)
+                     for r in a.ranked]
+                    == [(r.fov.key(), r.distance, r.covers, r.score)
+                        for r in b.ranked])
+
+    def test_empty_shards_survive(self, camera, tmp_path):
+        """A fleet where some shards hold nothing reloads cleanly."""
+        server = ShardedCloudServer(camera, n_shards=6, origin=ORIGIN)
+        rng = np.random.default_rng(2)
+        # pin everything inside one cell's interior -> one shard
+        p = LocalProjection(ORIGIN).to_geo(250.0, 250.0)
+        pinned = [RepresentativeFoV(lat=p.lat, lng=p.lng, theta=f.theta,
+                                    t_start=f.t_start, t_end=f.t_end,
+                                    video_id=f.video_id,
+                                    segment_id=f.segment_id)
+                  for f in make_records(20, rng, extent_m=10.0)]
+        server.ingest(pinned)
+        populated = [len(s.index) for s in server.shards]
+        assert populated.count(0) == 5
+        save_sharded_snapshot(tmp_path, server)
+        reloaded = load_sharded_snapshot(tmp_path, camera)
+        assert [len(s.index) for s in reloaded.shards] == populated
+
+    def test_save_reports_bytes(self, camera, tmp_path):
+        server, _ = build_fleet(camera, n_records=50)
+        written = save_sharded_snapshot(tmp_path, server)
+        on_disk = sum(p.stat().st_size for p in tmp_path.iterdir())
+        assert written == on_disk
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, camera, tmp_path):
+        with pytest.raises(ValueError, match="manifest"):
+            load_sharded_snapshot(tmp_path, camera)
+
+    def test_unknown_format(self, camera, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError, match="format"):
+            load_sharded_snapshot(tmp_path, camera)
+
+    def test_corrupt_shard_file(self, camera, tmp_path):
+        server, _ = build_fleet(camera, n_records=60)
+        save_sharded_snapshot(tmp_path, server)
+        victim = tmp_path / "shard-000.fovsnap"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(ValueError):
+            load_sharded_snapshot(tmp_path, camera)
+
+    def test_tampered_routing_parameters(self, camera, tmp_path):
+        """Changing the seed re-routes records; the count check trips."""
+        server, _ = build_fleet(camera, n_shards=4, n_records=300)
+        save_sharded_snapshot(tmp_path, server)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        manifest["seed"] = int(manifest["seed"]) + 1
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="routing"):
+            load_sharded_snapshot(tmp_path, camera)
+
+    def test_queries_after_reload_see_live_index(self, camera, tmp_path):
+        """The reloaded fleet keeps serving ingest and queries."""
+        server, rng = build_fleet(camera, n_records=100)
+        save_sharded_snapshot(tmp_path, server)
+        reloaded = load_sharded_snapshot(tmp_path, camera)
+        extra = make_records(30, rng)
+        reloaded.ingest(extra)
+        assert reloaded.indexed_count == 130
+        q = Query(t_start=0.0, t_end=3600.0,
+                  center=GeoPoint(lat=extra[0].lat, lng=extra[0].lng),
+                  radius=200.0, top_n=5)
+        assert reloaded.query(q).candidates > 0
