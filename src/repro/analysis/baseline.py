@@ -1,0 +1,117 @@
+"""The suppression baseline: known findings that must not block CI.
+
+Turning a new whole-program rule on over a living codebase surfaces
+pre-existing findings that are real but not this PR's problem.  The
+baseline records them so CI fails only on *new* findings: strictness
+ratchets forward without a flag-day cleanup.
+
+A finding is fingerprinted as ``(rule_id, repo-relative path,
+message)`` -- deliberately **without** the line number, so unrelated
+edits that shift code up or down do not invalidate the baseline, while
+any change to what the rule actually sees (a different attribute, a
+different lock set, a reworded message means a re-triage anyway) does.
+Identical findings are counted: a baseline entry with ``count: 2``
+absorbs at most two matching findings, and a third is reported as new.
+
+The file format is sorted, indented JSON so diffs review like code:
+
+    {"version": 1, "findings": [
+        {"rule": "RF009", "path": "src/repro/x.py",
+         "message": "...", "count": 1}, ...]}
+
+Workflow: ``repro-fov lint --write-baseline tools/analysis/
+baseline.json`` snapshots the current findings; ``--baseline`` applies
+it.  Fixing a baselined finding leaves a dead entry, which is
+harmless; periodically re-writing the baseline garbage-collects it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Violation
+
+__all__ = [
+    "BaselineError",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or malformed."""
+
+
+def fingerprint(violation: Violation, root: Path | None = None
+                ) -> tuple[str, str, str]:
+    """Line-independent identity of one finding."""
+    path = Path(violation.path)
+    if root is not None:
+        try:
+            path = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return (violation.rule_id, path.as_posix(), violation.message)
+
+
+def load_baseline(path: Path) -> dict[tuple[str, str, str], int]:
+    """Parse a baseline file into fingerprint -> allowed count."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:
+        raise BaselineError(f"baseline file not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline is not valid JSON: {path}: {exc}"
+                            ) from exc
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version "
+            f"{raw.get('version') if isinstance(raw, dict) else raw!r}")
+    out: dict[tuple[str, str, str], int] = {}
+    for row in raw.get("findings", []):
+        if not (isinstance(row, dict)
+                and isinstance(row.get("rule"), str)
+                and isinstance(row.get("path"), str)
+                and isinstance(row.get("message"), str)):
+            raise BaselineError(f"malformed baseline row in {path}: {row!r}")
+        key = (row["rule"], row["path"], row["message"])
+        out[key] = out.get(key, 0) + int(row.get("count", 1))
+    return out
+
+
+def apply_baseline(violations: Sequence[Violation],
+                   baseline: dict[tuple[str, str, str], int],
+                   root: Path | None = None) -> list[Violation]:
+    """Findings not absorbed by the baseline, in original order."""
+    budget = dict(baseline)
+    fresh: list[Violation] = []
+    for violation in violations:
+        key = fingerprint(violation, root=root)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(violation)
+    return fresh
+
+
+def write_baseline(violations: Sequence[Violation], path: Path,
+                   root: Path | None = None) -> None:
+    """Snapshot the given findings as the new baseline file."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for violation in violations:
+        key = fingerprint(violation, root=root)
+        counts[key] = counts.get(key, 0) + 1
+    rows = [
+        {"rule": rule, "path": relpath, "message": message, "count": count}
+        for (rule, relpath, message), count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "findings": rows}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")

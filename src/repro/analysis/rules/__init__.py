@@ -1,7 +1,9 @@
-"""The eight domain lint rules (RF001-RF008).
+"""The domain lint rules (RF001-RF014).
 
 Each rule lives in its own module and registers here; the engine
-instantiates :data:`RULES` fresh per run.  See
+instantiates :data:`RULES` fresh per run.  RF001-RF008 are per-file
+AST rules; RF009-RF014 are the phase-2 concurrency/invariant rules
+over the shared :class:`~repro.analysis.model.ProjectModel`.  See
 ``docs/STATIC_ANALYSIS.md`` for the rationale and a bad/good example
 of every rule.
 """
@@ -14,6 +16,16 @@ from repro.analysis.rules.rf005_determinism import RF005Nondeterminism
 from repro.analysis.rules.rf006_dualform import RF006DualFormNormalize
 from repro.analysis.rules.rf007_rawunpack import RF007RawWireUnpack
 from repro.analysis.rules.rf008_metric_names import RF008MetricNameLiteral
+from repro.analysis.rules.rf009_lock_discipline import RF009LockDiscipline
+from repro.analysis.rules.rf010_lock_order import RF010LockOrder
+from repro.analysis.rules.rf011_epoch_protocol import RF011EpochProtocol
+from repro.analysis.rules.rf012_blocking_under_lock import (
+    RF012BlockingUnderLock,
+)
+from repro.analysis.rules.rf013_registration_drift import (
+    RF013RegistrationDrift,
+)
+from repro.analysis.rules.rf014_unjoined_workers import RF014UnjoinedWorkers
 
 RULES = (
     RF001DegreesIntoTrig,
@@ -24,6 +36,12 @@ RULES = (
     RF006DualFormNormalize,
     RF007RawWireUnpack,
     RF008MetricNameLiteral,
+    RF009LockDiscipline,
+    RF010LockOrder,
+    RF011EpochProtocol,
+    RF012BlockingUnderLock,
+    RF013RegistrationDrift,
+    RF014UnjoinedWorkers,
 )
 
 __all__ = [
@@ -36,4 +54,10 @@ __all__ = [
     "RF006DualFormNormalize",
     "RF007RawWireUnpack",
     "RF008MetricNameLiteral",
+    "RF009LockDiscipline",
+    "RF010LockOrder",
+    "RF011EpochProtocol",
+    "RF012BlockingUnderLock",
+    "RF013RegistrationDrift",
+    "RF014UnjoinedWorkers",
 ]

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 serialisation of a lint report.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what CI systems ingest to annotate pull requests with findings at the
+offending line.  The ``fovlint-strict`` job uploads the file this
+module produces; GitHub's code-scanning UI renders each result
+in-diff.
+
+Only the small, stable core of the schema is emitted -- one ``run``
+with a ``tool.driver`` describing every rule (id, summary, default
+severity) and one ``result`` per violation with a physical location.
+Paths are emitted relative to the repository root as URIs with an
+explicit ``SRCROOT`` uriBase, the schema's way of keeping the file
+machine-portable.  Severities map directly: fovlint ``error``/
+``warning`` are SARIF levels of the same name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Rule, Violation
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "sarif_json"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_TOOL_URI = "https://github.com/paper-repro/fov-retrieval"
+
+
+def _relative_uri(path: str, root: Path | None) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def to_sarif(violations: Sequence[Violation], rules: Sequence[Rule],
+             root: Path | None = None) -> dict[str, object]:
+    """Build the SARIF 2.1.0 log object for one lint run."""
+    rule_descriptors = [
+        {
+            "id": rule.rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {
+                "level": getattr(rule, "severity", "error"),
+            },
+        }
+        for rule in rules
+    ]
+    rule_index = {r.rule_id: i for i, r in enumerate(rules)}
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "ruleIndex": rule_index.get(v.rule_id, -1),
+            "level": v.severity,
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(v.path, root),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            # SARIF columns are 1-based; AST cols are 0-based.
+                            "startColumn": v.col + 1,
+                        },
+                    },
+                },
+            ],
+        }
+        for v in violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "fovlint",
+                        "informationUri": _TOOL_URI,
+                        "rules": rule_descriptors,
+                    },
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            },
+        ],
+    }
+
+
+def sarif_json(violations: Sequence[Violation], rules: Sequence[Rule],
+               root: Path | None = None) -> str:
+    """The SARIF log serialised as stable, diff-friendly JSON."""
+    return json.dumps(to_sarif(violations, rules, root=root),
+                      indent=2, sort_keys=True) + "\n"

@@ -143,12 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser("lint",
                           help="run the domain-aware FoV lint rules "
-                               "(RF001-RF008) over source trees")
+                               "(RF001-RF014) over source trees")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint "
                            "(default: src/repro)")
     lint.add_argument("--select", action="append", metavar="RFxxx",
                       help="run only these rule ids (repeatable)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", dest="lint_format",
+                      help="report format (sarif for CI annotation)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="subtract known findings recorded in this "
+                           "baseline file (tools/analysis/baseline.json)")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      dest="write_baseline",
+                      help="snapshot current findings to FILE and exit 0 "
+                           "instead of failing on them")
+    lint.add_argument("--severity-threshold", choices=("warning", "error"),
+                      default="warning", dest="severity_threshold",
+                      help="exit 1 only for findings at or above this "
+                           "severity (default: warning, i.e. any finding)")
     return parser
 
 
@@ -391,7 +405,11 @@ def _cmd_metrics(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.analysis import run_lint
-    return run_lint(args.paths, select=args.select)
+    return run_lint(args.paths, select=args.select,
+                    output_format=args.lint_format,
+                    baseline=args.baseline,
+                    write_baseline_to=args.write_baseline,
+                    severity_threshold=args.severity_threshold)
 
 
 _COMMANDS = {

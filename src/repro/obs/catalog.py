@@ -1,0 +1,80 @@
+"""The instrument catalog: every metric family and span name, declared once.
+
+RF008 stops metric names being minted at runtime; RF013 closes the
+remaining gap by checking every *literal* name bound at a call site
+against this catalog — a typo'd family (``cache.hit`` vs
+``cache.hits``), a kind drift (a counter re-registered as a gauge), or
+a dead entry that nothing emits any more all become lint findings
+instead of silent dashboard holes.
+
+The catalog is deliberately a pair of plain literal dicts: the linter
+reads them straight out of this module's AST (no import needed when
+linting a bare checkout), and the runtime can import them for
+``repro-fov obs``-style tooling.  Adding an instrument is a two-line
+diff: the call site and the entry here.
+
+``METRICS`` maps family name -> ``(kind, description)`` where kind is
+``"counter"``, ``"gauge"`` or ``"histogram"`` and must match the
+registry method the family is bound with.  ``SPANS`` maps span name ->
+description; spans may be entered at any number of call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Final, Mapping
+
+__all__ = ["METRICS", "SPANS"]
+
+METRICS: Final[Mapping[str, tuple[str, str]]] = {
+    # -- query result cache (core/cache.py) ---------------------------------
+    "cache.hits": ("counter", "lookups answered from the result cache"),
+    "cache.misses": ("counter", "lookups that fell through to the engine"),
+    "cache.stale_drops": ("counter", "entries dropped on epoch-vector mismatch"),
+    "cache.evictions": ("counter", "entries evicted by the LRU capacity bound"),
+    # -- lossy upload channel (net/channel.py) ------------------------------
+    "channel.transmissions": ("counter", "bundle transmissions attempted"),
+    "channel.copies": ("counter", "payload bytes defensively copied"),
+    "upload.attempts": ("counter", "uploader send attempts, by outcome"),
+    "upload.retries": ("counter", "uploader retries after a failed attempt"),
+    "upload.outcomes": ("counter", "terminal upload outcomes, by status"),
+    # -- single-node server (core/server.py) --------------------------------
+    "ingest.bundles": ("counter", "bundles ingested, by dedup outcome"),
+    "ingest.bundles_retried": ("counter", "bundles seen again after a dup digest"),
+    "ingest.records_indexed": ("counter", "FoV records inserted into the index"),
+    "ingest.bytes": ("counter", "payload bytes accepted by ingest"),
+    "index.records_live": ("gauge", "records currently resident in the index"),
+    "index.epoch": ("gauge", "current index mutation epoch"),
+    "index.records_evicted": ("counter", "records removed by retention eviction"),
+    "query.requests": ("counter", "queries served, by protocol"),
+    "query.cache_hits": ("counter", "server-level query cache hits"),
+    "query.cache_misses": ("counter", "server-level query cache misses"),
+    "fetch.segments": ("counter", "video segments fetched after ranking"),
+    "fetch.segment_bytes": ("counter", "bytes of video segment payload fetched"),
+    # -- sharded router (shard/server.py) -----------------------------------
+    "shard.route": ("counter", "bundle routings, by shard id"),
+    "shard.pruned": ("counter", "shards skipped by the bounds prefilter"),
+    "shard.fanout_width": ("histogram", "shards consulted per scatter query"),
+    "shard.epoch": ("gauge", "per-shard index epoch"),
+    "shard.records_live": ("gauge", "per-shard live record count"),
+    # -- packed-index instrumentation (obs/runtime.py) ----------------------
+    "packed.descents": ("counter", "packed-tree descents executed"),
+    "packed.entries_tested": ("counter", "packed entries tested during descent"),
+    "packed.entries_matched": ("counter", "packed entries passing all filters"),
+    "packed.frontier_width_peak": ("gauge", "widest frontier seen in a descent"),
+    # -- tracer self-instrumentation (obs/trace.py) -------------------------
+    "span.duration_s": ("histogram", "wall-clock duration of finished spans"),
+}
+
+SPANS: Final[Mapping[str, str]] = {
+    "query.tree_descent": "R-tree / packed-tree candidate descent",
+    "query.projection": "FoV polygon projection over candidates",
+    "query.orientation_filter": "orientation cone filtering",
+    "query.rank": "overlap scoring and ranking",
+    "query.execute": "one end-to-end ranked query",
+    "query.execute_many": "one query batch on the persistent pool",
+    "server.ingest_bundle": "single-node server bundle ingest",
+    "server.query": "single-node server query",
+    "server.query_many": "single-node server query batch",
+    "shard.ingest_bundle": "sharded router bundle ingest",
+    "shard.query_many": "sharded router scatter-gather query batch",
+}

@@ -74,7 +74,9 @@ class EventJournal:
         return event
 
     def __len__(self) -> int:
-        return len(self._events)
+        # Lock-free on purpose: a single deque length load is atomic
+        # under the GIL, and len() feeds progress displays only.
+        return len(self._events)        # fovlint: disable=RF009
 
     def __iter__(self) -> Iterator[Event]:
         with self._lock:
@@ -98,12 +100,16 @@ class EventJournal:
     @property
     def total(self) -> int:
         """Every event ever emitted, including aged-out ones."""
-        return self._total
+        # Lock-free on purpose: one atomic int load, monotone counter.
+        return self._total              # fovlint: disable=RF009
 
     @property
     def dropped(self) -> int:
         """Events no longer retained (aged out of the bounded window)."""
-        return self._total - len(self._events)
+        # Both loads under the lock: a concurrent emit() between reading
+        # _total and len(_events) would otherwise yield a torn count.
+        with self._lock:
+            return self._total - len(self._events)
 
     def counts(self) -> dict[str, int]:
         """Per-kind tallies over the journal's whole lifetime."""

@@ -1,13 +1,22 @@
-"""The static-analysis layer: fovlint engine, the eight RF rules, CLI.
+"""The static-analysis layer: fovlint engine, the RF rules, CLI.
 
 Three tiers of coverage:
 
 * unit -- each rule on minimal in-memory snippets (bad fires, good
   stays quiet), via :func:`repro.analysis.lint_source`;
-* acceptance -- the seeded fixture ``tests/fixtures/fovlint_bad.py``
-  triggers all eight rules, and the shipped ``src/repro`` tree is clean;
+* acceptance -- the seeded fixtures (``tests/fixtures/fovlint_bad.py``
+  for the per-file rules RF001-RF008,
+  ``tests/fixtures/fovlint_concurrency_bad.py`` for the whole-program
+  rules RF009-RF014) trigger every rule, and the shipped ``src/repro``
+  tree is clean;
 * regression -- the concrete violations fixed when the linter first ran
-  (``__all__`` drift in similarity/segmentation/rtree) stay fixed.
+  (``__all__`` drift in similarity/segmentation/rtree; the torn-read
+  ``EventJournal.dropped``) stay fixed.
+
+The cross-module phase gets its own sections: the ProjectModel and
+lock fixpoint, each concurrency rule positive + negative, the
+suppression baseline round-trip, SARIF structural validation, and a
+self-check that fovlint runs clean over its own package.
 
 mypy and ruff run in CI only; their config presence is asserted here,
 their execution is skip-gated on availability.
@@ -15,6 +24,7 @@ their execution is skip-gated on availability.
 
 from __future__ import annotations
 
+import json
 import shutil
 import subprocess
 import sys
@@ -28,6 +38,8 @@ from repro.analysis.engine import axis_role, is_degree_name, name_tokens
 REPO = Path(__file__).resolve().parents[1]
 SRC_TREE = REPO / "src" / "repro"
 BAD_FIXTURE = REPO / "tests" / "fixtures" / "fovlint_bad.py"
+CONC_FIXTURE = REPO / "tests" / "fixtures" / "fovlint_concurrency_bad.py"
+BASELINE_FILE = REPO / "tools" / "analysis" / "baseline.json"
 
 
 def rule_ids(violations) -> set[str]:
@@ -390,7 +402,708 @@ def test_rf008_scoped_to_repro_packages():
 
 
 # ---------------------------------------------------------------------------
-# suppression and module pragmas
+# the cross-module ProjectModel and lock fixpoint
+
+
+def _model_for(source: str, modname: str = "repro.shard.snippet"):
+    from repro.analysis.engine import ProjectInfo, parse_module
+    from repro.analysis.model import build_model
+    module = parse_module(Path("<snippet>.py"), source=source)
+    module.modname = modname
+    return build_model(ProjectInfo(modules=[module]))
+
+
+_LOCKED_CLASS = (
+    "import threading\n"
+    "class Box:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._items = []\n"
+    "    def put(self, x):\n"
+    "        with self._lock:\n"
+    "            self._helper(x)\n"
+    "    def _helper(self, x):\n"
+    "        self._items.append(x)\n"
+)
+
+
+def test_model_detects_lock_fields_and_kinds():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self, n):\n"
+        "        self._lock = threading.RLock()\n"
+        "        self._locks = [threading.Lock() for _ in range(n)]\n"
+        "        self._epoch = 0\n"
+    )
+    cls = _model_for(src).classes["repro.shard.snippet.S"]
+    assert cls.lock_kinds == {"_lock": "RLock", "_locks": "Lock"}
+    assert cls.epoch_attrs == {"_epoch"}
+    assert cls.is_reentrant("_lock") and not cls.is_reentrant("_locks[*]")
+
+
+def test_model_fixpoint_guarantees_private_helper_lock():
+    cls = _model_for(_LOCKED_CLASS).classes["repro.shard.snippet.Box"]
+    assert cls.methods["_helper"].guaranteed_locks == {"_lock"}
+    # Public methods are reachable from outside: never guaranteed.
+    assert cls.methods["put"].guaranteed_locks == frozenset()
+
+
+def test_model_fixpoint_intersects_over_call_sites():
+    # A helper called once under the lock and once without gets no
+    # guarantee: the weakest caller wins.
+    src = _LOCKED_CLASS + "    def bare(self, x):\n        self._helper(x)\n"
+    cls = _model_for(src).classes["repro.shard.snippet.Box"]
+    assert cls.methods["_helper"].guaranteed_locks == frozenset()
+
+
+def test_model_canonicalises_indexed_lock_family():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self, n):\n"
+        "        self._locks = [threading.Lock() for _ in range(n)]\n"
+        "    def touch(self, i):\n"
+        "        with self._locks[i]:\n"
+        "            pass\n"
+    )
+    cls = _model_for(src).classes["repro.shard.snippet.S"]
+    assert [a.lock for a in cls.methods["touch"].acquires] == ["_locks[*]"]
+
+
+def test_model_is_built_once_per_project():
+    from repro.analysis.engine import ProjectInfo, parse_module
+    module = parse_module(Path("<snippet>.py"), source="x = 1\n")
+    project = ProjectInfo(modules=[module])
+    assert project.model() is project.model()
+
+
+# ---------------------------------------------------------------------------
+# RF009: cross-method lock discipline
+
+_SNIPPET_MOD = "repro.shard.snippet"
+
+
+def test_rf009_flags_unguarded_mutation_and_write():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = []\n"
+        "    def put(self, x):\n"
+        "        with self._lock:\n"
+        "            self._items.append(x)\n"
+        "    def drop(self, x):\n"
+        "        self._items.remove(x)\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF009"])
+    assert rule_ids(vs) == {"RF009"} and len(vs) == 1
+    assert vs[0].line == 10 and "mutation races" in vs[0].message
+
+
+def test_rf009_flags_lock_free_read():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._n = self._n + 1\n"
+        "    def peek(self):\n"
+        "        return self._n\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF009"])
+    assert len(vs) == 1 and "read lock-free" in vs[0].message
+
+
+def test_rf009_accepts_fully_guarded_class():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = []\n"
+        "    def put(self, x):\n"
+        "        with self._lock:\n"
+        "            self._items.append(x)\n"
+        "    def snapshot(self):\n"
+        "        with self._lock:\n"
+        "            return list(self._items)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF009"]) == []
+
+
+def test_rf009_private_helper_inherits_callers_lock():
+    # The fixpoint proves _helper always runs under the lock, so its
+    # mutation is not a violation (the ShardedCloudServer pattern).
+    assert lint_source(_LOCKED_CLASS, modname=_SNIPPET_MOD,
+                       select=["RF009"]) == []
+
+
+def test_rf009_init_writes_are_exempt():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = []\n"
+        "        self._items.append(0)\n"
+        "    def put(self, x):\n"
+        "        with self._lock:\n"
+        "            self._items.append(x)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF009"]) == []
+
+
+def test_rf009_lockless_class_is_out_of_scope():
+    src = (
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._items = []\n"
+        "    def put(self, x):\n"
+        "        self._items.append(x)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF009"]) == []
+
+
+def test_rf009_suppression_honored():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._n = self._n + 1\n"
+        "    def peek(self):\n"
+        "        # racy monitoring read, single atomic load\n"
+        "        return self._n  # fovlint: disable=RF009\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF009"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RF010: lock-order consistency
+
+
+def test_rf010_flags_opposite_acquisition_orders():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "    def fwd(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+        "    def rev(self):\n"
+        "        with self._b:\n"
+        "            with self._a:\n"
+        "                pass\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF010"])
+    assert len(vs) == 1 and "lock-order cycle" in vs[0].message
+
+
+def test_rf010_accepts_consistent_order():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "    def one(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+        "    def two(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF010"]) == []
+
+
+def test_rf010_flags_nonreentrant_reacquire_via_helper():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def outer(self):\n"
+        "        with self._lock:\n"
+        "            self._inner()\n"
+        "    def _inner(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF010"])
+    assert vs and any("self-deadlock" in v.message for v in vs)
+
+
+def test_rf010_rlock_reacquire_is_fine():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.RLock()\n"
+        "    def outer(self):\n"
+        "        with self._lock:\n"
+        "            self.inner()\n"
+        "    def inner(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF010"]) == []
+
+
+def test_rf010_flags_intra_family_nesting():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self, n):\n"
+        "        self._locks = [threading.Lock() for _ in range(n)]\n"
+        "    def move(self, i, j):\n"
+        "        with self._locks[i]:\n"
+        "            with self._locks[j]:\n"
+        "                pass\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF010"])
+    assert len(vs) == 1 and "lock family" in vs[0].message
+
+
+# ---------------------------------------------------------------------------
+# RF011: epoch bump protocol
+
+_EPOCH_HEAD = (
+    "class Idx:\n"
+    "    def __init__(self):\n"
+    "        self._epoch = 0\n"
+    "        self._records = []\n"
+)
+
+
+def test_rf011_flags_mutation_without_bump():
+    src = _EPOCH_HEAD + (
+        "    def insert(self, r):\n"
+        "        self._records.append(r)\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF011"])
+    assert len(vs) == 1 and "no path bumps" in vs[0].message
+
+
+def test_rf011_flags_bump_inside_loop():
+    src = _EPOCH_HEAD + (
+        "    def insert_many(self, rs):\n"
+        "        for r in rs:\n"
+        "            self._records.append(r)\n"
+        "            self._epoch += 1\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF011"])
+    assert len(vs) == 1 and "inside a loop" in vs[0].message
+
+
+def test_rf011_flags_double_bump():
+    src = _EPOCH_HEAD + (
+        "    def insert(self, r):\n"
+        "        self._records.append(r)\n"
+        "        self._epoch += 1\n"
+        "        self._epoch += 1\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF011"])
+    assert len(vs) == 1 and "2 times" in vs[0].message
+
+
+def test_rf011_accepts_one_bump_per_batch():
+    src = _EPOCH_HEAD + (
+        "    def insert_many(self, rs):\n"
+        "        for r in rs:\n"
+        "            self._records.append(r)\n"
+        "        if rs:\n"
+        "            self._epoch += 1\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF011"]) == []
+
+
+def test_rf011_private_helper_covered_by_bumping_callers():
+    # The FoVIndex._log_mutation pattern: the helper mutates, every
+    # caller bumps.
+    src = _EPOCH_HEAD + (
+        "    def insert(self, r):\n"
+        "        self._log(r)\n"
+        "        self._epoch += 1\n"
+        "    def delete(self, r):\n"
+        "        self._log(r)\n"
+        "        self._epoch += 1\n"
+        "    def _log(self, r):\n"
+        "        self._records.append(r)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF011"]) == []
+
+
+def test_rf011_bump_via_callee_helper_counts():
+    src = _EPOCH_HEAD + (
+        "    def insert(self, r):\n"
+        "        self._records.append(r)\n"
+        "        self._advance()\n"
+        "    def _advance(self):\n"
+        "        self._epoch += 1\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF011"]) == []
+
+
+def test_rf011_epochless_class_is_out_of_scope():
+    src = (
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._records = []\n"
+        "    def insert(self, r):\n"
+        "        self._records.append(r)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF011"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RF012: blocking call under a lock
+
+
+def test_rf012_flags_sleep_under_lock():
+    src = (
+        "import threading, time\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def throttle(self):\n"
+        "        with self._lock:\n"
+        "            time.sleep(1)\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF012"])
+    assert len(vs) == 1 and vs[0].severity == "warning"
+
+
+def test_rf012_flags_blocking_in_guaranteed_helper():
+    src = (
+        "import threading, time\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def work(self):\n"
+        "        with self._lock:\n"
+        "            self._slow()\n"
+        "    def _slow(self):\n"
+        "        time.sleep(1)\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF012"])
+    assert len(vs) == 1 and "_slow" in vs[0].message
+
+
+def test_rf012_accepts_blocking_outside_lock():
+    src = (
+        "import threading, time\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def throttle(self):\n"
+        "        time.sleep(1)\n"
+        "        with self._lock:\n"
+        "            pass\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF012"]) == []
+
+
+def test_rf012_string_join_on_literal_is_not_blocking():
+    src = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def render(self, parts):\n"
+        "        with self._lock:\n"
+        "            return ', '.join(parts)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF012"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RF013: instrument catalog drift
+
+
+def test_rf013_flags_unknown_metric_name():
+    src = "def f(reg):\n    return reg.counter('cache.hit')\n"
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF013"])
+    assert len(vs) == 1 and "not declared" in vs[0].message
+
+
+def test_rf013_flags_kind_drift():
+    src = "def f(reg):\n    return reg.gauge('cache.hits')\n"
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF013"])
+    assert len(vs) == 1 and "declared as a counter" in vs[0].message
+
+
+def test_rf013_flags_unknown_span_name():
+    src = "def f(tr):\n    with tr.span('query.warp'):\n        pass\n"
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF013"])
+    assert len(vs) == 1 and "span name" in vs[0].message
+
+
+def test_rf013_flags_duplicate_registration():
+    src = (
+        "def f(reg):\n"
+        "    a = reg.counter('cache.hits')\n"
+        "    b = reg.counter('cache.hits')\n"
+        "    return a, b\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF013"])
+    assert len(vs) == 1 and vs[0].line == 3 and "already bound" in vs[0].message
+
+
+def test_rf013_accepts_cataloged_names():
+    src = (
+        "def f(reg, tr):\n"
+        "    c = reg.counter('cache.hits')\n"
+        "    with tr.span('server.query'):\n"
+        "        pass\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF013"]) == []
+
+
+def test_rf013_dead_catalog_entry(tmp_path):
+    catalog = tmp_path / "catalog.py"
+    catalog.write_text(
+        "# fovlint: module=repro.obs.catalog\n"
+        "METRICS = {\n"
+        "    'a.lives': ('counter', 'used'),\n"
+        "    'a.dies': ('counter', 'nothing emits this'),\n"
+        "}\n"
+        "SPANS = {'s.lives': 'used'}\n",
+        encoding="utf-8",
+    )
+    user = tmp_path / "user.py"
+    user.write_text(
+        "# fovlint: module=repro.obs.user\n"
+        "def f(reg, tr):\n"
+        "    c = reg.counter('a.lives')\n"
+        "    with tr.span('s.lives'):\n"
+        "        pass\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([catalog, user], select=["RF013"])
+    assert len(report.violations) == 1
+    v = report.violations[0]
+    assert "a.dies" in v.message and v.path == str(catalog) and v.line == 4
+
+
+def test_rf013_shipped_catalog_matches_tree():
+    # Every instrument in src/repro is declared, alive, and kind-true.
+    report = lint_paths([SRC_TREE], select=["RF013"])
+    assert report.ok, "\n" + report.format()
+
+
+# ---------------------------------------------------------------------------
+# RF014: unjoined threads / unclosed pools
+
+
+def test_rf014_flags_attribute_pool_without_shutdown():
+    src = (
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._pool = ThreadPoolExecutor()\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF014"])
+    assert len(vs) == 1 and "self._pool" in vs[0].message
+
+
+def test_rf014_accepts_pool_released_in_close():
+    src = (
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._pool = ThreadPoolExecutor()\n"
+        "    def close(self):\n"
+        "        self._pool.shutdown(wait=True)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF014"]) == []
+
+
+def test_rf014_flags_unbound_thread():
+    src = (
+        "import threading\n"
+        "def fire(fn):\n"
+        "    threading.Thread(target=fn).start()\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF014"])
+    assert len(vs) == 1 and "without binding" in vs[0].message
+
+
+def test_rf014_flags_local_thread_never_joined():
+    src = (
+        "import threading\n"
+        "def run(fn):\n"
+        "    t = threading.Thread(target=fn)\n"
+        "    t.start()\n"
+    )
+    vs = lint_source(src, modname=_SNIPPET_MOD, select=["RF014"])
+    assert len(vs) == 1 and "'t'" in vs[0].message
+
+
+def test_rf014_accepts_joined_local_thread():
+    src = (
+        "import threading\n"
+        "def run(fn):\n"
+        "    t = threading.Thread(target=fn)\n"
+        "    t.start()\n"
+        "    t.join()\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF014"]) == []
+
+
+def test_rf014_accepts_context_managed_pool():
+    src = (
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "def run(fn):\n"
+        "    with ThreadPoolExecutor() as pool:\n"
+        "        pool.submit(fn)\n"
+    )
+    assert lint_source(src, modname=_SNIPPET_MOD, select=["RF014"]) == []
+
+
+# ---------------------------------------------------------------------------
+# severity levels, baseline round-trip, SARIF shape
+
+
+def test_severities_are_stamped_per_rule():
+    report = lint_paths([CONC_FIXTURE])
+    by_rule = {v.rule_id: v.severity for v in report.violations}
+    assert by_rule["RF009"] == "error"
+    assert by_rule["RF012"] == "warning"
+    assert by_rule["RF013"] == "warning"
+    assert by_rule["RF014"] == "error"
+
+
+def test_baseline_round_trip(tmp_path):
+    from repro.analysis import apply_baseline, load_baseline, write_baseline
+    report = lint_paths([CONC_FIXTURE])
+    assert report.violations
+    path = tmp_path / "baseline.json"
+    write_baseline(report.violations, path)
+    known = load_baseline(path)
+    assert apply_baseline(report.violations, known) == []
+    # A brand-new finding is not absorbed.
+    fresh = lint_paths([BAD_FIXTURE]).violations
+    assert apply_baseline(fresh, known) == fresh
+
+
+def test_baseline_is_line_number_tolerant(tmp_path):
+    from dataclasses import replace
+    from repro.analysis import apply_baseline, load_baseline, write_baseline
+    report = lint_paths([CONC_FIXTURE])
+    path = tmp_path / "baseline.json"
+    write_baseline(report.violations, path)
+    shifted = [replace(v, line=v.line + 7) for v in report.violations]
+    assert apply_baseline(shifted, load_baseline(path)) == []
+
+
+def test_baseline_counts_absorb_exactly(tmp_path):
+    from repro.analysis import apply_baseline, load_baseline, write_baseline
+    report = lint_paths([CONC_FIXTURE])
+    one = report.violations[:1]
+    path = tmp_path / "baseline.json"
+    write_baseline(one, path)
+    # The same fingerprint twice: only one is absorbed.
+    doubled = one + one
+    assert apply_baseline(doubled, load_baseline(path)) == one
+
+
+def test_malformed_baseline_is_an_engine_error(tmp_path):
+    from repro.analysis import BaselineError, load_baseline
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{\"version\": 99}", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+
+
+def test_committed_baseline_loads_and_tree_is_clean_against_it():
+    from repro.analysis import apply_baseline, load_baseline
+    known = load_baseline(BASELINE_FILE)
+    report = lint_paths([SRC_TREE])
+    assert apply_baseline(report.violations, known, root=REPO) == []
+
+
+def _sarif_log_for(paths):
+    from repro.analysis.engine import _run_rules, all_rules, build_project
+    from repro.analysis.engine import discover_files
+    from repro.analysis.sarif import to_sarif
+    rules = all_rules()
+    project = build_project(discover_files(paths))
+    return to_sarif(_run_rules(project, rules), rules, root=REPO), rules
+
+
+def test_sarif_log_structure_is_valid_2_1_0():
+    # Structural validation against the SARIF 2.1.0 core: the exact
+    # required properties of sarifLog, run, tool, reportingDescriptor
+    # and result objects (the jsonschema package is not a test dep).
+    log, rules = _sarif_log_for([CONC_FIXTURE])
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "fovlint"
+    descriptors = driver["rules"]
+    assert [d["id"] for d in descriptors] == [r.rule_id for r in rules]
+    for d in descriptors:
+        assert d["shortDescription"]["text"]
+        assert d["defaultConfiguration"]["level"] in ("warning", "error")
+    assert run["results"], "fixture must produce results"
+    for res in run["results"]:
+        assert descriptors[res["ruleIndex"]]["id"] == res["ruleId"]
+        assert res["level"] in ("warning", "error")
+        assert res["message"]["text"]
+        (loc,) = res["locations"]
+        phys = loc["physicalLocation"]
+        assert phys["artifactLocation"]["uri"].startswith("tests/")
+        assert phys["artifactLocation"]["uriBaseId"] in \
+            run["originalUriBaseIds"]
+        assert phys["region"]["startLine"] >= 1
+        assert phys["region"]["startColumn"] >= 1
+
+
+def test_sarif_validates_against_vendored_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(
+        (REPO / "tools" / "analysis" / "sarif-2.1.0-subset.schema.json")
+        .read_text(encoding="utf-8"))
+    log, _ = _sarif_log_for([CONC_FIXTURE])
+    jsonschema.validate(instance=log, schema=schema)
+    clean_log, _ = _sarif_log_for([SRC_TREE / "analysis"])
+    jsonschema.validate(instance=clean_log, schema=schema)
+
+
+def test_sarif_is_deterministic_json():
+    from repro.analysis.engine import all_rules
+    from repro.analysis.sarif import sarif_json
+    log, rules = _sarif_log_for([CONC_FIXTURE])
+    del log
+    a = sarif_json(lint_paths([CONC_FIXTURE]).violations, all_rules())
+    b = sarif_json(lint_paths([CONC_FIXTURE]).violations, all_rules())
+    assert a == b and json.loads(a)["version"] == "2.1.0"
+
+
+# ---------------------------------------------------------------------------
+# self-check: fovlint is clean over its own package
+
+
+def test_fovlint_is_clean_over_itself():
+    report = lint_paths([SRC_TREE / "analysis"])
+    assert report.ok, "\n" + report.format()
+
+
+
 
 
 def test_disable_pragma_suppresses_on_its_line():
@@ -418,12 +1131,20 @@ def test_module_pragma_must_start_the_line():
 # acceptance: the seeded fixture and the shipped tree
 
 
-def test_bad_fixture_triggers_every_rule():
+def test_bad_fixture_triggers_every_per_file_rule():
     report = lint_paths([BAD_FIXTURE])
     assert not report.ok
     assert rule_ids(report.violations) == {
         "RF001", "RF002", "RF003", "RF004", "RF005", "RF006", "RF007",
         "RF008",
+    }
+
+
+def test_concurrency_fixture_triggers_every_whole_program_rule():
+    report = lint_paths([CONC_FIXTURE])
+    assert not report.ok
+    assert rule_ids(report.violations) == {
+        "RF009", "RF010", "RF011", "RF012", "RF013", "RF014",
     }
 
 
@@ -454,6 +1175,40 @@ def test_cli_lint_select(capsys):
     assert main(["lint", str(BAD_FIXTURE), "--select", "RF004"]) == 1
     out = capsys.readouterr().out
     assert "RF004" in out and "RF001" not in out
+
+
+def test_cli_severity_threshold_gates_exit_code(capsys):
+    from repro.cli import main
+    # RF012 findings are warnings: reported, but below an error threshold.
+    assert main(["lint", str(CONC_FIXTURE), "--select", "RF012"]) == 1
+    assert main(["lint", str(CONC_FIXTURE), "--select", "RF012",
+                 "--severity-threshold", "error"]) == 0
+    out = capsys.readouterr().out
+    assert "RF012" in out          # still reported, just not failing
+
+
+def test_cli_sarif_and_json_formats(capsys):
+    from repro.cli import main
+    assert main(["lint", str(CONC_FIXTURE), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0" and log["runs"][0]["results"]
+    assert main(["lint", str(CONC_FIXTURE), "--format", "json"]) == 1
+    rows = json.loads(capsys.readouterr().out)
+    assert {r["rule"] for r in rows} >= {"RF009", "RF014"}
+
+
+def test_cli_baseline_workflow(tmp_path, capsys):
+    from repro.cli import main
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(CONC_FIXTURE),
+                 "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(CONC_FIXTURE),
+                 "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    bad = tmp_path / "garbage.json"
+    bad.write_text("not json", encoding="utf-8")
+    assert main(["lint", str(CONC_FIXTURE), "--baseline", str(bad)]) == 2
 
 
 def test_standalone_shim_runs_without_pythonpath():
