@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from repro import CameraModel
+from repro.core.flatsnap import FLATSNAP_VERSION
 from repro.eval.harness import Table
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -41,8 +42,16 @@ def bench_export(request):
     into any existing summary of the same name, so several tests can
     contribute sections to one trajectory file regardless of run order.
     Returns the path written.
+
+    Every summary is stamped with the flat-snapshot schema version, so
+    a trajectory diff across PRs can tell a perf regression from a
+    format change; pass ``records``/``queries``/``engine`` keywords to
+    stamp the workload shape and engine under test as well.
     """
-    def _export(name: str, payload: dict) -> Path:
+    def _export(name: str, payload: dict, *,
+                records: int | None = None,
+                queries: int | None = None,
+                engine: str | None = None) -> Path:
         out_dir = request.config.getoption("--bench-json")
         root = Path(out_dir) if out_dir else REPO_ROOT
         root.mkdir(parents=True, exist_ok=True)
@@ -54,6 +63,11 @@ def bench_export(request):
             except json.JSONDecodeError:
                 pass    # a corrupt summary is overwritten, not fatal
         merged.update(payload)
+        merged["snapshot_schema_version"] = FLATSNAP_VERSION
+        for key, value in (("records", records), ("queries", queries),
+                           ("engine", engine)):
+            if value is not None:
+                merged[key] = value
         path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
         return path

@@ -9,9 +9,14 @@ Fig. 6 workload (50k citywide records, 256 queries):
 * **parity** -- the packed engine returns exactly the seed engine's
   rankings and funnel counters;
 * **throughput** -- the batched ``execute_many`` answers the 256-query
-  batch at >= 5x the seed sequential loop;
+  batch at >= 10x the seed sequential loop, and a warm single packed
+  query clears 50 us (min-of-passes; ~20 us on a quiet machine, the
+  gate leaves headroom for sandbox CPU drift while still sitting an
+  order of magnitude under the pre-grid ~150 us path);
 * **caching** -- repeated queries served from the epoch-tagged LRU
-  cache cost (almost) nothing.
+  cache cost (almost) nothing;
+* **latency shape** -- per-query p50/p99 from the span tracer, so the
+  trajectory catches tail regressions a mean would hide.
 
 Numbers are exported to ``BENCH_batched_query_engine.json`` at the repo
 root so later PRs can track the perf trajectory.
@@ -29,10 +34,13 @@ from repro.core.query import Query
 from repro.core.retrieval import RetrievalEngine
 from repro.core.server import CloudServer
 from repro.eval.harness import Table
+from repro.obs import Observability
 from repro.traces.dataset import random_representative_fovs
 
 N_RECORDS = 50_000
 N_QUERIES = 256
+SINGLE_QUERY_GATE_S = 50e-6
+LATENCY_PASSES = 7
 
 
 def _queries(rng, reps, n):
@@ -92,15 +100,20 @@ def test_packed_parity_and_throughput(workload, camera, show, benchmark,
     for got, want in zip(batched, seq):
         assert _ranking(got) == _ranking(want)
 
-    # Single-query latency, both engines, warm caches.
-    t0 = time.perf_counter()
-    for q in queries:
-        dynamic.execute(q)
-    lat_dyn = (time.perf_counter() - t0) / len(queries)
-    t0 = time.perf_counter()
-    for q in queries:
-        packed.execute(q)
-    lat_pack = (time.perf_counter() - t0) / len(queries)
+    # Single-query latency, both engines, warm caches.  Min-of-passes:
+    # the gate measures the engine, not whatever else the machine was
+    # doing during one particular pass.
+    def _min_lat(engine):
+        best = float("inf")
+        for _ in range(LATENCY_PASSES):
+            t0 = time.perf_counter()
+            for q in queries:
+                engine.execute(q)
+            best = min(best, (time.perf_counter() - t0) / len(queries))
+        return best
+
+    lat_dyn = _min_lat(dynamic)
+    lat_pack = _min_lat(packed)
 
     speedup = t_seq / t_batch
     table = Table(
@@ -116,17 +129,19 @@ def test_packed_parity_and_throughput(workload, camera, show, benchmark,
     show(f"batched speedup: {speedup:.1f}x; snapshot pack: {pack_s * 1e3:.1f} ms")
 
     bench_export("batched_query_engine", {
-        "records": N_RECORDS,
-        "queries": N_QUERIES,
         "pack_snapshot_s": pack_s,
         "seq_batch_s": t_seq,
         "packed_batch_s": t_batch,
         "batched_speedup_x": speedup,
         "single_query_dynamic_s": lat_dyn,
         "single_query_packed_s": lat_pack,
-    })
+    }, records=N_RECORDS, queries=N_QUERIES, engine="packed")
 
-    assert speedup >= 5.0, f"batched speedup {speedup:.1f}x below the 5x gate"
+    assert speedup >= 10.0, (
+        f"batched speedup {speedup:.1f}x below the 10x gate")
+    assert lat_pack < SINGLE_QUERY_GATE_S, (
+        f"warm packed single query {lat_pack * 1e6:.1f} us over the "
+        f"{SINGLE_QUERY_GATE_S * 1e6:.0f} us gate at {N_RECORDS} records")
 
     benchmark(lambda: packed.execute_many(queries))
 
@@ -163,12 +178,13 @@ def test_cache_hit_speedup(workload, camera, show, bench_export):
 def test_sharded_fanout_matches_batched(workload, camera, show, bench_export):
     """The persistent-pool fan-out beats the seed sequential loop.
 
-    The old per-call pool shipped the whole packed snapshot to fresh
+    The old per-call pool pickled the whole packed snapshot to fresh
     workers every batch, which made the sharded path *slower* than the
-    sequential baseline (0.8x in earlier trajectories).  The pool is
-    now persistent: workers initialise once, later batches ship only
-    epoch deltas, so the steady-state batch must clear 1.5x over the
-    seed sequential path even on one core.
+    sequential baseline (0.8x in earlier trajectories).  The pool now
+    publishes one flat ``FOVPACK1`` snapshot into shared memory per
+    index epoch and workers attach it zero-copy, so the steady-state
+    batch must clear 1.5x over the seed sequential path even on one
+    core.
     """
     index, queries = workload
     dynamic = RetrievalEngine(index, camera)                      # seed path
@@ -204,3 +220,34 @@ def test_sharded_fanout_matches_batched(workload, camera, show, bench_export):
     })
     assert speedup >= 1.5, (
         f"persistent-pool sharded path {speedup:.2f}x below the 1.5x gate")
+
+
+def test_span_latency_percentiles(workload, camera, show, bench_export):
+    """Per-query p50/p99 from the span tracer, exported for trajectory.
+
+    The mean the throughput test reports hides tail behaviour (a GC
+    pause, a cold cell, a pathological query); the tracer's
+    ``server.query`` spans give the whole distribution.
+    """
+    index, queries = workload
+    obs = Observability.tracing(trace_capacity=N_QUERIES)
+    server = CloudServer(camera, index=index, engine="packed",
+                         cache_size=0, obs=obs)
+    server.query_many(queries[:16])                 # warm kernels + view
+    tracer = obs.span_tracer
+    assert tracer is not None
+    tracer.clear()
+    for q in queries:
+        server.query(q)
+    lat = sorted(t.duration_s for t in tracer.traces()
+                 if t.name == "server.query")
+    assert len(lat) == N_QUERIES
+    p50 = float(np.percentile(lat, 50))
+    p99 = float(np.percentile(lat, 99))
+    show(f"span latency ({N_QUERIES} queries, {N_RECORDS} records): "
+         f"p50 {p50 * 1e6:.1f} us, p99 {p99 * 1e6:.1f} us")
+    bench_export("batched_query_engine", {
+        "span_query_p50_s": p50,
+        "span_query_p99_s": p99,
+    })
+    assert p50 < p99 and p99 < 1.0          # sanity: a tail, not a hang

@@ -111,6 +111,7 @@ def test_ingest_resilience(corpus, camera, show, bench_export):
     bench_export("ingest_path", {
         "bundles": N_BUNDLES,
         "records_per_bundle": RECORDS_PER_BUNDLE,
+        "records": N_BUNDLES * RECORDS_PER_BUNDLE,
         "encode_v1_mb_s": round(mb1 / t_enc1, 1),
         "encode_v2_mb_s": round(mb2 / t_enc2, 1),
         "decode_v1_mb_s": round(mb1 / t_dec1, 1),
@@ -121,4 +122,4 @@ def test_ingest_resilience(corpus, camera, show, bench_export):
         "faulty_attempts": uploader.stats.attempts,
         "faulty_retries": uploader.stats.retries,
         "corrupt_copies_quarantined": channel.stats.corrupted,
-    })
+    }, engine="dynamic")

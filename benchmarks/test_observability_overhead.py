@@ -125,15 +125,13 @@ def test_instrumented_throughput_gate(workload, camera, show, benchmark,
     assert spans.labels(span="server.query_many").count > 0
 
     bench_export("observability", {
-        "records": N_RECORDS,
-        "queries": N_QUERIES,
         "bare_batch_s": t_bare,
         "counted_batch_s": t_counted,
         "traced_batch_s": t_traced,
         "counted_throughput_ratio": ratio_counted,
         "traced_throughput_ratio": ratio_traced,
         "gate": OVERHEAD_GATE,
-    })
+    }, records=N_RECORDS, queries=N_QUERIES, engine="packed")
 
     assert ratio_counted >= OVERHEAD_GATE, (
         f"instrumented batched throughput {ratio_counted:.2f}x of bare "
@@ -171,5 +169,12 @@ def test_single_query_overhead(workload, camera, show, bench_export):
         "single_bare_s_per_query": t_bare / len(sample),
         "single_counted_s_per_query": t_counted / len(sample),
     })
-    # Sanity, not a tight gate: counting must not blow up the hot path.
-    assert t_counted <= t_bare * 3.0
+    # Sanity, not a tight gate: the server layer (cache bookkeeping,
+    # counters, journal append) must stay a bounded absolute cost per
+    # query.  A ratio against the bare engine stopped making sense once
+    # the packed single-query path dropped to ~20 us -- the same fixed
+    # overhead that was 1.5x a 150 us engine is 5x a 20 us one.
+    overhead_s = max(0.0, (t_counted - t_bare) / len(sample))
+    assert overhead_s < 300e-6, (
+        f"server-layer overhead {overhead_s * 1e6:.0f} us/query over the "
+        f"300 us sanity bound")

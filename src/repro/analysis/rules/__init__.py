@@ -1,9 +1,10 @@
-"""The domain lint rules (RF001-RF014).
+"""The domain lint rules (RF001-RF015).
 
 Each rule lives in its own module and registers here; the engine
 instantiates :data:`RULES` fresh per run.  RF001-RF008 are per-file
 AST rules; RF009-RF014 are the phase-2 concurrency/invariant rules
-over the shared :class:`~repro.analysis.model.ProjectModel`.  See
+over the shared :class:`~repro.analysis.model.ProjectModel`; RF015 is
+the hot-path vectorisation ratchet.  See
 ``docs/STATIC_ANALYSIS.md`` for the rationale and a bad/good example
 of every rule.
 """
@@ -26,6 +27,7 @@ from repro.analysis.rules.rf013_registration_drift import (
     RF013RegistrationDrift,
 )
 from repro.analysis.rules.rf014_unjoined_workers import RF014UnjoinedWorkers
+from repro.analysis.rules.rf015_columnloops import RF015ColumnLoop
 
 RULES = (
     RF001DegreesIntoTrig,
@@ -42,6 +44,7 @@ RULES = (
     RF012BlockingUnderLock,
     RF013RegistrationDrift,
     RF014UnjoinedWorkers,
+    RF015ColumnLoop,
 )
 
 __all__ = [
@@ -60,4 +63,5 @@ __all__ = [
     "RF012BlockingUnderLock",
     "RF013RegistrationDrift",
     "RF014UnjoinedWorkers",
+    "RF015ColumnLoop",
 ]

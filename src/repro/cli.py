@@ -141,9 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exposition format for the snapshot "
                           "(classic Prometheus text, or JSON)")
 
+    pk = sub.add_parser("pack",
+                        help="compile a descriptor snapshot into a flat "
+                             "``.fovpack`` packed snapshot (mmap/shared-"
+                             "memory attachable, zero-copy; see "
+                             "docs/PERFORMANCE.md)")
+    pk.add_argument("--snapshot", required=True,
+                    help="input descriptor snapshot (.fov)")
+    pk.add_argument("--out", default=None,
+                    help="output path (default: the input path with "
+                         "a .fovpack suffix)")
+
     lint = sub.add_parser("lint",
                           help="run the domain-aware FoV lint rules "
-                               "(RF001-RF014) over source trees")
+                               "(RF001-RF015) over source trees")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint "
                            "(default: src/repro)")
@@ -403,13 +414,43 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_pack(args) -> int:
+    from pathlib import Path
+
+    from repro.core.flatsnap import (FLATSNAP_VERSION, FOVPACK_SUFFIX,
+                                     load_snapshot_file, write_snapshot_file)
+    index, records = load_snapshot(args.snapshot)
+    out = args.out or str(Path(args.snapshot).with_suffix(FOVPACK_SUFFIX))
+    view = index.packed_view()
+    written = write_snapshot_file(out, view)
+    # Read it straight back (CRC + structure): a snapshot that cannot
+    # be attached is not a snapshot.
+    attached = load_snapshot_file(out)
+    if len(attached) != len(records):
+        print(f"pack verification failed: {len(attached)} of "
+              f"{len(records)} records attach", file=sys.stderr)
+        return 1
+    grid = view.grid
+    print(f"packed {len(records)} records "
+          f"(schema v{FLATSNAP_VERSION}, epoch {view.epoch}, "
+          f"grid {grid.width}x{grid.height}x{grid.slices})")
+    print(f"wrote {written} bytes to {out} (verified)")
+    return 0
+
+
 def _cmd_lint(args) -> int:
+    from pathlib import Path
+
     from repro.analysis import run_lint
+    # Fingerprint baselined findings relative to the invocation root so
+    # absolute and relative path arguments agree with the committed
+    # repo-relative baseline (run from the repo root, as CI does).
     return run_lint(args.paths, select=args.select,
                     output_format=args.lint_format,
                     baseline=args.baseline,
                     write_baseline_to=args.write_baseline,
-                    severity_threshold=args.severity_threshold)
+                    severity_threshold=args.severity_threshold,
+                    root=Path.cwd())
 
 
 _COMMANDS = {
@@ -420,6 +461,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "ingest": _cmd_ingest,
     "metrics": _cmd_metrics,
+    "pack": _cmd_pack,
     "lint": _cmd_lint,
 }
 

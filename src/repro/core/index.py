@@ -13,7 +13,7 @@ or the linear-scan baseline for the Fig. 6(c) comparison.
 
 from __future__ import annotations
 
-from typing import Iterable, Literal
+from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
@@ -22,12 +22,14 @@ from repro.core.query import Query
 from repro.geo.coords import GeoPoint
 from repro.geo.earth import metres_per_degree, radius_to_degrees
 from repro.spatial.bulk import str_bulk_load
+from repro.spatial.grid import PackedPointGrid
 from repro.spatial.knn import knn_search, mindist
 from repro.spatial.linear import LinearScanIndex
 from repro.spatial.packed import PackedRTree, SearchObserver
 from repro.spatial.rtree import RTree, RTreeConfig
 
-__all__ = ["FoVIndex", "PackedFoVIndex", "fov_box", "query_box"]
+__all__ = ["FoVIndex", "PackedFoVIndex", "fov_box", "query_box",
+           "query_box_floats"]
 
 #: How many epochs of mutation history an index retains for
 #: incremental consumers (the persistent shard pool's delta protocol,
@@ -46,25 +48,106 @@ def fov_box(fov: RepresentativeFoV) -> tuple[np.ndarray, np.ndarray]:
 
 def query_box(query: Query) -> tuple[np.ndarray, np.ndarray]:
     """3-D query rectangle of ``Q = (t_s, t_e, p, r)`` (Section V-B)."""
-    r_lng, r_lat = radius_to_degrees(query.radius, query.center.lat)
+    bmin0, bmin1, bmin2, bmax0, bmax1, bmax2 = query_box_floats(query)
     return (
-        np.array([query.center.lng - r_lng, query.center.lat - r_lat,
-                  query.t_start], dtype=float),
-        np.array([query.center.lng + r_lng, query.center.lat + r_lat,
-                  query.t_end], dtype=float),
+        np.array([bmin0, bmin1, bmin2], dtype=float),
+        np.array([bmax0, bmax1, bmax2], dtype=float),
     )
+
+
+def query_box_floats(
+        query: Query) -> tuple[float, float, float, float, float, float]:
+    """:func:`query_box` corners as six plain floats.
+
+    ``(min_lng, min_lat, min_t, max_lng, max_lat, max_t)`` -- the same
+    arithmetic as :func:`query_box` (both derive from this function), so
+    every engine tests candidates against bit-identical box corners.
+    The single-query latency path uses this form to skip two ndarray
+    constructions per query.
+    """
+    r_lng, r_lat = radius_to_degrees(query.radius, query.center.lat)
+    return (query.center.lng - r_lng, query.center.lat - r_lat,
+            query.t_start,
+            query.center.lng + r_lng, query.center.lat + r_lat,
+            query.t_end)
+
+
+class _ColumnRecords(Sequence):
+    """Lazy ``records`` side table over snapshot columns.
+
+    Zero-copy consumers (flat snapshot attach, docs/PERFORMANCE.md)
+    reconstruct columns without ever holding Python record objects;
+    this sequence materialises a :class:`RepresentativeFoV` only when a
+    ranked result actually needs one, so attaching a shared snapshot
+    stays O(1) in record count.
+    """
+
+    __slots__ = ("_lat", "_lng", "_theta", "_t_start", "_t_end",
+                 "_video_ids", "_segment_ids")
+
+    def __init__(self, lat: np.ndarray, lng: np.ndarray, theta: np.ndarray,
+                 t_start: np.ndarray, t_end: np.ndarray,
+                 video_ids: np.ndarray, segment_ids: np.ndarray) -> None:
+        self._lat = lat
+        self._lng = lng
+        self._theta = theta
+        self._t_start = t_start
+        self._t_end = t_end
+        self._video_ids = video_ids
+        self._segment_ids = segment_ids
+
+    def __len__(self) -> int:
+        return int(self._lat.shape[0])
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        return RepresentativeFoV(
+            lat=float(self._lat[i]), lng=float(self._lng[i]),
+            theta=float(self._theta[i]),
+            t_start=float(self._t_start[i]), t_end=float(self._t_end[i]),
+            video_id=str(self._video_ids[i]),
+            segment_id=int(self._segment_ids[i]),
+        )
+
+
+def _key_rank(video_ids: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+    """Canonical rank of each record's ``(video_id, segment_id)`` key.
+
+    ``key_rank[i] < key_rank[j]`` iff ``records[i].key() <
+    records[j].key()`` (NumPy ``<U`` comparison is code-point order,
+    same as Python ``str``).  The stable lexsort gives equal keys
+    ranks in payload order, so tie-breaking on ``key_rank`` reproduces
+    the previous "stable sort then re-sort tie runs by key" behaviour.
+    Ranking by this integer column replaces per-result Python key
+    tuples on the hot path.
+    """
+    n = int(video_ids.shape[0])
+    order = np.lexsort((segment_ids, video_ids))
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+    return rank
 
 
 class PackedFoVIndex:
     """Frozen columnar (SoA) snapshot of a :class:`FoVIndex`.
 
-    The read-optimised serving form: the R-tree packed level-order into
-    contiguous arrays (:class:`~repro.spatial.packed.PackedRTree`) plus
-    a columnar leaf payload -- parallel ``lat``/``lng``/``theta``/
-    ``t_start``/``t_end`` arrays in leaf-entry order and a ``records``
-    side table mapping payload id back to the indexed object.  The
-    retrieval engine consumes candidates by fancy-indexing these
-    columns instead of touching Python attributes per candidate.
+    The read-optimised serving form: parallel ``lat``/``lng``/``theta``/
+    ``t_start``/``t_end``/``video_ids``/``segment_ids`` arrays in
+    payload order, a :class:`~repro.spatial.grid.PackedPointGrid` CSR
+    cell grid answering range queries over the (degenerate) record
+    boxes, a precomputed ``key_rank`` column encoding the canonical
+    ``(video_id, segment_id)`` order for vectorised ranking, and a
+    ``records`` sequence mapping payload id back to the indexed object
+    (lazy when the snapshot was attached zero-copy).  The retrieval
+    engine consumes candidates by fancy-indexing these columns instead
+    of touching Python attributes per candidate.
+
+    ``tree`` retains the level-order packed R-tree when the snapshot
+    was built from a dynamic index (``None`` on zero-copy attach): the
+    grid answers the same box queries in fewer passes, but the tree
+    remains the reference structure for cross-checks and kNN-style
+    descents.
 
     ``epoch`` records the backing index's mutation counter at snapshot
     time; ``FoVIndex.packed_view`` rebuilds the snapshot when they
@@ -72,13 +155,14 @@ class PackedFoVIndex:
     """
 
     __slots__ = ("tree", "records", "lat", "lng", "theta",
-                 "t_start", "t_end", "epoch")
+                 "t_start", "t_end", "video_ids", "segment_ids",
+                 "key_rank", "grid", "epoch")
 
     def __init__(self, tree: PackedRTree, epoch: int = 0) -> None:
         self.tree = tree
         self.epoch = epoch
         recs: list[RepresentativeFoV] = list(tree.items)
-        self.records = recs
+        self.records: Sequence[RepresentativeFoV] = recs
         n = len(recs)
         self.lat = np.fromiter((r.lat for r in recs), dtype=float, count=n)
         self.lng = np.fromiter((r.lng for r in recs), dtype=float, count=n)
@@ -86,6 +170,17 @@ class PackedFoVIndex:
         self.t_start = np.fromiter((r.t_start for r in recs), dtype=float,
                                    count=n)
         self.t_end = np.fromiter((r.t_end for r in recs), dtype=float, count=n)
+        if n:
+            self.video_ids = np.array([r.video_id for r in recs])
+            self.segment_ids = np.fromiter((r.segment_id for r in recs),
+                                           dtype=np.int64, count=n)
+        else:
+            self.video_ids = np.empty(0, dtype="<U1")
+            self.segment_ids = np.empty(0, dtype=np.int64)
+        self.key_rank = _key_rank(self.video_ids, self.segment_ids)
+        self.grid = PackedPointGrid.build(self.lng, self.lat,
+                                          self.t_start, self.t_end,
+                                          self.theta)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -95,12 +190,43 @@ class PackedFoVIndex:
         """Snapshot a dynamic R-tree of representative FoVs."""
         return cls(PackedRTree.from_rtree(tree), epoch=epoch)
 
+    @classmethod
+    def from_columns(cls, *, lat: np.ndarray, lng: np.ndarray,
+                     theta: np.ndarray, t_start: np.ndarray,
+                     t_end: np.ndarray, video_ids: np.ndarray,
+                     segment_ids: np.ndarray, key_rank: np.ndarray,
+                     grid: PackedPointGrid, epoch: int = 0
+                     ) -> "PackedFoVIndex":
+        """Assemble a snapshot directly from columns (zero-copy attach).
+
+        Used by the flat snapshot codec (:mod:`repro.core.flatsnap`):
+        the columns and grid typically view a shared buffer, nothing is
+        copied, and ``records`` materialises objects lazily -- so this
+        constructor is O(1) in record count.  ``tree`` is ``None``; all
+        range searches go through the grid.
+        """
+        view = cls.__new__(cls)
+        view.tree = None
+        view.epoch = epoch
+        view.lat = lat
+        view.lng = lng
+        view.theta = theta
+        view.t_start = t_start
+        view.t_end = t_end
+        view.video_ids = video_ids
+        view.segment_ids = segment_ids
+        view.key_rank = key_rank
+        view.grid = grid
+        view.records = _ColumnRecords(lat, lng, theta, t_start, t_end,
+                                      video_ids, segment_ids)
+        return view
+
     def range_search_ids(self, query: Query,
                          observer: SearchObserver | None = None
                          ) -> np.ndarray:
         """Payload ids of records intersecting the query's 3-D box."""
-        bmin, bmax = query_box(query)
-        return self.tree.search_ids(bmin, bmax, observer=observer)
+        b = query_box_floats(query)
+        return self.grid.search_ids(b[:3], b[3:], observer=observer)
 
     def range_search(self, query: Query) -> list[RepresentativeFoV]:
         """Same candidate set as ``FoVIndex.range_search`` (as objects)."""
@@ -117,10 +243,9 @@ class PackedFoVIndex:
         """
         if not queries:
             return (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
-        boxes = [query_box(q) for q in queries]
-        bmins = np.array([b[0] for b in boxes], dtype=float)
-        bmaxs = np.array([b[1] for b in boxes], dtype=float)
-        return self.tree.search_many(bmins, bmaxs, observer=observer)
+        boxes = np.array([query_box_floats(q) for q in queries], dtype=float)
+        return self.grid.search_many(boxes[:, :3], boxes[:, 3:],
+                                     observer=observer)
 
 
 class FoVIndex:

@@ -7,7 +7,8 @@ The server answers with a relevance-ranked list of representative FoVs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.core.fov import RepresentativeFoV
 from repro.geo.coords import GeoPoint
@@ -69,8 +70,7 @@ class Query:
                    radius=radius, top_n=top_n)
 
 
-@dataclass(frozen=True, slots=True)
-class RankedFoV:
+class RankedFoV(NamedTuple):
     """One result row: a representative FoV with its ranking evidence.
 
     ``distance`` is the metre distance from the FoV position to the
@@ -81,6 +81,11 @@ class RankedFoV:
     totally ordered by ``(-score, fov.key())``, which is what lets a
     sharded scatter-gather merge per-shard answers back into exactly
     the single-server ranking (docs/SHARDING.md).
+
+    A ``NamedTuple`` rather than a frozen dataclass: the packed
+    engine's scalar fast path materialises one of these per result row
+    inside the single-query latency budget, and tuple construction
+    skips the per-field ``object.__setattr__`` a frozen dataclass pays.
     """
 
     fov: RepresentativeFoV
@@ -89,17 +94,18 @@ class RankedFoV:
     score: float = 0.0
 
 
-@dataclass(frozen=True)
-class QueryResult:
+class QueryResult(NamedTuple):
     """Ranked answer plus the funnel counters the evaluation reports.
 
-    ``candidates`` is how many index entries the R-tree range search
-    returned; ``after_filter`` how many survived the orientation filter;
+    ``candidates`` is how many index entries the range search returned;
+    ``after_filter`` how many survived the orientation filter;
     ``elapsed_s`` the server-side wall time of the whole lookup.
+    (``NamedTuple`` for the same construction-cost reason as
+    :class:`RankedFoV` -- one is built per query on the latency path.)
     """
 
     query: Query
-    ranked: list[RankedFoV] = field(default_factory=list)
+    ranked: list[RankedFoV] = []
     candidates: int = 0
     after_filter: int = 0
     elapsed_s: float = 0.0

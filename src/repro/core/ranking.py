@@ -39,6 +39,20 @@ class DistanceRanker:
         """Higher-is-better scores: negated distance to the query centre."""
         return -np.asarray(dist, dtype=float)
 
+    def scores_batch(self, camera: CameraModel,
+                     q_t_start: np.ndarray, q_t_end: np.ndarray,
+                     dist: np.ndarray, dtheta: np.ndarray,
+                     t_start: np.ndarray, t_end: np.ndarray) -> np.ndarray:
+        """Cross-query form of :meth:`scores` (see the module note).
+
+        Rows may belong to different queries; ``q_t_start``/``q_t_end``
+        carry each row's query window.  Every operation is elementwise,
+        so row ``i`` equals ``scores(query_i, ...)`` bit for bit -- the
+        batched engine relies on that for parity with the sequential
+        path.
+        """
+        return -np.asarray(dist, dtype=float)
+
 
 @dataclass(frozen=True)
 class CompositeRanker:
@@ -80,6 +94,36 @@ class CompositeRanker:
         window = max(query.t_end - query.t_start, 1e-9)
         overlap = (np.minimum(t_end, query.t_end)
                    - np.maximum(t_start, query.t_start))
+        temporal = np.clip(overlap / window, 0.0, 1.0)
+        centrality = np.clip(1.0 - dtheta / camera.half_angle, 0.0, 1.0)
+
+        total = self.w_distance + self.w_temporal + self.w_centrality
+        return (self.w_distance * proximity
+                + self.w_temporal * temporal
+                + self.w_centrality * centrality) / total
+
+    def scores_batch(self, camera: CameraModel,
+                     q_t_start: np.ndarray, q_t_end: np.ndarray,
+                     dist: np.ndarray, dtheta: np.ndarray,
+                     t_start: np.ndarray, t_end: np.ndarray) -> np.ndarray:
+        """Cross-query form of :meth:`scores`.
+
+        ``q_t_start``/``q_t_end`` carry each row's query window.  The
+        window clamp uses ``np.maximum`` elementwise where the scalar
+        path uses ``max``; both produce the same doubles, so batched
+        scores match the per-query path bit for bit.
+        """
+        dist = np.asarray(dist, dtype=float)
+        dtheta = np.asarray(dtheta, dtype=float)
+        t_start = np.asarray(t_start, dtype=float)
+        t_end = np.asarray(t_end, dtype=float)
+        q_t_start = np.asarray(q_t_start, dtype=float)
+        q_t_end = np.asarray(q_t_end, dtype=float)
+
+        proximity = np.clip(1.0 - dist / camera.radius, 0.0, 1.0)
+        window = np.maximum(q_t_end - q_t_start, 1e-9)
+        overlap = (np.minimum(t_end, q_t_end)
+                   - np.maximum(t_start, q_t_start))
         temporal = np.clip(overlap / window, 0.0, 1.0)
         centrality = np.clip(1.0 - dtheta / camera.half_angle, 0.0, 1.0)
 

@@ -40,15 +40,17 @@ tracing -- plus packed-descent counters through a
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.core.camera import CameraModel
 from repro.core.fov import RepresentativeFoV
-from repro.core.index import FoVIndex, PackedFoVIndex
+from repro.core.index import FoVIndex, PackedFoVIndex, query_box_floats
 from repro.core.query import Query, QueryResult, RankedFoV
-from repro.geo.earth import LocalProjection, pairwise_local_xy
+from repro.core.ranking import DistanceRanker
+from repro.geo.earth import _M_PER_DEG, LocalProjection, pairwise_local_xy
 from repro.geometry.angles import angular_difference
 from repro.net.clock import default_timer
 from repro.obs.runtime import Observability, PackedSearchRecorder
@@ -151,6 +153,205 @@ def _ranked_rows(query: Query, camera: CameraModel, ranker: Any,
     ]
 
 
+def _rank_survivors(view: PackedFoVIndex, ids: np.ndarray, query: Query,
+                    camera: CameraModel, ranker: Any,
+                    dist: np.ndarray, dtheta: np.ndarray,
+                    covers_center: np.ndarray, keep: np.ndarray
+                    ) -> tuple[list[RankedFoV], int]:
+    """Vectorised canonical rank of one packed query's survivors.
+
+    The single-query counterpart of the batch rank pass: the mask is
+    applied first (the ranker only ever sees survivors), the canonical
+    ``(-score, key)`` order comes from one ``np.lexsort`` over the
+    precomputed ``key_rank`` column, and only the ``top_n`` winning
+    rows are materialised into :class:`RankedFoV` objects.  Returns
+    ``(ranked rows, survivor count)``.
+    """
+    kept = np.flatnonzero(keep)
+    n_kept = int(kept.size)
+    if n_kept == 0:
+        return [], 0
+    kids = ids[kept]
+    scores = np.asarray(ranker.scores(
+        query, camera, dist[kept], dtheta[kept],
+        view.t_start[kids], view.t_end[kids]), dtype=float)
+    order = np.lexsort((view.key_rank[kids], -scores))
+    records = view.records
+    ranked = []
+    for p in order[: query.top_n].tolist():
+        row = int(kept[p])
+        ranked.append(RankedFoV(fov=records[int(kids[p])],
+                                distance=float(dist[row]),
+                                covers=bool(covers_center[row]),
+                                score=float(scores[p])))
+    return ranked, n_kept
+
+
+#: Candidate-count ceiling for the scalar single-query path: below it,
+#: per-element Python floats beat NumPy's fixed per-op dispatch cost
+#: (a handful of candidates is the common case for the paper's V-B
+#: radii); above it the vectorised kernels win and we fall back.
+_SCALAR_MAX_CANDIDATES = 16
+
+#: Scanned-row ceiling for the fused grid fast path: above it the grid
+#: falls back to ``search_ids`` + the vectorised rank, which wins once
+#: the frontier is large enough to amortise NumPy dispatch.
+_SCAN_MAX_ROWS = 256
+
+
+def _query_packed_fused(view: PackedFoVIndex, rows: list[list[float]],
+                        query: Query, camera: CameraModel,
+                        strict_cover: bool, ranker: Any
+                        ) -> tuple[list[RankedFoV], int]:
+    """Single-loop scalar twin of filter + rank over fused hit rows.
+
+    ``rows`` is a grid hit set (:meth:`PackedPointGrid.search_rows`) --
+    the query box's exact matches, each row ``[lng, -lng, lat, -lat,
+    t_s, -t_e, theta, row_id]`` in plain floats.  One Python loop runs
+    the same scalar projection/sector arithmetic as
+    :func:`_rank_packed_scalar` straight off those rows, so the
+    few-candidate common case never touches the column arrays or pays
+    NumPy per-op dispatch.  Returns ``(ranked, survivors)``.
+
+    Scalar/vector bit-parity holds for the reasons spelled out in
+    :func:`_rank_packed_scalar`; the parity props drive this path
+    against the dynamic engine on both sides of every cutoff.
+    """
+    olat, olng = query.center.lat, query.center.lng
+    radius = query.radius
+    half, cam_r = camera.half_angle, camera.radius
+    cos, radians, sqrt = math.cos, math.radians, math.sqrt
+    atan2, degrees, asin = math.atan2, math.degrees, math.asin
+    kept: list[int] = []
+    dists: list[float] = []
+    dthetas: list[float] = []
+    covers: list[bool] = []
+    for r in rows:
+        lat = r[2]
+        # LocalProjection.to_local_arrays, one row:
+        scale = cos(radians((olat + lat) / 2.0))
+        x = _M_PER_DEG * scale * (r[0] - olng)
+        y = _M_PER_DEG * (lat - olat)
+        # _sector_evidence, one row:
+        dist = sqrt(x * x + y * y)
+        bearing = degrees(atan2(-x, -y))
+        d = abs((r[6] - bearing) % 360.0)
+        dtheta = min(d, 360.0 - d)
+        covers_center = (dtheta <= half or dist == 0.0) and dist <= cam_r
+        if strict_cover:
+            keep = covers_center
+        else:
+            half_width = degrees(asin(
+                min(max(radius / max(dist, 1e-9), 0.0), 1.0)))
+            keep = (covers_center or dist <= radius
+                    or (dtheta <= half + half_width
+                        and dist <= cam_r + radius))
+        if keep:
+            kept.append(int(r[7]))
+            dists.append(dist)
+            dthetas.append(dtheta)
+            covers.append(covers_center)
+    n_kept = len(kept)
+    if n_kept == 0:
+        return [], 0
+    if type(ranker) is DistanceRanker:
+        scores: list[float] = [-v for v in dists]
+    else:
+        kid_arr = np.asarray(kept, dtype=np.intp)
+        scores = np.asarray(ranker.scores(
+            query, camera, np.asarray(dists), np.asarray(dthetas),
+            view.t_start[kid_arr], view.t_end[kid_arr]),
+            dtype=float).tolist()
+    # Canonical (-score, key) order via a decorated sort of plain
+    # tuples -- same order np.lexsort((key_rank, -scores)) yields.
+    krank = view.key_rank.item
+    order = sorted(zip([-s for s in scores],
+                       [krank(i) for i in kept], range(n_kept)))
+    records = view.records
+    ranked = [RankedFoV(fov=records[kept[p]], distance=dists[p],
+                        covers=covers[p], score=scores[p])
+              for _, _, p in order[: query.top_n]]
+    return ranked, n_kept
+
+
+def _rank_packed_scalar(view: PackedFoVIndex, ids: np.ndarray, query: Query,
+                        camera: CameraModel, strict_cover: bool, ranker: Any
+                        ) -> tuple[list[RankedFoV], int]:
+    """Scalar-math twin of projection + `_sector_evidence` + rank.
+
+    For the few-candidate case the vectorised pipeline pays ~30 NumPy
+    dispatches to process a handful of rows; this path runs the same
+    arithmetic per candidate in plain Python floats.  Every expression
+    mirrors its array counterpart operation for operation
+    (``LocalProjection.to_local_arrays``, :func:`_sector_evidence`,
+    :func:`repro.geometry.angles.angular_difference`), and libm scalar
+    ops produce the same doubles as NumPy's elementwise loops, so
+    results are bit-identical to the vector path -- the engine parity
+    props exercise both sides of the `_SCALAR_MAX_CANDIDATES` cutoff.
+    The ranker still receives survivor *arrays* (its contract), and the
+    canonical ``(-score, key_rank)`` order is identical to the
+    ``np.lexsort`` used by the vector rank.
+    """
+    olat, olng = query.center.lat, query.center.lng
+    radius = query.radius
+    half, cam_r = camera.half_angle, camera.radius
+    lat_at, lng_at, th_at = view.lat.item, view.lng.item, view.theta.item
+    cos, radians, sqrt = math.cos, math.radians, math.sqrt
+    atan2, degrees, asin = math.atan2, math.degrees, math.asin
+    kept: list[int] = []
+    dists: list[float] = []
+    dthetas: list[float] = []
+    covers: list[bool] = []
+    for i in ids.tolist():
+        lat = lat_at(i)
+        # LocalProjection.to_local_arrays, one row:
+        scale = cos(radians((olat + lat) / 2.0))
+        x = _M_PER_DEG * scale * (lng_at(i) - olng)
+        y = _M_PER_DEG * (lat - olat)
+        # _sector_evidence, one row:
+        dist = sqrt(x * x + y * y)
+        bearing = degrees(atan2(-x, -y))
+        d = abs((th_at(i) - bearing) % 360.0)
+        dtheta = min(d, 360.0 - d)
+        covers_center = (dtheta <= half or dist == 0.0) and dist <= cam_r
+        if strict_cover:
+            keep = covers_center
+        else:
+            half_width = degrees(asin(
+                min(max(radius / max(dist, 1e-9), 0.0), 1.0)))
+            keep = (covers_center or dist <= radius
+                    or (dtheta <= half + half_width
+                        and dist <= cam_r + radius))
+        if keep:
+            kept.append(i)
+            dists.append(dist)
+            dthetas.append(dtheta)
+            covers.append(covers_center)
+    n_kept = len(kept)
+    if n_kept == 0:
+        return [], 0
+    if type(ranker) is DistanceRanker:
+        # The default ranker's score is exactly ``-dist`` (its array
+        # form is ``-np.asarray(dist)``); negating the Python floats we
+        # already hold gives the same doubles without round-tripping
+        # four arrays through the ranker protocol.
+        scores: list[float] = [-d for d in dists]
+    else:
+        kid_arr = np.asarray(kept, dtype=np.intp)
+        scores = np.asarray(ranker.scores(
+            query, camera, np.asarray(dists), np.asarray(dthetas),
+            view.t_start[kid_arr], view.t_end[kid_arr]),
+            dtype=float).tolist()
+    key_rank = view.key_rank
+    order = sorted(range(n_kept),
+                   key=lambda p: (-scores[p], key_rank[kept[p]]))
+    records = view.records
+    ranked = [RankedFoV(fov=records[kept[p]], distance=dists[p],
+                        covers=covers[p], score=scores[p])
+              for p in order[: query.top_n]]
+    return ranked, n_kept
+
+
 def _batch_execute(view: PackedFoVIndex, camera: CameraModel,
                    strict_cover: bool, ranker: Any,
                    queries: list[Query],
@@ -160,14 +361,21 @@ def _batch_execute(view: PackedFoVIndex, camera: CameraModel,
                    ) -> list[QueryResult]:
     """Answer a query batch against a packed snapshot in shared passes.
 
-    The R-tree descent, the local projection and the orientation filter
-    each run once over the combined ``(query, candidate)`` pair arrays;
-    only scoring (which may depend on per-query state in the ranker)
-    and row materialisation remain per query.  ``elapsed_s`` is the
-    batch wall time split evenly across the queries -- per-query timing
-    has no meaning once the funnel is shared.  Each shared pass gets
-    one span on ``tracer`` (the no-op tracer by default), and the tree
-    descent reports frontier statistics to ``observer``.
+    Every stage of the funnel is one array kernel over the combined
+    ``(query, candidate)`` pair arrays: the grid/tree descent, the
+    local projection, the orientation filter, scoring (via the ranker's
+    ``scores_batch`` when it has one -- rankers without it are scored
+    per query on their survivor segments, preserving mask-first
+    semantics for custom rankers), and a single ``np.lexsort`` under
+    ``(query, -score, key_rank)`` that yields every query's canonical
+    ranking at once.  Only the winning ``top_n`` rows per query are
+    materialised into Python objects.
+
+    ``elapsed_s`` is the batch wall time split evenly across the
+    queries -- per-query timing has no meaning once the funnel is
+    shared.  Each shared pass gets one span on ``tracer`` (the no-op
+    tracer by default), and the descent reports frontier statistics to
+    ``observer``.
     """
     t0 = clock()
     n_q = len(queries)
@@ -187,27 +395,63 @@ def _batch_execute(view: PackedFoVIndex, camera: CameraModel,
     with tracer.span("query.orientation_filter"):
         dist, dtheta, covers_center, keep = _sector_evidence(
             camera, strict_cover, xy, view.theta[ids], radii[qids])
-        t_start = view.t_start[ids]
-        t_end = view.t_end[ids]
         bounds = np.searchsorted(qids, np.arange(n_q + 1))
 
     with tracer.span("query.rank"):
-        rows: list[tuple[Query, list[RankedFoV], int]] = []
+        kept = np.flatnonzero(keep)
+        kq = qids[kept]                    # sorted: qids is sorted
+        kids = ids[kept]
+        kdist = dist[kept]
+        kdtheta = dtheta[kept]
+        kcov = covers_center[kept]
+        kts = view.t_start[kids]
+        kte = view.t_end[kids]
+        kbounds = np.searchsorted(kq, np.arange(n_q + 1))
+        scores_batch = getattr(ranker, "scores_batch", None)
+        if scores_batch is not None:
+            q_ts = np.fromiter((q.t_start for q in queries), dtype=float,
+                               count=n_q)
+            q_te = np.fromiter((q.t_end for q in queries), dtype=float,
+                               count=n_q)
+            scores = np.asarray(scores_batch(
+                camera, q_ts[kq], q_te[kq], kdist, kdtheta, kts, kte),
+                dtype=float)
+        else:
+            # Mask-first fallback for custom rankers: each query's
+            # ranker call sees exactly its survivor segment, same as
+            # the sequential path.
+            scores = np.empty(kept.size, dtype=float)
+            for qi, q in enumerate(queries):
+                lo, hi = int(kbounds[qi]), int(kbounds[qi + 1])
+                if lo == hi:
+                    continue
+                scores[lo:hi] = np.asarray(ranker.scores(
+                    q, camera, kdist[lo:hi], kdtheta[lo:hi],
+                    kts[lo:hi], kte[lo:hi]), dtype=float)
+        # One global canonical sort: primary query id (keeps segments
+        # contiguous at their searchsorted bounds), then descending
+        # score, then canonical record key -- each query's segment of
+        # ``order`` is its full canonical ranking.
+        order = np.lexsort((view.key_rank[kids], -scores, kq))
+        records = view.records
+        rows: list[tuple[Query, list[RankedFoV], int, int]] = []
         for qi, q in enumerate(queries):
-            lo, hi = int(bounds[qi]), int(bounds[qi + 1])
-            ranked = _ranked_rows(
-                q, camera, ranker,
-                lambda i, lo=lo: view.records[int(ids[lo + i])],
-                dist[lo:hi], dtheta[lo:hi], covers_center[lo:hi],
-                keep[lo:hi], t_start[lo:hi], t_end[lo:hi])
-            rows.append((q, ranked, hi - lo))
+            lo, hi = int(kbounds[qi]), int(kbounds[qi + 1])
+            ranked = []
+            for p in order[lo: min(hi, lo + q.top_n)].tolist():
+                ranked.append(RankedFoV(fov=records[int(kids[p])],
+                                        distance=float(kdist[p]),
+                                        covers=bool(kcov[p]),
+                                        score=float(scores[p])))
+            rows.append((q, ranked, int(bounds[qi + 1] - bounds[qi]),
+                         hi - lo))
 
     elapsed = clock() - t0
     share = elapsed / n_q if n_q else 0.0
     return [
-        QueryResult(query=q, ranked=ranked[: q.top_n], candidates=n_cand,
-                    after_filter=len(ranked), elapsed_s=share)
-        for q, ranked, n_cand in rows
+        QueryResult(query=q, ranked=ranked, candidates=n_cand,
+                    after_filter=n_kept, elapsed_s=share)
+        for q, ranked, n_cand, n_kept in rows
     ]
 
 
@@ -271,6 +515,36 @@ class RetrievalEngine:
 
     def execute(self, query: Query) -> QueryResult:
         """Run the full filter/rank pipeline; returns a timed result."""
+        if (self.engine == "packed" and self._tracer is NULL_TRACER
+                and self._recorder is None):
+            # Bare latency path: no span contexts, no recorder -- the
+            # arithmetic is identical to the traced path below (same
+            # kernels, same clock reads), only the bookkeeping differs.
+            t0 = self._clock()
+            view = self.index.packed_view()
+            box = query_box_floats(query)
+            rows = view.grid.search_rows(box[:3], box[3:], _SCAN_MAX_ROWS)
+            if rows is not None:
+                ranked, survivors = _query_packed_fused(
+                    view, rows, query, self.camera,
+                    self.strict_cover, self.ranker)
+                elapsed = self._clock() - t0
+                return QueryResult(query=query, ranked=ranked,
+                                   candidates=len(rows),
+                                   after_filter=survivors,
+                                   elapsed_s=elapsed)
+            ids = view.range_search_ids(query)
+            if ids.size <= _SCALAR_MAX_CANDIDATES:
+                ranked, survivors = _rank_packed_scalar(
+                    view, ids, query, self.camera, self.strict_cover,
+                    self.ranker)
+            else:
+                ranked, survivors = self._rank_packed(view, ids, query,
+                                                      traced=False)
+            elapsed = self._clock() - t0
+            return QueryResult(query=query, ranked=ranked,
+                               candidates=int(ids.size),
+                               after_filter=survivors, elapsed_s=elapsed)
         with self._tracer.span("query.execute", engine=self.engine):
             t0 = self._clock()
             if self.engine == "packed":
@@ -278,18 +552,20 @@ class RetrievalEngine:
                 with self._tracer.span("query.tree_descent"):
                     ids = view.range_search_ids(query,
                                                 observer=self._recorder)
-                ranked = self._rank_packed(view, ids, query)
-                n_candidates = int(ids.size)
-            else:
-                with self._tracer.span("query.tree_descent"):
-                    candidates = self.index.range_search(query)
-                ranked = self._filter_and_rank(candidates, query)
-                n_candidates = len(candidates)
+                ranked, survivors = self._rank_packed(view, ids, query)
+                elapsed = self._clock() - t0
+                return QueryResult(query=query, ranked=ranked,
+                                   candidates=int(ids.size),
+                                   after_filter=survivors,
+                                   elapsed_s=elapsed)
+            with self._tracer.span("query.tree_descent"):
+                candidates = self.index.range_search(query)
+            ranked = self._filter_and_rank(candidates, query)
             elapsed = self._clock() - t0
             return QueryResult(
                 query=query,
                 ranked=ranked[: query.top_n],
-                candidates=n_candidates,
+                candidates=len(candidates),
                 after_filter=len(ranked),
                 elapsed_s=elapsed,
             )
@@ -345,10 +621,25 @@ class RetrievalEngine:
             self._pool = None
 
     def _rank_packed(self, view: PackedFoVIndex, ids: np.ndarray,
-                     query: Query) -> list[RankedFoV]:
-        """Filter/rank candidates given as packed-snapshot payload ids."""
+                     query: Query, traced: bool = True
+                     ) -> tuple[list[RankedFoV], int]:
+        """Filter/rank candidates given as packed-snapshot payload ids.
+
+        Returns ``(top_n ranked rows, survivor count)``.  With
+        ``traced=False`` the same kernels run without span contexts
+        (the bare single-query latency path).
+        """
         if ids.size == 0:
-            return []
+            return [], 0
+        if not traced:
+            proj = LocalProjection(query.center)
+            xy = proj.to_local_arrays(view.lat[ids], view.lng[ids])
+            dist, dtheta, covers_center, keep = _sector_evidence(
+                self.camera, self.strict_cover, xy, view.theta[ids],
+                query.radius)
+            return _rank_survivors(view, ids, query, self.camera,
+                                   self.ranker, dist, dtheta,
+                                   covers_center, keep)
         with self._tracer.span("query.projection", candidates=int(ids.size)):
             proj = LocalProjection(query.center)
             xy = proj.to_local_arrays(view.lat[ids], view.lng[ids])
@@ -357,11 +648,9 @@ class RetrievalEngine:
                 self.camera, self.strict_cover, xy, view.theta[ids],
                 query.radius)
         with self._tracer.span("query.rank"):
-            return _ranked_rows(
-                query, self.camera, self.ranker,
-                lambda i: view.records[int(ids[i])],
-                dist, dtheta, covers_center, keep,
-                view.t_start[ids], view.t_end[ids])
+            return _rank_survivors(view, ids, query, self.camera,
+                                   self.ranker, dist, dtheta,
+                                   covers_center, keep)
 
     def _filter_and_rank(self, candidates: list[RepresentativeFoV],
                          query: Query) -> list[RankedFoV]:

@@ -44,7 +44,10 @@ def metres_per_degree(lat_deg: float) -> tuple[float, float]:
     Longitude circles shrink with latitude by ``cos(lat)``; latitude
     spacing is uniform on a sphere.
     """
-    return (_M_PER_DEG * float(np.cos(np.radians(lat_deg))), _M_PER_DEG)
+    # math instead of NumPy: scalar helper on the per-query latency path
+    # (query-box construction); libm cos/radians produce the same doubles
+    # as the NumPy scalar ufuncs, so derived query boxes are unchanged.
+    return (_M_PER_DEG * math.cos(math.radians(float(lat_deg))), _M_PER_DEG)
 
 
 def displacement(p1: GeoPoint, p2: GeoPoint,

@@ -12,11 +12,14 @@ package partitions the index by *where the cameras stood*:
   pruned scatter-gather with a merge that is bit-identical to the
   single-server ranking;
 * :mod:`repro.shard.pool` -- :class:`PersistentQueryPool`, the
-  process fan-out for large offline batches: workers are initialised
-  once with a packed snapshot and receive incremental epoch deltas,
-  amortising serialisation across the engine's lifetime;
+  process fan-out for large offline batches: the parent publishes one
+  flat packed snapshot into shared memory per index epoch and workers
+  attach it zero-copy (O(1) init, no per-worker record copy);
+* :mod:`repro.shard.shm` -- the shared-memory publish/attach layer
+  under the pool (:mod:`repro.core.flatsnap` buffers);
 * :mod:`repro.shard.persist` -- per-shard snapshot save/load built on
-  :mod:`repro.core.snapshot`.
+  :mod:`repro.core.snapshot`, plus mmap-attachable ``.fovpack`` packed
+  sidecars.
 
 Design notes, routing invariants and the merge-stability argument live
 in ``docs/SHARDING.md``.
@@ -25,14 +28,19 @@ in ``docs/SHARDING.md``.
 from __future__ import annotations
 
 from repro.shard.partition import GridPartitioner
-from repro.shard.persist import load_sharded_snapshot, save_sharded_snapshot
+from repro.shard.persist import (load_packed_shard_views,
+                                 load_sharded_snapshot,
+                                 save_sharded_snapshot)
 from repro.shard.pool import PersistentQueryPool
 from repro.shard.server import ShardedCloudServer
+from repro.shard.shm import SharedSnapshot
 
 __all__ = [
     "GridPartitioner",
     "PersistentQueryPool",
     "ShardedCloudServer",
+    "SharedSnapshot",
+    "load_packed_shard_views",
     "load_sharded_snapshot",
     "save_sharded_snapshot",
 ]

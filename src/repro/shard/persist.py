@@ -13,6 +13,16 @@ determinism lands every record back on the shard whose file held it.
 A manifest whose parameters were tampered with therefore cannot
 scatter records onto the wrong shards -- the counts check fails
 instead.
+
+Next to each record snapshot, :func:`save_sharded_snapshot` also
+writes a ``shard-NNN.fovpack`` **packed sidecar**: the shard's frozen
+columnar view serialised into one flat ``FOVPACK1`` buffer
+(:mod:`repro.core.flatsnap`).  The record files remain the source of
+truth -- :func:`load_sharded_snapshot` rebuilds the mutable fleet from
+them alone -- while the sidecars let a read-only consumer
+(:func:`load_packed_shard_views`) mmap each shard's serving columns
+directly: CRC-verified once, attached as ``np.frombuffer`` views, no
+record decoding and no index or grid rebuild.
 """
 
 from __future__ import annotations
@@ -21,7 +31,9 @@ import json
 from pathlib import Path
 
 from repro.core.camera import CameraModel
+from repro.core.flatsnap import load_snapshot_file, write_snapshot_file
 from repro.core.fov import RepresentativeFoV
+from repro.core.index import PackedFoVIndex
 from repro.core.snapshot import load_snapshot, save_snapshot
 from repro.geo.coords import GeoPoint
 from repro.obs.runtime import Observability
@@ -29,7 +41,7 @@ from repro.shard.server import ShardedCloudServer
 from repro.spatial.rtree import RTreeConfig
 
 __all__ = ["save_sharded_snapshot", "load_sharded_snapshot",
-           "MANIFEST_NAME", "MANIFEST_FORMAT"]
+           "load_packed_shard_views", "MANIFEST_NAME", "MANIFEST_FORMAT"]
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = "fov-sharded-snapshot-v1"
@@ -37,6 +49,10 @@ MANIFEST_FORMAT = "fov-sharded-snapshot-v1"
 
 def _shard_filename(sid: int) -> str:
     return f"shard-{sid:03d}.fovsnap"
+
+
+def _sidecar_filename(sid: int) -> str:
+    return f"shard-{sid:03d}.fovpack"
 
 
 def save_sharded_snapshot(dirpath: str | Path,
@@ -56,7 +72,11 @@ def save_sharded_snapshot(dirpath: str | Path,
         records = shard.records()
         name = _shard_filename(sid)
         total += save_snapshot(root / name, records)
-        shard_rows.append({"file": name, "records": len(records)})
+        sidecar = _sidecar_filename(sid)
+        total += write_snapshot_file(root / sidecar,
+                                     shard.index.packed_view())
+        shard_rows.append({"file": name, "packed": sidecar,
+                           "records": len(records)})
     manifest = {
         "format": MANIFEST_FORMAT,
         "n_shards": part.n_shards,
@@ -126,3 +146,37 @@ def load_sharded_snapshot(dirpath: str | Path, camera: CameraModel,
                 f"disagree with the files"
             )
     return server
+
+
+def load_packed_shard_views(dirpath: str | Path) -> list[PackedFoVIndex]:
+    """mmap every shard's ``.fovpack`` sidecar as a read-only packed view.
+
+    The zero-copy read path: each view's columns and grid alias the
+    file mapping (CRC-verified on open), so a read-only serving process
+    attaches a whole fleet's worth of snapshots without decoding a
+    single record.  Raises ``ValueError`` on a missing/incoherent
+    manifest, a snapshot directory written before sidecars existed, a
+    corrupt sidecar, or a record count disagreeing with the manifest.
+    """
+    root = Path(dirpath)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"no {MANIFEST_NAME} in {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"unknown snapshot format {manifest.get('format')!r}")
+    views: list[PackedFoVIndex] = []
+    for sid, row in enumerate(manifest["shards"]):
+        sidecar = row.get("packed")
+        if sidecar is None:
+            raise ValueError(
+                f"shard {sid} has no packed sidecar; re-save the snapshot"
+            )
+        view = load_snapshot_file(root / str(sidecar))
+        if len(view) != int(row["records"]):
+            raise ValueError(
+                f"sidecar {sidecar!r} holds {len(view)} records, "
+                f"manifest says {row['records']}"
+            )
+        views.append(view)
+    return views

@@ -1,81 +1,99 @@
-"""Persistent process fan-out for large offline query batches.
+"""Persistent process fan-out serving a shared zero-copy snapshot.
 
-The previous sharded path created a ``ProcessPoolExecutor`` per call and
-shipped the whole packed snapshot to every worker every time -- the
-serialisation alone made it *slower* than the sequential batched funnel
-(0.8x in ``BENCH_batched_query_engine.json``).  This pool inverts the
-cost model:
+Two generations of cost model precede this one.  The original sharded
+path created a ``ProcessPoolExecutor`` per call and shipped the whole
+record set to every worker every time -- slower than sequential.  The
+first persistent pool shipped the record set once per worker at pool
+start and synced later epochs by replaying insert deltas, which still
+left **one full copy of the records and a full index rebuild in every
+worker**.  This pool removes the copy entirely:
 
-* **Initialise once.**  Workers receive the full record set a single
-  time, at pool (re)start, and bulk-build their own packed view from
-  it.  The heavy payload rides the process *initializer*, not the task
-  queue.
-* **Ship deltas.**  Every task carries ``(epoch, deltas, queries)``
-  where ``deltas`` is the insert-only mutation tail since the pool's
-  base epoch (:meth:`repro.core.index.FoVIndex.mutations_since`).  A
-  worker behind the task's epoch appends the unseen additions and
-  rebuilds its view; a worker already current applies nothing.  Ingest
-  between batches therefore costs each worker one incremental rebuild,
-  not a full snapshot transfer.
-* **Restart on non-incremental history.**  Deletions, retention
-  eviction, or a delta span trimmed off the bounded mutation log make
-  the tail non-reconstructible (``mutations_since`` returns ``None``);
-  the pool then tears down the workers and re-initialises from the
-  current record set.  Correctness never depends on the log -- the log
-  only buys speed.
+* **One snapshot, many mappings.**  The parent serialises the packed
+  view into a flat ``FOVPACK1`` buffer (:mod:`repro.core.flatsnap`)
+  inside a shared-memory segment (:mod:`repro.shard.shm`).  Workers
+  attach the segment by *name* and reconstruct the view as
+  ``np.frombuffer`` windows into the shared mapping -- worker
+  initialisation is O(1) in record count and the fleet holds the
+  columns once, not once per process.
+* **Republish per epoch.**  Any index mutation -- insert, delete,
+  retention eviction alike -- bumps the index epoch; the next ``run``
+  publishes a fresh segment and every task carries ``(segment name,
+  epoch)``.  A worker holding an older epoch drops its stale view,
+  detaches, and re-attaches the new segment before answering; the
+  superseded segment is unlinked immediately (workers still mapping it
+  keep a valid view until they switch, POSIX semantics).  No worker
+  restart is ever needed for a content change, and no worker can
+  answer from a stale epoch: the epoch rides inside the task itself.
 
 Parity is structural, not coincidental: workers run the exact same
-``_batch_execute`` funnel as the in-process packed engine, and the
-canonical ranking order (descending score, ties by record key --
-:mod:`repro.core.retrieval`) is independent of tree layout, so a
-bulk-built worker view answers bit-identically to the parent's
-incrementally built index.
+``_batch_execute`` funnel as the in-process packed engine over columns
+that are bit-identical to the parent's (the flat buffer *is* the
+parent's snapshot), so a pool answer matches the single-process answer
+bit for bit.
 """
 
 from __future__ import annotations
 
+import gc
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any
 
 from repro.core.camera import CameraModel
-from repro.core.fov import RepresentativeFoV
 from repro.core.index import FoVIndex
 from repro.core.query import Query, QueryResult
 from repro.core.retrieval import _batch_execute
 from repro.net.clock import default_timer
+from repro.shard.shm import SharedSnapshot, attach
 
 __all__ = ["PersistentQueryPool"]
 
-#: Deltas are insert batches keyed by the epoch they produced.
-Delta = tuple[int, tuple[RepresentativeFoV, ...]]
-
-# Per-process worker state, set once by _init_worker (each worker is its
-# own process, so module globals are process-private).
+# Per-process worker state, set by _init_worker and refreshed by
+# _run_chunk on epoch change (each worker is its own process, so module
+# globals are process-private).
 _STATE: dict[str, Any] = {}
 
 
-def _init_worker(records: list[RepresentativeFoV], epoch: int,
-                 camera: CameraModel, strict_cover: bool,
+def _init_worker(camera: CameraModel, strict_cover: bool,
                  ranker: Any) -> None:
-    """Process initializer: build this worker's packed view once."""
-    _STATE["records"] = list(records)
-    _STATE["epoch"] = epoch
+    """Process initializer: static serving config only.
+
+    Deliberately O(1) and snapshot-free: the snapshot reference rides
+    inside every task, so a worker spawned late (executors create
+    processes on demand) attaches whatever segment is current, never a
+    name that was already superseded and unlinked.
+    """
     _STATE["camera"] = camera
     _STATE["strict_cover"] = strict_cover
     _STATE["ranker"] = ranker
-    _STATE["view"] = FoVIndex.bulk(_STATE["records"]).packed_view()
+    _STATE["epoch"] = None
+    _STATE["view"] = None
+    _STATE["shm"] = None
 
 
-def _run_chunk(task: tuple[int, tuple[Delta, ...], list[Query]]
-               ) -> list[QueryResult]:
-    """Catch this worker up to the task's epoch, then answer its chunk."""
-    epoch, deltas, queries = task
+def _detach_stale_view() -> None:
+    """Drop this worker's view and its shared-memory mapping."""
+    _STATE["view"] = None
+    shm = _STATE.pop("shm", None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:
+        # An array view into the buffer is somehow still alive; keep
+        # the handle so the mapping outlives it rather than crash.
+        gc.collect()
+        _STATE.setdefault("leaked", []).append(shm)
+
+
+def _run_chunk(task: tuple[str, int, list[Query]]) -> list[QueryResult]:
+    """Attach the task's snapshot epoch if needed, then answer its chunk."""
+    name, epoch, queries = task
     if epoch != _STATE["epoch"]:
-        for delta_epoch, added in deltas:
-            if delta_epoch > _STATE["epoch"]:
-                _STATE["records"].extend(added)
+        _detach_stale_view()
+        view, shm = attach(name)
+        _STATE["view"] = view
+        _STATE["shm"] = shm
         _STATE["epoch"] = epoch
-        _STATE["view"] = FoVIndex.bulk(_STATE["records"]).packed_view()
     return _batch_execute(_STATE["view"], _STATE["camera"],
                           _STATE["strict_cover"], _STATE["ranker"],
                           queries, default_timer)
@@ -99,13 +117,14 @@ def _chunked(queries: list[Query], n: int) -> list[list[Query]]:
 
 
 class PersistentQueryPool:
-    """Long-lived worker processes answering query chunks by delta sync.
+    """Long-lived worker processes mapping one shared packed snapshot.
 
     Owned by a :class:`~repro.core.retrieval.RetrievalEngine`; created
     lazily on the first ``execute_many(shards=N)`` call and kept across
-    calls so the snapshot serialisation is paid once per index
-    *generation* instead of once per batch.  ``close()`` (or the owning
-    server's ``close()``) releases the processes.
+    calls.  The snapshot serialisation is paid once per index *epoch*
+    (in the parent); workers pay only an O(1) attach.  ``close()`` (or
+    the owning server's ``close()``) releases the processes and unlinks
+    the segment.
     """
 
     def __init__(self, index: FoVIndex, camera: CameraModel,
@@ -117,20 +136,32 @@ class PersistentQueryPool:
         self._ranker = ranker
         self._max_workers = max_workers
         self._executor: ProcessPoolExecutor | None = None
-        self._base_epoch = -1
-        self.restarts = 0          # full re-initialisations (observability)
-        self.delta_batches = 0     # runs served incrementally
+        self._snapshot: SharedSnapshot | None = None
+        self.restarts = 0          # worker-fleet (re)creations
+        self.delta_batches = 0     # epoch republishes absorbed without one
+
+    def _publish(self) -> None:
+        """Serialise the current epoch into a fresh shared segment.
+
+        The superseded segment (if any) is unlinked right away: workers
+        still mapping it keep a valid view until they pick up a task
+        carrying the new name, and nothing can attach a stale epoch
+        because only the current name ever rides in a task.
+        """
+        old, self._snapshot = self._snapshot, SharedSnapshot.publish(
+            self._index.packed_view())
+        if old is not None:
+            old.unlink()
 
     def _restart(self) -> None:
-        """Tear down any workers and re-initialise from current content."""
+        """Tear down any workers and start a fresh fleet."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
-        self._base_epoch = self._index.epoch
+        self._publish()
         self._executor = ProcessPoolExecutor(
             max_workers=self._max_workers,
             initializer=_init_worker,
-            initargs=(self._index.records(), self._base_epoch,
-                      self._camera, self._strict_cover, self._ranker))
+            initargs=(self._camera, self._strict_cover, self._ranker))
         self.restarts += 1
 
     def run(self, queries: list[Query], shards: int
@@ -144,26 +175,26 @@ class PersistentQueryPool:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if not queries:
             return []
-        deltas: list[Delta] | None = None
-        if self._executor is not None:
-            deltas = self._index.mutations_since(self._base_epoch)
-        if deltas is None:
+        if self._executor is None:
             self._restart()
-            deltas = []
-        elif deltas:
+        elif self._snapshot.epoch != self._index.epoch:
+            # Content changed since the last batch (insert, delete, or
+            # eviction): republish, keep the workers.
+            self._publish()
             self.delta_batches += 1
-        assert self._executor is not None
-        epoch = self._index.epoch
-        task_deltas = tuple(deltas)
+        assert self._snapshot is not None and self._executor is not None
+        name, epoch = self._snapshot.name, self._snapshot.epoch
         futures: list[Future[list[QueryResult]]] = [
-            self._executor.submit(_run_chunk, (epoch, task_deltas, chunk))
+            self._executor.submit(_run_chunk, (name, epoch, chunk))
             for chunk in _chunked(queries, shards)
         ]
         return [f.result() for f in futures]
 
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
+        """Shut the workers down and unlink the segment (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-            self._base_epoch = -1
+        if self._snapshot is not None:
+            self._snapshot.unlink()
+            self._snapshot = None

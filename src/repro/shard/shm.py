@@ -1,0 +1,100 @@
+"""Shared-memory publication of flat packed snapshots.
+
+The persistent query pool's workers all serve the *same* frozen
+snapshot, so holding one copy per worker process is pure waste -- at
+city scale the record set dwarfs everything else in the worker.  This
+module puts the flat ``FOVPACK1`` buffer (:mod:`repro.core.flatsnap`)
+into one POSIX shared-memory segment that every worker maps:
+
+* the parent :func:`publish`\\ es the serialised snapshot once per
+  index epoch and hands workers only the segment *name*;
+* a worker :func:`attach`\\ es by name and reconstructs the packed view
+  as ``np.frombuffer`` windows into the mapping -- no record copy, no
+  grid rebuild, O(1) in record count (the parent checksummed the blob
+  when packing it, so attach skips the O(bytes) CRC rescan);
+* the parent unlinks a superseded segment as soon as the replacement is
+  published; workers still mapping the old one keep a valid view until
+  they drop it (POSIX keeps the segment alive while maps exist), so an
+  in-flight batch never reads freed memory.
+
+CPython's ``resource_tracker`` complicates the worker side: attaching
+a segment registers it with the tracker, which would unlink it when
+*any* tracked process exits -- yanking the mapping out from under its
+siblings -- and whose cache is shared, so several workers
+register/unregister the same name in a racy interleaving.  The owner
+already tracks the segment, so non-owning attaches suppress the
+registration entirely (the documented workaround until ``track=False``
+lands in 3.13).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.core.flatsnap import pack_snapshot, unpack_snapshot
+from repro.core.index import PackedFoVIndex
+
+__all__ = ["SharedSnapshot", "attach"]
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without resource-tracker registration."""
+    registered = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = registered
+
+
+class SharedSnapshot:
+    """An owning handle to one published snapshot segment.
+
+    Created by :meth:`publish`; the owner must call :meth:`unlink`
+    (idempotent) when the epoch is superseded or the pool closes.
+    ``name`` is the only thing workers need.
+    """
+
+    __slots__ = ("name", "size", "epoch", "_shm")
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int,
+                 epoch: int) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.size = size
+        self.epoch = epoch
+
+    @classmethod
+    def publish(cls, view: PackedFoVIndex) -> "SharedSnapshot":
+        """Serialise ``view`` into a fresh shared-memory segment."""
+        blob = pack_snapshot(view)
+        shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        shm.buf[: len(blob)] = blob
+        return cls(shm, len(blob), view.epoch)
+
+    def unlink(self) -> None:
+        """Release the owner's mapping and unlink the segment name.
+
+        Workers still attached keep their (now anonymous) mapping until
+        they detach; new attaches fail, which is the point.
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def attach(name: str) -> tuple[PackedFoVIndex, shared_memory.SharedMemory]:
+    """Map a published segment and rebuild the packed view zero-copy.
+
+    Returns ``(view, shm)``; the caller must keep ``shm`` referenced
+    while the view lives and ``close()`` it only after every array view
+    into the buffer is gone (closing earlier raises ``BufferError``).
+    """
+    shm = _attach_untracked(name)
+    view = unpack_snapshot(shm.buf, verify=False)
+    return view, shm

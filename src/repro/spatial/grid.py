@@ -1,0 +1,417 @@
+"""Uniform 3-D cell grid over FoV records -- the serving candidate kernel.
+
+The packed R-tree (:mod:`repro.spatial.packed`) answers range queries
+over arbitrary boxes, but the FoV serving path stores a very specific
+shape: every record is a *point* ``(lng, lat)`` with a short time
+interval ``[t_s, t_e]``.  For that shape a flat uniform grid beats a
+tree descent: candidate gathering is a small set of contiguous-slab
+slices (cells of one grid row are adjacent in the CSR layout), and the
+exact box test is **one** fused vectorised comparison instead of one
+pass per level per dimension.
+
+Cell layout
+-----------
+Cells are keyed ``(it, iy, ix)`` -- time-major, then latitude row,
+then longitude -- flattened as ``(it * height + iy) * width + ix``, so
+the cells a query touches in one ``(it, iy)`` pair are one contiguous
+CSR bucket range.  Records are bucketed by their *start* time
+``t_s``; a query widens its time range by the maximum record duration
+(``max_dur``) before binning, so a record whose interval merely
+*extends into* the query window is still gathered (the fused test then
+applies the exact interval-overlap predicate).  Time is a first-class
+grid axis because it is the strongest discriminator of the paper's
+workload: a city's records spread over a day, while a query window
+covers minutes.
+
+Fused box test
+--------------
+A record intersects the closed query box ``[bmin, bmax]`` iff::
+
+    lng >= bmin0  and  lng <= bmax0
+    lat >= bmin1  and  lat <= bmax1
+    t_s <= bmax2  and  t_e >= bmin2
+
+Rewriting every ``>=`` as a negated ``<=`` folds all six conditions
+into a single elementwise comparison against one 6-vector::
+
+    [lng, -lng, lat, -lat, t_s, -t_e]  <=  [bmax0, -bmin0,
+                                            bmax1, -bmin1,
+                                            bmax2, -bmin2]
+
+so the hot loop is ``(F <= b).all(axis=1)`` -- one compare, one
+reduction, no Python per-entry work (float negation is exact, so the
+candidate set is bit-identical to the six separate tests).  ``F`` is
+precomputed in CSR order at build time; it is pure derived data and
+serialises into the flat snapshot so zero-copy consumers pay no
+rebuild cost.
+
+The grid only *prunes*: cell membership uses the same monotone
+``floor((v - origin) * inv_cell)`` mapping for records and for query
+rectangles, so every record intersecting the query box lands in a
+scanned cell, and the fused test re-checks the exact box.  Results are
+therefore exactly the records intersecting the box -- the same set a
+:class:`~repro.spatial.packed.PackedRTree` search over the degenerate
+record boxes returns (the engine parity props pin this).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.spatial.packed import SearchObserver, _expand_ranges
+
+__all__ = ["PackedPointGrid"]
+
+#: Aimed-for mean records per *spatial* column of cells; the cell count
+#: adapts to the record count so the candidate slab stays a small
+#: multiple of the true result set regardless of scale.
+TARGET_PER_CELL = 48.0
+
+#: Hard cap on cells per spatial axis (memory guard for huge extents).
+MAX_CELLS_PER_AXIS = 1024
+
+#: Hard cap on time slices.
+MAX_TIME_SLICES = 64
+
+#: Single-query slab budget below which a plain Python gather loop
+#: beats the vectorised slab enumeration (NumPy dispatch bound).
+_SLAB_LOOP_MAX = 64
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class PackedPointGrid:
+    """Frozen CSR cell grid over ``(lng, lat, [t_s, t_e])`` records.
+
+    Attributes
+    ----------
+    width, height, slices : int
+        Cells per axis; cell ``(it, iy, ix)`` is CSR bucket
+        ``(it * height + iy) * width + ix``.
+    cell_offsets : ndarray, shape (width * height * slices + 1,)
+        CSR bucket boundaries into ``row_ids``.
+    row_ids : ndarray, shape (n,)
+        Original record ids in CSR (cell-major) order.
+    fused : ndarray, shape (n, 8)
+        ``[lng, -lng, lat, -lat, t_start, -t_end, theta, row_id]`` per
+        record, in CSR order.  Columns 0..5 feed the fused ``<=`` test;
+        column 6 carries the camera azimuth and column 7 the original
+        record id as a float (ids are array indices, far below 2**53,
+        so the round-trip is exact).  The two extra columns let the
+        single-query fast path (:meth:`scan_rows`) hand a complete
+        evidence row to the retrieval layer in one gather -- no second
+        trip through the column arrays.
+    max_dur : float
+        Maximum record duration; queries widen their lower time bound
+        by this much before binning (see the module note).
+    """
+
+    __slots__ = ("n", "width", "height", "slices",
+                 "x0", "y0", "t0", "x1", "y1", "t1",
+                 "inv_cw", "inv_ch", "inv_ct", "max_dur",
+                 "cell_offsets", "row_ids", "fused", "_pyrows")
+
+    def __init__(self, n: int, width: int, height: int, slices: int,
+                 x0: float, y0: float, t0: float,
+                 x1: float, y1: float, t1: float,
+                 inv_cw: float, inv_ch: float, inv_ct: float,
+                 max_dur: float,
+                 cell_offsets: np.ndarray, row_ids: np.ndarray,
+                 fused: np.ndarray) -> None:
+        self.n = n
+        self.width = width
+        self.height = height
+        self.slices = slices
+        self.x0 = x0
+        self.y0 = y0
+        self.t0 = t0
+        self.x1 = x1
+        self.y1 = y1
+        self.t1 = t1
+        self.inv_cw = inv_cw
+        self.inv_ch = inv_ch
+        self.inv_ct = inv_ct
+        self.max_dur = max_dur
+        self.cell_offsets = cell_offsets
+        self.row_ids = row_ids
+        self.fused = fused
+        # Scalar mirror of ``fused`` (list of 8-float lists, CSR order),
+        # built lazily by :meth:`search_rows` in processes that serve
+        # single-query traffic.  Derived data only -- never serialised,
+        # and zero-copy consumers that only run batched kernels never
+        # build it.
+        self._pyrows: list[list[float]] | None = None
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def build(cls, lng: np.ndarray, lat: np.ndarray,
+              t_start: np.ndarray, t_end: np.ndarray,
+              theta: np.ndarray) -> "PackedPointGrid":
+        """Bucket the records of a packed snapshot (one vectorised pass)."""
+        n = int(lng.shape[0])
+        if n == 0:
+            return cls(0, 1, 1, 1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                       0.0, 0.0, 0.0, 0.0,
+                       np.zeros(2, dtype=np.int64),
+                       np.empty(0, dtype=np.int64),
+                       np.empty((0, 8), dtype=float))
+        x0, x1 = float(lng.min()), float(lng.max())
+        y0, y1 = float(lat.min()), float(lat.max())
+        t0, t1 = float(t_start.min()), float(t_start.max())
+        max_dur = float((t_end - t_start).max())
+        axis = max(1, min(MAX_CELLS_PER_AXIS,
+                          int(math.sqrt(n / TARGET_PER_CELL))))
+        width = height = axis
+        slices = max(1, min(MAX_TIME_SLICES, int(math.sqrt(n / TARGET_PER_CELL))))
+        # Guard degenerate extents (all records on one meridian/parallel
+        # or simultaneous): a zero span keeps every record in bin 0 of
+        # that axis.
+        inv_cw = width / (x1 - x0) if x1 > x0 else 0.0
+        inv_ch = height / (y1 - y0) if y1 > y0 else 0.0
+        inv_ct = slices / (t1 - t0) if t1 > t0 else 0.0
+        ix = np.minimum(((lng - x0) * inv_cw).astype(np.int64), width - 1)
+        iy = np.minimum(((lat - y0) * inv_ch).astype(np.int64), height - 1)
+        it = np.minimum(((t_start - t0) * inv_ct).astype(np.int64),
+                        slices - 1)
+        cell = (it * height + iy) * width + ix
+        order = np.argsort(cell, kind="stable").astype(np.int64)
+        counts = np.bincount(cell, minlength=width * height * slices)
+        cell_offsets = np.zeros(width * height * slices + 1, dtype=np.int64)
+        np.cumsum(counts, out=cell_offsets[1:])
+        fused = np.empty((n, 8), dtype=float)
+        fused[:, 0] = lng[order]
+        np.negative(fused[:, 0], out=fused[:, 1])
+        fused[:, 2] = lat[order]
+        np.negative(fused[:, 2], out=fused[:, 3])
+        fused[:, 4] = t_start[order]
+        np.negative(t_end[order], out=fused[:, 5])
+        fused[:, 6] = theta[order]
+        fused[:, 7] = order
+        return cls(n, width, height, slices, x0, y0, t0, x1, y1, t1,
+                   inv_cw, inv_ch, inv_ct, max_dur,
+                   cell_offsets, order, fused)
+
+    # ------------------------------------------------------------------
+    # search
+
+    def search_ids(self, bmin: Sequence[float], bmax: Sequence[float],
+                   observer: SearchObserver | None = None) -> np.ndarray:
+        """Ids of records intersecting the (closed) query box.
+
+        ``bmin``/``bmax`` are ``(lng, lat, t)`` triples (plain floats --
+        the latency path never builds query arrays).  Result order is
+        CSR position order, which callers must treat as unordered (the
+        retrieval layer's canonical ranking is order-independent).
+        """
+        qx0, qy0, qt0 = float(bmin[0]), float(bmin[1]), float(bmin[2])
+        qx1, qy1, qt1 = float(bmax[0]), float(bmax[1]), float(bmax[2])
+        if observer is not None:
+            observer.on_descent(1)
+        if self.n == 0 or qx1 < self.x0 or qx0 > self.x1 \
+                or qy1 < self.y0 or qy0 > self.y1 \
+                or qt1 < self.t0 or qt0 > self.t1 + self.max_dur:
+            if observer is not None:
+                observer.on_level(0, 0, 0)
+            return _EMPTY_IDS
+        ix0 = max(0, int((qx0 - self.x0) * self.inv_cw))
+        ix1 = min(self.width - 1, int((qx1 - self.x0) * self.inv_cw))
+        iy0 = max(0, int((qy0 - self.y0) * self.inv_ch))
+        iy1 = min(self.height - 1, int((qy1 - self.y0) * self.inv_ch))
+        it0 = max(0, int((qt0 - self.max_dur - self.t0) * self.inv_ct))
+        it1 = min(self.slices - 1, int((qt1 - self.t0) * self.inv_ct))
+        w, h = self.width, self.height
+        n_slabs = (it1 - it0 + 1) * (iy1 - iy0 + 1)
+        if n_slabs <= _SLAB_LOOP_MAX:
+            # Typical query: a handful of slabs.  A plain Python loop
+            # collecting contiguous views costs less than the ~15 NumPy
+            # dispatches of the vectorised enumeration below -- per-op
+            # dispatch (~1 us) dominates at this frontier size.
+            item = self.cell_offsets.item
+            fused = self.fused
+            parts: list[np.ndarray] = []
+            for it in range(it0, it1 + 1):
+                row0 = it * h
+                for iy in range(iy0, iy1 + 1):
+                    base = (row0 + iy) * w
+                    lo = item(base + ix0)
+                    hi = item(base + ix1 + 1)
+                    if hi > lo:
+                        parts.append(fused[lo:hi])
+            if not parts:
+                if observer is not None:
+                    observer.on_level(0, 0, 0)
+                return _EMPTY_IDS
+            cand = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            mask = (cand[:, :6]
+                    <= np.array([qx1, -qx0, qy1, -qy0, qt1, -qt0])
+                    ).all(axis=1)
+            hits = cand[mask, 7].astype(np.int64)
+        else:
+            off = self.cell_offsets
+            bases = ((np.arange(it0, it1 + 1)[:, None] * h
+                      + np.arange(iy0, iy1 + 1)[None, :]) * w).ravel()
+            lo_a = off[bases + ix0]
+            cnt = off[bases + ix1 + 1] - lo_a
+            pos = _expand_ranges(lo_a, cnt)
+            if pos.size == 0:
+                if observer is not None:
+                    observer.on_level(0, 0, 0)
+                return _EMPTY_IDS
+            cand = self.fused[pos]
+            mask = (cand[:, :6]
+                    <= np.array([qx1, -qx0, qy1, -qy0, qt1, -qt0])
+                    ).all(axis=1)
+            hits = self.row_ids[pos[mask]]
+        if observer is not None:
+            observer.on_level(0, int(cand.shape[0]), int(hits.size))
+        return hits
+
+    def search_rows(self, bmin: Sequence[float], bmax: Sequence[float],
+                    limit: int) -> list[list[float]] | None:
+        """Exact-match fused rows for one query box, as Python lists.
+
+        The latency fast path: the same hit set as :meth:`search_ids`,
+        but each hit comes back as a ready-to-consume evidence row
+        ``[lng, -lng, lat, -lat, t_start, -t_end, theta, row_id]``
+        (plain floats), so the caller's scalar ranking loop never goes
+        back through the column arrays.  Only the handful of *hits* is
+        materialised into Python objects -- the scanned frontier stays
+        inside NumPy for the fused mask test.
+
+        Returns ``None`` when the scan would gather more than ``limit``
+        rows or touch more than ``_SLAB_LOOP_MAX`` slabs -- callers
+        fall back to the vectorised :meth:`search_ids` pipeline, which
+        wins at that frontier size.
+
+        This path is deliberately NumPy-free: at a typical frontier of
+        a few dozen rows, six early-exit float compares per row (time
+        first -- the workload's strongest discriminator) cost less than
+        one array dispatch, so the whole scan runs on a lazily built
+        Python mirror of ``fused``.  ``tolist`` round-trips doubles
+        exactly, so the compares see the very same values as the
+        vectorised mask and the hit set is bit-identical.
+        """
+        qx0, qy0, qt0 = float(bmin[0]), float(bmin[1]), float(bmin[2])
+        qx1, qy1, qt1 = float(bmax[0]), float(bmax[1]), float(bmax[2])
+        if self.n == 0 or qx1 < self.x0 or qx0 > self.x1 \
+                or qy1 < self.y0 or qy0 > self.y1 \
+                or qt1 < self.t0 or qt0 > self.t1 + self.max_dur:
+            return []
+        ix0 = max(0, int((qx0 - self.x0) * self.inv_cw))
+        ix1 = min(self.width - 1, int((qx1 - self.x0) * self.inv_cw))
+        iy0 = max(0, int((qy0 - self.y0) * self.inv_ch))
+        iy1 = min(self.height - 1, int((qy1 - self.y0) * self.inv_ch))
+        it0 = max(0, int((qt0 - self.max_dur - self.t0) * self.inv_ct))
+        it1 = min(self.slices - 1, int((qt1 - self.t0) * self.inv_ct))
+        w, h = self.width, self.height
+        if (it1 - it0 + 1) * (iy1 - iy0 + 1) > _SLAB_LOOP_MAX:
+            return None
+        rows = self._pyrows
+        if rows is None:
+            rows = self._pyrows = self.fused.tolist()
+        item = self.cell_offsets.item
+        nqx0, nqy0, nqt0 = -qx0, -qy0, -qt0
+        out: list[list[float]] = []
+        total = 0
+        for it in range(it0, it1 + 1):
+            row0 = it * h
+            for iy in range(iy0, iy1 + 1):
+                base = (row0 + iy) * w
+                lo = item(base + ix0)
+                hi = item(base + ix1 + 1)
+                if hi <= lo:
+                    continue
+                total += hi - lo
+                if total > limit:
+                    return None
+                for r in rows[lo:hi]:
+                    if (r[4] <= qt1 and r[5] <= nqt0 and r[0] <= qx1
+                            and r[1] <= nqx0 and r[2] <= qy1
+                            and r[3] <= nqy0):
+                        out.append(r)
+        return out
+
+    def search_many(self, bmins: np.ndarray, bmaxs: np.ndarray,
+                    observer: SearchObserver | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched box search: ``(query_ids, record_ids)`` hit pairs.
+
+        ``query_ids`` comes back sorted ascending (query-major), so each
+        query's hits form a contiguous run -- the same contract as
+        :meth:`repro.spatial.packed.PackedRTree.search_many`.  The whole
+        batch is answered by one two-level slab expansion (``(query,
+        time, row)`` triples, then CSR ranges) plus one fused compare
+        over the combined ``(query, candidate)`` frontier.
+        """
+        bmins = np.atleast_2d(np.asarray(bmins, dtype=float))
+        bmaxs = np.atleast_2d(np.asarray(bmaxs, dtype=float))
+        n_q = int(bmins.shape[0])
+        if observer is not None:
+            observer.on_descent(n_q)
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        if self.n == 0 or n_q == 0:
+            if observer is not None:
+                observer.on_level(0, 0, 0)
+            return empty
+        nonempty = ((bmaxs[:, 0] >= self.x0) & (bmins[:, 0] <= self.x1)
+                    & (bmaxs[:, 1] >= self.y0) & (bmins[:, 1] <= self.y1)
+                    & (bmaxs[:, 2] >= self.t0)
+                    & (bmins[:, 2] <= self.t1 + self.max_dur))
+        ix0 = np.clip(((bmins[:, 0] - self.x0) * self.inv_cw
+                       ).astype(np.int64), 0, self.width - 1)
+        ix1 = np.clip(((bmaxs[:, 0] - self.x0) * self.inv_cw
+                       ).astype(np.int64), 0, self.width - 1)
+        iy0 = np.clip(((bmins[:, 1] - self.y0) * self.inv_ch
+                       ).astype(np.int64), 0, self.height - 1)
+        iy1 = np.clip(((bmaxs[:, 1] - self.y0) * self.inv_ch
+                       ).astype(np.int64), 0, self.height - 1)
+        it0 = np.clip(((bmins[:, 2] - self.max_dur - self.t0) * self.inv_ct
+                       ).astype(np.int64), 0, self.slices - 1)
+        it1 = np.clip(((bmaxs[:, 2] - self.t0) * self.inv_ct
+                       ).astype(np.int64), 0, self.slices - 1)
+        # Two-level expansion: one (query, it, iy) triple per scanned
+        # slab, enumerated query-major so hits stay sorted by query.
+        n_y = iy1 - iy0 + 1
+        n_pairs = np.where(nonempty, (it1 - it0 + 1) * n_y, 0)
+        pair_q = np.repeat(np.arange(n_q), n_pairs)
+        if pair_q.size == 0:
+            if observer is not None:
+                observer.on_level(0, 0, 0)
+            return empty
+        total = int(n_pairs.sum())
+        k = (np.arange(total)
+             - np.repeat(np.cumsum(n_pairs) - n_pairs, n_pairs))
+        ny_q = n_y[pair_q]
+        it = it0[pair_q] + k // ny_q
+        iy = iy0[pair_q] + k % ny_q
+        base = (it * self.height + iy) * self.width
+        lo = self.cell_offsets[base + ix0[pair_q]]
+        hi = self.cell_offsets[base + ix1[pair_q] + 1]
+        counts = hi - lo
+        cand = _expand_ranges(lo, counts)
+        cqid = np.repeat(pair_q, counts)
+        if cand.size == 0:
+            if observer is not None:
+                observer.on_level(0, 0, 0)
+            return empty
+        qb = np.empty((n_q, 6), dtype=float)
+        qb[:, 0] = bmaxs[:, 0]
+        np.negative(bmins[:, 0], out=qb[:, 1])
+        qb[:, 2] = bmaxs[:, 1]
+        np.negative(bmins[:, 1], out=qb[:, 3])
+        qb[:, 4] = bmaxs[:, 2]
+        np.negative(bmins[:, 2], out=qb[:, 5])
+        keep = (self.fused[cand, :6] <= qb[cqid]).all(axis=1)
+        cqid_hit = cqid[keep]
+        rows_hit = self.row_ids[cand[keep]]
+        if observer is not None:
+            observer.on_level(0, int(cand.size), int(rows_hit.size))
+        return cqid_hit, rows_hit

@@ -108,7 +108,7 @@ class PackedRTree:
     backing index changes (see ``FoVIndex.packed_view``).
     """
 
-    __slots__ = ("dim", "levels", "items", "_mins_t", "_maxs_t")
+    __slots__ = ("dim", "levels", "items", "_fused")
 
     def __init__(self, dim: int, levels: Sequence[PackedLevel],
                  items: Sequence[Any]) -> None:
@@ -124,13 +124,16 @@ class PackedRTree:
                 f"{len(self.items)} items for "
                 f"{self.levels[-1].n_entries} leaf entries"
             )
-        # Column-major copies: one contiguous 1-D array per dimension,
-        # so the refinement loop gathers 8-byte scalars instead of
-        # (frontier, d) row blocks -- the dominant cost at scale.
-        self._mins_t = tuple(np.ascontiguousarray(lvl.mins.T)
-                             for lvl in self.levels)
-        self._maxs_t = tuple(np.ascontiguousarray(lvl.maxs.T)
-                             for lvl in self.levels)
+        # Fused per-level bounds ``[mins, -maxs]``: an entry overlaps a
+        # query box iff ``mins <= bmax`` and ``maxs >= bmin``, i.e. iff
+        # ``[mins, -maxs] <= [bmax, -bmin]`` elementwise (float negation
+        # is exact).  Each level pass is then ONE compare + ONE
+        # reduction over the frontier instead of two passes per
+        # dimension with compression in between.
+        self._fused = tuple(
+            np.ascontiguousarray(np.concatenate([lvl.mins, -lvl.maxs],
+                                                axis=1))
+            for lvl in self.levels)
 
     def __len__(self) -> int:
         return len(self.items)
@@ -204,10 +207,9 @@ class PackedRTree:
         (optional) receives per-level frontier statistics.
         """
         bmin, bmax = self._check_box(box_min, box_max)
+        qf = np.concatenate([bmax, -bmin])
         lvl0 = self.levels[0]
-        rows = np.flatnonzero(
-            np.all((lvl0.mins <= bmax) & (lvl0.maxs >= bmin), axis=-1)
-        )
+        rows = np.flatnonzero((self._fused[0] <= qf).all(axis=-1))
         if observer is not None:
             observer.on_descent(1)
             observer.on_level(0, lvl0.n_entries, int(rows.size))
@@ -218,14 +220,9 @@ class PackedRTree:
             counts = lvl.offsets[rows + 1] - starts
             cand = _expand_ranges(starts, counts)
             frontier = int(cand.size)
-            mins_t, maxs_t = self._mins_t[li], self._maxs_t[li]
-            # One dimension at a time, compressing survivors between
-            # dimensions: later dims gather only rows that still overlap.
-            for k in range(self.dim):
-                hit = ((mins_t[k][cand] <= bmax[k])
-                       & (maxs_t[k][cand] >= bmin[k]))
-                cand = cand[hit]
-            rows = cand
+            # Whole-frontier fused box test: one gather, one compare,
+            # one reduction (see the ``_fused`` layout note above).
+            rows = cand[(self._fused[li][cand] <= qf).all(axis=1)]
             if observer is not None:
                 observer.on_level(li, frontier, int(rows.size))
         return rows.astype(np.intp)
@@ -266,15 +263,12 @@ class PackedRTree:
             raise ValueError(f"query boxes must have shape (Q, {self.dim})")
         if np.any(bmins > bmaxs):
             raise ValueError("box min exceeds max")
-        lvl0 = self.levels[0]
-        hit0 = np.all((lvl0.mins[None, :, :] <= bmaxs[:, None, :])
-                      & (lvl0.maxs[None, :, :] >= bmins[:, None, :]), axis=-1)
+        qf = np.concatenate([bmaxs, -bmins], axis=1)
+        hit0 = (self._fused[0][None, :, :] <= qf[:, None, :]).all(axis=-1)
         qids, rows = np.nonzero(hit0)
         if observer is not None:
             observer.on_descent(int(bmins.shape[0]))
             observer.on_level(0, int(hit0.size), int(rows.size))
-        qmins_t = np.ascontiguousarray(bmins.T)
-        qmaxs_t = np.ascontiguousarray(bmaxs.T)
         for li, lvl in enumerate(self.levels[1:], start=1):
             if rows.size == 0:
                 break
@@ -283,15 +277,11 @@ class PackedRTree:
             cand = _expand_ranges(starts, counts)
             cqid = np.repeat(qids, counts)
             frontier = int(cand.size)
-            mins_t, maxs_t = self._mins_t[li], self._maxs_t[li]
-            # Per-dimension refinement with compression in between (see
-            # search_ids); `nonzero` of the row-major root mask keeps
-            # ``cqid`` sorted, and boolean masking preserves that.
-            for k in range(self.dim):
-                keep = ((mins_t[k][cand] <= qmaxs_t[k][cqid])
-                        & (maxs_t[k][cand] >= qmins_t[k][cqid]))
-                cand, cqid = cand[keep], cqid[keep]
-            qids, rows = cqid, cand
+            # Whole-frontier fused test per level; `nonzero` of the
+            # row-major root mask keeps ``cqid`` sorted, and boolean
+            # masking preserves that.
+            keep = (self._fused[li][cand] <= qf[cqid]).all(axis=1)
+            qids, rows = cqid[keep], cand[keep]
             if observer is not None:
                 observer.on_level(li, frontier, int(rows.size))
         return qids.astype(np.intp), rows.astype(np.intp)

@@ -91,6 +91,31 @@ class TestPackedParity:
         for q in queries:
             assert_same(pck.execute(q), dyn.execute(q))
 
+    def test_packed_invalidated_by_delete_and_evict(self):
+        """Non-incremental mutations must invalidate the packed view.
+
+        The zero-copy serving story (flat snapshots, pool republish)
+        hangs off the epoch: a delete or retention eviction bumps it,
+        so the next packed read rebuilds instead of serving a stale
+        snapshot containing the removed records.
+        """
+        index, queries = workload(43, 600, 10)
+        dyn = RetrievalEngine(index, CAMERA)
+        pck = RetrievalEngine(index, CAMERA, engine="packed")
+        stale = index.packed_view()
+        victim = index.records()[0]
+        assert index.delete(victim)
+        fresh = index.packed_view()
+        assert fresh is not stale and fresh.epoch != stale.epoch
+        assert len(fresh) == len(stale) - 1
+        for q in queries:
+            assert_same(pck.execute(q), dyn.execute(q))
+        cutoff = float(np.median([r.t_end for r in index.records()]))
+        assert index.evict_older_than(cutoff) > 0
+        assert index.packed_view().epoch == index.epoch
+        for q in queries:
+            assert_same(pck.execute(q), dyn.execute(q))
+
     def test_empty_batch(self):
         index, _ = workload(23, 100, 1)
         pck = RetrievalEngine(index, CAMERA, engine="packed")

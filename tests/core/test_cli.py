@@ -124,3 +124,31 @@ class TestCoverage:
         save_snapshot(path, [])
         assert main(["coverage", "--snapshot", str(path)]) == 0
         assert "empty" in capsys.readouterr().out
+
+
+class TestPack:
+    def test_pack_writes_attachable_fovpack(self, snapshot, tmp_path, capsys):
+        out = tmp_path / "city.fovpack"
+        rc = main(["pack", "--snapshot", str(snapshot),
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "verified" in text and "schema v1" in text
+        # The file is a genuine flat snapshot: attach and compare.
+        from repro.core.flatsnap import load_snapshot_file
+        from repro.core.snapshot import load_snapshot
+        index, records = load_snapshot(snapshot)
+        attached = load_snapshot_file(out)
+        assert len(attached) == len(records)
+        assert attached.epoch == index.epoch
+
+    def test_pack_defaults_to_fovpack_suffix(self, snapshot, capsys):
+        assert main(["pack", "--snapshot", str(snapshot)]) == 0
+        sidecar = snapshot.with_suffix(".fovpack")
+        assert sidecar.exists()
+        assert str(sidecar) in capsys.readouterr().out
+
+    def test_pack_missing_snapshot_is_an_error(self, tmp_path, capsys):
+        rc = main(["pack", "--snapshot", str(tmp_path / "nope.fov")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

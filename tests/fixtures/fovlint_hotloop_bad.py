@@ -1,0 +1,32 @@
+# fovlint: module=repro.core.retrieval
+"""Seeded-violation fixture for the RF015 acceptance test.
+
+RF015 is scoped to the query hot-path modules, so this file borrows
+``repro.core.retrieval``'s name via the module pragma; the loops below
+must each fire exactly once, and the sanctioned ``.tolist()`` funnel
+must stay quiet.
+
+This module is never imported -- it is linted as text only.
+"""
+
+__all__ = ["fast_scan", "slow_scan"]
+
+
+def slow_scan(view, queries):
+    """Iterate packed columns the slow way (every loop here: RF015)."""
+    total = 0.0
+    for v in view.lat:                         # direct column iteration
+        total += v
+    for r in view.grid.fused[10:20]:           # a slice is still the column
+        total += r[0]
+    for i, t in enumerate(view.theta):         # enumerate() is transparent
+        total += i * t
+    return total
+
+
+def fast_scan(view):
+    """The sanctioned funnel: one bulk conversion, then plain floats."""
+    total = 0.0
+    for v in view.lat.tolist():                # exempt: explicit funnel
+        total += v
+    return total

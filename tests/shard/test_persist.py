@@ -10,8 +10,8 @@ from repro.core.fov import RepresentativeFoV
 from repro.core.query import Query
 from repro.geo.coords import GeoPoint
 from repro.geo.earth import LocalProjection
-from repro.shard import (ShardedCloudServer, load_sharded_snapshot,
-                         save_sharded_snapshot)
+from repro.shard import (ShardedCloudServer, load_packed_shard_views,
+                         load_sharded_snapshot, save_sharded_snapshot)
 from repro.shard.persist import MANIFEST_NAME
 
 from tests.shard.test_sharded_server import (ORIGIN, make_queries,
@@ -76,6 +76,52 @@ class TestRoundTrip:
         written = save_sharded_snapshot(tmp_path, server)
         on_disk = sum(p.stat().st_size for p in tmp_path.iterdir())
         assert written == on_disk
+
+
+class TestPackedSidecars:
+    def test_sidecar_views_match_live_fleet(self, camera, tmp_path):
+        """The mmapped ``.fovpack`` views ARE the shards' packed views."""
+        server, _ = build_fleet(camera, n_shards=4, n_records=400)
+        save_sharded_snapshot(tmp_path, server)
+        views = load_packed_shard_views(tmp_path)
+        assert len(views) == server.n_shards
+        for sid, view in enumerate(views):
+            live = server.shards[sid].index.packed_view()
+            assert len(view) == len(live)
+            assert np.array_equal(view.key_rank, live.key_rank)
+            assert np.array_equal(view.grid.fused, live.grid.fused)
+            # Zero-copy: the columns alias the file mapping.
+            if len(view):
+                assert view.lat.base is not None
+                assert not view.lat.flags.writeable
+
+    def test_missing_sidecar_rejected(self, camera, tmp_path):
+        server, _ = build_fleet(camera, n_shards=3, n_records=60)
+        save_sharded_snapshot(tmp_path, server)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        del manifest["shards"][1]["packed"]
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="sidecar"):
+            load_packed_shard_views(tmp_path)
+
+    def test_corrupt_sidecar_rejected(self, camera, tmp_path):
+        server, _ = build_fleet(camera, n_shards=3, n_records=60)
+        save_sharded_snapshot(tmp_path, server)
+        victim = tmp_path / "shard-000.fovpack"
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="CRC32"):
+            load_packed_shard_views(tmp_path)
+
+    def test_sidecars_do_not_affect_record_reload(self, camera, tmp_path):
+        """Deleting every sidecar leaves the record reload path intact."""
+        server, _ = build_fleet(camera, n_shards=3, n_records=60)
+        save_sharded_snapshot(tmp_path, server)
+        for p in tmp_path.glob("*.fovpack"):
+            p.unlink()
+        reloaded = load_sharded_snapshot(tmp_path, camera)
+        assert reloaded.indexed_count == server.indexed_count
 
 
 class TestFailureModes:

@@ -1,0 +1,159 @@
+"""Shared-memory snapshots and the zero-copy persistent pool.
+
+Two invariants matter here beyond plain parity:
+
+* **no stale epochs** -- every mutation class (insert, delete,
+  retention eviction) must invalidate the workers' zero-copy views and
+  force a refresh before the next answer; a worker may never serve an
+  epoch older than the task it was handed;
+* **no leaks** -- superseded and closed segments must disappear from
+  the system (a republish-per-epoch design that leaked one segment per
+  ingest would exhaust ``/dev/shm`` in production).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CameraModel
+from repro.core.index import FoVIndex
+from repro.core.query import Query
+from repro.core.retrieval import RetrievalEngine
+from repro.shard.shm import SharedSnapshot, attach
+from repro.traces.dataset import random_representative_fovs
+
+CAMERA = CameraModel(half_angle=30.0, radius=100.0)
+
+
+def workload(seed=5, n_records=1200, n_queries=24):
+    rng = np.random.default_rng(seed)
+    reps = random_representative_fovs(n_records, rng)
+    queries = []
+    for _ in range(n_queries):
+        anchor = reps[int(rng.integers(len(reps)))]
+        queries.append(Query(
+            t_start=max(0.0, anchor.t_start - 300.0),
+            t_end=anchor.t_end + 300.0,
+            center=anchor.point,
+            radius=float(rng.uniform(50.0, 400.0))))
+    return reps, FoVIndex.bulk(reps), queries
+
+
+def ranking(result):
+    return [(r.fov.key(), r.distance, r.covers, r.score)
+            for r in result.ranked]
+
+
+def assert_parity(got, want):
+    for a, b in zip(got, want):
+        assert a.candidates == b.candidates
+        assert a.after_filter == b.after_filter
+        assert ranking(a) == ranking(b)
+
+
+class TestSharedSnapshot:
+    def test_publish_attach_round_trip(self):
+        _, index, _ = workload(n_records=400, n_queries=1)
+        view = index.packed_view()
+        shared = SharedSnapshot.publish(view)
+        try:
+            attached, shm = attach(shared.name)
+            assert len(attached) == len(view)
+            assert attached.epoch == shared.epoch == view.epoch
+            assert np.array_equal(attached.grid.fused, view.grid.fused)
+            attached = None
+            shm.close()
+        finally:
+            shared.unlink()
+
+    def test_unlink_is_idempotent_and_blocks_new_attaches(self):
+        _, index, _ = workload(n_records=50, n_queries=1)
+        shared = SharedSnapshot.publish(index.packed_view())
+        name = shared.name
+        shared.unlink()
+        shared.unlink()                       # second call: no-op
+        with pytest.raises(FileNotFoundError):
+            attach(name)
+
+    def test_attached_while_unlinked_stays_valid(self):
+        # POSIX semantics the republish protocol leans on: a worker
+        # mid-batch on the old epoch keeps a valid mapping even after
+        # the parent unlinked the segment name.
+        _, index, _ = workload(n_records=300, n_queries=1)
+        view = index.packed_view()
+        shared = SharedSnapshot.publish(view)
+        attached, shm = attach(shared.name)
+        shared.unlink()
+        assert np.array_equal(attached.lat, view.lat)
+        attached = None
+        shm.close()
+
+
+class TestPoolRefresh:
+    """Every mutation class forces a worker refresh -- never a stale epoch."""
+
+    def _fresh_want(self, index, queries):
+        return RetrievalEngine(index, CAMERA,
+                               engine="packed").execute_many(queries)
+
+    def test_insert_delete_evict_all_refresh(self):
+        reps, index, queries = workload()
+        engine = RetrievalEngine(index, CAMERA, engine="packed")
+        try:
+            assert_parity(engine.execute_many(queries, shards=2),
+                          self._fresh_want(index, queries))
+            pool = engine._pool
+            assert (pool.restarts, pool.delta_batches) == (1, 0)
+
+            extra = random_representative_fovs(
+                40, np.random.default_rng(77))
+            index.insert_many(extra)
+            assert_parity(engine.execute_many(queries, shards=2),
+                          self._fresh_want(index, queries))
+            assert (pool.restarts, pool.delta_batches) == (1, 1)
+
+            assert index.delete(extra[0])
+            assert_parity(engine.execute_many(queries, shards=2),
+                          self._fresh_want(index, queries))
+            assert (pool.restarts, pool.delta_batches) == (1, 2)
+
+            cutoff = float(np.median([r.t_end for r in reps]))
+            assert index.evict_older_than(cutoff) > 0
+            assert_parity(engine.execute_many(queries, shards=2),
+                          self._fresh_want(index, queries))
+            assert (pool.restarts, pool.delta_batches) == (1, 3)
+        finally:
+            engine.close()
+
+    def test_published_epoch_tracks_index_epoch(self):
+        _, index, queries = workload(n_records=300, n_queries=4)
+        engine = RetrievalEngine(index, CAMERA, engine="packed")
+        try:
+            engine.execute_many(queries, shards=2)
+            pool = engine._pool
+            assert pool._snapshot.epoch == index.epoch
+            index.insert_many(random_representative_fovs(
+                8, np.random.default_rng(1)))
+            assert pool._snapshot.epoch != index.epoch  # stale until next run
+            engine.execute_many(queries, shards=2)
+            assert pool._snapshot.epoch == index.epoch
+        finally:
+            engine.close()
+
+    def test_close_unlinks_segment(self):
+        _, index, queries = workload(n_records=200, n_queries=4)
+        engine = RetrievalEngine(index, CAMERA, engine="packed")
+        engine.execute_many(queries, shards=2)
+        name = engine._pool._snapshot.name
+        engine.close()
+        with pytest.raises(FileNotFoundError):
+            attach(name)
+
+    def test_unused_shards_answer_like_sequential(self):
+        # shards > queries: chunking degenerates gracefully.
+        _, index, queries = workload(n_records=200, n_queries=3)
+        engine = RetrievalEngine(index, CAMERA, engine="packed")
+        try:
+            assert_parity(engine.execute_many(queries, shards=8),
+                          self._fresh_want(index, queries))
+        finally:
+            engine.close()

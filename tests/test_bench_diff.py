@@ -1,0 +1,106 @@
+"""The advisory benchmark differ (``tools/analysis/bench_diff.py``).
+
+The differ infers the good direction for each metric from the naming
+convention the exports follow; these tests pin that inference --
+especially the rate suffixes (``_mb_s``, ``_bundles_s``) whose
+trailing ``_s`` must *not* be read as a duration -- and the advisory
+exit contract (0 even with regressions).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_diff", REPO / "tools" / "analysis" / "bench_diff.py")
+assert _spec is not None and _spec.loader is not None
+bench_diff = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_diff)
+
+
+def _keys(rows):
+    return [row[0] for row in rows]
+
+
+class TestDirections:
+    def test_duration_regression_is_slower(self):
+        rows = bench_diff.regressions(
+            {"batch_s": 1.0}, {"batch_s": 1.5}, 0.20)
+        assert _keys(rows) == ["batch_s"]
+        assert rows[0][3] == 0.5
+
+    def test_duration_improvement_is_quiet(self):
+        assert bench_diff.regressions(
+            {"batch_s": 1.0}, {"batch_s": 0.5}, 0.20) == []
+
+    def test_speedup_regression_is_less_speedup(self):
+        rows = bench_diff.regressions(
+            {"speedup_x": 10.0}, {"speedup_x": 5.0}, 0.20)
+        assert _keys(rows) == ["speedup_x"]
+
+    def test_rate_suffixes_are_higher_is_better(self):
+        # 9.9 -> 13.2 MB/s is an *improvement*; the trailing "_s" must
+        # not flag it as a 33% slowdown.
+        old = {"decode_mb_s": 9.9, "ingest_bundles_s": 150.0}
+        new = {"decode_mb_s": 13.2, "ingest_bundles_s": 200.0}
+        assert bench_diff.regressions(old, new, 0.20) == []
+        # ...and a real throughput drop is flagged.
+        rows = bench_diff.regressions(new, old, 0.20)
+        assert _keys(rows) == ["decode_mb_s", "ingest_bundles_s"]
+
+    def test_informational_keys_never_warn(self):
+        old = {"records": 100, "engine": "packed",
+               "snapshot_schema_version": 1}
+        new = {"records": 999, "engine": "dynamic",
+               "snapshot_schema_version": 2}
+        assert bench_diff.regressions(old, new, 0.20) == []
+
+    def test_within_threshold_is_quiet(self):
+        assert bench_diff.regressions(
+            {"batch_s": 1.0}, {"batch_s": 1.19}, 0.20) == []
+
+    def test_new_and_zero_keys_are_skipped(self):
+        old = {"gone_s": 1.0, "zero_s": 0.0}
+        new = {"fresh_s": 9.9, "zero_s": 5.0}
+        assert bench_diff.regressions(old, new, 0.20) == []
+
+
+class TestMain:
+    def test_regression_warns_but_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_fake.json"
+        path.write_text(json.dumps({"batch_s": 9.0}), encoding="utf-8")
+
+        def fake_committed(_path):
+            return {"batch_s": 1.0}
+
+        original = bench_diff.committed_version
+        bench_diff.committed_version = fake_committed
+        try:
+            rc = bench_diff.main([str(path)])
+        finally:
+            bench_diff.committed_version = original
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "::warning file=BENCH_fake.json::" in out
+        assert "800% slower" in out
+
+    def test_untracked_file_is_skipped(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_new.json"
+        path.write_text(json.dumps({"batch_s": 1.0}), encoding="utf-8")
+        original = bench_diff.committed_version
+        bench_diff.committed_version = lambda _p: None
+        try:
+            rc = bench_diff.main([str(path)])
+        finally:
+            bench_diff.committed_version = original
+        assert rc == 0
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_unreadable_json_is_operational_error(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert bench_diff.main([str(path)]) == 2

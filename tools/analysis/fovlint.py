@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Standalone launcher for the FoV domain lint rules (RF001-RF014).
+"""Standalone launcher for the FoV domain lint rules (RF001-RF015).
 
 The real engine lives in :mod:`repro.analysis` (inside ``src/``), where
 it is importable, typed, and unit-tested; this shim only bootstraps
@@ -39,7 +39,8 @@ def main(argv: list[str] | None = None) -> int:
                     "unpacking, metric-name literals) plus whole-program "
                     "concurrency rules (lock discipline, lock-order "
                     "cycles, epoch protocol, blocking-under-lock, "
-                    "instrument-catalog drift, unjoined workers).",
+                    "instrument-catalog drift, unjoined workers) and the "
+                    "hot-path vectorisation ratchet.",
     )
     parser.add_argument("paths", nargs="*", default=[str(_SRC / "repro")],
                         help="files or directories to lint "
