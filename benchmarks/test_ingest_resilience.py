@@ -12,7 +12,14 @@ records):
   transport, duplicate redelivery served from the digest set;
 * **faulty convergence** -- the full retry loop over a 10% drop / 10%
   duplicate / 5% corrupt channel: attempts per bundle and the parity
-  guarantee that makes the overhead worth paying.
+  guarantee that makes the overhead worth paying;
+* **commit-group ingest** -- ``ingest_batch`` with vectorized decode
+  and one epoch bump per group, gated at >= 10x the per-bundle path
+  with a bit-identical content digest;
+* **WAL durability** -- the batched path with an fsynced write-ahead
+  log in front, plus a replay that reconverges from the log alone;
+* **back-pressure** -- a saturated admission queue shedding the tail
+  of an oversized group.
 
 Numbers land in ``BENCH_ingest_path.json`` for the perf trajectory.
 """
@@ -52,7 +59,10 @@ def _timed(fn, *args):
     return out, time.perf_counter() - t0
 
 
-def test_ingest_resilience(corpus, camera, show, bench_export):
+GROUP = 200     # commit-group size for the batched sections
+
+
+def test_ingest_resilience(corpus, camera, show, bench_export, tmp_path):
     # -- codec: the checksum tax -------------------------------------
     def encode_all(version):
         return [encode_bundle(vid, fovs, version=version)
@@ -85,6 +95,42 @@ def test_ingest_resilience(corpus, camera, show, bench_export):
     assert faulty.indexed_count == server.indexed_count
     assert faulty.stats.bundles_rejected == channel.stats.corrupted
 
+    # -- commit-group ingest: the tentpole gate -----------------------
+    def groups(payloads):
+        return [payloads[i:i + GROUP]
+                for i in range(0, len(payloads), GROUP)]
+
+    batched = CloudServer(camera)
+    t0 = time.perf_counter()
+    for group in groups(v2):
+        batched.ingest_batch(group)
+    t_batch = time.perf_counter() - t0
+    assert batched.index.content_digest() == server.index.content_digest()
+    assert t_ingest >= 10.0 * t_batch, (
+        f"batched ingest gate: {t_ingest:.3f}s sequential vs "
+        f"{t_batch:.3f}s batched is only {t_ingest / t_batch:.1f}x")
+
+    # -- WAL-durable batched ingest + replay --------------------------
+    from repro.core.wal import WriteAheadLog
+
+    wal = WriteAheadLog(tmp_path / "bench.wal")
+    durable = CloudServer(camera, wal=wal)
+    t0 = time.perf_counter()
+    for group in groups(v2):
+        durable.ingest_batch(group)
+    t_wal = time.perf_counter() - t0
+    wal.close()
+    assert durable.index.content_digest() == server.index.content_digest()
+    recovered = CloudServer(camera)
+    _, t_replay = _timed(recovered.replay_wal, wal.path)
+    assert recovered.index.content_digest() == server.index.content_digest()
+
+    # -- back-pressure: shed the tail of an oversized group -----------
+    throttled = CloudServer(camera, admission_capacity=GROUP)
+    outcomes = throttled.ingest_batch(v2[:2 * GROUP])
+    n_shed = sum(o.status.value == "shed" for o in outcomes)
+    assert n_shed == GROUP
+
     table = Table(
         f"Ingest resilience -- {N_BUNDLES} bundles x {RECORDS_PER_BUNDLE} "
         f"records",
@@ -103,7 +149,17 @@ def test_ingest_resilience(corpus, camera, show, bench_export):
               f"{N_BUNDLES / t_dedup:.0f} bundles/s")
     table.add("faulty upload w/ retries", round(t_faulty * 1e3, 1),
               f"{N_BUNDLES / t_faulty:.0f} bundles/s")
+    table.add(f"commit groups of {GROUP}", round(t_batch * 1e3, 1),
+              f"{N_BUNDLES / t_batch:.0f} bundles/s")
+    table.add("commit groups + WAL fsync", round(t_wal * 1e3, 1),
+              f"{N_BUNDLES / t_wal:.0f} bundles/s")
+    table.add("WAL replay (recovery)", round(t_replay * 1e3, 1),
+              f"{N_BUNDLES / t_replay:.0f} bundles/s")
     show(table)
+    show(f"batched speedup: {t_ingest / t_batch:.1f}x over per-bundle "
+         f"ingest (gate: >= 10x), digest bit-identical; WAL adds "
+         f"{wal.stats.syncs} fsyncs; back-pressure shed {n_shed} of "
+         f"{2 * GROUP} at capacity {GROUP}")
     show(f"faulty run: {uploader.stats.attempts} attempts for {N_BUNDLES} "
          f"bundles ({uploader.stats.retries} retries), "
          f"{channel.stats.corrupted} corrupt copies all quarantined")
@@ -122,4 +178,11 @@ def test_ingest_resilience(corpus, camera, show, bench_export):
         "faulty_attempts": uploader.stats.attempts,
         "faulty_retries": uploader.stats.retries,
         "corrupt_copies_quarantined": channel.stats.corrupted,
+        "commit_group": GROUP,
+        "ingest_batched_bundles_s": round(N_BUNDLES / t_batch, 1),
+        "batched_speedup_x": round(t_ingest / t_batch, 1),
+        "wal_ingest_batched_bundles_s": round(N_BUNDLES / t_wal, 1),
+        "wal_replay_bundles_s": round(N_BUNDLES / t_replay, 1),
+        "wal_syncs": wal.stats.syncs,
+        "backpressure_shed": n_shed,
     }, engine="dynamic")

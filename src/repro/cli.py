@@ -116,6 +116,19 @@ def build_parser() -> argparse.ArgumentParser:
     ing.add_argument("--shards", type=int, default=1,
                      help="ingest into a geo-sharded fleet of N shards "
                           "instead of a single server")
+    ing.add_argument("--batch", type=int, default=1, metavar="N",
+                     help="ingest deliveries in commit groups of N "
+                          "bundles (vectorized decode, one epoch bump "
+                          "and one WAL fsync per group); 1 = the "
+                          "classic per-bundle uploader path")
+    ing.add_argument("--wal", default=None, metavar="FILE",
+                     help="append accepted bundles to a write-ahead log "
+                          "at FILE, fsynced once per commit group")
+    ing.add_argument("--admission-capacity", type=int, default=None,
+                     metavar="N",
+                     help="bound on in-flight bundles; beyond it ingest "
+                          "sheds with a retryable outcome (default: "
+                          "unbounded)")
     ing.add_argument("--out", default=None,
                      help="optionally save the converged index as a snapshot")
     ing.add_argument("--json", action="store_true",
@@ -291,6 +304,43 @@ def _cmd_coverage(args) -> int:
     return 0
 
 
+def _batched_upload(dataset, channel, server, batch: int,
+                    max_attempts: int) -> tuple[bool, int]:
+    """At-least-once upload through the lossy channel in commit groups.
+
+    Each round transmits every unacknowledged recording, feeds the
+    surviving deliveries to ``ingest_batch`` in groups of ``batch``,
+    and re-offers anything dropped, corrupted, or shed.  Returns
+    ``(converged, re-offer count)``.
+    """
+    pending = list(range(len(dataset.recordings)))
+    retries = 0
+    for round_no in range(max_attempts):
+        if not pending:
+            break
+        if round_no:
+            retries += len(pending)
+        deliveries: list[tuple[int | None, bytes, str | None]] = []
+        for i in pending:
+            rec = dataset.recordings[i]
+            for d in channel.transmit(rec.bundle.payload):
+                deliveries.append((i, d.payload, rec.device_id))
+        for d in channel.flush():      # stragglers held by reordering
+            deliveries.append((None, d.payload, None))
+        acked: set[int] = set()
+        for start in range(0, len(deliveries), batch):
+            group = deliveries[start:start + batch]
+            outcomes = server.ingest_batch(
+                [payload for _, payload, _ in group],
+                device_ids=[dev for _, _, dev in group])
+            for (src, _, _), outcome in zip(group, outcomes):
+                if src is not None and outcome.status.value in (
+                        "accepted", "duplicate"):
+                    acked.add(src)
+        pending = [i for i in pending if i not in acked]
+    return not pending, retries
+
+
 def _cmd_ingest(args) -> int:
     """Fault-injected end-to-end ingest: upload every provider's bundle
     through a lossy channel with retries, then prove the converged
@@ -299,15 +349,21 @@ def _cmd_ingest(args) -> int:
     from repro.net.channel import FaultProfile, FaultyChannel, RetryPolicy
     from repro.obs import Observability, format_span_tree
 
+    from repro.core.wal import WriteAheadLog
+
     dataset = CityDataset(n_providers=args.providers, seed=args.seed)
     control = CloudServer(dataset.camera)
     obs = Observability.tracing() if args.trace else None
+    wal = WriteAheadLog(args.wal) if args.wal else None
     if args.shards > 1:
         from repro.shard import ShardedCloudServer
         faulty = ShardedCloudServer(dataset.camera, n_shards=args.shards,
-                                    origin=dataset.origin, obs=obs)
+                                    origin=dataset.origin, obs=obs,
+                                    wal=wal,
+                                    admission_capacity=args.admission_capacity)
     else:
-        faulty = CloudServer(dataset.camera, obs=obs)
+        faulty = CloudServer(dataset.camera, obs=obs, wal=wal,
+                             admission_capacity=args.admission_capacity)
     profile = FaultProfile(drop_rate=args.drop, duplicate_rate=args.duplicate,
                            corrupt_rate=args.corrupt,
                            reorder_rate=args.reorder)
@@ -315,22 +371,30 @@ def _cmd_ingest(args) -> int:
     uploader = faulty.make_uploader(
         channel, policy=RetryPolicy(max_attempts=args.max_attempts))
 
-    receipts = []
     for rec in dataset.recordings:
         control.receive_bundle(rec.bundle.payload, device_id=rec.device_id)
-        receipts.append(uploader.upload(rec.bundle.payload))
-    for delivery in channel.flush():    # stragglers held back by reordering
-        faulty.ingest_bundle(delivery.payload)
-
-    delivered = all(r.accepted for r in receipts)
+    if args.batch > 1:
+        delivered, retries = _batched_upload(dataset, channel, faulty,
+                                             args.batch, args.max_attempts)
+        uploader.stats.retries = retries
+    else:
+        receipts = [uploader.upload(rec.bundle.payload)
+                    for rec in dataset.recordings]
+        for delivery in channel.flush():   # stragglers held by reordering
+            faulty.ingest_bundle(delivery.payload)
+        delivered = all(r.accepted for r in receipts)
+    if wal is not None:
+        wal.close()
     parity = sorted(f.key() for f in faulty.records()) == \
         sorted(f.key() for f in control.records())
     report = {
         "bundles": len(dataset.recordings),
         "records": control.indexed_count,
         "shards": args.shards,
-        "attempts": uploader.stats.attempts,
+        "attempts": (uploader.stats.attempts if args.batch == 1
+                     else channel.stats.sent),
         "retries": uploader.stats.retries,
+        "batch": args.batch,
         "channel": {"sent": channel.stats.sent,
                     "delivered": channel.stats.delivered,
                     "dropped": channel.stats.dropped,
@@ -346,6 +410,13 @@ def _cmd_ingest(args) -> int:
         "all_bundles_delivered": delivered,
         "parity_with_lossless": parity,
     }
+    if wal is not None:
+        report["wal"] = {"path": wal.path,
+                         "appends": wal.stats.appends,
+                         "syncs": wal.stats.syncs,
+                         "bytes": wal.stats.bytes}
+    if args.admission_capacity is not None:
+        report["shed"] = faulty.stats.bundles_shed
     if args.out:
         save_snapshot(args.out, faulty.records())
         report["snapshot"] = args.out
@@ -366,6 +437,12 @@ def _cmd_ingest(args) -> int:
               f"records live")
         print(f"converged: {'yes' if delivered else 'NO'}; "
               f"parity with lossless run: {'OK' if parity else 'MISMATCH'}")
+        if "wal" in report:
+            w = report["wal"]
+            print(f"wal: {w['appends']} appends, {w['syncs']} fsyncs, "
+                  f"{w['bytes']} bytes at {w['path']}")
+        if "shed" in report:
+            print(f"back-pressure: {report['shed']} bundle(s) shed")
         if args.out:
             print(f"snapshot written to {args.out}")
     if obs is not None and obs.span_tracer is not None:

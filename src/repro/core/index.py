@@ -13,6 +13,7 @@ or the linear-scan baseline for the Fig. 6(c) comparison.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Literal, Sequence
 
 import numpy as np
@@ -31,11 +32,17 @@ from repro.spatial.rtree import RTree, RTreeConfig
 __all__ = ["FoVIndex", "PackedFoVIndex", "fov_box", "query_box",
            "query_box_floats"]
 
-#: How many epochs of mutation history an index retains for
-#: incremental consumers (the persistent shard pool's delta protocol,
-#: docs/SHARDING.md).  Falling off the log forces a full re-ship, so
-#: the cap only bounds memory, never correctness.
-MUTATION_LOG_CAP = 128
+#: Batch size at which ``insert_many`` stops descending the R-tree per
+#: record and instead STR bulk-rebuilds the whole tree (existing
+#: records + batch) in one O(n log n) pass.  A per-record insert costs
+#: ~100x a bulk-loaded record, so the rebuild wins whenever the batch
+#: is a non-trivial fraction of the index; see also
+#: :data:`BULK_APPEND_MAX_RATIO`.
+BULK_APPEND_MIN = 512
+#: The bulk rebuild is skipped when the existing index is more than
+#: this many times larger than the incoming batch (rebuilding 1M
+#: records to append 1k would be a regression).
+BULK_APPEND_MAX_RATIO = 64
 
 
 def fov_box(fov: RepresentativeFoV) -> tuple[np.ndarray, np.ndarray]:
@@ -278,44 +285,9 @@ class FoVIndex:
             raise ValueError(f"unknown backend {backend!r}")
         self._epoch = 0
         self._packed: PackedFoVIndex | None = None
-        # (epoch, records added) per mutation batch; ``None`` marks a
-        # non-incremental mutation (delete/eviction).  Bounded by
-        # MUTATION_LOG_CAP; see mutations_since().
-        self._mutlog: list[tuple[int,
-                                 tuple[RepresentativeFoV, ...] | None]] = []
 
     def __len__(self) -> int:
         return len(self._index)
-
-    def _log_mutation(
-            self, added: tuple[RepresentativeFoV, ...] | None) -> None:
-        self._mutlog.append((self._epoch, added))
-        if len(self._mutlog) > MUTATION_LOG_CAP:
-            del self._mutlog[: len(self._mutlog) - MUTATION_LOG_CAP]
-
-    def mutations_since(
-            self, epoch: int
-    ) -> list[tuple[int, tuple[RepresentativeFoV, ...]]] | None:
-        """Insert-only deltas from ``epoch`` (exclusive) to now.
-
-        Returns ``(epoch, records_added)`` pairs, oldest first, such
-        that replaying the additions on top of the content at ``epoch``
-        reproduces the current record set -- the shard pool's delta
-        protocol (docs/SHARDING.md).  Returns ``None`` when the span is
-        not reconstructible incrementally: a delete or eviction
-        happened in it, or it has aged out of the bounded log -- the
-        caller must then fall back to a full snapshot re-ship.
-        """
-        if epoch == self._epoch:
-            return []
-        if epoch > self._epoch:
-            return None
-        tail = [(e, added) for e, added in self._mutlog if e > epoch]
-        if len(tail) != self._epoch - epoch:
-            return None      # span trimmed off the bounded log
-        if any(added is None for _, added in tail):
-            return None      # a delete/eviction breaks incrementality
-        return [(e, added) for e, added in tail if added is not None]
 
     @property
     def epoch(self) -> int:
@@ -341,7 +313,6 @@ class FoVIndex:
         bmin, bmax = fov_box(fov)
         self._index.insert(bmin, bmax, fov)
         self._epoch += 1
-        self._log_mutation((fov,))
 
     def insert_many(self, fovs: Iterable[RepresentativeFoV]) -> int:
         """Index a batch of records atomically; returns the count.
@@ -350,28 +321,70 @@ class FoVIndex:
         insert, so a bad record rejects the whole batch with the index
         untouched (no partial bundles), and the epoch bumps once for
         the batch instead of once per record -- one cache/packed-view
-        invalidation per bundle.
+        invalidation per commit group, however many bundles it merged.
+
+        Geometry validation is one vectorised pass over the batch's
+        box matrix.  Large batches on the R-tree backend
+        (:data:`BULK_APPEND_MIN`, :data:`BULK_APPEND_MAX_RATIO`) are
+        appended by STR bulk-rebuilding the tree over existing plus new
+        records instead of descending per record -- the ~100x
+        amortisation the streaming ingest pipeline's commit groups rely
+        on (docs/PERFORMANCE.md).
         """
         items = list(fovs)
-        boxes = []
-        for fov in items:
-            bmin, bmax = fov_box(fov)
-            if not (np.all(np.isfinite(bmin)) and np.all(np.isfinite(bmax))):
-                raise ValueError(
-                    f"non-finite geometry in record {fov.key()!r}; "
-                    f"nothing from this batch was indexed"
-                )
-            boxes.append((bmin, bmax))
-        for (bmin, bmax), fov in zip(boxes, items):
-            self._index.insert(bmin, bmax, fov)
-        if items:
-            self._epoch += 1
-            self._log_mutation(tuple(items))
-        return len(items)
+        if not items:
+            return 0
+        mins = np.array([[f.lng, f.lat, f.t_start] for f in items],
+                        dtype=float)
+        maxs = np.array([[f.lng, f.lat, f.t_end] for f in items], dtype=float)
+        finite = np.isfinite(mins).all(axis=1) & np.isfinite(maxs).all(axis=1)
+        if not bool(finite.all()):
+            bad = items[int(np.argmin(finite))]
+            raise ValueError(
+                f"non-finite geometry in record {bad.key()!r}; "
+                f"nothing from this batch was indexed"
+            )
+        n = len(items)
+        if (self.backend == "rtree" and n >= BULK_APPEND_MIN
+                and len(self._index) <= n * BULK_APPEND_MAX_RATIO):
+            existing = list(self._index.items())
+            if existing:
+                old_mins = np.array([b for b, _, _ in existing], dtype=float)
+                old_maxs = np.array([b for _, b, _ in existing], dtype=float)
+                mins = np.vstack([old_mins, mins])
+                maxs = np.vstack([old_maxs, maxs])
+                merged = [f for _, _, f in existing] + items
+            else:
+                merged = items
+            self._index = str_bulk_load(mins, maxs, merged, dim=3,
+                                        config=self._rtree_config)
+        else:
+            for i, fov in enumerate(items):
+                self._index.insert(mins[i].copy(), maxs[i].copy(), fov)
+        self._epoch += 1
+        return n
 
     def records(self) -> list[RepresentativeFoV]:
         """Every indexed record (index order; audits and parity checks)."""
         return [fov for _, _, fov in self._index.items()]
+
+    def content_digest(self) -> str:
+        """Order-independent SHA-256 over the canonical record tuples.
+
+        Two indexes hold bit-identical content iff their digests match,
+        regardless of insertion order or tree shape -- the convergence
+        check for fault-injection and WAL crash-replay runs
+        (``repr`` round-trips floats exactly, so equal digests mean
+        equal bits, not merely close values).
+        """
+        canon = sorted(
+            (f.video_id, f.segment_id, f.lat, f.lng, f.theta,
+             f.t_start, f.t_end)
+            for f in self.records()
+        )
+        h = hashlib.sha256()
+        h.update(repr(canon).encode("utf-8"))
+        return h.hexdigest()
 
     def delete(self, fov: RepresentativeFoV) -> bool:
         """Remove one record (e.g. a provider revoking a contribution)."""
@@ -379,7 +392,6 @@ class FoVIndex:
         deleted = self._index.delete(bmin, bmax, fov)
         if deleted:
             self._epoch += 1
-            self._log_mutation(None)
         return deleted
 
     def evict_older_than(self, cutoff_t: float) -> int:
@@ -395,7 +407,6 @@ class FoVIndex:
             self._index.delete(bmin, bmax, fov)
         if victims:
             self._epoch += 1
-            self._log_mutation(None)
         return len(victims)
 
     def range_search(self, query: Query) -> list[RepresentativeFoV]:

@@ -1,0 +1,64 @@
+"""Bounded admission control for the ingest path (back-pressure).
+
+A flash crowd of uploaders must degrade gracefully: beyond a
+configured number of in-flight bundles the server *sheds* the excess
+with an explicit, retryable ``shed`` acknowledgement instead of
+buffering without bound.  The
+:class:`~repro.net.channel.RetryingUploader` already retries any ack
+that is neither terminal-ok nor ``rejected``, so shed bundles are
+simply re-offered after backoff -- at-least-once delivery plus the
+server's content-digest dedup keeps the outcome exactly-once
+(``docs/PROTOCOL.md`` delivery-semantics table).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """A capacity-bounded in-flight counter, not a buffer.
+
+    ``try_admit(n)`` grants between 0 and ``n`` slots atomically (a
+    batch larger than the free capacity is *partially* admitted; the
+    caller sheds the remainder), ``release`` returns slots.  Nothing
+    is ever queued here -- holding real payloads would be the
+    unbounded buffering this class exists to prevent.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"admission capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._depth = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def depth(self) -> int:
+        """Currently admitted (in-flight) bundles."""
+        with self._lock:
+            return self._depth
+
+    def try_admit(self, n: int = 1) -> int:
+        """Atomically claim up to ``n`` slots; returns how many were
+        granted (0 when saturated -- the caller sheds)."""
+        if n < 0:
+            raise ValueError(f"cannot admit {n} bundles")
+        with self._lock:
+            granted = min(n, self._capacity - self._depth)
+            self._depth += granted
+        return granted
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` previously granted slots."""
+        with self._lock:
+            if n > self._depth:
+                raise ValueError(
+                    f"releasing {n} slots but only {self._depth} in flight")
+            self._depth -= n

@@ -4,8 +4,14 @@ A production ingest tier never silently discards a rejected payload:
 operators need the evidence to tell a buggy client from a hostile one
 from a lossy link.  :class:`QuarantineStore` keeps the most recent
 rejected payloads with their rejection reason, bounded in capacity so
-a corruption storm cannot exhaust memory -- older entries age out and
-are only *counted* from then on.
+a corruption storm cannot exhaust memory.  Aging out of the bounded
+window is *explicit*, never silent: each eviction increments the
+``dropped`` count (and the ``quarantine.dropped`` metric when a
+registry is attached) and emits a ``quarantine.evicted`` journal
+event, so ``total_quarantined == len(store) + dropped`` holds exactly
+at every point -- an empty window with a zero ``dropped`` count really
+does mean "no rejections", and can never be confused with a window
+that wrapped.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["QuarantinedBundle", "QuarantineStore"]
 
@@ -39,19 +46,28 @@ class QuarantineStore:
 
     When a :class:`~repro.obs.journal.EventJournal` is attached, every
     quarantined payload also emits a ``quarantine.added`` event carrying
-    the reason and payload digest, so the operator timeline interleaves
-    rejections with the cache/epoch events around them.
+    the reason and payload digest -- and every overflow eviction a
+    ``quarantine.evicted`` event naming the evicted sequence number --
+    so the operator timeline interleaves rejections with the
+    cache/epoch events around them.
     """
 
     def __init__(self, capacity: int = 256,
-                 journal: EventJournal | None = None) -> None:
+                 journal: EventJournal | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
         if capacity < 1:
             raise ValueError("quarantine capacity must be positive")
         self.capacity = capacity
         self.reasons: Counter[str] = Counter()
-        self._entries: deque[QuarantinedBundle] = deque(maxlen=capacity)
+        self._entries: deque[QuarantinedBundle] = deque()
         self._total = 0
+        self._dropped = 0
         self._journal = journal
+        self._dropped_counter = None
+        if registry is not None:
+            self._dropped_counter = registry.counter(
+                "quarantine.dropped",
+                "Quarantined payloads aged out of the bounded window")
 
     def add(self, payload: bytes, reason: str) -> QuarantinedBundle:
         """Quarantine one rejected payload; returns the stored entry."""
@@ -67,6 +83,14 @@ class QuarantineStore:
         if self._journal is not None:
             self._journal.emit("quarantine.added", reason=reason,
                                digest=entry.digest, seq=entry.seq)
+        while len(self._entries) > self.capacity:
+            evicted = self._entries.popleft()
+            self._dropped += 1
+            if self._dropped_counter is not None:
+                self._dropped_counter.inc()
+            if self._journal is not None:
+                self._journal.emit("quarantine.evicted", seq=evicted.seq,
+                                   digest=evicted.digest)
         return entry
 
     def __len__(self) -> int:
@@ -81,6 +105,12 @@ class QuarantineStore:
         return self._total
 
     @property
+    def dropped(self) -> int:
+        """Entries explicitly evicted from the bounded window."""
+        return self._dropped
+
+    @property
     def aged_out(self) -> int:
-        """Entries dropped from the bounded window to make room."""
-        return self._total - len(self._entries)
+        """Entries dropped from the bounded window to make room
+        (alias of :attr:`dropped`, kept for existing readers)."""
+        return self._dropped

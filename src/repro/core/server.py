@@ -12,6 +12,20 @@ are deduplicated by content digest into exactly-once indexing, and
 rejected payloads land in a bounded
 :class:`~repro.core.quarantine.QuarantineStore` with their rejection
 reason instead of vanishing.
+
+Three streaming-ingest extensions (``docs/PROTOCOL.md``):
+
+* :meth:`CloudServer.ingest_batch` commits a whole group of delivered
+  bundles at once -- vectorised decode, one WAL fsync, one index
+  insert (one epoch bump) -- with per-bundle outcomes identical to
+  offering the bundles one at a time.
+* An optional :class:`~repro.core.wal.WriteAheadLog` makes accepted
+  payloads durable *before* they are indexed;
+  :meth:`CloudServer.replay_wal` recovers them after a crash
+  (idempotent via the digest dedup).
+* An optional :class:`~repro.core.ingest.AdmissionQueue` caps
+  in-flight bundles; the excess is ``SHED`` -- a retryable ack the
+  uploader backoff already understands.
 """
 
 from __future__ import annotations
@@ -24,12 +38,16 @@ from repro.core.cache import QueryResultCache, query_cache_key
 from repro.core.camera import CameraModel
 from repro.core.fov import RepresentativeFoV
 from repro.core.index import FoVIndex
+from repro.core.ingest import AdmissionQueue
 from repro.core.pipeline import ClientPipeline, StoredSegment
 from repro.core.quarantine import QuarantineStore
 from repro.core.query import Query, QueryResult
 from repro.core.retrieval import RetrievalEngine
+from repro.core.wal import ENTRY_OVERHEAD, WriteAheadLog
+from repro.core.wal import replay as wal_replay
 from repro.net.channel import FaultyChannel, RetryPolicy, RetryingUploader
-from repro.net.protocol import decode_bundle
+from repro.net.protocol import BundleColumns, decode_bundle, \
+    decode_bundle_columns
 from repro.net.traffic import TrafficModel, VideoProfile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import Observability
@@ -44,6 +62,9 @@ class IngestStatus(Enum):
     ACCEPTED = "accepted"
     DUPLICATE = "duplicate"
     REJECTED = "rejected"
+    #: Refused admission by back-pressure; retryable (the uploader
+    #: backs off and re-offers), unlike the terminal ``REJECTED``.
+    SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -85,6 +106,18 @@ class ServerStats:
         self._retried = reg.counter(
             "ingest.bundles_retried",
             "Bundle retransmissions the at-least-once transport cost")
+        self._shed = reg.counter(
+            "ingest.shed",
+            "Bundles refused admission by back-pressure (retryable)")
+        self._wal_appends = reg.counter(
+            "ingest.wal_appends", "Bundle payloads appended to the WAL")
+        self._wal_bytes = reg.counter(
+            "ingest.wal_bytes", "Bytes written to the WAL (framing included)")
+        self._wal_syncs = reg.counter(
+            "ingest.wal_syncs", "WAL fsyncs (one per commit group)")
+        self._wal_replayed = reg.counter(
+            "ingest.wal_replayed",
+            "Bundles recovered into the index by WAL replay")
         self._records_indexed = reg.counter(
             "ingest.records_indexed",
             "Representative FoVs indexed over the server's lifetime")
@@ -126,6 +159,31 @@ class ServerStats:
     def bundles_retried(self) -> int:
         """Retransmissions observed via the retrying uploader."""
         return int(self._retried.value)
+
+    @property
+    def bundles_shed(self) -> int:
+        """Bundles refused admission by back-pressure (retryable)."""
+        return int(self._shed.value)
+
+    @property
+    def wal_appends(self) -> int:
+        """Bundle payloads appended to the write-ahead log."""
+        return int(self._wal_appends.value)
+
+    @property
+    def wal_bytes(self) -> int:
+        """Bytes written to the WAL, framing included."""
+        return int(self._wal_bytes.value)
+
+    @property
+    def wal_syncs(self) -> int:
+        """WAL fsyncs -- one per commit group, not per bundle."""
+        return int(self._wal_syncs.value)
+
+    @property
+    def wal_replayed(self) -> int:
+        """Bundles recovered into the index by WAL replay."""
+        return int(self._wal_replayed.value)
 
     @property
     def records_indexed(self) -> int:
@@ -204,6 +262,16 @@ class CloudServer:
     quarantine_capacity : int
         How many rejected payloads the dead-letter store retains
         (older entries age out but stay counted).
+    wal : WriteAheadLog, optional
+        When given, every accepted payload is appended to this
+        write-ahead log *before* it is indexed and fsynced once per
+        commit group, making ingest durable and replayable
+        (:meth:`replay_wal`).  ``None`` (default) keeps the historical
+        memory-only behaviour.
+    admission_capacity : int, optional
+        Cap on in-flight bundles; beyond it ingest sheds with the
+        retryable ``SHED`` outcome instead of buffering without bound.
+        ``None`` (default) disables back-pressure.
     obs : Observability, optional
         Instrument bundle shared by every component of this server
         (stats registry, engine spans, cache counters, journal).  The
@@ -220,7 +288,9 @@ class CloudServer:
                  cache_size: int = 1024,
                  index: FoVIndex | None = None,
                  quarantine_capacity: int = 256,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 wal: WriteAheadLog | None = None,
+                 admission_capacity: int | None = None):
         self.camera = camera
         self.obs = obs if obs is not None else Observability.default()
         if index is not None:
@@ -235,7 +305,8 @@ class CloudServer:
         self.stats._live.set(len(self.index))
         self.stats._epoch.set(self.index.epoch)
         self.quarantine = QuarantineStore(capacity=quarantine_capacity,
-                                          journal=self.obs.journal)
+                                          journal=self.obs.journal,
+                                          registry=self.obs.registry)
         self._cache = (
             QueryResultCache(cache_size, registry=self.obs.registry,
                              journal=self.obs.journal)
@@ -244,6 +315,9 @@ class CloudServer:
         self._clients: dict[str, ClientPipeline] = {}
         self._owners: dict[str, str] = {}  # video_id -> device_id
         self._seen_digests: set[str] = set()
+        self.wal = wal
+        self._admission = (AdmissionQueue(admission_capacity)
+                           if admission_capacity is not None else None)
 
     def _sync_index_gauges(self, cause: str) -> None:
         """Refresh the live-population and epoch gauges after a mutation,
@@ -265,44 +339,201 @@ class CloudServer:
                       device_id: str | None = None) -> IngestOutcome:
         """Ingest one delivered bundle; never raises on bad payloads.
 
-        The at-least-once ack path: a malformed or corrupt payload is
-        quarantined and ``REJECTED``; a byte-identical redelivery of an
-        already-indexed bundle is acknowledged ``DUPLICATE`` without
-        touching the index (exactly-once indexing); otherwise every
-        record is validated before any is indexed, the whole bundle
-        lands atomically via ``insert_many`` (one epoch bump), and the
-        outcome is ``ACCEPTED``.
+        The at-least-once ack path: when back-pressure is configured
+        and saturated the payload is ``SHED`` untouched (retryable); a
+        malformed or corrupt payload is quarantined and ``REJECTED``;
+        a byte-identical redelivery of an already-indexed bundle is
+        acknowledged ``DUPLICATE`` without touching the index
+        (exactly-once indexing); otherwise every record is validated
+        before any is indexed, the payload is made durable in the WAL
+        (when configured), the whole bundle lands atomically via
+        ``insert_many`` (one epoch bump), and the outcome is
+        ``ACCEPTED``.
         """
         with self.obs.tracer.span("server.ingest_bundle", bytes=len(payload)):
-            digest = hashlib.sha256(payload).hexdigest()
-            if digest in self._seen_digests:
-                self.stats._duplicated.inc()
-                self.obs.journal.emit("ingest.duplicate", digest=digest)
-                return IngestOutcome(status=IngestStatus.DUPLICATE,
-                                     records_indexed=0, digest=digest)
+            if self._admission is not None and not self._admission.try_admit():
+                return self._shed_outcome(payload)
             try:
-                video_id, fovs = decode_bundle(payload)
-            except ValueError as exc:
-                self.stats._rejected.inc()
-                self.quarantine.add(payload, str(exc))
-                self.obs.journal.emit("ingest.rejected", digest=digest,
-                                      reason=str(exc))
-                return IngestOutcome(status=IngestStatus.REJECTED,
-                                     records_indexed=0, digest=digest,
-                                     reason=str(exc))
-            n = self.index.insert_many(fovs)
-            self._seen_digests.add(digest)
-            if device_id is not None:
-                self._owners[video_id] = device_id
-            self.stats._accepted.inc()
-            self.stats._records_indexed.inc(n)
-            self.stats._bytes_in.inc(len(payload))
-            self._sync_index_gauges("ingest")
-            self.obs.journal.emit("ingest.accepted", digest=digest,
-                                  video_id=video_id, records=n)
-            return IngestOutcome(status=IngestStatus.ACCEPTED,
-                                 records_indexed=n, digest=digest,
-                                 video_id=video_id)
+                return self._ingest_one(payload, device_id)
+            finally:
+                if self._admission is not None:
+                    self._admission.release()
+
+    def _shed_outcome(self, payload: bytes) -> IngestOutcome:
+        digest = hashlib.sha256(payload).hexdigest()
+        self.stats._shed.inc()
+        self.obs.journal.emit("ingest.shed", digest=digest)
+        return IngestOutcome(status=IngestStatus.SHED,
+                             records_indexed=0, digest=digest,
+                             reason="admission queue full")
+
+    def _ingest_one(self, payload: bytes,
+                    device_id: str | None) -> IngestOutcome:
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest in self._seen_digests:
+            self.stats._duplicated.inc()
+            self.obs.journal.emit("ingest.duplicate", digest=digest)
+            return IngestOutcome(status=IngestStatus.DUPLICATE,
+                                 records_indexed=0, digest=digest)
+        try:
+            video_id, fovs = decode_bundle(payload)
+        except ValueError as exc:
+            self.stats._rejected.inc()
+            self.quarantine.add(payload, str(exc))
+            self.obs.journal.emit("ingest.rejected", digest=digest,
+                                  reason=str(exc))
+            return IngestOutcome(status=IngestStatus.REJECTED,
+                                 records_indexed=0, digest=digest,
+                                 reason=str(exc))
+        if self.wal is not None:
+            self._wal_append([payload])
+        n = self.index.insert_many(fovs)
+        self._seen_digests.add(digest)
+        if device_id is not None:
+            self._owners[video_id] = device_id
+        self.stats._accepted.inc()
+        self.stats._records_indexed.inc(n)
+        self.stats._bytes_in.inc(len(payload))
+        self._sync_index_gauges("ingest")
+        self.obs.journal.emit("ingest.accepted", digest=digest,
+                              video_id=video_id, records=n)
+        return IngestOutcome(status=IngestStatus.ACCEPTED,
+                             records_indexed=n, digest=digest,
+                             video_id=video_id)
+
+    def _wal_append(self, payloads: list[bytes]) -> None:
+        """Make a commit group's accepted payloads durable: buffered
+        appends, then exactly one fsync."""
+        assert self.wal is not None
+        for payload in payloads:
+            self.wal.append(payload)
+            self.stats._wal_appends.inc()
+            self.stats._wal_bytes.inc(len(payload) + ENTRY_OVERHEAD)
+        self.wal.commit()
+        self.stats._wal_syncs.inc()
+
+    def ingest_batch(self, payloads: list[bytes],
+                     device_ids: list[str | None] | None = None,
+                     ) -> list[IngestOutcome]:
+        """Ingest a commit group of delivered bundles in one pass.
+
+        Per-bundle outcomes (and the final index content, dedup state,
+        owners, and quarantine) are identical to calling
+        :meth:`ingest_bundle` on each payload in order; what changes is
+        the amortisation: decode is vectorised per bundle, the WAL is
+        fsynced once for the whole group, and all accepted records land
+        in a single ``insert_many`` -- one epoch bump and one
+        cache/packed-view invalidation per *group* instead of per
+        bundle.  Under back-pressure the group is partially admitted in
+        order: the first ``capacity - in_flight`` bundles proceed, the
+        tail is ``SHED`` for the uploader to re-offer.
+        """
+        outcomes = self._ingest_group(payloads, device_ids,
+                                      durable=self.wal is not None,
+                                      admit=True)
+        return outcomes
+
+    def _ingest_group(self, payloads: list[bytes],
+                      device_ids: list[str | None] | None,
+                      *, durable: bool, admit: bool,
+                      replaying: bool = False) -> list[IngestOutcome]:
+        if device_ids is None:
+            device_ids = [None] * len(payloads)
+        if len(device_ids) != len(payloads):
+            raise ValueError("device_ids must match payloads one to one")
+        with self.obs.tracer.span("server.ingest_batch",
+                                  batch=len(payloads)):
+            admitted = len(payloads)
+            if admit and self._admission is not None:
+                admitted = self._admission.try_admit(len(payloads))
+            try:
+                outcomes: list[IngestOutcome | None] = [None] * len(payloads)
+                group: list[tuple[int, str, str | None, bytes,
+                                  BundleColumns]] = []
+                group_digests: set[str] = set()
+                for pos, (payload, dev) in enumerate(
+                        zip(payloads[:admitted], device_ids[:admitted])):
+                    digest = hashlib.sha256(payload).hexdigest()
+                    if digest in self._seen_digests or digest in group_digests:
+                        self.stats._duplicated.inc()
+                        self.obs.journal.emit("ingest.duplicate",
+                                              digest=digest)
+                        outcomes[pos] = IngestOutcome(
+                            status=IngestStatus.DUPLICATE,
+                            records_indexed=0, digest=digest)
+                        continue
+                    try:
+                        columns = decode_bundle_columns(payload)
+                    except ValueError as exc:
+                        self.stats._rejected.inc()
+                        self.quarantine.add(payload, str(exc))
+                        self.obs.journal.emit("ingest.rejected",
+                                              digest=digest,
+                                              reason=str(exc))
+                        outcomes[pos] = IngestOutcome(
+                            status=IngestStatus.REJECTED,
+                            records_indexed=0, digest=digest,
+                            reason=str(exc))
+                        continue
+                    group_digests.add(digest)
+                    group.append((pos, digest, dev, payload, columns))
+                if group:
+                    if durable:
+                        self._wal_append([p for _, _, _, p, _ in group])
+                    merged: list[RepresentativeFoV] = []
+                    for _, _, _, _, columns in group:
+                        merged.extend(columns.records())
+                    self.index.insert_many(merged)
+                    for pos, digest, dev, payload, columns in group:
+                        n = len(columns)
+                        self._seen_digests.add(digest)
+                        if dev is not None:
+                            self._owners[columns.video_id] = dev
+                        self.stats._accepted.inc()
+                        self.stats._records_indexed.inc(n)
+                        self.stats._bytes_in.inc(len(payload))
+                        if replaying:
+                            self.stats._wal_replayed.inc()
+                        self.obs.journal.emit("ingest.accepted",
+                                              digest=digest,
+                                              video_id=columns.video_id,
+                                              records=n)
+                        outcomes[pos] = IngestOutcome(
+                            status=IngestStatus.ACCEPTED,
+                            records_indexed=n, digest=digest,
+                            video_id=columns.video_id)
+                    self._sync_index_gauges("ingest")
+            finally:
+                if admit and self._admission is not None and admitted:
+                    self._admission.release(admitted)
+            for pos in range(admitted, len(payloads)):
+                outcomes[pos] = self._shed_outcome(payloads[pos])
+            done = [o for o in outcomes if o is not None]
+            assert len(done) == len(payloads)
+            return done
+
+    def replay_wal(self, path: "str | None" = None) -> int:
+        """Recover bundles from a write-ahead log after a crash.
+
+        Re-offers every committed payload through the normal ingest
+        pipeline *without* re-appending to the WAL; bundles that made
+        it into the index before the crash deduplicate as
+        ``DUPLICATE``, the rest are indexed now.  Returns how many
+        bundles were recovered (newly indexed).  Back-pressure does not
+        apply to recovery.
+        """
+        if path is None:
+            if self.wal is None:
+                raise ValueError("no WAL configured and no path given")
+            path = self.wal.path
+        payloads = wal_replay(path)
+        outcomes = self._ingest_group(payloads, None, durable=False,
+                                      admit=False, replaying=True)
+        recovered = sum(1 for o in outcomes
+                        if o.status is IngestStatus.ACCEPTED)
+        self.obs.journal.emit("ingest.wal_replay", offered=len(payloads),
+                              recovered=recovered)
+        return recovered
 
     def receive_bundle(self, payload: bytes, device_id: str | None = None) -> int:
         """Ingest one upload bundle; returns the number of records indexed.

@@ -250,6 +250,7 @@ class UploaderStats:
     attempts: int = 0
     retries: int = 0
     acks_rejected: int = 0
+    acks_shed: int = 0
     waited_s: float = 0.0
 
 
@@ -268,11 +269,12 @@ class RetryingUploader:
 
     ``deliver`` is the server's ingest entry point (e.g.
     ``CloudServer.ingest_bundle``); it must return an outcome whose
-    ``status`` reads ``"accepted"``, ``"duplicate"`` or ``"rejected"``
-    (an Enum with those values works too).  An attempt counts as
-    acknowledged when *any* delivered copy comes back accepted or
-    duplicate; otherwise the uploader waits out the (virtual) timeout
-    plus backoff and retransmits the identical bytes.  ``on_retry``
+    ``status`` reads ``"accepted"``, ``"duplicate"``, ``"rejected"``
+    or ``"shed"`` (an Enum with those values works too).  An attempt
+    counts as acknowledged when *any* delivered copy comes back
+    accepted or duplicate; otherwise -- including a ``shed`` ack from
+    server back-pressure -- the uploader waits out the (virtual)
+    timeout plus backoff and retransmits the identical bytes.  ``on_retry``
     fires once per retransmission (the server facade uses it to count
     retried bundles in :class:`~repro.core.server.ServerStats`).
     """
@@ -333,6 +335,11 @@ class RetryingUploader:
                     acked = True
                 elif status == "rejected":
                     self.stats.acks_rejected += 1
+                elif status == "shed":
+                    # Back-pressure: the server refused admission but
+                    # will take the identical bytes later -- exactly
+                    # the retry-after-backoff case, so no ack.
+                    self.stats.acks_shed += 1
                 waited = max(waited, delivery.latency_s)
             if acked:
                 self.stats.accepted += 1

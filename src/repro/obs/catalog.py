@@ -42,6 +42,12 @@ METRICS: Final[Mapping[str, tuple[str, str]]] = {
     "ingest.bundles_retried": ("counter", "bundles seen again after a dup digest"),
     "ingest.records_indexed": ("counter", "FoV records inserted into the index"),
     "ingest.bytes": ("counter", "payload bytes accepted by ingest"),
+    "ingest.shed": ("counter", "bundles refused admission by back-pressure"),
+    "ingest.wal_appends": ("counter", "bundle payloads appended to the WAL"),
+    "ingest.wal_bytes": ("counter", "WAL bytes written, framing included"),
+    "ingest.wal_syncs": ("counter", "WAL fsyncs, one per commit group"),
+    "ingest.wal_replayed": ("counter", "bundles recovered by WAL replay"),
+    "quarantine.dropped": ("counter", "quarantined payloads aged out of window"),
     "index.records_live": ("gauge", "records currently resident in the index"),
     "index.epoch": ("gauge", "current index mutation epoch"),
     "index.records_evicted": ("counter", "records removed by retention eviction"),
@@ -73,8 +79,10 @@ SPANS: Final[Mapping[str, str]] = {
     "query.execute": "one end-to-end ranked query",
     "query.execute_many": "one query batch on the persistent pool",
     "server.ingest_bundle": "single-node server bundle ingest",
+    "server.ingest_batch": "single-node server commit-group ingest",
     "server.query": "single-node server query",
     "server.query_many": "single-node server query batch",
     "shard.ingest_bundle": "sharded router bundle ingest",
+    "shard.ingest_batch": "sharded router commit-group ingest",
     "shard.query_many": "sharded router scatter-gather query batch",
 }

@@ -221,11 +221,15 @@ class PackedPointGrid:
             if observer is not None:
                 observer.on_level(0, 0, 0)
             return _EMPTY_IDS
-        ix0 = max(0, int((qx0 - self.x0) * self.inv_cw))
+        # Lower bins are clamped to axis-1 too: records at the extent's
+        # upper edge are clamped into the last bin at build time, and a
+        # closed-box query touching exactly that edge maps one past it.
+        ix0 = min(self.width - 1, max(0, int((qx0 - self.x0) * self.inv_cw)))
         ix1 = min(self.width - 1, int((qx1 - self.x0) * self.inv_cw))
-        iy0 = max(0, int((qy0 - self.y0) * self.inv_ch))
+        iy0 = min(self.height - 1, max(0, int((qy0 - self.y0) * self.inv_ch)))
         iy1 = min(self.height - 1, int((qy1 - self.y0) * self.inv_ch))
-        it0 = max(0, int((qt0 - self.max_dur - self.t0) * self.inv_ct))
+        it0 = min(self.slices - 1,
+                  max(0, int((qt0 - self.max_dur - self.t0) * self.inv_ct)))
         it1 = min(self.slices - 1, int((qt1 - self.t0) * self.inv_ct))
         w, h = self.width, self.height
         n_slabs = (it1 - it0 + 1) * (iy1 - iy0 + 1)
@@ -305,11 +309,13 @@ class PackedPointGrid:
                 or qy1 < self.y0 or qy0 > self.y1 \
                 or qt1 < self.t0 or qt0 > self.t1 + self.max_dur:
             return []
-        ix0 = max(0, int((qx0 - self.x0) * self.inv_cw))
+        # Same two-sided clamp as search_ids (see the note there).
+        ix0 = min(self.width - 1, max(0, int((qx0 - self.x0) * self.inv_cw)))
         ix1 = min(self.width - 1, int((qx1 - self.x0) * self.inv_cw))
-        iy0 = max(0, int((qy0 - self.y0) * self.inv_ch))
+        iy0 = min(self.height - 1, max(0, int((qy0 - self.y0) * self.inv_ch)))
         iy1 = min(self.height - 1, int((qy1 - self.y0) * self.inv_ch))
-        it0 = max(0, int((qt0 - self.max_dur - self.t0) * self.inv_ct))
+        it0 = min(self.slices - 1,
+                  max(0, int((qt0 - self.max_dur - self.t0) * self.inv_ct)))
         it1 = min(self.slices - 1, int((qt1 - self.t0) * self.inv_ct))
         w, h = self.width, self.height
         if (it1 - it0 + 1) * (iy1 - iy0 + 1) > _SLAB_LOOP_MAX:

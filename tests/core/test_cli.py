@@ -152,3 +152,31 @@ class TestPack:
         rc = main(["pack", "--snapshot", str(tmp_path / "nope.fov")])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestIngestBatchFlags:
+    def test_batched_wal_ingest_converges(self, tmp_path, capsys):
+        import json
+        wal = tmp_path / "ingest.wal"
+        rc = main(["ingest", "--providers", "6", "--seed", "3",
+                   "--drop", "0.1", "--corrupt", "0.05",
+                   "--batch", "4", "--wal", str(wal),
+                   "--admission-capacity", "16", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["batch"] == 4
+        assert report["all_bundles_delivered"] is True
+        assert report["parity_with_lossless"] is True
+        assert report["wal"]["appends"] == 6
+        assert report["wal"]["syncs"] >= 1
+        assert wal.exists()
+        assert report["shed"] == 0
+
+    def test_batched_sharded_ingest_converges(self, capsys):
+        import json
+        rc = main(["ingest", "--providers", "6", "--seed", "2",
+                   "--shards", "3", "--batch", "3", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["parity_with_lossless"] is True
+        assert report["shards"] == 3

@@ -114,3 +114,59 @@ class TestFoVIndex:
     def test_bulk_empty(self):
         idx = FoVIndex.bulk([])
         assert len(idx) == 0
+
+
+class TestInsertMany:
+    def test_one_epoch_bump_per_batch(self, rng):
+        idx = FoVIndex()
+        epoch = idx.epoch
+        idx.insert_many(random_representative_fovs(100, rng))
+        assert idx.epoch == epoch + 1
+
+    def test_bulk_append_branch_matches_loop(self, rng):
+        # Above BULK_APPEND_MIN the rtree backend rebuilds the whole
+        # tree via STR bulk load; the result must be indistinguishable
+        # from per-record insertion.
+        from repro.core.index import BULK_APPEND_MIN
+        n = BULK_APPEND_MIN + 50
+        reps = random_representative_fovs(n, rng)
+        seed = random_representative_fovs(10, np.random.default_rng(7))
+        bulk = FoVIndex()
+        bulk.insert_many(seed)
+        assert bulk.insert_many(reps) == n          # rebuild branch
+        loop = FoVIndex()
+        loop.insert_many(seed)
+        for rep in reps:                            # per-record branch
+            loop.insert(rep)
+        assert bulk.content_digest() == loop.content_digest()
+        q = Query(t_start=0.0, t_end=86400.0, center=P, radius=3000.0)
+        assert sorted(f.key() for f in bulk.range_search(q)) == \
+            sorted(f.key() for f in loop.range_search(q))
+
+    def test_non_finite_batch_rejected_atomically(self, rng):
+        idx = FoVIndex()
+        idx.insert_many(random_representative_fovs(20, rng))
+        epoch, digest = idx.epoch, idx.content_digest()
+        good = random_representative_fovs(5, rng)
+        bad = rep_at(float("nan"), 116.3, 0.0, 1.0, vid="bad")
+        with pytest.raises(ValueError, match="nothing from this batch"):
+            idx.insert_many(good[:3] + [bad] + good[3:])
+        assert idx.epoch == epoch
+        assert idx.content_digest() == digest
+
+    def test_content_digest_is_order_independent(self, rng):
+        reps = random_representative_fovs(50, rng)
+        fwd, rev = FoVIndex(), FoVIndex(backend="linear")
+        fwd.insert_many(reps)
+        rev.insert_many(list(reversed(reps)))
+        assert fwd.content_digest() == rev.content_digest()
+
+    def test_mutation_log_is_gone(self):
+        # The orphaned mutation log (mutations_since / _mutlog) was
+        # removed; nothing should quietly resurrect per-insert append
+        # overhead on the hot path.
+        idx = FoVIndex()
+        assert not hasattr(idx, "mutations_since")
+        assert not hasattr(idx, "_mutlog")
+        import repro.core.index as index_mod
+        assert not hasattr(index_mod, "MUTATION_LOG_CAP")

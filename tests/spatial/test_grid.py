@@ -1,0 +1,119 @@
+"""PackedPointGrid: boundary clamping and cross-path parity.
+
+Regression anchor: the single-query paths (``search_ids`` and the
+``search_rows`` latency path) used to clamp the *lower* cell-bin
+indices only from below.  Records sitting exactly on an extent's upper
+edge are clamped into the last bin at build time, so a closed-box
+query touching exactly that edge mapped its lower bin one past the
+last bin and scanned nothing -- while the batched ``search_many``
+(which ``np.clip``s both ends) found the record.  The engine-parity
+hypothesis suite caught this as a dynamic-vs-sharded ranking split.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spatial.grid import PackedPointGrid
+
+
+def build_grid(n=300, seed=7):
+    """A grid big enough to get >1 bin per axis (n=300 -> 2x2x2)."""
+    rng = np.random.default_rng(seed)
+    lng = rng.uniform(116.0, 116.6, n)
+    lat = rng.uniform(39.8, 40.2, n)
+    t_start = rng.uniform(0.0, 3600.0, n)
+    dur = rng.uniform(60.0, 600.0, n)
+    theta = rng.uniform(0.0, 360.0, n)
+    # Pin one record to every upper extent so edge-exact queries have
+    # a guaranteed hit: max lng, max lat, max t_start with max duration.
+    lng[0], lat[0] = lng.max(), lat.max()
+    t_start[0], dur[0] = t_start.max(), dur.max()
+    cols = (lng, lat, t_start, t_start + dur, theta)
+    return PackedPointGrid.build(*cols), cols
+
+
+def brute_ids(cols, bmin, bmax):
+    lng, lat, t_start, t_end, _theta = cols
+    hit = ((lng >= bmin[0]) & (lng <= bmax[0])
+           & (lat >= bmin[1]) & (lat <= bmax[1])
+           & (t_start <= bmax[2]) & (t_end >= bmin[2]))
+    return sorted(np.flatnonzero(hit).tolist())
+
+
+def all_paths(grid, bmin, bmax):
+    """(search_ids, search_rows, search_many) hit sets, each sorted."""
+    ids = sorted(grid.search_ids(bmin, bmax).tolist())
+    rows = grid.search_rows(bmin, bmax, limit=10**9)
+    assert rows is not None
+    via_rows = sorted(int(r[7]) for r in rows)
+    _qids, many = grid.search_many(np.array([bmin]), np.array([bmax]))
+    via_many = sorted(many.tolist())
+    return ids, via_rows, via_many
+
+
+class TestUpperEdgeClamp:
+    """Closed-box queries that touch an extent's upper edge exactly."""
+
+    def test_time_edge_t1_plus_max_dur(self):
+        grid, cols = build_grid()
+        # Record 0 runs [t1, t1 + max_dur]; a query starting exactly at
+        # its end instant still overlaps the closed interval.
+        bmin = (grid.x0, grid.y0, grid.t1 + grid.max_dur)
+        bmax = (grid.x1, grid.y1, grid.t1 + grid.max_dur + 600.0)
+        want = brute_ids(cols, bmin, bmax)
+        assert 0 in want
+        ids, via_rows, via_many = all_paths(grid, bmin, bmax)
+        assert ids == via_rows == via_many == want
+
+    def test_lng_edge(self):
+        grid, cols = build_grid()
+        bmin = (grid.x1, grid.y0, 0.0)
+        bmax = (grid.x1 + 1.0, grid.y1, 1e6)
+        want = brute_ids(cols, bmin, bmax)
+        assert 0 in want
+        ids, via_rows, via_many = all_paths(grid, bmin, bmax)
+        assert ids == via_rows == via_many == want
+
+    def test_lat_edge(self):
+        grid, cols = build_grid()
+        bmin = (grid.x0, grid.y1, 0.0)
+        bmax = (grid.x1, grid.y1 + 1.0, 1e6)
+        want = brute_ids(cols, bmin, bmax)
+        assert 0 in want
+        ids, via_rows, via_many = all_paths(grid, bmin, bmax)
+        assert ids == via_rows == via_many == want
+
+    def test_single_slice_grid(self):
+        """The falsifying shape: everything in one cell, boundary query.
+
+        12 co-located records collapse the grid to 1x1x1; the record
+        ending at t=4200 must match a query starting at t=4200.
+        """
+        n = 12
+        lng = np.full(n, 116.3)
+        lat = np.full(n, 40.0)
+        t_start = np.array([3600.0] + [0.0] * (n - 1))
+        t_end = np.array([4200.0] + [300.0] * (n - 1))
+        grid = PackedPointGrid.build(lng, lat, t_start, t_end,
+                                     np.zeros(n))
+        bmin = (116.29, 39.99, 4200.0)
+        bmax = (116.31, 40.01, 4800.0)
+        ids, via_rows, via_many = all_paths(grid, bmin, bmax)
+        assert ids == via_rows == via_many == [0]
+
+
+class TestRandomBoxParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_paths_match_brute_force(self, seed):
+        grid, cols = build_grid(seed=100 + seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(50):
+            c = (rng.uniform(116.0, 116.6), rng.uniform(39.8, 40.2),
+                 rng.uniform(0.0, 4200.0))
+            half = (rng.uniform(0.0, 0.3), rng.uniform(0.0, 0.2),
+                    rng.uniform(0.0, 1800.0))
+            bmin = tuple(c[i] - half[i] for i in range(3))
+            bmax = tuple(c[i] + half[i] for i in range(3))
+            want = brute_ids(cols, bmin, bmax)
+            ids, via_rows, via_many = all_paths(grid, bmin, bmax)
+            assert ids == via_rows == via_many == want

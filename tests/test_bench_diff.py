@@ -26,6 +26,68 @@ def _keys(rows):
     return [row[0] for row in rows]
 
 
+class TestClassifyKey:
+    """Table-driven classification over the *real* exported key names.
+
+    Every row here appears verbatim in a committed ``BENCH_*.json``;
+    the table is the contract that unsuffixed counters and string
+    stamps are skipped and that the rate suffixes out-rank the generic
+    ``_s`` duration rule by suffix length, not by check order.
+    """
+
+    TABLE = [
+        # durations: lower is better
+        ("ingest_clean_s", "lower"),
+        ("ingest_faulty_s", "lower"),
+        ("batch_s", "lower"),
+        # speedups: higher is better
+        ("batched_speedup_x", "higher"),
+        ("wal_overhead_x", "higher"),
+        # rates: higher is better despite the trailing "_s"
+        ("decode_v2_mb_s", "higher"),
+        ("ingest_clean_bundles_s", "higher"),
+        ("ingest_batched_bundles_s", "higher"),
+        ("wal_ingest_batched_bundles_s", "higher"),
+        # unsuffixed counters: informational, never diffed
+        ("faulty_retries", None),
+        ("bundles", None),
+        ("records", None),
+        ("corrupt_copies_quarantined", None),
+        ("backpressure_shed", None),
+        ("wal_syncs", None),
+        # string stamps: informational (and non-numeric anyway)
+        ("engine", None),
+        ("bench", None),
+        ("snapshot_schema_version", None),
+    ]
+
+    def test_table(self):
+        for key, want in self.TABLE:
+            rule = bench_diff.classify_key(key)
+            got = rule[0] if rule is not None else None
+            assert got == want, f"{key}: {got!r} != {want!r}"
+
+    def test_rate_beats_duration_regardless_of_table_order(self):
+        # Longest-suffix precedence must hold even if SUFFIX_RULES is
+        # reordered so "_s" is checked last-inserted.
+        original = bench_diff.SUFFIX_RULES
+        reordered = dict(reversed(list(original.items())))
+        bench_diff.SUFFIX_RULES = reordered
+        try:
+            assert bench_diff.classify_key(
+                "ingest_batched_bundles_s")[0] == "higher"
+            assert bench_diff.classify_key("decode_v2_mb_s")[0] == "higher"
+            assert bench_diff.classify_key("batch_s")[0] == "lower"
+        finally:
+            bench_diff.SUFFIX_RULES = original
+
+    def test_labels_match_directions(self):
+        assert bench_diff.classify_key("batch_s")[1] == "slower"
+        assert bench_diff.classify_key("speedup_x")[1] == "less speedup"
+        assert bench_diff.classify_key(
+            "decode_mb_s")[1] == "lower throughput"
+
+
 class TestDirections:
     def test_duration_regression_is_slower(self):
         rows = bench_diff.regressions(
@@ -58,6 +120,29 @@ class TestDirections:
         new = {"records": 999, "engine": "dynamic",
                "snapshot_schema_version": 2}
         assert bench_diff.regressions(old, new, 0.20) == []
+
+    def test_realistic_summary_mixed_keys(self):
+        # A down-scaled BENCH_ingest_path.json: the counters swing
+        # wildly (workload shape changed) and must stay silent; only
+        # the genuine perf regressions surface.
+        old = {"bench": "ingest_path", "bundles": 400,
+               "faulty_retries": 12, "corrupt_copies_quarantined": 3,
+               "backpressure_shed": 0, "wal_syncs": 2,
+               "ingest_clean_s": 1.0,
+               "ingest_clean_bundles_s": 400.0,
+               "ingest_batched_bundles_s": 4000.0,
+               "wal_ingest_batched_bundles_s": 3500.0,
+               "decode_v2_mb_s": 50.0, "batched_speedup_x": 10.0}
+        new = dict(old, bundles=800, faulty_retries=90,
+                   corrupt_copies_quarantined=40, backpressure_shed=77,
+                   wal_syncs=9,
+                   ingest_clean_s=2.0,              # slower: warn
+                   ingest_batched_bundles_s=1000.0,  # throughput drop: warn
+                   batched_speedup_x=2.0)            # less speedup: warn
+        rows = bench_diff.regressions(old, new, 0.20)
+        assert _keys(rows) == ["batched_speedup_x",
+                               "ingest_batched_bundles_s",
+                               "ingest_clean_s"]
 
     def test_within_threshold_is_quiet(self):
         assert bench_diff.regressions(

@@ -39,12 +39,34 @@ from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parents[2]
 
-LOWER_IS_BETTER = "_s"
-HIGHER_IS_BETTER = "_x"
-# Throughput rates whose names still end in "_s" (units per second);
-# checked before the duration suffix so they diff in the right
-# direction.
-RATE_SUFFIXES = ("_mb_s", "_bundles_s")
+# Suffix -> (direction, human label).  Longest matching suffix wins,
+# independent of table order, so the rate suffixes (whose names still
+# end in "_s", units per second) can never be misread as durations by
+# a reordered check.  Keys matching no suffix -- bare counters like
+# ``faulty_retries`` or ``bundles`` -- are informational and skipped.
+SUFFIX_RULES: dict[str, tuple[str, str]] = {
+    "_s": ("lower", "slower"),
+    "_x": ("higher", "less speedup"),
+    "_mb_s": ("higher", "lower throughput"),
+    "_bundles_s": ("higher", "lower throughput"),
+    "_records_s": ("higher", "lower throughput"),
+}
+
+
+def classify_key(key: str) -> tuple[str, str] | None:
+    """``(direction, regression label)`` for a metric key, or ``None``
+    when the key carries no perf direction (counts, stamps, strings).
+
+    Precedence is by suffix *length*: ``decode_mb_s`` matches both
+    ``_mb_s`` and ``_s``, and the longer, more specific rate suffix
+    wins no matter how the table is ordered.
+    """
+    best: tuple[str, str] | None = None
+    best_len = 0
+    for suffix, rule in SUFFIX_RULES.items():
+        if key.endswith(suffix) and len(suffix) > best_len:
+            best, best_len = rule, len(suffix)
+    return best
 
 
 def committed_version(path: Path) -> dict | None:
@@ -70,12 +92,14 @@ def regressions(old: dict, new: dict, threshold: float
         if not isinstance(old_value, (int, float)) or isinstance(
                 old_value, bool) or old_value == 0:
             continue
-        if key.endswith(RATE_SUFFIXES) or key.endswith(HIGHER_IS_BETTER):
-            worse = (old_value - new_value) / old_value
-        elif key.endswith(LOWER_IS_BETTER):
-            worse = (new_value - old_value) / old_value
-        else:
+        rule = classify_key(key)
+        if rule is None:
             continue
+        direction, _label = rule
+        if direction == "higher":
+            worse = (old_value - new_value) / old_value
+        else:
+            worse = (new_value - old_value) / old_value
         if worse > threshold:
             out.append((key, float(old_value), float(new_value), worse))
     return out
@@ -115,15 +139,10 @@ def main(argv: list[str] | None = None) -> int:
             continue
         rows = regressions(old, new, args.threshold)
         for key, old_value, new_value, worse in rows:
-            if key.endswith(RATE_SUFFIXES):
-                direction = "lower throughput"
-            elif key.endswith(HIGHER_IS_BETTER):
-                direction = "less speedup"
-            else:
-                direction = "slower"
+            _direction, label = classify_key(key)
             print(f"::warning file={path.name}::{path.name}: {key} "
                   f"{old_value:.6g} -> {new_value:.6g} "
-                  f"({worse * 100.0:.0f}% {direction})")
+                  f"({worse * 100.0:.0f}% {label})")
         warned += len(rows)
         if not rows:
             print(f"bench_diff: {path.name}: within "
