@@ -29,13 +29,17 @@ from repro.analysis.engine import ModuleInfo, ProjectInfo, Violation, name_token
 __all__ = ["RF015ColumnLoop"]
 
 # The query hot path: everything between "packed view in" and "ranked
-# rows out".  Cold modules (persistence, traces, CLI) may loop freely.
+# rows out", plus the video-retrieval pipeline built on top of it.
+# Cold modules (persistence, traces, CLI) may loop freely.
 _HOT_MODULES = frozenset({
     "repro.spatial.grid",
     "repro.spatial.packed",
     "repro.core.retrieval",
     "repro.core.index",
     "repro.core.ranking",
+    "repro.video.scoring",
+    "repro.video.retrieval",
+    "repro.video.poi",
 })
 
 # Names the packed columns and their derived candidate sets travel

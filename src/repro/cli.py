@@ -11,6 +11,8 @@ Python::
         --lat 40.0046 --lng 116.3284 --t0 0 --t1 4000 --radius 100 --top 5
     python -m repro.cli nearest --snapshot city.fov \
         --lat 40.0046 --lng 116.3284 --t 1800 --k 5
+    python -m repro.cli video-query --snapshot city.fov \
+        --video-id device-003-video-0 --scorer lcv --top 5 --poi 3
 
 Snapshots use the binary format of :mod:`repro.core.snapshot` (the
 on-wire descriptor bundles, CRC-protected).
@@ -76,6 +78,42 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--json", action="store_true",
                      help="emit the result as JSON instead of text")
     qry.add_argument("--trace", action="store_true",
+                     help="collect a span trace of the request and print "
+                          "the tree with per-stage durations")
+
+    vqp = sub.add_parser("video-query",
+                         help="rank stored videos against one video's "
+                              "trajectory (largest common view / "
+                              "alignment; see docs/VIDEO_RETRIEVAL.md)")
+    vqp.add_argument("--snapshot", required=True)
+    vqp.add_argument("--video-id", required=True,
+                     help="id of the query video inside the snapshot; "
+                          "its own segments are excluded from the "
+                          "ranking (leave-one-out)")
+    vqp.add_argument("--scorer", choices=("lcv", "dtw"), default="lcv",
+                     help="sequence scorer: longest common view run "
+                          "or DTW-style monotonic alignment")
+    vqp.add_argument("--threshold", type=float, default=0.25,
+                     help="per-pair similarity threshold of the LCV run")
+    vqp.add_argument("--top", type=int, default=5)
+    vqp.add_argument("--radius", type=float, default=100.0,
+                     help="harvest radius around each query segment, m")
+    vqp.add_argument("--per-segment-top", type=int, default=32,
+                     help="candidate budget of each harvest point query")
+    vqp.add_argument("--half-angle", type=float, default=30.0)
+    vqp.add_argument("--engine", choices=("dynamic", "packed"),
+                     default="packed")
+    vqp.add_argument("--shards", type=int, default=1,
+                     help="serve from a geo-sharded fleet of N shards "
+                          "(identical ranking, see docs/SHARDING.md)")
+    vqp.add_argument("--poi", type=int, default=0, metavar="K",
+                     help="also report the K most-observed cells of "
+                          "the harvested coverage (0 = off)")
+    vqp.add_argument("--cell", type=float, default=25.0,
+                     help="POI raster cell size in metres")
+    vqp.add_argument("--json", action="store_true",
+                     help="emit the result as JSON instead of text")
+    vqp.add_argument("--trace", action="store_true",
                      help="collect a span trace of the request and print "
                           "the tree with per-stage durations")
 
@@ -255,6 +293,79 @@ def _cmd_query(args) -> int:
               f"{row.distance:.1f} m az {rep.theta:.0f}")
     if not result.ranked:
         print("no segment covers this spot in that window")
+    if obs is not None and obs.span_tracer is not None:
+        trace = obs.span_tracer.last_trace()
+        if trace is not None:
+            print("trace:")
+            print(format_span_tree(trace))
+    return 0
+
+
+def _cmd_video_query(args) -> int:
+    """Rank stored videos against one stored video's trajectory."""
+    from repro.core.server import CloudServer
+    from repro.obs import Observability, format_span_tree
+    from repro.video import VideoQuery, discover_pois
+
+    index, records = load_snapshot(args.snapshot)
+    segs = sorted((r for r in records if r.video_id == args.video_id),
+                  key=lambda r: r.segment_id)
+    if not segs:
+        print(f"error: no segments of video {args.video_id!r} in "
+              f"{args.snapshot}", file=sys.stderr)
+        return 2
+    camera = CameraModel(half_angle=args.half_angle)
+    obs = Observability.tracing() if args.trace else None
+    # The harvest window spans the whole snapshot: video similarity is
+    # about *where* the trajectories looked, not *when* they recorded.
+    video_query = VideoQuery(
+        segments=tuple(segs),
+        t_start=min(r.t_start for r in records),
+        t_end=max(r.t_end for r in records),
+        radius=args.radius, top_k=args.top, scorer=args.scorer,
+        sim_threshold=args.threshold,
+        per_segment_top_n=args.per_segment_top,
+        exclude=frozenset({args.video_id}),
+    )
+    if args.shards > 1:
+        from repro.shard import ShardedCloudServer
+        fleet = ShardedCloudServer(camera, n_shards=args.shards,
+                                   origin=records[0].point,
+                                   engine=args.engine, cache_size=0, obs=obs)
+        fleet.ingest(records)
+        result = fleet.query_video(video_query)
+    else:
+        server = CloudServer(camera, engine=args.engine, index=index,
+                             obs=obs, cache_size=0)
+        result = server.query_video(video_query)
+    pois = (discover_pois(result.harvested, camera, cell_m=args.cell,
+                          top_k=args.poi)
+            if args.poi > 0 and result.harvested else [])
+    if args.json:
+        import json
+        print(json.dumps({
+            "query_video": args.video_id,
+            "scorer": args.scorer,
+            "segments": len(segs),
+            "videos_considered": result.videos_considered,
+            "segments_harvested": result.segments_harvested,
+            "elapsed_s": result.elapsed_s,
+            "ranked": [match._asdict() for match in result.ranked],
+            "pois": [cell._asdict() for cell in pois],
+        }, indent=2))
+        return 0
+    print(f"query video {args.video_id}: {len(segs)} segments; "
+          f"{result.videos_considered} candidate videos "
+          f"({result.segments_harvested} segments harvested), "
+          f"answered in {result.elapsed_s * 1e3:.2f} ms")
+    for rank, match in enumerate(result.ranked, start=1):
+        print(f"#{rank}: {match.video_id} {args.scorer}={match.score:.3f} "
+              f"(run {match.lcv}, {match.segments_matched} segments matched)")
+    if not result.ranked:
+        print("no stored video overlaps this trajectory")
+    for cell in pois:
+        print(f"poi ({cell.lat:.5f}, {cell.lng:.5f}): "
+              f"{cell.observers} observers, utility {cell.utility:.3f}")
     if obs is not None and obs.span_tracer is not None:
         trace = obs.span_tracer.last_trace()
         if trace is not None:
@@ -534,6 +645,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "query": _cmd_query,
+    "video-query": _cmd_video_query,
     "nearest": _cmd_nearest,
     "coverage": _cmd_coverage,
     "ingest": _cmd_ingest,

@@ -11,6 +11,7 @@ paper's literal arithmetic mean breaks across the 0/360 wrap; set
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -19,7 +20,38 @@ from repro.core.fov import FoVTrace, RepresentativeFoV, VideoSegment
 from repro.core.segmentation import StreamSegment
 from repro.geometry.angles import circular_mean, circular_variance
 
-__all__ = ["abstract_segment", "abstract_segments", "segment_orientation_spread"]
+__all__ = [
+    "ABSTRACTION_STATS",
+    "AbstractionStats",
+    "abstract_segment",
+    "abstract_segments",
+    "segment_orientation_spread",
+]
+
+
+@dataclass
+class AbstractionStats:
+    """Observable counters for abstraction edge cases.
+
+    ``theta_fallbacks`` counts segments whose circular orientation mean
+    was degenerate (resultant length ~ 0, e.g. orientations spread
+    uniformly around the circle) and fell back to the first sample.
+    Under a sane segmentation threshold this should stay at zero; a
+    nonzero count means the representative orientations of some
+    uploads are arbitrary, which silently degrades the orientation
+    filter -- exactly the failure mode that used to be invisible.
+    """
+
+    theta_fallbacks: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters (test isolation)."""
+        self.theta_fallbacks = 0
+
+
+#: Process-wide abstraction counters (read by tests and diagnostics;
+#: call :meth:`AbstractionStats.reset` between isolated runs).
+ABSTRACTION_STATS = AbstractionStats()
 
 
 def _mean_theta(theta: np.ndarray, angle_mean: str) -> float:
@@ -27,9 +59,10 @@ def _mean_theta(theta: np.ndarray, angle_mean: str) -> float:
         try:
             return circular_mean(theta)
         except ValueError:
-            # Degenerate (uniformly spread) orientations: fall back to the
-            # first sample rather than fail -- the segmenter should never
-            # produce such a segment under a sane threshold anyway.
+            # Degenerate (uniformly spread) orientations: fall back to
+            # the first sample rather than fail -- but count it, so the
+            # condition is observable instead of silent.
+            ABSTRACTION_STATS.theta_fallbacks += 1
             return float(theta[0])
     if angle_mean == "arithmetic":
         return float(np.mod(np.mean(theta), 360.0))

@@ -52,6 +52,8 @@ from repro.net.traffic import TrafficModel, VideoProfile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import Observability
 from repro.spatial.rtree import RTreeConfig
+from repro.video.retrieval import VideoQuery, VideoQueryResult, \
+    VideoQueryStats, retrieve_videos
 
 __all__ = ["CloudServer", "IngestOutcome", "IngestStatus", "ServerStats"]
 
@@ -310,6 +312,14 @@ class CloudServer:
         self._cache = (
             QueryResultCache(cache_size, registry=self.obs.registry,
                              journal=self.obs.journal)
+            if cache_size > 0 else None
+        )
+        # Video-to-video retrieval rides the same epoch-tagged caching
+        # discipline; its cache keeps a private registry so the point
+        # cache's ``cache.*`` families stay reconcilable on their own.
+        self.video_stats = VideoQueryStats(registry=self.obs.registry)
+        self._video_cache = (
+            QueryResultCache(cache_size, journal=self.obs.journal)
             if cache_size > 0 else None
         )
         self._clients: dict[str, ClientPipeline] = {}
@@ -621,6 +631,35 @@ class CloudServer:
                     results[i] = result
                     self._cache.put(query_cache_key(batch[i]), epoch, result)
             return [r for r in results if r is not None]
+
+    def query_video(self, video_query: VideoQuery) -> VideoQueryResult:
+        """Answer one video-to-video retrieval request (cache-aware).
+
+        The query trajectory's FoVs go out as one batched
+        :meth:`query_many` harvest, candidates score per stored video
+        (:mod:`repro.video.scoring`), and the top-k ranks under the
+        canonical ``(-score, video_id)`` order.  Results cache under
+        the index epoch exactly like point queries: the frozen
+        :class:`~repro.video.retrieval.VideoQuery` is its own key, and
+        any index mutation invalidates via the epoch tag.
+        """
+        with self.obs.tracer.span("video.query",
+                                  segments=len(video_query.segments)):
+            self.video_stats._queries.inc()
+            epoch = self.index.epoch
+            if self._video_cache is not None:
+                cached = self._video_cache.get(video_query, epoch)
+                if cached is not None:
+                    self.video_stats._cache_hits.inc()
+                    return cached
+                self.video_stats._cache_misses.inc()
+            result = retrieve_videos(video_query, self.query_many,
+                                     self.camera, tracer=self.obs.tracer)
+            if self._video_cache is not None:
+                self._video_cache.put(video_query, epoch, result)
+            self.video_stats._segments_harvested.inc(result.segments_harvested)
+            self.video_stats._videos_ranked.inc(len(result.ranked))
+            return result
 
     def fetch_segment(self, fov: RepresentativeFoV) -> StoredSegment:
         """Pull one matched segment from its owning client.

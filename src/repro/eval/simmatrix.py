@@ -14,9 +14,14 @@ import numpy as np
 
 from repro.core.camera import CameraModel
 from repro.core.fov import FoVTrace
-from repro.core.similarity import pairwise_similarity
+from repro.core.similarity import cross_similarity, pairwise_similarity
 
-__all__ = ["trace_similarity_matrix", "matrix_correlation", "normalized"]
+__all__ = [
+    "trace_similarity_matrix",
+    "cross_trace_similarity_matrix",
+    "matrix_correlation",
+    "normalized",
+]
 
 
 def trace_similarity_matrix(trace: FoVTrace, camera: CameraModel,
@@ -28,6 +33,33 @@ def trace_similarity_matrix(trace: FoVTrace, camera: CameraModel,
         idx = np.asarray(indices, dtype=int)
         xy, theta = xy[idx], theta[idx]
     return pairwise_similarity(xy, theta, camera)
+
+
+def cross_trace_similarity_matrix(trace_a: FoVTrace, trace_b: FoVTrace,
+                                  camera: CameraModel,
+                                  indices_a=None,
+                                  indices_b=None) -> np.ndarray:
+    """Asymmetric ``(n, m)`` similarity matrix between two traces.
+
+    ``out[i, j] = Sim(a_i, b_j)`` with both traces projected into
+    trace A's local plane, so displacements are measured consistently.
+    This is the same :func:`repro.core.similarity.cross_similarity`
+    kernel the video-to-video scorers reduce
+    (:mod:`repro.video.scoring`); the diagonal of
+    ``cross_trace_similarity_matrix(t, t, camera)`` is all ones and
+    the matrix equals :func:`trace_similarity_matrix` in that case.
+    """
+    proj = trace_a.projection
+    xy_a = trace_a.local_xy()
+    xy_b = proj.to_local_arrays(trace_b.lat, trace_b.lng)
+    theta_a, theta_b = trace_a.theta, trace_b.theta
+    if indices_a is not None:
+        idx = np.asarray(indices_a, dtype=int)
+        xy_a, theta_a = xy_a[idx], theta_a[idx]
+    if indices_b is not None:
+        idx = np.asarray(indices_b, dtype=int)
+        xy_b, theta_b = xy_b[idx], theta_b[idx]
+    return cross_similarity(xy_a, theta_a, xy_b, theta_b, camera)
 
 
 def matrix_correlation(a: np.ndarray, b: np.ndarray) -> float:

@@ -62,6 +62,12 @@ METRICS: Final[Mapping[str, tuple[str, str]]] = {
     "shard.fanout_width": ("histogram", "shards consulted per scatter query"),
     "shard.epoch": ("gauge", "per-shard index epoch"),
     "shard.records_live": ("gauge", "per-shard live record count"),
+    # -- video-to-video retrieval (video/retrieval.py) ----------------------
+    "video.queries": ("counter", "video-to-video retrieval requests answered"),
+    "video.cache_hits": ("counter", "video queries answered from the cache"),
+    "video.cache_misses": ("counter", "video queries that ran the pipeline"),
+    "video.segments_harvested": ("counter", "distinct segments harvest surfaced"),
+    "video.videos_ranked": ("counter", "candidate videos scored and ranked"),
     # -- packed-index instrumentation (obs/runtime.py) ----------------------
     "packed.descents": ("counter", "packed-tree descents executed"),
     "packed.entries_tested": ("counter", "packed entries tested during descent"),
@@ -85,4 +91,8 @@ SPANS: Final[Mapping[str, str]] = {
     "shard.ingest_bundle": "sharded router bundle ingest",
     "shard.ingest_batch": "sharded router commit-group ingest",
     "shard.query_many": "sharded router scatter-gather query batch",
+    "video.query": "one end-to-end video-to-video retrieval request",
+    "video.harvest": "batched point-query harvest of the query trajectory",
+    "video.score": "per-candidate similarity matrices and sequence scoring",
+    "video.rank": "canonical (-score, video_id) top-k ranking",
 }

@@ -56,6 +56,8 @@ from repro.net.protocol import BundleColumns, decode_bundle, \
 from repro.obs.runtime import Observability
 from repro.shard.partition import DEFAULT_CELL_M, GridPartitioner
 from repro.spatial.rtree import RTreeConfig
+from repro.video.retrieval import VideoQuery, VideoQueryResult, \
+    VideoQueryStats, retrieve_videos
 
 __all__ = ["ShardedCloudServer"]
 
@@ -149,6 +151,13 @@ class ShardedCloudServer:
         self._cache = (
             QueryResultCache(cache_size, registry=self.obs.registry,
                              journal=self.obs.journal)
+            if cache_size > 0 else None
+        )
+        # Video retrieval caches under the epoch *vector* (like point
+        # queries); a private registry keeps ``cache.*`` reconcilable.
+        self.video_stats = VideoQueryStats(registry=self.obs.registry)
+        self._video_cache = (
+            QueryResultCache(cache_size, journal=self.obs.journal)
             if cache_size > 0 else None
         )
         reg = self.obs.registry
@@ -561,6 +570,37 @@ class ShardedCloudServer:
                     for i, q in misses:
                         self._cache.put(query_cache_key(q), pre, results[i])
             return [r for r in results if r is not None]
+
+    def query_video(self, video_query: VideoQuery) -> VideoQueryResult:
+        """Answer one video retrieval request over the fleet (cache-aware).
+
+        The harvest batch rides :meth:`query_many`'s pruned
+        scatter-gather, whose merged rankings are bit-identical to a
+        single server holding every record -- so the video top-k is
+        too.  Caching follows the router's epoch-vector discipline:
+        the vector is read before the harvest and compared after, and
+        a result that raced an ingest is served but never cached.
+        """
+        with self.obs.tracer.span("video.query",
+                                  segments=len(video_query.segments)):
+            self.video_stats._queries.inc()
+            pre = self.epoch_vector()
+            if self._video_cache is not None:
+                with self._cache_lock:
+                    cached = self._video_cache.get(video_query, pre)
+                if cached is not None:
+                    self.video_stats._cache_hits.inc()
+                    return cached
+                self.video_stats._cache_misses.inc()
+            result = retrieve_videos(video_query, self.query_many,
+                                     self.camera, clock=self._clock,
+                                     tracer=self.obs.tracer)
+            if self._video_cache is not None and self.epoch_vector() == pre:
+                with self._cache_lock:
+                    self._video_cache.put(video_query, pre, result)
+            self.video_stats._segments_harvested.inc(result.segments_harvested)
+            self.video_stats._videos_ranked.inc(len(result.ranked))
+            return result
 
     def close(self) -> None:
         """Release per-shard engine resources (idempotent)."""

@@ -30,7 +30,8 @@ from repro.traces.noise import SensorNoiseModel
 from repro.traces.scenarios import CITY_ORIGIN
 from repro.traces.trajectory import Trajectory
 
-__all__ = ["random_representative_fovs", "CityDataset", "ProviderRecording"]
+__all__ = ["random_representative_fovs", "random_video_trajectories",
+           "CityDataset", "ProviderRecording"]
 
 
 def random_representative_fovs(n: int, rng: np.random.Generator,
@@ -58,6 +59,55 @@ def random_representative_fovs(n: int, rng: np.random.Generator,
             lat=p.lat, lng=p.lng, theta=float(theta[i]),
             t_start=float(t_start[i]), t_end=float(t_start[i] + dur[i]),
             video_id=f"sim-{i}", segment_id=0,
+        ))
+    return out
+
+
+def random_video_trajectories(n_videos: int, segments_per_video: int,
+                              rng: np.random.Generator,
+                              origin: GeoPoint = CITY_ORIGIN,
+                              extent_m: float = 5000.0,
+                              horizon_s: float = 86400.0,
+                              step_m: float = 25.0,
+                              turn_deg: float = 20.0,
+                              segment_s: float = 10.0
+                              ) -> list[RepresentativeFoV]:
+    """Correlated random-walk video trajectories (the video workload).
+
+    Unlike :func:`random_representative_fovs` (i.i.d. single-segment
+    records), each of the ``n_videos`` videos is a *trajectory*:
+    ``segments_per_video`` consecutive representative FoVs along a
+    random walk (Gaussian ``step_m`` strides, heading diffusing by
+    ``turn_deg`` per segment, ``segment_s`` seconds each) -- so
+    video-to-video retrieval has real sequences to align, not
+    scattered points.  Video ``k`` gets id ``vid-{k:05d}`` with
+    segment ids ``0..segments_per_video-1``.
+    """
+    if n_videos < 0 or segments_per_video < 1:
+        raise ValueError("need n_videos >= 0 and segments_per_video >= 1")
+    proj = LocalProjection(origin)
+    start = rng.uniform(0.0, extent_m, size=(n_videos, 1, 2))
+    strides = rng.normal(0.0, step_m, size=(n_videos, segments_per_video, 2))
+    xy = np.clip(start + np.cumsum(strides, axis=1), 0.0, extent_m)
+    heading = np.mod(
+        rng.uniform(0.0, 360.0, size=(n_videos, 1))
+        + np.cumsum(rng.normal(0.0, turn_deg,
+                               size=(n_videos, segments_per_video)), axis=1),
+        360.0)
+    t0 = rng.uniform(0.0, horizon_s, size=(n_videos, 1))
+    t_start = t0 + segment_s * np.arange(segments_per_video)[None, :]
+    lat_flat, lng_flat = proj.to_geo_arrays(xy.reshape(-1, 2))
+    lat_list = lat_flat.tolist()
+    lng_list = lng_flat.tolist()
+    theta_list = heading.ravel().tolist()
+    ts_list = t_start.ravel().tolist()
+    out = []
+    for k in range(n_videos * segments_per_video):
+        out.append(RepresentativeFoV(
+            lat=lat_list[k], lng=lng_list[k], theta=theta_list[k],
+            t_start=ts_list[k], t_end=ts_list[k] + segment_s,
+            video_id=f"vid-{k // segments_per_video:05d}",
+            segment_id=k % segments_per_video,
         ))
     return out
 

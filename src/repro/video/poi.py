@@ -1,0 +1,101 @@
+"""POI discovery: where did the harvested crowd actually look?
+
+The aggregate dual of video retrieval (Lu & Colmenares): instead of
+ranking whole videos, rasterise the harvested segments' viewing
+sectors over the area (:func:`repro.eval.coverage_map.build_coverage_map`)
+and surface the top-k most-observed cell centres.  Each cell also
+carries the paper's Section VII submodular utility
+(:mod:`repro.utility.coverage`) of the segments covering it --
+normalised angular x temporal coverage in ``[0, 1]`` -- so a cell seen
+by many near-identical FoVs ranks below one seen from diverse angles
+at equal observer count.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import Query
+from repro.eval.coverage_map import build_coverage_map
+from repro.geo.earth import LocalProjection
+from repro.geometry.sector import sector_contains_points
+from repro.utility.coverage import global_utility, set_utility
+
+__all__ = ["POICell", "discover_pois"]
+
+
+class POICell(NamedTuple):
+    """One most-observed cell centre.
+
+    ``x, y`` are local metres in the projection the discovery ran
+    under; ``lat, lng`` the same point in GPS degrees.  ``observers``
+    counts segments whose sector covers the centre; ``utility`` their
+    normalised Section VII set utility in ``[0, 1]``.
+    """
+
+    lat: float
+    lng: float
+    x: float
+    y: float
+    observers: int
+    utility: float
+
+
+def discover_pois(fovs: list[RepresentativeFoV], camera: CameraModel,
+                  projection: LocalProjection | None = None,
+                  cell_m: float = 25.0, top_k: int = 5,
+                  t_window: tuple[float, float] | None = None
+                  ) -> list[POICell]:
+    """Top-k most-observed cells of a harvested segment set.
+
+    Deterministic: cells order by coverage count descending with the
+    raster's stable cell order breaking ties.  Zero-coverage cells are
+    never reported, so fewer than ``top_k`` rows may return.  The
+    utility is computed over exactly the covering segments, against a
+    virtual query spanning ``t_window`` (default: the segments' own
+    time span).
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    if not fovs:
+        return []
+    if projection is None:
+        projection = LocalProjection(fovs[0].point)
+    active = [f for f in fovs
+              if t_window is None
+              or (f.t_end >= t_window[0] and f.t_start <= t_window[1])]
+    if not active:
+        return []
+    xy = projection.to_local_arrays([f.lat for f in active],
+                                    [f.lng for f in active])
+    pad = camera.radius
+    extent = (float(xy[:, 0].min() - pad), float(xy[:, 1].min() - pad),
+              float(xy[:, 0].max() + pad), float(xy[:, 1].max() + pad))
+    cmap = build_coverage_map(active, projection, camera, extent,
+                              cell_m=cell_m, t_window=t_window)
+    if t_window is None:
+        t_window = (min(f.t_start for f in active),
+                    max(f.t_end for f in active))
+    azimuths = np.array([f.theta for f in active], dtype=float)
+    frame = Query(t_start=t_window[0], t_end=t_window[1],
+                  center=projection.to_geo(*cmap.hotspots(1)[0][:2]),
+                  radius=max(cell_m, 1.0))
+    denom = global_utility(frame)
+    out: list[POICell] = []
+    for x, y, count in cmap.hotspots(top_k):
+        if count <= 0:
+            break  # hotspots are count-descending; the rest are empty too
+        covered = sector_contains_points(
+            xy, azimuths, camera.half_angle, camera.radius,
+            np.array([[x, y]], dtype=float))[:, 0]
+        observers = [f for f, hit in zip(active, covered.tolist()) if hit]
+        util = (set_utility(observers, camera, frame) / denom
+                if denom > 0.0 else 0.0)
+        point = projection.to_geo(x, y)
+        out.append(POICell(lat=point.lat, lng=point.lng, x=x, y=y,
+                           observers=int(count), utility=float(util)))
+    return out

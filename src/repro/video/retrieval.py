@@ -1,0 +1,291 @@
+"""The harvest -> score -> rank pipeline for video-to-video retrieval.
+
+Engine-agnostic: :func:`retrieve_videos` takes any ``query_many``
+callable -- :meth:`repro.core.server.CloudServer.query_many` or the
+sharded router's -- and the guarantee it needs from it is exactly the
+one the engine-parity suite already pins for point queries: identical
+ranked lists across dynamic, packed and sharded execution.  Harvest
+grouping, similarity scoring and the canonical ``(-score, video_id)``
+ranking are all deterministic functions of those lists, so the video
+top-k inherits the bit-identical parity for free
+(``docs/VIDEO_RETRIEVAL.md`` spells out the argument).
+
+The harvest is ONE batched call: every representative FoV of the query
+trajectory becomes one point query, and the whole batch goes through
+the engine's vectorised ``execute_many`` funnel in a single pass --
+the benchmark gates this at >= 5x the per-segment sequential loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.core.camera import CameraModel
+from repro.core.fov import RepresentativeFoV
+from repro.core.query import Query, QueryResult
+from repro.core.similarity import cross_similarity
+from repro.geo.earth import LocalProjection
+from repro.net.clock import default_timer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, TracerLike
+from repro.video.scoring import alignment_score, lcv_run_length
+
+__all__ = [
+    "SCORERS",
+    "VideoQuery",
+    "VideoMatch",
+    "VideoQueryResult",
+    "VideoQueryStats",
+    "retrieve_videos",
+]
+
+#: Sequence scorers a :class:`VideoQuery` may name.
+SCORERS = ("lcv", "dtw")
+
+
+@dataclass(frozen=True)
+class VideoQuery:
+    """A query video's trajectory plus retrieval parameters.
+
+    Hashable (all fields are), so the request itself is its cache key
+    -- the epoch-tagged result caches store it exactly like a point
+    query's key tuple.
+
+    Parameters
+    ----------
+    segments : tuple of RepresentativeFoV
+        The query trajectory, in segment order (at least one).
+    t_start, t_end : float
+        Time window every harvest query carries; stored segments
+        outside it are invisible to the harvest.
+    radius : float
+        Harvest radius in metres around each query segment.
+    top_k : int
+        How many ranked videos to return.
+    scorer : {"lcv", "dtw"}
+        Sequence reduction: LCV run-fraction or the DTW-style
+        alignment score (:mod:`repro.video.scoring`).
+    sim_threshold : float
+        Per-pair similarity threshold the LCV run must clear (also
+        reported alongside DTW scores), in ``[0, 1]``.
+    per_segment_top_n : int
+        ``top_n`` of each harvest point query -- the candidate budget
+        per query segment.
+    exclude : frozenset of str
+        Video ids invisible to the harvest (typically the query
+        video's own id for leave-one-out retrieval).
+    """
+
+    segments: tuple[RepresentativeFoV, ...]
+    t_start: float
+    t_end: float
+    radius: float = 100.0
+    top_k: int = 10
+    scorer: str = "lcv"
+    sim_threshold: float = 0.25
+    per_segment_top_n: int = 32
+    exclude: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a video query needs at least one segment")
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"query window ends ({self.t_end}) before it starts "
+                f"({self.t_start})")
+        if self.radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.scorer not in SCORERS:
+            raise ValueError(
+                f"unknown scorer {self.scorer!r}; choose from {SCORERS}")
+        if not 0.0 <= self.sim_threshold <= 1.0:
+            raise ValueError(
+                f"sim_threshold must be in [0, 1], got {self.sim_threshold}")
+        if self.per_segment_top_n < 1:
+            raise ValueError(
+                f"per_segment_top_n must be >= 1, got {self.per_segment_top_n}")
+
+    def harvest_queries(self) -> list[Query]:
+        """One point query per trajectory segment (the batched harvest)."""
+        return [
+            Query(t_start=self.t_start, t_end=self.t_end, center=seg.point,
+                  radius=self.radius, top_n=self.per_segment_top_n)
+            for seg in self.segments
+        ]
+
+
+class VideoMatch(NamedTuple):
+    """One ranked stored video with its scoring evidence.
+
+    ``lcv`` is the largest-common-view run length in segment pairs
+    (reported for both scorers); ``segments_matched`` how many of the
+    video's stored segments the harvest surfaced.  Result lists are
+    totally ordered by ``(-score, video_id)``.
+    """
+
+    video_id: str
+    score: float
+    lcv: int
+    segments_matched: int
+
+
+class VideoQueryResult(NamedTuple):
+    """Ranked videos plus the funnel counters and harvested coverage.
+
+    ``harvested`` is every distinct stored segment the harvest
+    surfaced (canonically ordered by ``(video_id, segment_id)``) --
+    the input to POI aggregation (:mod:`repro.video.poi`);
+    ``videos_considered`` how many candidate videos were scored.
+    """
+
+    query: VideoQuery
+    ranked: list[VideoMatch]
+    harvested: list[RepresentativeFoV]
+    videos_considered: int
+    segments_harvested: int
+    elapsed_s: float
+
+    def keys(self) -> list[str]:
+        """Ranked video ids, best first."""
+        return [match.video_id for match in self.ranked]
+
+
+class VideoQueryStats:
+    """Read-through facade over the ``video.*`` metric families.
+
+    One class registers the families (single registration site, RF013)
+    and both the single server and the sharded router instantiate it
+    on their own registries, exactly like
+    :class:`~repro.core.server.ServerStats`.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._queries = reg.counter(
+            "video.queries", "Video-to-video retrieval requests answered")
+        self._cache_hits = reg.counter(
+            "video.cache_hits", "Video queries answered from the result cache")
+        self._cache_misses = reg.counter(
+            "video.cache_misses", "Video queries that ran the full pipeline")
+        self._segments_harvested = reg.counter(
+            "video.segments_harvested",
+            "Distinct stored segments surfaced by harvest batches")
+        self._videos_ranked = reg.counter(
+            "video.videos_ranked", "Candidate videos scored and ranked")
+
+    @property
+    def queries(self) -> int:
+        """Video retrieval requests answered (cache hits included)."""
+        return int(self._queries.value)
+
+    @property
+    def cache_hits(self) -> int:
+        """Video queries answered from the result cache."""
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        """Video queries that ran the full pipeline."""
+        return int(self._cache_misses.value)
+
+    @property
+    def segments_harvested(self) -> int:
+        """Distinct stored segments surfaced by harvest batches."""
+        return int(self._segments_harvested.value)
+
+    @property
+    def videos_ranked(self) -> int:
+        """Candidate videos scored and ranked (lifetime)."""
+        return int(self._videos_ranked.value)
+
+
+def _match_key(match: VideoMatch) -> tuple[float, str]:
+    """The canonical total order videos rank under."""
+    return (-match.score, match.video_id)
+
+
+def _harvest(video_query: VideoQuery,
+             query_many: Callable[[list[Query]], list[QueryResult]],
+             ) -> dict[str, dict[int, RepresentativeFoV]]:
+    """Run the batched harvest and group hits per stored video.
+
+    Deduplication is by ``(video_id, segment_id)``: a stored segment
+    surfaced by several query segments counts once.
+    """
+    answers = query_many(video_query.harvest_queries())
+    by_video: dict[str, dict[int, RepresentativeFoV]] = {}
+    for answer in answers:
+        for row in answer.ranked:
+            rep = row.fov
+            if rep.video_id in video_query.exclude:
+                continue
+            by_video.setdefault(rep.video_id, {})[rep.segment_id] = rep
+    return by_video
+
+
+def _score_video(video_query: VideoQuery, projection: LocalProjection,
+                 xy_q: np.ndarray, theta_q: np.ndarray,
+                 segs: list[RepresentativeFoV],
+                 camera: CameraModel) -> tuple[float, int]:
+    """``(score, lcv_run)`` of one candidate video's harvested segments."""
+    xy_s = projection.to_local_arrays([f.lat for f in segs],
+                                      [f.lng for f in segs])
+    theta_s = np.array([f.theta for f in segs], dtype=float)
+    sim = cross_similarity(xy_q, theta_q, xy_s, theta_s, camera)
+    run = lcv_run_length(sim, video_query.sim_threshold)
+    if video_query.scorer == "lcv":
+        score = run / sim.shape[0]
+    else:
+        score = alignment_score(sim)
+    return score, run
+
+
+def retrieve_videos(video_query: VideoQuery,
+                    query_many: Callable[[list[Query]], list[QueryResult]],
+                    camera: CameraModel,
+                    clock: Callable[[], float] | None = None,
+                    tracer: TracerLike = NULL_TRACER) -> VideoQueryResult:
+    """Answer one video query against any engine's ``query_many``.
+
+    Three spans cover the pipeline stages (``video.harvest``,
+    ``video.score``, ``video.rank``); the caller wraps the whole call
+    in ``video.query`` and owns caching and counters.
+    """
+    timer = clock if clock is not None else default_timer
+    t0 = timer()
+    with tracer.span("video.harvest", segments=len(video_query.segments)):
+        by_video = _harvest(video_query, query_many)
+    with tracer.span("video.score", videos=len(by_video)):
+        projection = LocalProjection(video_query.segments[0].point)
+        xy_q = projection.to_local_arrays(
+            [s.lat for s in video_query.segments],
+            [s.lng for s in video_query.segments])
+        theta_q = np.array([s.theta for s in video_query.segments],
+                           dtype=float)
+        matches: list[VideoMatch] = []
+        for vid in sorted(by_video):
+            segs = [by_video[vid][sid] for sid in sorted(by_video[vid])]
+            score, run = _score_video(video_query, projection, xy_q, theta_q,
+                                      segs, camera)
+            matches.append(VideoMatch(video_id=vid, score=score, lcv=run,
+                                      segments_matched=len(segs)))
+    with tracer.span("video.rank", videos=len(matches)):
+        matches.sort(key=_match_key)
+        top = matches[:video_query.top_k]
+        harvested = sorted(
+            (rep for segs in by_video.values() for rep in segs.values()),
+            key=RepresentativeFoV.key)
+    return VideoQueryResult(
+        query=video_query,
+        ranked=top,
+        harvested=harvested,
+        videos_considered=len(by_video),
+        segments_harvested=len(harvested),
+        elapsed_s=timer() - t0,
+    )

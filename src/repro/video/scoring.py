@@ -1,0 +1,168 @@
+"""Sequence-level scorers over a per-segment similarity matrix.
+
+Input is the asymmetric Eq. 10 matrix ``sim[i, j] = Sim(q_i, s_j)``
+between a query trajectory's ``n`` representative FoVs and a stored
+video's ``m`` segments (:func:`repro.core.similarity.cross_similarity`).
+Two reductions turn it into one score per stored video:
+
+* **LCV** (largest common view, after Ding, Yang & Nam): the longest
+  *consecutive* run of segment pairs whose similarity clears a
+  threshold -- the longest all-True diagonal run of the thresholded
+  matrix.  Two videos that tracked the same street for ``k`` segments
+  in lockstep score ``k`` regardless of what happened before or after.
+* **Alignment** (DTW-style): the best monotonic warping path from
+  ``(0, 0)`` to ``(n-1, m-1)`` accumulating similarity, normalised by
+  the maximum path length ``n + m - 1`` so the score lands in
+  ``[0, 1]``.  Unlike LCV it tolerates speed differences (one segment
+  of A aligning to several of B) but requires whole-sequence
+  alignment.
+
+Each reduction ships twice: a vectorised NumPy kernel (the serving
+path, RF015-clean) and a plain-Python scalar reference.  The kernels
+perform the identical float operations in the identical order, so the
+property suite pins them **bit-identical**, not merely close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import ArrayLike
+
+__all__ = [
+    "lcv_run_length",
+    "lcv_run_length_ref",
+    "lcv_score",
+    "alignment_score",
+    "alignment_score_ref",
+]
+
+
+def _as_matrix(sim: ArrayLike) -> np.ndarray:
+    out = np.asarray(sim, dtype=float)
+    if out.ndim != 2:
+        raise ValueError(f"sim must be a 2-D matrix, got shape {out.shape}")
+    return out
+
+
+def lcv_run_length(sim: ArrayLike, threshold: float) -> int:
+    """Length of the largest common view, in segment pairs.
+
+    The longest run ``sim[i, j], sim[i+1, j+1], ...`` with every entry
+    ``>= threshold`` -- i.e. the longest all-True run down any diagonal
+    of the thresholded matrix.  Vectorised: the diagonals shear into
+    the columns of an ``(n, n+m-1)`` boolean matrix (row ``i`` of
+    diagonal ``j - i`` lands in column ``j - i + n - 1``), and the
+    longest True-run per column falls out of one cumulative-sum /
+    running-maximum pass.
+    """
+    mask = _as_matrix(sim) >= threshold
+    n, m = mask.shape
+    if n == 0 or m == 0 or not mask.any():
+        return 0
+    sheared = np.zeros((n, n + m - 1), dtype=bool)
+    shear_cols = np.arange(m)[None, :] - np.arange(n)[:, None] + (n - 1)
+    sheared[np.arange(n)[:, None], shear_cols] = mask
+    seen = np.cumsum(sheared, axis=0)
+    # Runs restart after a False: subtracting the running maximum of
+    # the cumulative count *at* False positions leaves, at each True
+    # position, the length of the run ending there.
+    breaks = np.where(sheared, 0, seen)
+    runs = seen - np.maximum.accumulate(breaks, axis=0)
+    return int(runs.max())
+
+
+def lcv_run_length_ref(sim: ArrayLike, threshold: float) -> int:
+    """Scalar reference for :func:`lcv_run_length` (classic DP).
+
+    ``run[i][j] = run[i-1][j-1] + 1`` where the pair clears the
+    threshold, else 0; the answer is the maximum cell.  Kept for the
+    bit-parity property suite; never on the serving path.
+    """
+    matrix = _as_matrix(sim).tolist()
+    n = len(matrix)
+    m = len(matrix[0]) if n else 0
+    best = 0
+    prev = [0] * (m + 1)
+    for i in range(n):
+        cur = [0] * (m + 1)
+        for j in range(m):
+            if matrix[i][j] >= threshold:
+                cur[j + 1] = prev[j] + 1
+                if cur[j + 1] > best:
+                    best = cur[j + 1]
+        prev = cur
+    return best
+
+
+def lcv_score(sim: ArrayLike, threshold: float) -> float:
+    """LCV normalised by the query length: fraction of the query
+    trajectory covered by the largest common view, in ``[0, 1]``.
+
+    Row count (the query) is the normaliser so the score answers "how
+    much of *my* video did this stored video share?" -- a long stored
+    video earns nothing for its extra segments.
+    """
+    matrix = _as_matrix(sim)
+    n = matrix.shape[0]
+    if n == 0:
+        return 0.0
+    return lcv_run_length(matrix, threshold) / n
+
+
+def alignment_score(sim: ArrayLike) -> float:
+    """Best monotonic alignment of the two sequences, in ``[0, 1]``.
+
+    DTW-style accumulation ``acc[i, j] = sim[i, j] + max(acc[i-1, j],
+    acc[i, j-1], acc[i-1, j-1])`` with ``acc[0, 0] = sim[0, 0]``,
+    normalised by the maximum path length ``n + m - 1``.  Evaluated by
+    anti-diagonal wavefront: every cell of diagonal ``d = i + j``
+    depends only on diagonals ``d-1`` and ``d-2``, so each diagonal is
+    one vectorised gather-max-add.  The padded accumulator carries
+    ``-inf`` sentinels for out-of-range predecessors, which ``max``
+    ignores exactly as the scalar reference's bounds checks do.
+    """
+    matrix = _as_matrix(sim)
+    n, m = matrix.shape
+    if n == 0 or m == 0:
+        return 0.0
+    padded = np.full((n + 1, m + 1), -np.inf)
+    padded[1, 1] = matrix[0, 0]
+    for d in range(1, n + m - 1):
+        lo = max(0, d - m + 1)
+        hi = min(n - 1, d)
+        i = np.arange(lo, hi + 1)
+        j = d - i
+        pred = np.maximum(
+            np.maximum(padded[i, j + 1], padded[i + 1, j]),  # up, left
+            padded[i, j],                                    # diagonal
+        )
+        padded[i + 1, j + 1] = matrix[i, j] + pred
+    return float(padded[n, m]) / (n + m - 1)
+
+
+def alignment_score_ref(sim: ArrayLike) -> float:
+    """Scalar reference for :func:`alignment_score` (row-major DP).
+
+    Performs the same float add and three-way max per cell, so the
+    result is bit-identical to the wavefront kernel (``max`` is exact
+    and evaluation order within a cell does not change its value).
+    """
+    matrix = _as_matrix(sim).tolist()
+    n = len(matrix)
+    m = len(matrix[0]) if n else 0
+    if n == 0 or m == 0:
+        return 0.0
+    ninf = float("-inf")
+    prev = [ninf] * (m + 1)
+    # Row 0: only the leftward predecessor exists.
+    prev[1] = matrix[0][0]
+    for j in range(1, m):
+        prev[j + 1] = matrix[0][j] + prev[j]
+    for i in range(1, n):
+        acc = [ninf] * (m + 1)
+        for j in range(m):
+            pred = max(prev[j + 1], acc[j], prev[j])
+            acc[j + 1] = matrix[i][j] + pred
+        prev = acc
+    return float(prev[m]) / (n + m - 1)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import CameraModel, FoVTrace, abstract_segment, abstract_segments, segment_trace
-from repro.core.abstraction import segment_orientation_spread
+from repro.core.abstraction import ABSTRACTION_STATS, segment_orientation_spread
 from repro.core.fov import VideoSegment
 from repro.core.segmentation import StreamingSegmenter
 
@@ -75,6 +75,25 @@ class TestAbstractSegment:
         tr = make_trace([0.0, 180.0])
         rep = abstract_segment(one_segment(tr))
         assert rep.theta in (0.0, 180.0)
+
+    def test_degenerate_fallback_is_observable(self):
+        # Regression: the fallback used to be silent.  It must pick the
+        # first sample *and* count itself in ABSTRACTION_STATS.
+        ABSTRACTION_STATS.reset()
+        tr = make_trace([0.0, 90.0, 180.0, 270.0])  # resultant length 0
+        rep = abstract_segment(one_segment(tr))
+        assert rep.theta == 0.0  # the first sample, deterministically
+        assert ABSTRACTION_STATS.theta_fallbacks == 1
+        abstract_segment(one_segment(tr))
+        assert ABSTRACTION_STATS.theta_fallbacks == 2
+        ABSTRACTION_STATS.reset()
+        assert ABSTRACTION_STATS.theta_fallbacks == 0
+
+    def test_healthy_orientations_do_not_count_fallbacks(self):
+        ABSTRACTION_STATS.reset()
+        abstract_segment(one_segment(make_trace([10.0, 20.0, 30.0])))
+        abstract_segment(one_segment(make_trace([350.0, 10.0])))
+        assert ABSTRACTION_STATS.theta_fallbacks == 0
 
 
 class TestAbstractSegments:

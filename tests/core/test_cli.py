@@ -82,6 +82,45 @@ class TestQuery:
         assert rc == 2
 
 
+class TestVideoQuery:
+    def test_text_report(self, snapshot, capsys):
+        rc = main(["video-query", "--snapshot", str(snapshot),
+                   "--video-id", "device-000-video-0",
+                   "--radius", "200", "--threshold", "0.1", "--poi", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query video device-000-video-0" in out
+        assert "candidate videos" in out
+
+    def test_engines_and_shards_agree(self, snapshot, capsys):
+        def run(extra):
+            rc = main(["video-query", "--snapshot", str(snapshot),
+                       "--video-id", "device-001-video-0",
+                       "--radius", "200", "--threshold", "0.1",
+                       "--json"] + extra)
+            assert rc == 0
+            import json
+            return json.loads(capsys.readouterr().out)["ranked"]
+
+        base = run(["--engine", "dynamic"])
+        assert run(["--engine", "packed"]) == base
+        assert run(["--shards", "3"]) == base
+
+    def test_dtw_scorer_and_trace(self, snapshot, capsys):
+        rc = main(["video-query", "--snapshot", str(snapshot),
+                   "--video-id", "device-002-video-0",
+                   "--scorer", "dtw", "--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "video.query" in out  # span tree printed
+
+    def test_unknown_video_id_is_an_error(self, snapshot, capsys):
+        rc = main(["video-query", "--snapshot", str(snapshot),
+                   "--video-id", "nope"])
+        assert rc == 2
+        assert "no segments" in capsys.readouterr().err
+
+
 class TestNearest:
     def test_nearest_lists_k(self, snapshot, capsys):
         rc = main(["nearest", "--snapshot", str(snapshot),

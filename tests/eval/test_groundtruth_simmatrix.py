@@ -7,6 +7,7 @@ from repro import CameraModel
 from repro.eval.groundtruth import relevant_segments, segment_covers_point
 from repro.eval.harness import Table, best_of, time_call
 from repro.eval.simmatrix import (
+    cross_trace_similarity_matrix,
     matrix_correlation,
     normalized,
     trace_similarity_matrix,
@@ -76,6 +77,36 @@ class TestSimMatrix:
                                   noise=SensorNoiseModel.ideal())
         M = trace_similarity_matrix(trace, camera, indices=[0, 5, 10])
         assert M.shape == (3, 3)
+
+    def test_cross_matrix_self_is_pairwise(self, camera):
+        trace = rotation_scenario(duration_s=10, fps=3,
+                                  noise=SensorNoiseModel.ideal())
+        C = cross_trace_similarity_matrix(trace, trace, camera)
+        assert np.allclose(np.diag(C), 1.0)
+        assert np.allclose(C, trace_similarity_matrix(trace, camera))
+
+    def test_cross_matrix_asymmetric_shapes(self, camera):
+        a = rotation_scenario(duration_s=10, fps=3,
+                              noise=SensorNoiseModel.ideal())
+        b = rotation_scenario(duration_s=6, fps=2,
+                              noise=SensorNoiseModel.ideal())
+        C = cross_trace_similarity_matrix(a, b, camera)
+        assert C.shape == (len(a), len(b))
+        assert np.all((0.0 <= C) & (C <= 1.0))
+        # Swapping the traces transposes the matrix (both projected
+        # into the first trace's plane; the planes agree to fp noise
+        # over city-scale separations).
+        assert np.allclose(cross_trace_similarity_matrix(b, a, camera), C.T)
+
+    def test_cross_matrix_subsampling(self, camera):
+        trace = rotation_scenario(duration_s=10, fps=3,
+                                  noise=SensorNoiseModel.ideal())
+        C = cross_trace_similarity_matrix(trace, trace, camera,
+                                          indices_a=[0, 5],
+                                          indices_b=[0, 5, 10])
+        assert C.shape == (2, 3)
+        full = cross_trace_similarity_matrix(trace, trace, camera)
+        assert np.allclose(C, full[np.ix_([0, 5], [0, 5, 10])])
 
     def test_correlation_perfect_for_identical(self, rng):
         a = rng.uniform(0, 1, (6, 6))

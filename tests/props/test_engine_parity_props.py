@@ -23,6 +23,7 @@ from repro.core.server import CloudServer
 from repro.geo.coords import GeoPoint
 from repro.geo.earth import LocalProjection
 from repro.shard import ShardedCloudServer
+from repro.video import VideoQuery
 
 ORIGIN = GeoPoint(lat=40.0, lng=116.3)
 PROJ = LocalProjection(ORIGIN)
@@ -104,6 +105,61 @@ def test_dynamic_packed_sharded_identical(recs, qs, camera, n_shards,
     assert [ranking(r) for r in sharded.query_many(qs)] == base
     # Single-query path agrees with its own batch path.
     assert [ranking(sharded.query(q)) for q in qs] == base
+
+
+@st.composite
+def video_queries(draw, recs):
+    """A query trajectory of lattice FoVs plus retrieval parameters."""
+    n_segs = draw(st.integers(1, 5))
+    x = draw(lattice_m)
+    y = draw(lattice_m)
+    segs = []
+    for s in range(n_segs):
+        x += draw(st.sampled_from([-60.0, 0.0, 60.0]))
+        y += draw(st.sampled_from([-60.0, 0.0, 60.0]))
+        p = PROJ.to_geo(x, y)
+        segs.append(RepresentativeFoV(
+            lat=p.lat, lng=p.lng, theta=draw(theta_deg),
+            t_start=600.0 * s, t_end=600.0 * s + 300.0,
+            video_id="query", segment_id=s))
+    exclude = draw(st.sampled_from([
+        frozenset(), frozenset({f.video_id for f in recs[:1]})]))
+    return VideoQuery(
+        segments=tuple(segs), t_start=0.0, t_end=5400.0,
+        radius=draw(st.sampled_from([100.0, 400.0])),
+        top_k=draw(st.integers(1, 8)),
+        scorer=draw(st.sampled_from(["lcv", "dtw"])),
+        sim_threshold=draw(st.sampled_from([0.1, 0.25, 0.5])),
+        per_segment_top_n=64, exclude=exclude)
+
+
+def video_ranking(result):
+    """Full observable identity of one video answer."""
+    return (result.videos_considered, result.segments_harvested,
+            [tuple(m) for m in result.ranked],
+            [f.key() for f in result.harvested])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data(), records(n_min=1, n_max=40), cameras,
+       st.integers(1, 8), st.sampled_from([150.0, 500.0, 2000.0]),
+       st.integers(0, 3))
+def test_video_retrieval_parity_across_engines(data, recs, camera,
+                                               n_shards, cell_m, seed):
+    """The video top-k inherits point-query parity: dynamic, packed
+    and every sharding of the same records rank videos identically --
+    same scores, same evidence, same harvested coverage."""
+    vq = data.draw(video_queries(recs))
+    dynamic = CloudServer(camera, engine="dynamic", cache_size=0)
+    packed = CloudServer(camera, engine="packed", cache_size=0)
+    sharded = ShardedCloudServer(camera, n_shards=n_shards, origin=ORIGIN,
+                                 cell_m=cell_m, seed=seed, cache_size=0)
+    dynamic.ingest(recs)
+    packed.ingest(recs)
+    sharded.ingest(recs)
+    base = video_ranking(dynamic.query_video(vq))
+    assert video_ranking(packed.query_video(vq)) == base
+    assert video_ranking(sharded.query_video(vq)) == base
 
 
 @settings(max_examples=20, deadline=None)

@@ -1,0 +1,175 @@
+"""Integration tests for the video-to-video retrieval pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.camera import CameraModel
+from repro.core.server import CloudServer
+from repro.shard import ShardedCloudServer
+from repro.traces.dataset import random_video_trajectories
+from repro.traces.scenarios import CITY_ORIGIN
+from repro.video import VideoQuery, retrieve_videos
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A dense 400-video city: every query trajectory has neighbours."""
+    rng = np.random.default_rng(7)
+    return random_video_trajectories(400, 8, rng, extent_m=800.0,
+                                     horizon_s=4000.0)
+
+
+def video_query_for(records, video_id, **overrides):
+    segs = tuple(sorted((r for r in records if r.video_id == video_id),
+                        key=lambda r: r.segment_id))
+    params = dict(t_start=min(r.t_start for r in records),
+                  t_end=max(r.t_end for r in records),
+                  radius=120.0, top_k=5, sim_threshold=0.15,
+                  per_segment_top_n=64, exclude=frozenset({video_id}))
+    params.update(overrides)
+    return VideoQuery(segments=segs, **params)
+
+
+def summary(result):
+    return [(m.video_id, m.score, m.lcv) for m in result.ranked]
+
+
+class TestVideoQueryValidation:
+    def test_needs_segments(self):
+        with pytest.raises(ValueError):
+            VideoQuery(segments=(), t_start=0.0, t_end=1.0)
+
+    def test_rejects_unknown_scorer(self, workload):
+        with pytest.raises(ValueError):
+            video_query_for(workload, "vid-00012", scorer="lcs")
+
+    def test_rejects_bad_threshold(self, workload):
+        with pytest.raises(ValueError):
+            video_query_for(workload, "vid-00012", sim_threshold=1.5)
+
+    def test_hashable_frozen(self, workload):
+        vq = video_query_for(workload, "vid-00012")
+        assert hash(vq) == hash(video_query_for(workload, "vid-00012"))
+
+
+class TestRetrieval:
+    def test_finds_overlapping_videos(self, workload):
+        server = CloudServer(CameraModel(), engine="packed", cache_size=0)
+        server.ingest(workload)
+        result = server.query_video(video_query_for(workload, "vid-00012"))
+        assert result.ranked, "dense workload must surface neighbours"
+        assert result.videos_considered >= len(result.ranked)
+        assert result.segments_harvested == len(result.harvested)
+        assert result.elapsed_s > 0.0
+        # Canonical total order (-score, video_id).
+        keys = [(-m.score, m.video_id) for m in result.ranked]
+        assert keys == sorted(keys)
+        # Leave-one-out: the query video never ranks itself.
+        assert "vid-00012" not in result.keys()
+        assert all(f.video_id != "vid-00012" for f in result.harvested)
+
+    def test_top_k_truncates(self, workload):
+        server = CloudServer(CameraModel(), engine="packed", cache_size=0)
+        server.ingest(workload)
+        full = server.query_video(
+            video_query_for(workload, "vid-00012", top_k=100))
+        two = server.query_video(video_query_for(workload, "vid-00012",
+                                                 top_k=2))
+        assert summary(two) == summary(full)[:2]
+
+    def test_scorers_disagree_but_share_harvest(self, workload):
+        server = CloudServer(CameraModel(), engine="packed", cache_size=0)
+        server.ingest(workload)
+        lcv = server.query_video(video_query_for(workload, "vid-00012"))
+        dtw = server.query_video(
+            video_query_for(workload, "vid-00012", scorer="dtw"))
+        assert lcv.harvested == dtw.harvested
+        assert all(0.0 <= m.score <= 1.0 for m in lcv.ranked + dtw.ranked)
+        # LCV evidence is reported identically under both scorers.
+        lcv_runs = {m.video_id: m.lcv for m in lcv.ranked}
+        for m in dtw.ranked:
+            if m.video_id in lcv_runs:
+                assert m.lcv == lcv_runs[m.video_id]
+
+    def test_dynamic_packed_sharded_parity(self, workload):
+        vq = video_query_for(workload, "vid-00012")
+        camera = CameraModel()
+        dynamic = CloudServer(camera, engine="dynamic", cache_size=0)
+        packed = CloudServer(camera, engine="packed", cache_size=0)
+        dynamic.ingest(workload)
+        packed.ingest(workload)
+        base = dynamic.query_video(vq)
+        assert summary(packed.query_video(vq)) == summary(base)
+        assert packed.query_video(vq).harvested == base.harvested
+        for n_shards in (1, 2, 4, 8):
+            fleet = ShardedCloudServer(camera, n_shards=n_shards,
+                                       origin=CITY_ORIGIN, cache_size=0)
+            fleet.ingest(workload)
+            sharded = fleet.query_video(vq)
+            assert summary(sharded) == summary(base)
+            assert sharded.harvested == base.harvested
+
+    def test_engine_agnostic_function_form(self, workload):
+        """retrieve_videos accepts any query_many callable directly."""
+        camera = CameraModel()
+        server = CloudServer(camera, engine="packed", cache_size=0)
+        server.ingest(workload)
+        vq = video_query_for(workload, "vid-00012")
+        direct = retrieve_videos(vq, server.query_many, camera)
+        assert summary(direct) == summary(server.query_video(vq))
+
+
+class TestCachingAndStats:
+    def test_cache_hit_on_repeat(self, workload):
+        server = CloudServer(CameraModel(), engine="packed", cache_size=16)
+        server.ingest(workload)
+        vq = video_query_for(workload, "vid-00012")
+        first = server.query_video(vq)
+        second = server.query_video(vq)
+        assert second is first  # served from the epoch-tagged cache
+        assert server.video_stats.queries == 2
+        assert server.video_stats.cache_hits == 1
+        assert server.video_stats.cache_misses == 1
+
+    def test_ingest_invalidates_cache(self, workload):
+        server = CloudServer(CameraModel(), engine="packed", cache_size=16)
+        server.ingest(workload[:3000])
+        vq = video_query_for(workload, "vid-00012")
+        first = server.query_video(vq)
+        server.ingest(workload[3000:])  # epoch bump
+        second = server.query_video(vq)
+        assert second is not first
+        assert server.video_stats.cache_hits == 0
+        assert server.video_stats.cache_misses == 2
+
+    def test_sharded_cache_and_stats(self, workload):
+        fleet = ShardedCloudServer(CameraModel(), n_shards=4,
+                                   origin=CITY_ORIGIN, cache_size=16)
+        fleet.ingest(workload)
+        vq = video_query_for(workload, "vid-00012")
+        first = fleet.query_video(vq)
+        assert fleet.query_video(vq) is first
+        assert fleet.video_stats.cache_hits == 1
+        assert fleet.video_stats.segments_harvested == first.segments_harvested
+
+    def test_video_metrics_live_on_server_registry(self, workload):
+        server = CloudServer(CameraModel(), engine="packed", cache_size=0)
+        server.ingest(workload)
+        server.query_video(video_query_for(workload, "vid-00012"))
+        reg = server.obs.registry
+        assert reg.get("video.queries").value == 1
+        assert reg.get("video.segments_harvested").value > 0
+
+
+class TestTracing:
+    def test_span_tree_covers_pipeline(self, workload):
+        from repro.obs import Observability
+        obs = Observability.tracing()
+        server = CloudServer(CameraModel(), engine="packed", cache_size=0,
+                             obs=obs)
+        server.ingest(workload)
+        server.query_video(video_query_for(workload, "vid-00012"))
+        trace = obs.span_tracer.last_trace()
+        names = {span.name for _, span in trace.walk()}
+        assert {"video.query", "video.harvest", "video.score",
+                "video.rank"} <= names
