@@ -1,0 +1,92 @@
+"""City-scale closed-loop workload: tail latency and failover parity.
+
+The paper's deployment story is a city under skewed, bursty load; the
+uniform-workload benchmarks elsewhere in this directory measure mean
+throughput, which says nothing about the tail or about availability.
+This benchmark replays the deterministic scenario of
+:mod:`repro.sim.cityload` -- Zipf hotspots, a flash crowd, day/night
+skew, mixed Section V-B radii, a cache-adversarial stream, and a
+mid-run shard kill/promote -- against a live
+:class:`~repro.shard.server.ShardedCloudServer`, and exports per-phase
+p50/p99/p999 latencies plus failover downtime and dropped-query counts
+to ``BENCH_city_scale.json`` (``docs/CITY_SCALE.md`` explains how to
+read it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import Table
+from repro.sim.cityload import (CityLoadConfig, build_city_workload,
+                                run_city_scale)
+
+CONFIG = CityLoadConfig(seed=2015, n_shards=4)
+
+#: Phases the export must cover (ISSUE acceptance floor).
+REQUIRED_PHASES = ("hotspot", "flash_crowd", "cache_adversarial")
+
+
+def test_city_workload_is_deterministic():
+    """Two builds with the same config are bit-identical."""
+    a = build_city_workload(CONFIG)
+    b = build_city_workload(CONFIG)
+    assert a.digest == b.digest
+    assert a.events == b.events
+    assert a.base_records == b.base_records
+    # and a different seed is a different workload
+    other = build_city_workload(CityLoadConfig(seed=2016, n_shards=4))
+    assert other.digest != a.digest
+
+
+def test_city_scale_tail_latency_and_failover(tmp_path, bench_export, show):
+    result = run_city_scale(CONFIG, wal_dir=str(tmp_path))
+
+    # Availability contract: the failover run's answered queries are
+    # bit-identical to the unfailed control, the fleet state converges,
+    # and the kill demonstrably dropped (only) hot-shard queries.
+    assert result.parity_ok, (
+        f"{result.parity_mismatches} answered queries diverged from the "
+        f"control run")
+    assert result.control.fleet_digest == result.failed.fleet_digest
+    assert result.failed.kills == 1 and result.failed.promotions == 1
+    assert result.failed.dropped, "expected the kill to drop some queries"
+    assert not result.control.dropped
+    assert result.failed.downtime_s > 0.0
+
+    payload = result.bench_payload()
+    for phase in REQUIRED_PHASES:
+        for suffix in ("p50", "p99", "p999"):
+            key = f"{phase}_query_{suffix}"
+            assert key in payload, f"missing latency key {key}"
+    assert "failover_downtime_s" in payload
+    assert payload["workload"]["dropped_queries"] == len(result.failed.dropped)
+
+    table = Table(
+        title="City-scale workload: per-phase query latency (ms)",
+        columns=["phase", "p50", "p99", "p999", "samples"])
+    for phase in sorted({p for (p, s) in result.failed.latencies
+                         if s == "query"}):
+        samples = result.failed.latencies[(phase, "query")]
+        table.add(phase,
+                  payload[f"{phase}_query_p50"] * 1e3,
+                  payload[f"{phase}_query_p99"] * 1e3,
+                  payload[f"{phase}_query_p999"] * 1e3,
+                  len(samples))
+    show(table)
+    show(f"failover: shard {result.workload.failover_shard} killed; "
+         f"{len(result.failed.dropped)} dropped / "
+         f"{result.failed.queries_issued} issued; "
+         f"downtime {result.failed.downtime_s * 1e3:.2f} ms; parity ok")
+
+    bench_export("city_scale", payload,
+                 records=len(result.workload.base_records),
+                 queries=result.failed.queries_issued)
+
+
+@pytest.mark.parametrize("phase", REQUIRED_PHASES)
+def test_phase_has_latency_samples(phase):
+    """Every acceptance phase actually emits query traffic."""
+    workload = build_city_workload(CONFIG)
+    kinds = [ev.kind for ev in workload.events if ev.phase == phase]
+    assert "query" in kinds

@@ -12,7 +12,32 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BootstrapCI", "bootstrap_ci", "paired_bootstrap_diff"]
+__all__ = ["BootstrapCI", "bootstrap_ci", "paired_bootstrap_diff",
+           "percentile"]
+
+
+def percentile(samples, q: float) -> float:
+    """Empirical percentile with the reporting layer's edge-case contract.
+
+    The one shared definition used by the simulation report and the
+    city-scale workload harness, so their latency summaries agree:
+
+    * ``q`` is in **percent** (``50`` = median, ``99.9`` = p999) and
+      must lie in ``[0, 100]`` -- anything else raises ``ValueError``
+      (catching the classic fraction-vs-percent mixup of ``q=0.99``
+      silently meaning "roughly the minimum");
+    * an empty sample list reports ``0.0`` -- dashboards render a
+      stage that never ran as zero, not as a crash;
+    * a single sample is every percentile of itself, and ``q=0`` /
+      ``q=100`` are the exact min / max (no interpolation past the
+      data).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    arr = np.asarray(samples, dtype=float).ravel()
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,16 @@ METRICS: Final[Mapping[str, tuple[str, str]]] = {
     "shard.fanout_width": ("histogram", "shards consulted per scatter query"),
     "shard.epoch": ("gauge", "per-shard index epoch"),
     "shard.records_live": ("gauge", "per-shard live record count"),
+    # -- shard replica tier (shard/replica.py) ------------------------------
+    "failover.kills": ("counter", "shard primaries killed mid-run"),
+    "failover.promotions": ("counter", "warm standbys promoted to primary"),
+    "failover.replica_syncs": ("counter", "standby captures of a shard view"),
+    "failover.replica_bytes": ("counter", "packed bytes captured by syncs"),
+    "failover.dropped_queries": ("counter", "queries refused during downtime"),
+    "failover.downtime_s": ("gauge", "kill-to-promotion seconds, by shard"),
+    # -- city-scale workload harness (sim/cityload.py) ----------------------
+    "city.events": ("counter", "workload events replayed, by phase"),
+    "city.ingest_groups": ("counter", "ingest commit groups flushed"),
     # -- video-to-video retrieval (video/retrieval.py) ----------------------
     "video.queries": ("counter", "video-to-video retrieval requests answered"),
     "video.cache_hits": ("counter", "video queries answered from the cache"),
@@ -91,6 +101,7 @@ SPANS: Final[Mapping[str, str]] = {
     "shard.ingest_bundle": "sharded router bundle ingest",
     "shard.ingest_batch": "sharded router commit-group ingest",
     "shard.query_many": "sharded router scatter-gather query batch",
+    "failover.promote": "standby verification, rebuild, and install",
     "video.query": "one end-to-end video-to-video retrieval request",
     "video.harvest": "batched point-query harvest of the query trajectory",
     "video.score": "per-candidate similarity matrices and sequence scoring",

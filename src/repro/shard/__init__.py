@@ -19,7 +19,11 @@ package partitions the index by *where the cameras stood*:
   under the pool (:mod:`repro.core.flatsnap` buffers);
 * :mod:`repro.shard.persist` -- per-shard snapshot save/load built on
   :mod:`repro.core.snapshot`, plus mmap-attachable ``.fovpack`` packed
-  sidecars.
+  sidecars;
+* :mod:`repro.shard.replica` -- :class:`ReplicaSet`, one warm
+  ``FOVPACK1`` standby per shard with manifest-verified promotion
+  after a primary is killed (:class:`ShardUnavailableError` is the
+  fail-stop signal while a slot is empty).
 
 Design notes, routing invariants and the merge-stability argument live
 in ``docs/SHARDING.md``.
@@ -32,13 +36,18 @@ from repro.shard.persist import (load_packed_shard_views,
                                  load_sharded_snapshot,
                                  save_sharded_snapshot)
 from repro.shard.pool import PersistentQueryPool
-from repro.shard.server import ShardedCloudServer
+from repro.shard.replica import ReplicaManifest, ReplicaSet, ShardReplica
+from repro.shard.server import ShardedCloudServer, ShardUnavailableError
 from repro.shard.shm import SharedSnapshot
 
 __all__ = [
     "GridPartitioner",
     "PersistentQueryPool",
+    "ReplicaManifest",
+    "ReplicaSet",
+    "ShardReplica",
     "ShardedCloudServer",
+    "ShardUnavailableError",
     "SharedSnapshot",
     "load_packed_shard_views",
     "load_sharded_snapshot",

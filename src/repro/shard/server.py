@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.camera import CameraModel
 from repro.core.cache import QueryResultCache, query_cache_key
+from repro.core.flatsnap import pack_snapshot
 from repro.core.fov import RepresentativeFoV
 from repro.core.index import query_box
 from repro.core.ingest import AdmissionQueue
@@ -59,7 +60,23 @@ from repro.spatial.rtree import RTreeConfig
 from repro.video.retrieval import VideoQuery, VideoQueryResult, \
     VideoQueryStats, retrieve_videos
 
-__all__ = ["ShardedCloudServer"]
+__all__ = ["ShardedCloudServer", "ShardUnavailableError"]
+
+
+class ShardUnavailableError(RuntimeError):
+    """A request needed a shard whose primary is down (fail-stop).
+
+    Raised by the query path when routing plus content bounds say the
+    dead shard could contribute rows (a merged answer without it would
+    be silently wrong), and by every write path while *any* shard is
+    down (a record landing on a placeholder would be discarded at
+    promotion).  Retryable: once :meth:`ShardedCloudServer.install_shard`
+    promotes a replica, the same request succeeds.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"shard {shard_id} is down")
+        self.shard_id = shard_id
 
 #: (lng_lo, lng_hi, lat_lo, lat_hi, t_lo, t_hi) -- axis order matches
 #: the index's 3-D boxes.
@@ -129,15 +146,16 @@ class ShardedCloudServer:
                                            cell_m=cell_m, seed=seed)
         self.obs = obs if obs is not None else Observability.default()
         self._clock = clock if clock is not None else default_timer
+        self._strict_cover = strict_cover
+        self._engine = engine
+        self._rtree_config = rtree_config
         self.shards: list[CloudServer] = [
-            CloudServer(camera, rtree_config=rtree_config,
-                        strict_cover=strict_cover, engine=engine,
-                        cache_size=0, obs=Observability.default())
-            for _ in range(n_shards)
+            self.spawn_shard_server() for _ in range(n_shards)
         ]
         self._locks = [threading.RLock() for _ in range(n_shards)]
         self._bounds: list[_Bounds | None] = [None] * n_shards
         self._ingest_lock = threading.Lock()
+        self._down: frozenset[int] = frozenset()
         self._cache_lock = threading.Lock()
         self._seen_digests: set[str] = set()
         self._owners: dict[str, str] = {}
@@ -186,20 +204,124 @@ class ShardedCloudServer:
 
     @property
     def indexed_count(self) -> int:
-        """Total live records across the fleet."""
-        return sum(len(s.index) for s in self.shards)
+        """Total live records across the fleet.
+
+        Lock-free by design: called from gauge syncs that already hold
+        one shard lock, where taking every lock would nest shard locks
+        (forbidden by the RF010 lock order).  The count is advisory.
+        """
+        return sum(len(s.index) for s in self.shards)  # fovlint: disable=RF009
 
     def epoch_vector(self) -> tuple[int, ...]:
-        """Per-shard index epochs -- the fleet's cache-invalidation tag."""
-        return tuple(s.index.epoch for s in self.shards)
+        """Per-shard index epochs -- the fleet's cache-invalidation tag.
+
+        Deliberately lock-free: callers read the vector before and
+        after a scatter and only trust results when the two reads
+        agree, so a torn read is detected, never cached.
+        """
+        return tuple(s.index.epoch for s in self.shards)  # fovlint: disable=RF009
 
     def records(self) -> list[RepresentativeFoV]:
         """Every indexed record, shard by shard (audits, snapshots)."""
         out: list[RepresentativeFoV] = []
-        for sid, shard in enumerate(self.shards):
+        for sid in range(self.n_shards):
             with self._locks[sid]:
-                out.extend(shard.records())
+                out.extend(self.shards[sid].records())
         return out
+
+    # -- failover ---------------------------------------------------------
+
+    def _check_sid(self, sid: int) -> None:
+        if not 0 <= sid < self.n_shards:
+            raise ValueError(f"shard id {sid} out of range "
+                             f"[0, {self.n_shards})")
+
+    def _check_fleet_up(self) -> None:
+        """Writes are refused while any primary is absent (fail-stop)."""
+        with self._ingest_lock:
+            down = self._down
+        if down:
+            raise ShardUnavailableError(min(down))
+
+    @property
+    def down_shards(self) -> frozenset[int]:
+        """Shard ids currently without a serving primary."""
+        with self._ingest_lock:
+            return self._down
+
+    def spawn_shard_server(self) -> CloudServer:
+        """A fresh, empty per-shard server with this fleet's parameters.
+
+        Replica promotion (:mod:`repro.shard.replica`) rebuilds a
+        failed shard into one of these before :meth:`install_shard`
+        swaps it into the slot.
+        """
+        return CloudServer(self.camera, rtree_config=self._rtree_config,
+                           strict_cover=self._strict_cover,
+                           engine=self._engine, cache_size=0,
+                           obs=Observability.default())
+
+    def capture_shard(self, sid: int) -> tuple[int, bytes]:
+        """``(epoch, FOVPACK1 buffer)`` of shard ``sid``'s frozen view.
+
+        The same flat packed segment the republish pool ships to its
+        workers (:mod:`repro.core.flatsnap`), so a warm standby holds
+        exactly what a zero-copy reader would attach.  The view is
+        snapped under the shard lock; serialisation happens outside it
+        (the view is immutable).
+        """
+        self._check_sid(sid)
+        with self._locks[sid]:
+            view = self.shards[sid].index.packed_view()
+        return view.epoch, pack_snapshot(view)
+
+    def kill_shard(self, sid: int) -> CloudServer:
+        """Simulate losing shard ``sid``'s primary mid-run.
+
+        The slot is replaced by an empty placeholder, so the dead
+        primary's data is really gone from the serving path: queries
+        whose routing plus content bounds need the shard raise
+        :class:`ShardUnavailableError`, and every write (ingest,
+        eviction, WAL replay) is refused fleet-wide until
+        :meth:`install_shard` restores the slot.  Router-level caches
+        are cleared -- the placeholder restarts the slot's epoch
+        counter, so existing epoch-vector tags no longer identify the
+        content they were computed from.  Returns the dead primary
+        (tests audit it; a real failure would have lost it).
+        """
+        self._check_sid(sid)
+        with self._ingest_lock:
+            self._down = self._down | {sid}
+        with self._locks[sid]:
+            dead = self.shards[sid]
+            self.shards[sid] = self.spawn_shard_server()
+            self._sync_shard_gauges(sid)
+        self._clear_result_caches()
+        return dead
+
+    def install_shard(self, sid: int, shard: CloudServer) -> None:
+        """Promote ``shard`` into slot ``sid`` and resume serving it.
+
+        Content bounds are kept as-is: a promoted replica restores the
+        content the stale bounds conservatively described (nothing was
+        allowed to land while the primary was absent).  Caches are
+        cleared for the same epoch-counter reason as
+        :meth:`kill_shard`.
+        """
+        self._check_sid(sid)
+        with self._locks[sid]:
+            self.shards[sid] = shard
+            self._sync_shard_gauges(sid)
+        with self._ingest_lock:
+            self._down = self._down - {sid}
+        self._clear_result_caches()
+
+    def _clear_result_caches(self) -> None:
+        with self._cache_lock:
+            if self._cache is not None:
+                self._cache.clear()
+            if self._video_cache is not None:
+                self._video_cache.clear()
 
     # -- ingest -----------------------------------------------------------
 
@@ -266,6 +388,7 @@ class ShardedCloudServer:
 
     def ingest(self, fovs: list[RepresentativeFoV]) -> int:
         """Directly index already-decoded records (dataset loading)."""
+        self._check_fleet_up()
         self._validate_geometry(fovs)
         n = self._ingest_parts(self.partitioner.split(fovs))
         self.stats._records_indexed.inc(n)
@@ -312,6 +435,7 @@ class ShardedCloudServer:
 
     def _ingest_one(self, payload: bytes,
                     device_id: str | None) -> IngestOutcome:
+        self._check_fleet_up()
         digest = hashlib.sha256(payload).hexdigest()
         with self._ingest_lock:
             if digest in self._seen_digests:
@@ -372,6 +496,7 @@ class ShardedCloudServer:
             device_ids = [None] * len(payloads)
         if len(device_ids) != len(payloads):
             raise ValueError("device_ids must match payloads one to one")
+        self._check_fleet_up()
         with self.obs.tracer.span("shard.ingest_batch", batch=len(payloads)):
             admitted = len(payloads)
             if admit and self._admission is not None:
@@ -489,10 +614,11 @@ class ShardedCloudServer:
         Content bounds are left as-is: eviction only removes records,
         so the stale (wider) box stays a conservative prune.
         """
+        self._check_fleet_up()
         evicted = 0
-        for sid, shard in enumerate(self.shards):
+        for sid in range(self.n_shards):
             with self._locks[sid]:
-                evicted += shard.evict_older_than(cutoff_t)
+                evicted += self.shards[sid].evict_older_than(cutoff_t)
                 self._sync_shard_gauges(sid)
         self.stats._evicted.inc(evicted)
         return evicted
@@ -513,6 +639,8 @@ class ShardedCloudServer:
         """Fan one query out to the surviving shards, merge canonically."""
         t0 = self._clock()
         targets = self.partitioner.shards_for_query(query)
+        with self._ingest_lock:
+            down = self._down
         bmin, bmax = query_box(query)
         parts: list[QueryResult] = []
         for sid in targets:
@@ -520,6 +648,11 @@ class ShardedCloudServer:
                 if not self._could_match(sid, bmin, bmax):
                     self._pruned.inc()
                     continue
+                if sid in down:
+                    # The merged answer would silently miss this
+                    # shard's rows; failing loudly lets the caller
+                    # retry after a replica is promoted.
+                    raise ShardUnavailableError(sid)
                 parts.append(self.shards[sid].engine.execute(query))
         self._pruned.inc(self.n_shards - len(targets))
         self._fanout.observe(len(parts))
@@ -549,7 +682,9 @@ class ShardedCloudServer:
         batch = list(queries)
         with self.obs.tracer.span("shard.query_many", batch=len(batch)):
             self.stats._queries.inc(len(batch))
-            if self._cache is None:
+            # The cache binding is fixed at construction (only cleared,
+            # never rebound), so the None-check needs no lock.
+            if self._cache is None:  # fovlint: disable=RF009
                 return [self._scatter_gather(q) for q in batch]
             pre = self.epoch_vector()
             results: list[QueryResult | None] = [None] * len(batch)
@@ -585,7 +720,8 @@ class ShardedCloudServer:
                                   segments=len(video_query.segments)):
             self.video_stats._queries.inc()
             pre = self.epoch_vector()
-            if self._video_cache is not None:
+            # Binding fixed at construction; see query_many.
+            if self._video_cache is not None:  # fovlint: disable=RF009
                 with self._cache_lock:
                     cached = self._video_cache.get(video_query, pre)
                 if cached is not None:
@@ -595,7 +731,8 @@ class ShardedCloudServer:
             result = retrieve_videos(video_query, self.query_many,
                                      self.camera, clock=self._clock,
                                      tracer=self.obs.tracer)
-            if self._video_cache is not None and self.epoch_vector() == pre:
+            if (self._video_cache is not None  # fovlint: disable=RF009
+                    and self.epoch_vector() == pre):
                 with self._cache_lock:
                     self._video_cache.put(video_query, pre, result)
             self.video_stats._segments_harvested.inc(result.segments_harvested)
@@ -604,5 +741,6 @@ class ShardedCloudServer:
 
     def close(self) -> None:
         """Release per-shard engine resources (idempotent)."""
-        for shard in self.shards:
-            shard.close()
+        for sid in range(self.n_shards):
+            with self._locks[sid]:
+                self.shards[sid].close()

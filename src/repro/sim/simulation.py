@@ -22,6 +22,7 @@ from repro.core.camera import CameraModel
 from repro.core.pipeline import ClientPipeline
 from repro.core.query import Query
 from repro.core.server import CloudServer
+from repro.eval.statistics import percentile
 from repro.net.clock import DeviceClock, SntpSynchronizer
 from repro.sim.events import EventQueue
 from repro.traces.citygrid import CityGrid, grid_route_trajectory
@@ -73,10 +74,14 @@ class SimulationReport:
         return self.queries_answered / self.queries_issued
 
     def latency_percentile(self, q: float) -> float:
-        """Query-latency percentile in milliseconds."""
-        if not self.query_latencies_ms:
-            return 0.0
-        return float(np.percentile(self.query_latencies_ms, q))
+        """Query-latency percentile in milliseconds.
+
+        ``q`` is in percent (``50``/``99``/``99.9``); the edge-case
+        contract (empty samples, ``q=0``/``q=100``, single sample) is
+        the shared :func:`repro.eval.statistics.percentile` helper's,
+        which the city-scale harness uses too.
+        """
+        return percentile(self.query_latencies_ms, q)
 
 
 class ServiceSimulation:

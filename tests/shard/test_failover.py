@@ -1,0 +1,188 @@
+"""Shard failover: kill/promote parity, fail-stop writes, tamper checks.
+
+The replica tier's contract (docs/CITY_SCALE.md):
+
+* promoting a warm standby restores the fleet to **bit-identical**
+  serving state -- every query result and the fleet's dedup digests
+  match a control fleet that never failed;
+* while a primary is absent the fleet is **fail-stop**: queries
+  needing the dead shard raise
+  :class:`~repro.shard.server.ShardUnavailableError`, every write is
+  refused (so the dedup set cannot record a bundle the index never
+  saw), and queries the routing prunes away still succeed;
+* a standby whose packed buffer does not hash to its manifest digest
+  is rejected before a single byte of it is trusted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.camera import CameraModel
+from repro.core.query import Query
+from repro.geo.coords import GeoPoint
+from repro.geo.earth import LocalProjection
+from repro.net.protocol import encode_bundle
+from repro.shard import (ReplicaSet, ShardedCloudServer,
+                         ShardUnavailableError)
+
+ORIGIN = GeoPoint(lat=40.0, lng=116.3)
+N_SHARDS = 3
+CAMERA = CameraModel()
+
+
+def make_records(n, seed, tag="v"):
+    from repro.core.fov import RepresentativeFoV
+    proj = LocalProjection(ORIGIN)
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(-2000.0, 2000.0, size=2)
+        g = proj.to_geo(float(x), float(y))
+        out.append(RepresentativeFoV(
+            video_id=f"{tag}-{i:04d}", segment_id=0,
+            t_start=float(i), t_end=float(i + 6),
+            lat=g.lat, lng=g.lng,
+            theta=float(rng.uniform(0.0, 360.0))))
+    return out
+
+
+def make_queries(n, seed, radius=1200.0):
+    proj = LocalProjection(ORIGIN)
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.uniform(-2000.0, 2000.0, size=2)
+        g = proj.to_geo(float(x), float(y))
+        out.append(Query(t_start=0.0, t_end=1000.0, center=g,
+                         radius=radius, top_n=8))
+    return out
+
+
+def make_server():
+    return ShardedCloudServer(CAMERA, n_shards=N_SHARDS, origin=ORIGIN,
+                              seed=1, cache_size=16)
+
+
+def rows(result):
+    return [(r.fov.key(), r.distance, r.covers, r.score)
+            for r in result.ranked]
+
+
+def bundles(records, per=10, tag="b"):
+    out = []
+    for i in range(0, len(records), per):
+        out.append(encode_bundle(f"{tag}-{i // per:03d}",
+                                 records[i:i + per]))
+    return out
+
+
+@pytest.mark.parametrize("victim", range(N_SHARDS))
+def test_kill_promote_is_bit_identical_to_control(victim):
+    """Kill each shard in turn mid-run; the promoted fleet matches an
+    unfailed control: ranked rows, record keys, and dedup state."""
+    srv, ctrl = make_server(), make_server()
+    phase1 = bundles(make_records(60, seed=10), tag="p1")
+    phase2 = bundles(make_records(40, seed=11, tag="w"), tag="p2")
+    queries = make_queries(12, seed=12)
+
+    srv.ingest_batch(phase1)
+    ctrl.ingest_batch(phase1)
+    replicas = ReplicaSet(srv)
+    assert replicas.sync() == N_SHARDS
+
+    replicas.kill(victim)
+    assert srv.down_shards == frozenset({victim})
+    promoted = replicas.promote(victim)
+    assert srv.shards[victim] is promoted
+    assert srv.down_shards == frozenset()
+    assert replicas.downtime_s(victim) > 0.0
+
+    # Life goes on after promotion: both fleets take the same second
+    # commit group and answer the same queries identically.
+    srv.ingest_batch(phase2)
+    ctrl.ingest_batch(phase2)
+    for q in queries:
+        assert rows(srv.query(q)) == rows(ctrl.query(q))
+    assert (sorted(r.key() for r in srv.records())
+            == sorted(r.key() for r in ctrl.records()))
+    assert srv._seen_digests == ctrl._seen_digests
+
+
+def test_down_shard_is_fail_stop():
+    srv = make_server()
+    srv.ingest_batch(bundles(make_records(60, seed=20)))
+    replicas = ReplicaSet(srv)
+    replicas.sync()
+    victim = 1
+    replicas.kill(victim)
+
+    # A wide query that needs every shard is refused and identifies
+    # the culprit.
+    wide = Query(t_start=0.0, t_end=1000.0, center=ORIGIN,
+                 radius=3000.0, top_n=8)
+    with pytest.raises(ShardUnavailableError) as exc:
+        srv.query(wide)
+    assert exc.value.shard_id == victim
+    replicas.note_dropped_query()
+    assert replicas.dropped_queries == 1
+
+    # Every write path is refused while the fleet is degraded.
+    extra = make_records(5, seed=21, tag="x")
+    with pytest.raises(ShardUnavailableError):
+        srv.ingest(extra)
+    with pytest.raises(ShardUnavailableError):
+        srv.ingest_batch(bundles(extra, tag="x"))
+    with pytest.raises(ShardUnavailableError):
+        srv.evict_older_than(100.0)
+
+    # ... and recovery restores both reads and writes.
+    replicas.promote(victim)
+    assert srv.query(wide).candidates > 0
+    srv.ingest(extra)
+
+
+def test_tampered_replica_is_rejected():
+    srv = make_server()
+    srv.ingest_batch(bundles(make_records(45, seed=30)))
+    replicas = ReplicaSet(srv)
+    replicas.sync()
+    victim = 2
+    good = replicas.replica(victim)
+    corrupt = bytearray(good.packed)
+    corrupt[len(corrupt) // 2] ^= 0xFF
+    replicas._replicas[victim] = type(good)(manifest=good.manifest,
+                                            packed=bytes(corrupt))
+    replicas.kill(victim)
+    with pytest.raises(ValueError, match="tampered or torn"):
+        replicas.promote(victim)
+    # the fleet stays degraded: the bad standby was never installed
+    assert srv.down_shards == frozenset({victim})
+    # restoring the genuine buffer recovers
+    replicas._replicas[victim] = good
+    replicas.promote(victim)
+    assert srv.down_shards == frozenset()
+
+
+def test_promote_without_standby_or_bad_sid():
+    srv = make_server()
+    srv.ingest(make_records(10, seed=40))
+    replicas = ReplicaSet(srv)
+    with pytest.raises(ValueError, match="no standby"):
+        replicas.promote(0)
+    with pytest.raises(ValueError):
+        srv.kill_shard(N_SHARDS)
+    with pytest.raises(ValueError):
+        srv.kill_shard(-1)
+
+
+def test_sync_skips_unchanged_epochs():
+    srv = make_server()
+    srv.ingest(make_records(30, seed=50))
+    replicas = ReplicaSet(srv)
+    assert replicas.sync() == N_SHARDS
+    assert replicas.sync() == 0                 # nothing moved
+    srv.ingest(make_records(6, seed=51, tag="y"))
+    assert 1 <= replicas.sync() <= N_SHARDS     # only touched shards
+    assert replicas.epochs() == srv.epoch_vector()

@@ -1,0 +1,101 @@
+"""Property tests for the city-scale workload generators.
+
+Three contracts the harness's determinism and skew models rest on:
+
+* **Reproducibility** -- the same config builds a bit-identical event
+  stream (digest, event tuples, base corpus).  This is what makes the
+  failover parity check meaningful: control and failover runs replay
+  literally the same bytes.
+* **Zipf concentration** -- raising the exponent monotonically
+  concentrates query mass on the top-ranked hotspot (the Lu &
+  Colmenares POI skew model the hotspot phase borrows).
+* **Flash-crowd conservation** -- the stadium-exit phase emits exactly
+  ``flash_events`` events no matter how the query/ingest split or any
+  other knob is configured; burst *shape* changes, burst *size* never
+  does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cityload import (CityLoadConfig, build_city_workload,
+                                zipf_weights)
+import pytest
+
+# Small counts keep each generated example fast; the properties do not
+# depend on scale.
+_small = dict(base_records=24, hotspot_queries=8, hotspot_bundles=2,
+              video_queries=1, daynight_queries=6, mixed_queries=6,
+              adversarial_queries=8, failover_queries=4, cache_size=4)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       n_shards=st.integers(1, 6),
+       exponent=st.floats(0.0, 3.0, allow_nan=False))
+def test_same_seed_bit_identical_stream(seed, n_shards, exponent):
+    cfg = CityLoadConfig(seed=seed, n_shards=n_shards,
+                         zipf_exponent=exponent, **_small)
+    a = build_city_workload(cfg)
+    b = build_city_workload(cfg)
+    assert a.digest == b.digest
+    assert a.events == b.events
+    assert a.base_records == b.base_records
+    assert a.hot_cell == b.hot_cell
+    assert a.failover_shard == b.failover_shard
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 64),
+       exponents=st.lists(st.floats(0.0, 4.0, allow_nan=False),
+                          min_size=2, max_size=6))
+def test_zipf_exponent_concentrates_top_cell(n, exponents):
+    """Top-rank mass is monotone non-decreasing in the exponent."""
+    ordered = sorted(exponents)
+    tops = [zipf_weights(n, s)[0] for s in ordered]
+    for lo, hi in zip(tops, tops[1:]):
+        assert hi >= lo - 1e-12
+    for s in ordered:
+        w = zipf_weights(n, s)
+        assert w.shape == (n,)
+        assert np.isclose(w.sum(), 1.0)
+        assert (w > 0.0).all()
+        # ranks are sorted most-popular-first
+        assert (np.diff(w) <= 1e-12).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       flash_events=st.integers(2, 40),
+       fraction=st.floats(0.0, 1.0, allow_nan=False))
+def test_flash_crowd_conserves_event_count(seed, flash_events, fraction):
+    cfg = CityLoadConfig(seed=seed, flash_events=flash_events,
+                         flash_query_fraction=fraction, **_small)
+    workload = build_city_workload(cfg)
+    assert workload.phase_counts()["flash_crowd"] == flash_events
+    # the split is queries + ingest only, and both sides are present
+    kinds = {ev.kind for ev in workload.events
+             if ev.phase == "flash_crowd"}
+    assert kinds <= {"query", "ingest"}
+    assert "query" in kinds and "ingest" in kinds
+
+
+def test_zipf_weights_validates():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(4, -0.5)
+
+
+def test_events_are_time_ordered_and_sequenced():
+    workload = build_city_workload(CityLoadConfig(seed=3, **_small))
+    times = [ev.time for ev in workload.events]
+    assert times == sorted(times)
+    assert [ev.seq for ev in workload.events] == list(range(len(times)))
+    # kill strictly precedes promote
+    kill = next(ev for ev in workload.events if ev.kind == "kill")
+    promote = next(ev for ev in workload.events if ev.kind == "promote")
+    assert kill.time < promote.time
+    assert kill.shard_id == promote.shard_id == workload.failover_shard
